@@ -1,0 +1,94 @@
+"""Ablation benches: isolate the design choices DESIGN.md calls out.
+
+Each ablation flips one ground-truth mechanism and measures the awareness
+indices, demonstrating which knob produces which published signature:
+
+* AS selection weight     → the B′/P′ byte-over-peer AS ratio;
+* BW selection weight     → the 96–98 % byte concentration on fast peers;
+* discovery AS bias       → TVAnts-style same-AS *peer* share (P′);
+* partner stickiness      → heavy few-pair vs light many-pair traffic.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import analyze_experiment
+from repro.streaming import SelectionWeights, get_profile, simulate
+
+DURATION = 100.0
+SEED = 17
+
+
+def _run(profile):
+    result = simulate(profile, duration_s=DURATION, seed=SEED)
+    return analyze_experiment(result)
+
+
+def _base():
+    return get_profile("random")
+
+
+def test_ablation_as_weight(benchmark):
+    """Provider AS weight on/off: drives the byte-wise AS preference."""
+    aware = replace(
+        _base(),
+        name="ablate-as-on",
+        partner_weights=SelectionWeights(bw=1.8, as_=0.8),
+        provider_weights=SelectionWeights(bw=2.2, as_=2.2),
+    )
+    report_on = benchmark.pedantic(_run, args=(aware,), rounds=1, iterations=1)
+    report_off = _run(_base())
+    on = report_on["AS"].download
+    off = report_off["AS"].download
+    assert on.B_prime > off.B_prime + 3
+    benchmark.extra_info["B_prime_on"] = round(on.B_prime, 2)
+    benchmark.extra_info["B_prime_off"] = round(off.B_prime, 2)
+
+
+def test_ablation_bw_weight(benchmark):
+    """Provider BW weight on/off: drives byte concentration on fast peers."""
+    aware = replace(
+        _base(),
+        name="ablate-bw-on",
+        partner_weights=SelectionWeights(bw=2.0),
+        provider_weights=SelectionWeights(bw=2.6),
+    )
+    report_on = benchmark.pedantic(_run, args=(aware,), rounds=1, iterations=1)
+    report_off = _run(_base())
+    on = report_on["BW"].download
+    off = report_off["BW"].download
+    assert on.B > off.B + 5
+    benchmark.extra_info["B_on"] = round(on.B, 2)
+    benchmark.extra_info["B_off"] = round(off.B, 2)
+
+
+def test_ablation_discovery_bias(benchmark):
+    """Tracker AS bias on/off: drives the same-AS *peer* share, the
+    TVAnts-vs-PPLive discovery difference."""
+    aware = replace(_base(), name="ablate-disc-on", discovery_as_bias=6.0)
+    report_on = benchmark.pedantic(_run, args=(aware,), rounds=1, iterations=1)
+    report_off = _run(_base())
+    on = report_on["AS"].download
+    off = report_off["AS"].download
+    assert on.P_prime > off.P_prime * 1.5
+    benchmark.extra_info["P_prime_on"] = round(on.P_prime, 2)
+    benchmark.extra_info["P_prime_off"] = round(off.P_prime, 2)
+
+
+def test_ablation_partner_stickiness(benchmark):
+    """Sticky vs churning partnerships: per-pair byte concentration."""
+    sticky = replace(_base(), name="ablate-sticky", partner_stickiness=0.95)
+    churny = replace(_base(), name="ablate-churny", partner_stickiness=0.0)
+
+    def run_both():
+        return _run(sticky), _run(churny)
+
+    rep_sticky, rep_churny = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    v_sticky = rep_sticky.views.download
+    v_churny = rep_churny.views.download
+    bytes_per_pair_sticky = v_sticky.total_bytes / max(len(v_sticky), 1)
+    bytes_per_pair_churny = v_churny.total_bytes / max(len(v_churny), 1)
+    assert bytes_per_pair_sticky > bytes_per_pair_churny
+    benchmark.extra_info["bytes_per_pair_sticky"] = int(bytes_per_pair_sticky)
+    benchmark.extra_info["bytes_per_pair_churny"] = int(bytes_per_pair_churny)

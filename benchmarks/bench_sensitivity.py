@@ -1,0 +1,57 @@
+"""Benchmark: threshold-sensitivity sweep and temporal convergence.
+
+Robustness extensions of the paper's methodology (DESIGN.md §5): sweep
+the heuristics' constants over one experiment's capture and verify the
+headline verdicts survive; measure how quickly the windowed indices
+converge to their aggregate values.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_artifact
+from repro.core.partitions import BWPartition
+from repro.core.timeseries import windowed_from_flows
+from repro.experiments.sensitivity import render_sensitivity, sweep_sensitivity
+from repro.heuristics.registry import IpRegistry
+
+
+def test_sensitivity_sweep(benchmark, campaign, output_dir):
+    run = campaign["tvants"]
+    registry = IpRegistry.from_world(campaign.world)
+    report = benchmark(sweep_sensitivity, run.flows, registry)
+    write_artifact(output_dir, "sensitivity.txt", render_sensitivity(report))
+
+    # Verdict robustness across the contributor-threshold sweeps.
+    bw = [p.bw_byte_pct for p in report.points if p.parameter.startswith("contributor")]
+    assert min(bw) > 90
+    benchmark.extra_info["bw_excursion_contrib"] = round(
+        report.excursion("bw_byte_pct", "contributor_volume"), 2
+    )
+    benchmark.extra_info["as_excursion_contrib"] = round(
+        report.excursion("as_byte_pct_nonprobe", "contributor_volume"), 2
+    )
+
+
+def test_temporal_convergence(benchmark, campaign, output_dir):
+    run = campaign["tvants"]
+    duration = run.result.duration_s
+
+    def regenerate():
+        return windowed_from_flows(
+            run.flows, BWPartition(), window_s=20.0, t_end=duration
+        )
+
+    scores = benchmark(regenerate)
+    finite = scores.byte_percent[np.isfinite(scores.byte_percent)]
+    # BW preference present in every window, converged early.
+    assert np.all(finite > 85)
+    settle = scores.stabilisation_window(tolerance=5.0)
+    assert settle is not None and settle * scores.window_s <= duration / 2
+    write_artifact(
+        output_dir,
+        "convergence.txt",
+        "BW byte-preference per 20s window:\n"
+        + "  ".join(f"{b:5.1f}" for b in scores.byte_percent)
+        + f"\nsettles at window {settle} (t={settle * scores.window_s:.0f}s)",
+    )
+    benchmark.extra_info["settle_time_s"] = settle * scores.window_s

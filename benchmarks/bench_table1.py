@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table I (testbed summary).
+
+Table I is static configuration, so the bench measures deploying the
+Table I testbed onto a fresh synthetic Internet and compressing it back
+into the paper's rows — the full provisioning path.
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.table1 import build_table1
+from repro.report.tables import render_table1
+from repro.topology.testbed import build_napa_wine_testbed
+from repro.topology.world import World
+
+
+def _regenerate():
+    world = World()
+    testbed = build_napa_wine_testbed(world)
+    return build_table1(testbed)
+
+
+def test_table1_regeneration(benchmark, output_dir):
+    table = benchmark(_regenerate)
+    assert table.total_hosts == 46
+    assert table.campus_ases == 6 and table.home_ases == 7
+    write_artifact(output_dir, "table1.txt", render_table1(table))
+    benchmark.extra_info["paper"] = "44 peers: 37 institution PCs + 7 home PCs"
+    benchmark.extra_info["measured"] = (
+        f"{table.total_hosts} hosts: {table.institution_hosts} institution "
+        f"+ {table.home_hosts} home (Table I as printed)"
+    )

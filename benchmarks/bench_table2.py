@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table II (stream rates, peers, contributors).
+
+The campaign simulation is session-shared; the bench measures the Table II
+aggregation (per-probe rates, distinct-peer counts, contributor counts)
+and records paper-vs-measured rows.
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.table2 import build_table2
+from repro.report.paper import PAPER_TABLE2
+from repro.report.tables import render_table2
+
+
+def test_table2_regeneration(benchmark, campaign, output_dir):
+    table = benchmark(build_table2, campaign)
+    write_artifact(output_dir, "table2.txt", render_table2(table))
+
+    # Shape assertions mirroring the paper's Table II structure.
+    pp, sc, tv = table.row("pplive"), table.row("sopcast"), table.row("tvants")
+    assert pp.all_peers_mean > sc.all_peers_mean > tv.all_peers_mean
+    assert pp.tx_kbps_mean > 2 * pp.rx_kbps_mean
+    assert sc.tx_kbps_mean < sc.rx_kbps_mean
+
+    for app in ("pplive", "sopcast", "tvants"):
+        row = table.row(app)
+        paper = PAPER_TABLE2[app]
+        benchmark.extra_info[app] = (
+            f"RX {row.rx_kbps_mean:.0f} kb/s (paper {paper['rx_kbps_mean']}), "
+            f"TX {row.tx_kbps_mean:.0f} (paper {paper['tx_kbps_mean']}), "
+            f"peers {row.all_peers_mean:.0f} (paper {paper['all_peers_mean']})"
+        )

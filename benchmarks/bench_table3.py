@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table III (NAPA-WINE self-induced bias)."""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.table3 import build_table3
+from repro.report.paper import PAPER_TABLE3
+from repro.report.tables import render_table3
+
+
+def test_table3_regeneration(benchmark, campaign, output_dir):
+    table = benchmark(build_table3, campaign)
+    write_artifact(output_dir, "table3.txt", render_table3(table))
+
+    # Paper shape: self-bias magnitude TVAnts > SopCast > PPLive.
+    assert (
+        table.row("tvants").contrib_byte_pct
+        > table.row("sopcast").contrib_byte_pct
+        > table.row("pplive").contrib_byte_pct
+    )
+    # Probes are preferentially contributors, not just contacts.
+    for app in ("pplive", "sopcast", "tvants"):
+        row = table.row(app)
+        assert row.contrib_peer_pct >= row.all_peer_pct
+
+    for app, paper in PAPER_TABLE3.items():
+        row = table.row(app)
+        benchmark.extra_info[app] = (
+            f"contrib bytes {row.contrib_byte_pct:.1f}% "
+            f"(paper {paper['contrib_byte_pct']}%), "
+            f"contrib peers {row.contrib_peer_pct:.1f}% "
+            f"(paper {paper['contrib_peer_pct']}%)"
+        )

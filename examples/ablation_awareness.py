@@ -1,0 +1,43 @@
+"""Ablation: the framework recovers ground-truth awareness it never sees.
+
+This is the validation the original paper could not run: because our
+"applications" are simulated, the selection-policy weights are known.  We
+sweep the per-chunk AS weight of a synthetic profile from 0 (oblivious) to
+strong, and show that the measured byte-wise preference B′ rises
+monotonically while a weight of zero yields B′ ≈ P′ (no false positives).
+
+Run:  python examples/ablation_awareness.py
+"""
+
+from dataclasses import replace
+
+from repro import analyze_experiment
+from repro.streaming import SelectionWeights, get_profile, simulate
+
+
+def main() -> None:
+    base = get_profile("random")
+    print("ground-truth AS weight → measured AS preference (download, non-probe)")
+    print(" w_as    B'_D%    P'_D%    B'/P'")
+    for w_as in (0.0, 0.8, 1.6, 2.4, 3.2):
+        profile = replace(
+            base,
+            name=f"ablation-as-{w_as}",
+            partner_weights=SelectionWeights(bw=1.8, as_=w_as / 2),
+            provider_weights=SelectionWeights(bw=2.2, as_=w_as),
+            discovery_as_bias=2.0 if w_as else 0.0,
+        )
+        result = simulate(profile, duration_s=150.0, seed=21)
+        scores = analyze_experiment(result)["AS"].download
+        ratio = scores.B_prime / scores.P_prime if scores.P_prime else float("nan")
+        print(
+            f" {w_as:4.1f}  {scores.B_prime:7.2f}  {scores.P_prime:7.2f}  {ratio:7.2f}"
+        )
+    print(
+        "\nA rising B'/P' with the hidden weight — and ≈1 at weight 0 — is the"
+        "\nframework behaving exactly as the paper claims it does."
+    )
+
+
+if __name__ == "__main__":
+    main()

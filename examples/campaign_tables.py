@@ -1,0 +1,55 @@
+"""Reproduce every table and figure of the paper in one run.
+
+Runs the three-application campaign (PPLive, SopCast, TVAnts profiles on a
+shared synthetic Internet), prints Tables I–IV and Figures 1–2 in the
+paper's layout, and evaluates the qualitative shape checks against the
+published findings.
+
+Run:  python examples/campaign_tables.py [duration_seconds]
+
+The default 300 s keeps the run a few minutes long; the indices are stable
+well before the paper's 1-hour captures.
+"""
+
+import sys
+
+from repro.experiments import (
+    CampaignConfig,
+    build_figure1,
+    build_figure2,
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+    run_campaign,
+)
+from repro.report.compare import check_campaign_shape, render_checks
+from repro.report.figures import render_figure1, render_figure2
+from repro.report.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 300.0
+    print(f"running the 3-application campaign ({duration:.0f}s per app)...")
+    campaign = run_campaign(CampaignConfig(duration_s=duration, seed=42))
+
+    for block in (
+        render_table1(build_table1(campaign.testbed)),
+        render_table2(build_table2(campaign)),
+        render_table3(build_table3(campaign)),
+        render_table4(build_table4(campaign)),
+        render_figure1(build_figure1(campaign)),
+        render_figure2(build_figure2(campaign)),
+        render_checks(check_campaign_shape(campaign)),
+    ):
+        print()
+        print(block)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Quickstart: simulate one P2P-TV experiment and measure its awareness.
+
+Runs a short TVAnts-profile experiment on the synthetic Internet with the
+paper's 46-probe NAPA-WINE testbed, applies the black-box methodology, and
+prints the peer-wise / byte-wise preference indices (one application's
+slice of the paper's Table IV).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import analyze_experiment, run_experiment
+
+
+def main() -> None:
+    # One 2-minute capture with the TVAnts behaviour profile.
+    result = run_experiment("tvants", duration_s=120.0, seed=1)
+    print(
+        f"simulated {result.duration_s:.0f}s of '{result.profile.name}': "
+        f"{len(result.transfers)} transfers across "
+        f"{len(result.testbed)} probes and {result.profile.swarm_size} remote peers"
+    )
+
+    # The analysis never sees the simulator's selection weights: it infers
+    # preferences from addresses, TTLs, packet gaps and byte counts alone.
+    report = analyze_experiment(result)
+
+    print("\nmetric  direction   P (peer-wise %)   B (byte-wise %)")
+    for metric in report.metric_names:
+        scores = report[metric]
+        for label, s in (("download", scores.download), ("upload", scores.upload)):
+            print(f"{metric:>6}  {label:<9}   {s.P:15.1f}   {s.B:15.1f}")
+
+    bw = report["BW"].download
+    print(
+        f"\nReading the BW row like the paper does: {bw.P:.0f}% of contributing"
+        f" peers are high-bandwidth, and they supply {bw.B:.0f}% of the bytes"
+        " — bandwidth awareness is clearly embedded."
+    )
+    as_ = report["AS"].download
+    print(
+        f"AS row: B'={as_.B_prime:.1f}% of non-probe bytes come from just"
+        f" P'={as_.P_prime:.1f}% of non-probe contributors in the same AS"
+        " — TVAnts also prefers AS-local peers."
+    )
+
+
+if __name__ == "__main__":
+    main()

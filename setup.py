@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Exists so ``pip install -e .`` works in offline environments lacking the
+``wheel`` package (see the note at the top of ``pyproject.toml``).  All
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

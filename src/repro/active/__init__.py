@@ -1,0 +1,17 @@
+"""Active measurement substrate: ping and traceroute over the model.
+
+The paper restricts itself to properties measurable *passively* ("it is
+straightforward to actively measure RTT between two end-points but it is
+very hard to infer it passively", §III).  The NAPA-WINE project did run
+active measurements; this subpackage provides their synthetic equivalent
+over the same path model, so that:
+
+* passive inferences (TTL hops, request-response RTT) can be
+  cross-validated against active ground-truth probing in tests;
+* framework extensions (an RTT partition, an AS-path partition) have an
+  honest active data source, mirroring a real deployment's options.
+"""
+
+from repro.active.prober import ActiveProber, PingResult, TracerouteHop
+
+__all__ = ["ActiveProber", "PingResult", "TracerouteHop"]

@@ -1,0 +1,153 @@
+"""ICMP-style active probing against the synthetic Internet.
+
+:class:`ActiveProber` issues pings (RTT samples with queueing jitter) and
+traceroutes (per-hop TTL expiry walks) between endpoints of a
+:class:`~repro.topology.world.World`.  The latency model matches the
+engine's: per-hop forwarding plus a propagation base, with one-sided
+exponential queueing jitter per probe — so min-over-samples converges to
+the true path latency exactly like real ping statistics do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.streaming.transport import BASE_LATENCY_S, PER_HOP_LATENCY_S
+from repro.topology.host import NetworkEndpoint
+from repro.topology.world import World
+
+
+@dataclass(frozen=True, slots=True)
+class PingResult:
+    """RTT statistics of one ping burst."""
+
+    target_ip: int
+    sent: int
+    received: int
+    rtt_min_s: float
+    rtt_avg_s: float
+    rtt_max_s: float
+
+    @property
+    def loss_rate(self) -> float:
+        return 1.0 - self.received / self.sent if self.sent else float("nan")
+
+
+@dataclass(frozen=True, slots=True)
+class TracerouteHop:
+    """One hop of a traceroute: its distance and the AS it sits in."""
+
+    ttl: int
+    asn: int
+    rtt_s: float
+
+
+class ActiveProber:
+    """Ping/traceroute issuer bound to one vantage endpoint."""
+
+    def __init__(
+        self,
+        world: World,
+        source: NetworkEndpoint,
+        *,
+        seed: int = 0,
+        loss_prob: float = 0.0,
+        jitter_scale_s: float = 0.002,
+    ) -> None:
+        if not 0 <= loss_prob < 1:
+            raise ConfigurationError("loss probability must be in [0, 1)")
+        self._world = world
+        self._source = source
+        self._rng = np.random.default_rng(seed)
+        self._loss_prob = loss_prob
+        self._jitter_scale_s = jitter_scale_s
+
+    # -------------------------------------------------------------- internal
+    def _one_way_base(self, hops: int) -> float:
+        return BASE_LATENCY_S + PER_HOP_LATENCY_S * hops
+
+    def _rtt_sample(self, fwd_hops: int, rev_hops: int) -> float:
+        base = self._one_way_base(fwd_hops) + self._one_way_base(rev_hops)
+        # Queueing only ever adds delay (one-sided jitter).
+        return base + float(self._rng.exponential(self._jitter_scale_s))
+
+    # ------------------------------------------------------------------ ping
+    def ping(self, target: NetworkEndpoint, count: int = 10) -> PingResult:
+        """Send ``count`` echo requests; return the RTT statistics."""
+        if count < 1:
+            raise ConfigurationError("ping needs at least one probe")
+        fwd = self._world.paths.hops(self._source, target)
+        rev = self._world.paths.hops(target, self._source)
+        rtts = []
+        for _ in range(count):
+            if self._rng.random() < self._loss_prob:
+                continue
+            rtts.append(self._rtt_sample(fwd, rev))
+        if not rtts:
+            return PingResult(target.ip, count, 0, float("nan"), float("nan"), float("nan"))
+        arr = np.array(rtts)
+        return PingResult(
+            target_ip=target.ip,
+            sent=count,
+            received=len(rtts),
+            rtt_min_s=float(arr.min()),
+            rtt_avg_s=float(arr.mean()),
+            rtt_max_s=float(arr.max()),
+        )
+
+    def true_rtt(self, target: NetworkEndpoint) -> float:
+        """The jitter-free round-trip time (ground truth for validation)."""
+        fwd = self._world.paths.hops(self._source, target)
+        rev = self._world.paths.hops(target, self._source)
+        return self._one_way_base(fwd) + self._one_way_base(rev)
+
+    # ------------------------------------------------------------ traceroute
+    def traceroute(self, target: NetworkEndpoint) -> list[TracerouteHop]:
+        """Walk the forward path by TTL expiry.
+
+        Intermediate hops are attributed to the ASes along the AS-level
+        route, apportioned by each AS's internal hop count — the same
+        model the path lengths come from, so ``len(trace)`` equals the
+        forward hop count exactly.
+        """
+        total = self._world.paths.hops(self._source, target)
+        if total == 0:
+            return []
+        as_path = self._world.asgraph.as_path(self._source.asn, target.asn)
+        # Build the per-hop AS attribution: source access tree, then each
+        # AS's internal hops (+1 border hop entering the next AS), then the
+        # target access tree; rounding spill goes to the last AS.
+        sequence: list[int] = []
+        for asn in as_path:
+            internal = self._world.asgraph.internal_hops(asn)
+            sequence.extend([asn] * (internal + 1))
+        if len(sequence) >= total:
+            sequence = sequence[:total]
+        else:
+            sequence = sequence + [as_path[-1]] * (total - len(sequence))
+
+        hops = []
+        rev = self._world.paths.hops(target, self._source)
+        for ttl, asn in enumerate(sequence, start=1):
+            # RTT to the expiring router ≈ fraction of the full path.
+            frac = ttl / total
+            fwd_part = self._one_way_base(total) * frac
+            rev_part = self._one_way_base(rev) * frac
+            rtt = fwd_part + rev_part + float(
+                self._rng.exponential(self._jitter_scale_s)
+            )
+            hops.append(TracerouteHop(ttl=ttl, asn=int(asn), rtt_s=rtt))
+        return hops
+
+    def as_path_of(self, target: NetworkEndpoint) -> list[int]:
+        """Distinct ASes observed on a traceroute, in order."""
+        out: list[int] = []
+        for hop in self.traceroute(target):
+            if not out or out[-1] != hop.asn:
+                out.append(hop.asn)
+        if not out:
+            out = [self._source.asn]
+        return out

@@ -1,0 +1,201 @@
+"""Command-line interface.
+
+Three subcommands mirror the measurement workflow:
+
+* ``simulate``  — run one application experiment, save the trace bundle;
+* ``analyze``   — apply the awareness framework to a saved bundle;
+* ``campaign``  — run the full three-application campaign and print every
+  table and figure of the paper plus the shape-check verdicts;
+* ``localize``  — the network-friendliness extension: per-app traffic
+  cost plus the aware-client what-if comparison;
+* ``replicate`` — Table IV with mean ± std across seed replications.
+
+Invoke as ``repro-p2ptv`` (console script) or ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.streaming.profiles import PROFILES
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro import run_experiment
+    from repro.trace.store import TraceBundle, save_trace_bundle
+
+    result = run_experiment(args.app, duration_s=args.duration, seed=args.seed)
+    bundle = TraceBundle.from_result(result)
+    path = save_trace_bundle(args.out, bundle)
+    print(
+        f"{args.app}: {args.duration:.0f}s simulated, "
+        f"{len(result.transfers)} transfers, {result.events_processed} events"
+    )
+    print(f"trace bundle written to {path}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.framework import AwarenessAnalyzer
+    from repro.experiments.table4 import Table4, cells_from_report
+    from repro.heuristics.registry import IpRegistry
+    from repro.report.tables import render_table4
+    from repro.trace.flows import build_flow_table
+    from repro.trace.store import load_trace_bundle, rebuild_world
+
+    bundle = load_trace_bundle(args.trace)
+    # Trace bundles are self-contained: the registry is rebuilt from the
+    # per-host records (a GeoIP-style database), and the path model from
+    # the recorded world seed (the world is a pure function of it).
+    registry = IpRegistry.from_hosts(bundle.hosts)
+    world = rebuild_world(bundle)
+    flows = build_flow_table(
+        bundle.transfers, bundle.signaling, bundle.hosts, world.paths
+    )
+    report = AwarenessAnalyzer(registry).analyze(flows)
+    app = bundle.meta.get("profile", "trace")
+    print(render_table4(Table4(cells=cells_from_report(app, report))))
+    bias = report.self_bias_contributors["download"]
+    print(
+        f"\nself-induced bias (download contributors): "
+        f"peers {bias.peer_percent:.1f}%, bytes {bias.byte_percent:.1f}%"
+    )
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        CampaignConfig,
+        build_figure1,
+        build_figure2,
+        build_table1,
+        build_table2,
+        build_table3,
+        build_table4,
+        run_campaign,
+    )
+    from repro.report.compare import check_campaign_shape, render_checks
+    from repro.report.figures import render_figure1, render_figure2
+    from repro.report.tables import (
+        render_table1,
+        render_table2,
+        render_table3,
+        render_table4,
+    )
+
+    config = CampaignConfig(
+        apps=tuple(args.apps), duration_s=args.duration, seed=args.seed, scale=args.scale
+    )
+    campaign = run_campaign(config)
+    print(render_table1(build_table1(campaign.testbed)))
+    print()
+    print(render_table2(build_table2(campaign)))
+    print()
+    print(render_table3(build_table3(campaign)))
+    print()
+    print(render_table4(build_table4(campaign)))
+    print()
+    print(render_figure1(build_figure1(campaign)))
+    print()
+    print(render_figure2(build_figure2(campaign)))
+    if set(args.apps) >= {"pplive", "sopcast", "tvants"}:
+        print()
+        print(render_checks(check_campaign_shape(campaign)))
+    return 0
+
+
+def _cmd_localize(args: argparse.Namespace) -> int:
+    from repro.experiments import CampaignConfig, run_campaign
+    from repro.experiments.localization import build_localization, render_localization
+
+    campaign = run_campaign(
+        CampaignConfig(duration_s=args.duration, seed=args.seed, scale=args.scale)
+    )
+    report = build_localization(
+        campaign,
+        include_whatif=args.whatif,
+        whatif_duration_s=min(args.duration, 180.0),
+        whatif_seed=args.seed,
+    )
+    print(render_localization(report))
+    return 0
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    from repro.experiments import CampaignConfig
+    from repro.experiments.multirun import (
+        render_replicated_table4,
+        run_replicated_campaign,
+    )
+
+    rep = run_replicated_campaign(
+        CampaignConfig(duration_s=args.duration, scale=args.scale),
+        seeds=args.seeds,
+    )
+    print(render_replicated_table4(rep))
+    rates = rep.check_pass_rates()
+    if rates:
+        print("\nshape-check pass rates:")
+        for name, rate in rates.items():
+            print(f"  {rate:4.0%}  {name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-p2ptv",
+        description="Network awareness of P2P live streaming — IPDPS'09 reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one application experiment")
+    sim.add_argument("--app", choices=sorted(PROFILES), default="tvants")
+    sim.add_argument("--duration", type=float, default=300.0, help="seconds")
+    sim.add_argument("--seed", type=int, default=7)
+    sim.add_argument("--out", default="trace.npz", help="output bundle path")
+    sim.set_defaults(func=_cmd_simulate)
+
+    ana = sub.add_parser("analyze", help="analyse a saved trace bundle")
+    ana.add_argument("trace", help="path to a .npz trace bundle")
+    ana.set_defaults(func=_cmd_analyze)
+
+    camp = sub.add_parser("campaign", help="full campaign: all tables & figures")
+    camp.add_argument(
+        "--apps", nargs="+", default=["pplive", "sopcast", "tvants"],
+        choices=sorted(PROFILES),
+    )
+    camp.add_argument("--duration", type=float, default=300.0)
+    camp.add_argument("--seed", type=int, default=42)
+    camp.add_argument("--scale", type=float, default=1.0)
+    camp.set_defaults(func=_cmd_campaign)
+
+    loc = sub.add_parser("localize", help="network-friendliness extension")
+    loc.add_argument("--duration", type=float, default=240.0)
+    loc.add_argument("--seed", type=int, default=23)
+    loc.add_argument("--scale", type=float, default=1.0)
+    loc.add_argument(
+        "--whatif", action="store_true",
+        help="also run the sopcast-vs-napa-wine what-if comparison",
+    )
+    loc.set_defaults(func=_cmd_localize)
+
+    rep = sub.add_parser("replicate", help="Table IV across seed replications")
+    rep.add_argument("--duration", type=float, default=180.0)
+    rep.add_argument("--scale", type=float, default=1.0)
+    rep.add_argument("--seeds", type=int, nargs="+", default=[101, 202, 303])
+    rep.set_defaults(func=_cmd_replicate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

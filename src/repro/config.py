@@ -1,0 +1,48 @@
+"""Seeding and shared configuration helpers.
+
+Every stochastic component draws from its own child of one master
+``numpy.random.SeedSequence`` so that (a) experiments are bit-reproducible
+given a seed and (b) changing one component's draw count does not perturb
+the others' streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Named RNG streams, so child seeds are position-independent.
+_STREAMS = (
+    "world",
+    "population",
+    "churn",
+    "engine",
+    "selection",
+    "availability",
+    "signaling",
+    "trace",
+)
+
+
+class RngBundle:
+    """Named, independent random generators derived from one master seed."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+        root = np.random.SeedSequence(self.seed)
+        children = root.spawn(len(_STREAMS))
+        self._rngs = {
+            name: np.random.default_rng(child)
+            for name, child in zip(_STREAMS, children)
+        }
+
+    def __getitem__(self, name: str) -> np.random.Generator:
+        try:
+            return self._rngs[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown RNG stream {name!r}; available: {sorted(self._rngs)}"
+            ) from exc
+
+    @property
+    def streams(self) -> tuple[str, ...]:
+        return _STREAMS

@@ -1,0 +1,68 @@
+"""The network-awareness inference framework (the paper's contribution).
+
+Given probe-side traffic (a :class:`~repro.trace.flows.FlowTable`) and a
+public address registry, the framework:
+
+1. identifies contributing peers per probe and direction
+   (:mod:`repro.core.views`);
+2. partitions each probe's contributor set by a network property —
+   bandwidth, AS, country, subnet, hop distance
+   (:mod:`repro.core.partitions`);
+3. computes the peer-wise and byte-wise preference indices P and B of
+   eqs. (1)–(8) (:mod:`repro.core.preference`);
+4. controls the self-induced bias of the probe deployment by recomputing
+   on the contributor set deprived of probes (:mod:`repro.core.bias`);
+5. assembles everything into a Table-IV-shaped report
+   (:mod:`repro.core.framework`).
+"""
+
+from repro.core.views import Direction, DirectionalView, build_views, ViewPair
+from repro.core.partitions import (
+    ASPartition,
+    BWPartition,
+    CCPartition,
+    HOPPartition,
+    NETPartition,
+    PreferentialPartition,
+    SubnetPartition,
+    default_partitions,
+)
+from repro.core.preference import PreferenceCounts, preference_counts
+from repro.core.bias import exclude_probe_peers, self_bias
+from repro.core.timeseries import (
+    WindowedScores,
+    windowed_from_flows,
+    windowed_preference,
+)
+from repro.core.framework import (
+    AwarenessAnalyzer,
+    AwarenessReport,
+    DirectionScores,
+    MetricScores,
+)
+
+__all__ = [
+    "Direction",
+    "DirectionalView",
+    "ViewPair",
+    "build_views",
+    "PreferentialPartition",
+    "BWPartition",
+    "ASPartition",
+    "CCPartition",
+    "NETPartition",
+    "SubnetPartition",
+    "HOPPartition",
+    "default_partitions",
+    "PreferenceCounts",
+    "preference_counts",
+    "exclude_probe_peers",
+    "self_bias",
+    "WindowedScores",
+    "windowed_from_flows",
+    "windowed_preference",
+    "AwarenessAnalyzer",
+    "AwarenessReport",
+    "DirectionScores",
+    "MetricScores",
+]

@@ -1,0 +1,56 @@
+"""Self-induced probe bias: quantification and control (paper §III-C).
+
+The NAPA-WINE probes are an unusual population — clouds of high-bandwidth
+PCs sharing LANs, ASes and countries — and they demonstrably prefer each
+other (Table III).  Two tools deal with it:
+
+* :func:`self_bias` measures the share of peers/bytes exchanged among
+  probes (Table III's rows);
+* :func:`exclude_probe_peers` restricts a view to the contributor set
+  P′(p) = P(p) \\ W, on which the primed indices P′, B′ are computed —
+  if a preference survives the exclusion, it was not an artifact of the
+  deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.views import DirectionalView
+
+
+def exclude_probe_peers(
+    view: DirectionalView, probe_ips: np.ndarray
+) -> DirectionalView:
+    """The view restricted to non-probe peers (P′ of the paper)."""
+    keep = ~np.isin(view.peer_ip, np.asarray(probe_ips, dtype=np.uint32))
+    return view.select(keep)
+
+
+@dataclass(frozen=True, slots=True)
+class SelfBias:
+    """Share of traffic a probe population exchanges with itself."""
+
+    peer_percent: float
+    byte_percent: float
+
+
+def self_bias(view: DirectionalView, probe_ips: np.ndarray) -> SelfBias:
+    """Percentage of (probe, peer) pairs and bytes where the peer is
+    itself a probe — one cell of Table III."""
+    n = len(view)
+    if n == 0:
+        return SelfBias(float("nan"), float("nan"))
+    is_probe_peer = np.isin(view.peer_ip, np.asarray(probe_ips, dtype=np.uint32))
+    total_bytes = view.bytes.sum()
+    byte_pct = (
+        float("nan")
+        if total_bytes == 0
+        else 100.0 * view.bytes[is_probe_peer].sum() / total_bytes
+    )
+    return SelfBias(
+        peer_percent=100.0 * is_probe_peer.sum() / n,
+        byte_percent=byte_pct,
+    )

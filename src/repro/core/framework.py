@@ -1,0 +1,150 @@
+"""The analyzer: orchestrating views, partitions and preference indices.
+
+:class:`AwarenessAnalyzer` turns one experiment's flow table into a
+Table-IV-shaped :class:`AwarenessReport`: for every network property and
+both directions, the preference indices over all contributors (P, B) and
+over contributors excluding the probes (P′, B′).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.heuristics.contributors import ContributorCriteria
+from repro.heuristics.registry import IpRegistry
+from repro.core.bias import exclude_probe_peers, self_bias, SelfBias
+from repro.core.partitions import PreferentialPartition, default_partitions
+from repro.core.preference import PreferenceCounts, preference_counts
+from repro.core.views import Direction, DirectionalView, ViewPair, build_views
+from repro.trace.flows import FlowTable
+
+
+@dataclass(frozen=True, slots=True)
+class DirectionScores:
+    """P/B over all contributors and over non-probe contributors."""
+
+    all_peers: PreferenceCounts | None
+    non_probe: PreferenceCounts | None
+
+    @property
+    def P(self) -> float:  # noqa: N802 - paper notation
+        return self.all_peers.peer_percent if self.all_peers else float("nan")
+
+    @property
+    def B(self) -> float:  # noqa: N802
+        return self.all_peers.byte_percent if self.all_peers else float("nan")
+
+    @property
+    def P_prime(self) -> float:  # noqa: N802
+        return self.non_probe.peer_percent if self.non_probe else float("nan")
+
+    @property
+    def B_prime(self) -> float:  # noqa: N802
+        return self.non_probe.byte_percent if self.non_probe else float("nan")
+
+
+@dataclass(frozen=True, slots=True)
+class MetricScores:
+    """One Table IV row group: one property, both directions."""
+
+    metric: str
+    download: DirectionScores
+    upload: DirectionScores
+
+    def get(self, direction: Direction) -> DirectionScores:
+        return self.download if direction is Direction.DOWNLOAD else self.upload
+
+
+@dataclass
+class AwarenessReport:
+    """Full analysis output for one experiment."""
+
+    metrics: dict[str, MetricScores]
+    views: ViewPair
+    self_bias_contributors: dict[str, SelfBias] = field(default_factory=dict)
+    self_bias_all_peers: dict[str, SelfBias] = field(default_factory=dict)
+
+    def __getitem__(self, metric: str) -> MetricScores:
+        try:
+            return self.metrics[metric]
+        except KeyError as exc:
+            raise AnalysisError(
+                f"metric {metric!r} not analysed; have {sorted(self.metrics)}"
+            ) from exc
+
+    @property
+    def metric_names(self) -> list[str]:
+        return list(self.metrics)
+
+
+class AwarenessAnalyzer:
+    """Applies the paper's methodology to one experiment's traffic."""
+
+    def __init__(
+        self,
+        registry: IpRegistry,
+        partitions: list[PreferentialPartition] | None = None,
+        criteria: ContributorCriteria | None = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        registry:
+            Address → AS/CC resolver (the whois/GeoIP stand-in).
+        partitions:
+            Properties to score; defaults to the paper's five (BW, AS, CC,
+            NET, HOP).  Pass your own list to extend the framework with
+            new properties — see ``examples/custom_metric.py``.
+        criteria:
+            Contributor-identification thresholds.
+        """
+        self.registry = registry
+        self.partitions = (
+            partitions if partitions is not None else default_partitions(registry)
+        )
+        if not self.partitions:
+            raise AnalysisError("need at least one partition")
+        names = [p.name for p in self.partitions]
+        if len(set(names)) != len(names):
+            raise AnalysisError(f"duplicate partition names: {names}")
+        self.criteria = criteria
+
+    def analyze(self, table: FlowTable) -> AwarenessReport:
+        """Run the full methodology on one experiment."""
+        probe_ips = np.asarray(table.probe_ips, dtype=np.uint32)
+        views = build_views(table, self.criteria, contributors_only=True)
+        all_views = build_views(table, self.criteria, contributors_only=False)
+
+        metrics: dict[str, MetricScores] = {}
+        for partition in self.partitions:
+            per_direction: dict[Direction, DirectionScores] = {}
+            for direction in Direction:
+                view = views.get(direction)
+                if not partition.supports(direction):
+                    per_direction[direction] = DirectionScores(None, None)
+                    continue
+                indicator = partition.indicator(view)
+                full = preference_counts(view, indicator)
+                pruned_view = exclude_probe_peers(view, probe_ips)
+                keep = ~np.isin(view.peer_ip, probe_ips)
+                pruned = preference_counts(pruned_view, indicator[keep])
+                per_direction[direction] = DirectionScores(full, pruned)
+            metrics[partition.name] = MetricScores(
+                metric=partition.name,
+                download=per_direction[Direction.DOWNLOAD],
+                upload=per_direction[Direction.UPLOAD],
+            )
+
+        report = AwarenessReport(metrics=metrics, views=views)
+        for direction in Direction:
+            key = direction.value
+            report.self_bias_contributors[key] = self_bias(
+                views.get(direction), probe_ips
+            )
+            report.self_bias_all_peers[key] = self_bias(
+                all_views.get(direction), probe_ips
+            )
+        return report

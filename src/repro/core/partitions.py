@@ -1,0 +1,184 @@
+"""Preferential partitions X_P of the peer set (paper §III-B).
+
+Each partition splits the support of a network property into a preferred
+set and its complement; the indicator 1_P(p, e) marks pairs in the
+preferred set:
+
+* **BW**  — ``min IPG(e → p) < 1 ms``  (peer path > 10 Mb/s).  Download
+  only: capacity is observable only on traffic *received* from e.
+* **AS**  — ``AS(p) == AS(e)`` via the address registry.
+* **CC**  — same country via the registry.
+* **NET** — ``HOP(e, p) == 0`` (TTL unchanged ⇒ same subnet).
+* **HOP** — ``HOP(e, p) < threshold`` with the threshold at the observed
+  median distance (the paper fixes 19 after observing medians of 18–20).
+
+Partitions satisfy the axioms X_P ∪ X̄_P = X, X_P ∩ X̄_P = ∅ by
+construction (a boolean indicator); the property-based tests assert the
+derived invariants.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.heuristics.bandwidth import HIGH_BW_IPG_THRESHOLD_S, classify_high_bandwidth
+from repro.heuristics.hops import hops_from_ttl
+from repro.heuristics.registry import IpRegistry
+from repro.core.views import Direction, DirectionalView
+
+#: The paper's fixed HOP threshold (median distance was 18–20 hops).
+PAPER_HOP_THRESHOLD = 19
+
+
+class PreferentialPartition(ABC):
+    """A named boolean split of (probe, peer) pairs."""
+
+    #: Short name used in reports ("BW", "AS", ...).
+    name: str = "?"
+
+    @abstractmethod
+    def indicator(self, view: DirectionalView) -> np.ndarray:
+        """1_P over the view's rows."""
+
+    def supports(self, direction: Direction) -> bool:
+        """Whether the property is measurable in this direction."""
+        return True
+
+
+class BWPartition(PreferentialPartition):
+    """High-bandwidth peers, inferred from minimum inter-packet gaps."""
+
+    name = "BW"
+
+    def __init__(self, ipg_threshold_s: float = HIGH_BW_IPG_THRESHOLD_S) -> None:
+        if ipg_threshold_s <= 0:
+            raise AnalysisError("IPG threshold must be positive")
+        self.ipg_threshold_s = ipg_threshold_s
+
+    def indicator(self, view: DirectionalView) -> np.ndarray:
+        return classify_high_bandwidth(view.min_ipg, self.ipg_threshold_s)
+
+    def supports(self, direction: Direction) -> bool:
+        # Paper §III-C: U(p) and D(p) are typically disjoint, so upstream
+        # capacity of upload-only peers is unobservable; BW is reported for
+        # the download direction only (conservative).
+        return direction is Direction.DOWNLOAD
+
+
+class _RegistryPartition(PreferentialPartition):
+    """Shared machinery for registry-resolved equality partitions."""
+
+    def __init__(self, registry: IpRegistry) -> None:
+        self.registry = registry
+
+
+class ASPartition(_RegistryPartition):
+    """Peer in the same Autonomous System as the probe."""
+
+    name = "AS"
+
+    def indicator(self, view: DirectionalView) -> np.ndarray:
+        return self.registry.asn_of(view.peer_ip) == self.registry.asn_of(view.probe_ip)
+
+
+class CCPartition(_RegistryPartition):
+    """Peer in the same country as the probe."""
+
+    name = "CC"
+
+    def indicator(self, view: DirectionalView) -> np.ndarray:
+        return self.registry.country_of(view.peer_ip) == self.registry.country_of(
+            view.probe_ip
+        )
+
+
+class NETPartition(PreferentialPartition):
+    """Peer on the probe's subnet: zero-hop path (received TTL = initial).
+
+    Rows without an observed e → p stream (nan TTL) are conservatively
+    assigned to the non-preferred class.
+    """
+
+    name = "NET"
+
+    def __init__(self, assume_initial_ttl: int | None = None) -> None:
+        self.assume_initial_ttl = assume_initial_ttl
+
+    def indicator(self, view: DirectionalView) -> np.ndarray:
+        seen = np.isfinite(view.ttl)
+        out = np.zeros(len(view), dtype=bool)
+        if seen.any():
+            hops = hops_from_ttl(
+                view.ttl[seen].astype(np.int64), self.assume_initial_ttl
+            )
+            out[seen] = hops == 0
+        return out
+
+
+class SubnetPartition(_RegistryPartition):
+    """Registry-based alternative to NET: equal masked network addresses.
+
+    Not used by the paper (which infers subnets from TTLs), but useful for
+    cross-validating the TTL path and as an example of extending the
+    framework with a new property.
+    """
+
+    name = "SUBNET"
+
+    def indicator(self, view: DirectionalView) -> np.ndarray:
+        return self.registry.subnet_of(view.peer_ip) == self.registry.subnet_of(
+            view.probe_ip
+        )
+
+
+class HOPPartition(PreferentialPartition):
+    """Peers closer than a hop threshold (default: the paper's 19)."""
+
+    name = "HOP"
+
+    def __init__(
+        self,
+        threshold: int | None = PAPER_HOP_THRESHOLD,
+        assume_initial_ttl: int | None = None,
+    ) -> None:
+        self.threshold = threshold
+        self.assume_initial_ttl = assume_initial_ttl
+
+    def _hops(self, view: DirectionalView) -> tuple[np.ndarray, np.ndarray]:
+        seen = np.isfinite(view.ttl)
+        hops = np.full(len(view), np.inf)
+        if seen.any():
+            hops[seen] = hops_from_ttl(
+                view.ttl[seen].astype(np.int64), self.assume_initial_ttl
+            )
+        return hops, seen
+
+    def observed_median(self, view: DirectionalView) -> float:
+        """Median observed hop distance (the paper's threshold source)."""
+        hops, seen = self._hops(view)
+        if not seen.any():
+            raise AnalysisError("no TTL observations to take a median over")
+        return float(np.median(hops[seen]))
+
+    def indicator(self, view: DirectionalView) -> np.ndarray:
+        hops, _ = self._hops(view)
+        threshold = self.threshold
+        if threshold is None:
+            threshold = self.observed_median(view)
+        return hops < threshold
+
+
+def default_partitions(
+    registry: IpRegistry, hop_threshold: int | None = PAPER_HOP_THRESHOLD
+) -> list[PreferentialPartition]:
+    """The paper's five partitions, in Table IV order."""
+    return [
+        BWPartition(),
+        ASPartition(registry),
+        CCPartition(registry),
+        NETPartition(),
+        HOPPartition(hop_threshold),
+    ]

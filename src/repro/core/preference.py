@@ -1,0 +1,84 @@
+"""Peer-wise and byte-wise preference indices — eqs. (1)–(8) of the paper.
+
+For one direction and one partition, over the NAPA-WINE probe set W:
+
+* ``Peer_P  = Σ_{p∈W} Σ_{e} 1_P(p, e)``              (eqs. 1, 3, 5)
+* ``Byte_P  = Σ_{p∈W} Σ_{e} 1_P(p, e) · B(p, e)``    (eqs. 2, 4, 6)
+* ``P = 100 · Peer_P / (Peer_P + Peer_P̄)``           (eq. 7)
+* ``B = 100 · Byte_P / (Byte_P + Byte_P̄)``           (eq. 8)
+
+A peer contributes once per probe it exchanges with (the paper notes a
+peer "may be counted more than once" across probes).  The indices are
+dimensionless percentages, insensitive to byte units and to the magnitude
+of the underlying property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.core.views import DirectionalView
+
+
+@dataclass(frozen=True, slots=True)
+class PreferenceCounts:
+    """Raw sums of eqs. (5)–(6) plus the derived indices of (7)–(8)."""
+
+    peers_preferred: int
+    peers_other: int
+    bytes_preferred: int
+    bytes_other: int
+
+    @property
+    def total_peers(self) -> int:
+        return self.peers_preferred + self.peers_other
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_preferred + self.bytes_other
+
+    @property
+    def peer_percent(self) -> float:
+        """P of eq. (7); NaN when the view is empty."""
+        if self.total_peers == 0:
+            return float("nan")
+        return 100.0 * self.peers_preferred / self.total_peers
+
+    @property
+    def byte_percent(self) -> float:
+        """B of eq. (8); NaN when no bytes were exchanged."""
+        if self.total_bytes == 0:
+            return float("nan")
+        return 100.0 * self.bytes_preferred / self.total_bytes
+
+
+def preference_counts(view: DirectionalView, indicator: np.ndarray) -> PreferenceCounts:
+    """Aggregate eqs. (1)–(8) over a view given a partition indicator."""
+    if len(indicator) != len(view):
+        raise AnalysisError("indicator misaligned with view")
+    ind = np.asarray(indicator, dtype=bool)
+    nbytes = view.bytes.astype(np.uint64)
+    return PreferenceCounts(
+        peers_preferred=int(ind.sum()),
+        peers_other=int((~ind).sum()),
+        bytes_preferred=int(nbytes[ind].sum()),
+        bytes_other=int(nbytes[~ind].sum()),
+    )
+
+
+def per_probe_counts(
+    view: DirectionalView, indicator: np.ndarray
+) -> dict[int, PreferenceCounts]:
+    """Eqs. (1)–(4) per probe — the pre-aggregation breakdown.
+
+    Summing these across probes reproduces :func:`preference_counts`
+    exactly (a property the tests assert).
+    """
+    out: dict[int, PreferenceCounts] = {}
+    for probe in np.unique(view.probe_ip):
+        mask = view.probe_ip == probe
+        out[int(probe)] = preference_counts(view.select(mask), indicator[mask])
+    return out

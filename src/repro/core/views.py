@@ -1,0 +1,150 @@
+"""Contributor views: the (probe, peer) pairs the framework scores.
+
+For every probe p the paper considers the contributing peers P(p), split
+by direction: D(p) — peers p downloads video from — and U(p) — peers p
+uploads to.  A :class:`DirectionalView` holds one row per (p, e) pair with
+the exchanged bytes B(·,·) and the *measured* attributes of the e → p
+packet stream (min IPG for capacity inference, TTL for hop inference).
+
+Upload rows carry the reverse-flow (e → p) measurements when such a flow
+exists, since capacity/TTL can only be observed on traffic *received*
+from e (paper §III-C, "directionality"); rows without reverse traffic get
+``inf`` / ``nan`` sentinels and partitions handle them conservatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.heuristics.contributors import ContributorCriteria, contributor_mask
+from repro.trace.flows import FlowTable
+
+
+class Direction(Enum):
+    """Traffic direction relative to the probe."""
+
+    DOWNLOAD = "download"  # e → p
+    UPLOAD = "upload"      # p → e
+
+
+@dataclass(frozen=True)
+class DirectionalView:
+    """One row per (probe, peer) pair in one direction."""
+
+    direction: Direction
+    probe_ip: np.ndarray   # u4
+    peer_ip: np.ndarray    # u4
+    bytes: np.ndarray      # u8 — B(e,p) or B(p,e)
+    min_ipg: np.ndarray    # f8 — of the e → p stream (inf if unseen)
+    ttl: np.ndarray        # f8 — of the e → p stream (nan if unseen)
+
+    def __post_init__(self) -> None:
+        n = len(self.probe_ip)
+        for name in ("peer_ip", "bytes", "min_ipg", "ttl"):
+            if len(getattr(self, name)) != n:
+                raise AnalysisError(f"view column {name} misaligned")
+
+    def __len__(self) -> int:
+        return len(self.probe_ip)
+
+    def select(self, mask: np.ndarray) -> "DirectionalView":
+        """Row-filtered copy."""
+        return replace(
+            self,
+            probe_ip=self.probe_ip[mask],
+            peer_ip=self.peer_ip[mask],
+            bytes=self.bytes[mask],
+            min_ipg=self.min_ipg[mask],
+            ttl=self.ttl[mask],
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.bytes.sum())
+
+    def distinct_peers(self) -> int:
+        """Distinct peer addresses across all probes (a peer counted once
+        even when several probes talk to it)."""
+        return len(np.unique(self.peer_ip))
+
+
+@dataclass(frozen=True)
+class ViewPair:
+    """Download and upload views of one experiment."""
+
+    download: DirectionalView
+    upload: DirectionalView
+
+    def get(self, direction: Direction) -> DirectionalView:
+        return self.download if direction is Direction.DOWNLOAD else self.upload
+
+
+def _reverse_lookup(
+    flows: np.ndarray, query_src: np.ndarray, query_dst: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """min_ipg and ttl of flows ``query_src → query_dst`` (vectorised).
+
+    Missing flows yield (+inf, nan).
+    """
+    keys = (flows["src"].astype(np.uint64) << np.uint64(32)) | flows["dst"].astype(
+        np.uint64
+    )
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    q = (query_src.astype(np.uint64) << np.uint64(32)) | query_dst.astype(np.uint64)
+    idx = np.searchsorted(sorted_keys, q)
+    idx_c = np.minimum(idx, max(len(sorted_keys) - 1, 0))
+    found = (len(sorted_keys) > 0) & (sorted_keys[idx_c] == q)
+    src_rows = order[idx_c]
+    ipg = np.where(found, flows["min_ipg"][src_rows], np.inf)
+    ttl = np.where(found, flows["ttl"][src_rows].astype(np.float64), np.nan)
+    return ipg, ttl
+
+
+def build_views(
+    table: FlowTable,
+    criteria: ContributorCriteria | None = None,
+    *,
+    contributors_only: bool = True,
+) -> ViewPair:
+    """Build download/upload contributor views from a flow table.
+
+    With ``contributors_only=False`` the views cover *all* contacted peers
+    (used by Table II's "all peers" statistics and Table III's all-peer
+    bias column).
+    """
+    flows = table.flows
+    probe_ips = np.asarray(table.probe_ips, dtype=np.uint32)
+    if contributors_only:
+        keep = contributor_mask(flows, criteria)
+    else:
+        keep = np.ones(len(flows), dtype=bool)
+
+    dst_is_probe = np.isin(flows["dst"], probe_ips)
+    src_is_probe = np.isin(flows["src"], probe_ips)
+
+    down = flows[keep & dst_is_probe]
+    download = DirectionalView(
+        direction=Direction.DOWNLOAD,
+        probe_ip=down["dst"].copy(),
+        peer_ip=down["src"].copy(),
+        bytes=down["bytes"].copy(),
+        min_ipg=down["min_ipg"].copy(),
+        ttl=down["ttl"].astype(np.float64),
+    )
+
+    up = flows[keep & src_is_probe]
+    rev_ipg, rev_ttl = _reverse_lookup(flows, up["dst"], up["src"])
+    upload = DirectionalView(
+        direction=Direction.UPLOAD,
+        probe_ip=up["src"].copy(),
+        peer_ip=up["dst"].copy(),
+        bytes=up["bytes"].copy(),
+        min_ipg=rev_ipg,
+        ttl=rev_ttl,
+    )
+    return ViewPair(download=download, upload=upload)

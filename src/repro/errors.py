@@ -1,0 +1,43 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or component was configured with invalid parameters."""
+
+
+class TopologyError(ReproError):
+    """The synthetic network topology is inconsistent or was misused."""
+
+
+class AddressError(TopologyError):
+    """An IPv4 address or prefix is malformed or out of allocation range."""
+
+
+class AllocationError(TopologyError):
+    """Address/subnet space is exhausted or an allocation request is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event streaming engine hit an inconsistent state."""
+
+
+class TraceError(ReproError):
+    """A packet/flow trace is malformed, truncated or incompatible."""
+
+
+class AnalysisError(ReproError):
+    """The awareness-analysis framework was invoked on unusable inputs."""
+
+
+class RegistryError(AnalysisError):
+    """An IP could not be resolved by the AS/CC/subnet registry."""

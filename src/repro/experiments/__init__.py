@@ -1,0 +1,83 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each driver turns simulation results into a typed artifact mirroring the
+paper's table or figure, rendered to text by :mod:`repro.report`:
+
+* :mod:`repro.experiments.campaign`  — run the three applications on a
+  shared synthetic Internet (the April-2008 campaign);
+* :mod:`repro.experiments.table1`    — testbed summary;
+* :mod:`repro.experiments.table2`    — stream rates and peer counts;
+* :mod:`repro.experiments.table3`    — NAPA-WINE self-induced bias;
+* :mod:`repro.experiments.table4`    — network awareness (P/B indices);
+* :mod:`repro.experiments.figure1`   — geographical breakdown;
+* :mod:`repro.experiments.figure2`   — AS×AS exchanged-traffic matrices.
+"""
+
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignConfig,
+    ExperimentRun,
+    run_campaign,
+)
+from repro.experiments.table1 import Table1, build_table1
+from repro.experiments.table2 import Table2, Table2Row, build_table2
+from repro.experiments.table3 import Table3, Table3Row, build_table3
+from repro.experiments.table4 import Table4, Table4Cell, build_table4
+from repro.experiments.figure1 import Figure1, Figure1Bars, build_figure1
+from repro.experiments.figure2 import Figure2, ASMatrix, build_figure2
+from repro.experiments.localization import (
+    LocalizationReport,
+    build_localization,
+    render_localization,
+)
+from repro.experiments.multirun import (
+    ReplicatedCampaign,
+    render_replicated_table4,
+    run_replicated_campaign,
+)
+from repro.experiments.flowstats import (
+    FlowStatsReport,
+    build_flowstats,
+    render_flowstats,
+)
+from repro.experiments.sensitivity import (
+    SensitivityReport,
+    render_sensitivity,
+    sweep_sensitivity,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "ExperimentRun",
+    "run_campaign",
+    "Table1",
+    "build_table1",
+    "Table2",
+    "Table2Row",
+    "build_table2",
+    "Table3",
+    "Table3Row",
+    "build_table3",
+    "Table4",
+    "Table4Cell",
+    "build_table4",
+    "Figure1",
+    "Figure1Bars",
+    "build_figure1",
+    "Figure2",
+    "ASMatrix",
+    "build_figure2",
+    "LocalizationReport",
+    "build_localization",
+    "render_localization",
+    "ReplicatedCampaign",
+    "render_replicated_table4",
+    "run_replicated_campaign",
+    "FlowStatsReport",
+    "build_flowstats",
+    "render_flowstats",
+    "SensitivityReport",
+    "render_sensitivity",
+    "sweep_sensitivity",
+]

@@ -1,0 +1,132 @@
+"""Flow-level statistics à la Silverston & Fourmaux (the paper's [12]).
+
+The closest prior comparative study characterised PPLive/SopCast/TVAnts
+by (a) scatter plots of mean packet size versus flow duration and (b) the
+data rate of the top-10 contributors versus the overall download rate.
+The paper argues those views are less systematic than its P/B indices;
+implementing them here lets a user reproduce the comparison and see both
+methodologies on the same traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.experiments.campaign import Campaign
+from repro.trace.flows import FlowTable
+from repro.units import BITS_PER_BYTE, to_kbps
+
+
+@dataclass(frozen=True, slots=True)
+class FlowScatter:
+    """Per-flow (duration, mean packet size) pairs for one application."""
+
+    app: str
+    durations_s: np.ndarray
+    mean_packet_bytes: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.durations_s)
+
+    def video_cluster_fraction(self, size_cut: float = 800.0) -> float:
+        """Fraction of flows in the large-packet (video) cluster."""
+        if len(self) == 0:
+            return float("nan")
+        return float((self.mean_packet_bytes >= size_cut).mean())
+
+
+@dataclass(frozen=True, slots=True)
+class TopContributors:
+    """Top-N contributor rates vs the total download rate, per probe."""
+
+    app: str
+    n: int
+    #: Per-probe share of download bytes supplied by its top-N peers.
+    top_share_per_probe: np.ndarray
+
+    @property
+    def mean_share(self) -> float:
+        if len(self.top_share_per_probe) == 0:
+            return float("nan")
+        return float(np.mean(self.top_share_per_probe))
+
+
+def flow_scatter(table: FlowTable, app: str = "") -> FlowScatter:
+    """Compute the duration/mean-packet-size scatter of probe-side flows."""
+    flows = table.flows
+    if len(flows) == 0:
+        return FlowScatter(app, np.zeros(0), np.zeros(0))
+    durations = (flows["last_ts"] - flows["first_ts"]).astype(np.float64)
+    mean_size = flows["bytes"] / np.maximum(flows["pkts"], 1)
+    return FlowScatter(app, durations, mean_size.astype(np.float64))
+
+
+def top_contributors(table: FlowTable, n: int = 10, app: str = "") -> TopContributors:
+    """Per probe: byte share of its top-``n`` download contributors."""
+    if n < 1:
+        raise AnalysisError("top-N needs n >= 1")
+    shares = []
+    for probe in table.probe_ips:
+        rx = table.received_by(int(probe))
+        rx = rx[rx["video_bytes"] > 0]
+        if len(rx) == 0:
+            continue
+        per_peer = np.sort(rx["bytes"].astype(np.float64))[::-1]
+        shares.append(per_peer[:n].sum() / per_peer.sum())
+    return TopContributors(app=app, n=n, top_share_per_probe=np.array(shares))
+
+
+@dataclass
+class FlowStatsReport:
+    """Both related-work views over a whole campaign."""
+
+    scatters: list[FlowScatter]
+    tops: list[TopContributors]
+
+    def scatter(self, app: str) -> FlowScatter:
+        for s in self.scatters:
+            if s.app == app:
+                return s
+        raise KeyError(app)
+
+    def top(self, app: str) -> TopContributors:
+        for t in self.tops:
+            if t.app == app:
+                return t
+        raise KeyError(app)
+
+
+def build_flowstats(campaign: Campaign, top_n: int = 10) -> FlowStatsReport:
+    """Compute both views for every campaign run."""
+    scatters, tops = [], []
+    for app, run in campaign.runs.items():
+        scatters.append(flow_scatter(run.flows, app))
+        tops.append(top_contributors(run.flows, top_n, app))
+    return FlowStatsReport(scatters=scatters, tops=tops)
+
+
+def render_flowstats(report: FlowStatsReport) -> str:
+    """Monospace summary of both views."""
+    from repro.report.tables import render_table
+
+    rows = []
+    for s in report.scatters:
+        t = next(t for t in report.tops if t.app == s.app)
+        long_flows = float((s.durations_s > 30).mean()) if len(s) else float("nan")
+        rows.append(
+            [
+                s.app,
+                str(len(s)),
+                f"{100 * s.video_cluster_fraction():.0f}",
+                f"{100 * long_flows:.0f}",
+                f"{100 * t.mean_share:.0f}",
+            ]
+        )
+    return render_table(
+        ["App", "flows", "video-cluster %", "long-flow %", f"top-10 share %"],
+        rows,
+        title="FLOW STATS — the related-work [12] views on the same traffic",
+    )

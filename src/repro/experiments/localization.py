@@ -1,0 +1,112 @@
+"""Localization experiment — quantifying the paper's closing argument.
+
+The paper ends: current systems should "better localize the traffic the
+network has to carry".  This experiment measures how far each measured
+system is from that goal and how much a next-generation aware client
+(:func:`repro.streaming.profiles.napa_wine`) would close the gap:
+
+* per application: mean router hops per video byte, intra-AS / intra-CC
+  byte shares, transit (inter-AS) byte share;
+* a what-if row for the aware client, with the quality check that it
+  still receives the full stream.
+
+This is an *extension* of the paper (its future-work section), flagged as
+such in DESIGN.md and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.campaign import Campaign
+from repro.friendliness.cost import TrafficCost, traffic_cost
+from repro.friendliness.whatif import WhatIfOutcome, compare_profiles
+from repro.streaming.profiles import get_profile, napa_wine
+
+
+@dataclass(frozen=True, slots=True)
+class LocalizationRow:
+    """One application's network-cost summary."""
+
+    app: str
+    cost: TrafficCost
+
+
+@dataclass
+class LocalizationReport:
+    """Per-app costs plus the next-generation what-if comparison."""
+
+    rows: list[LocalizationRow]
+    whatif: WhatIfOutcome | None = None
+
+    def row(self, app: str) -> LocalizationRow:
+        for r in self.rows:
+            if r.app == app:
+                return r
+        raise KeyError(app)
+
+
+def build_localization(
+    campaign: Campaign,
+    *,
+    include_whatif: bool = False,
+    whatif_duration_s: float = 120.0,
+    whatif_seed: int = 23,
+) -> LocalizationReport:
+    """Compute localization metrics for every campaign run.
+
+    With ``include_whatif=True``, additionally runs the SopCast baseline
+    against the aware ``napa-wine`` profile under identical seeds (extra
+    simulation cost: two short runs).
+    """
+    rows = [
+        LocalizationRow(app=app, cost=traffic_cost(run.flows, campaign.world.paths))
+        for app, run in campaign.runs.items()
+    ]
+    whatif = None
+    if include_whatif:
+        whatif = compare_profiles(
+            get_profile("sopcast"),
+            napa_wine(),
+            duration_s=whatif_duration_s,
+            seed=whatif_seed,
+        )
+    return LocalizationReport(rows=rows, whatif=whatif)
+
+
+def render_localization(report: LocalizationReport) -> str:
+    """Monospace rendering of the localization report."""
+    from repro.report.tables import render_table
+
+    rows = []
+    for r in report.rows:
+        c = r.cost
+        rows.append(
+            [
+                r.app,
+                f"{c.mean_hops_per_byte:.1f}",
+                f"{100 * c.as_localization:.1f}",
+                f"{100 * c.cc_localization:.1f}",
+                f"{100 * c.transit_fraction:.1f}",
+            ]
+        )
+    out = render_table(
+        ["App", "hops/byte", "intra-AS %", "intra-CC %", "transit %"],
+        rows,
+        title="LOCALIZATION — network cost of the video traffic (extension)",
+    )
+    if report.whatif is not None:
+        w = report.whatif
+        out += (
+            f"\n\nwhat-if: {w.baseline.profile} → {w.candidate.profile}"
+            f"\n  hops/byte     {w.baseline.cost.mean_hops_per_byte:.1f} → "
+            f"{w.candidate.cost.mean_hops_per_byte:.1f} "
+            f"({100 * w.hop_reduction:+.0f}%)"
+            f"\n  transit share {100 * w.baseline.cost.transit_fraction:.1f}% → "
+            f"{100 * w.candidate.cost.transit_fraction:.1f}% "
+            f"({100 * w.transit_reduction:+.0f}%)"
+            f"\n  rate sufficiency {w.baseline.rate_sufficiency:.2f} → "
+            f"{w.candidate.rate_sufficiency:.2f} "
+            f"(quality preserved: {w.quality_preserved})"
+        )
+    return out

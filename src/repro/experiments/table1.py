@@ -1,0 +1,96 @@
+"""Table I: summary of hosts, sites, countries, ASes and access types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.testbed import Testbed
+from repro.topology.world import HOME_AS_BASE
+
+
+@dataclass(frozen=True, slots=True)
+class Table1Row:
+    """One (site, access-class) row, like the paper's compressed rows."""
+
+    hosts: str       # e.g. "1-4" or "5"
+    site: str
+    country: str
+    as_label: str    # "AS1".."AS6" or "ASx"
+    access: str      # "high-bw" / "DSL 6/0.512" / ...
+    nat: bool
+    firewall: bool
+
+
+@dataclass
+class Table1:
+    """The reproduced Table I."""
+
+    rows: list[Table1Row]
+    total_hosts: int
+    institution_hosts: int
+    home_hosts: int
+    countries: int
+    campus_ases: int
+    home_ases: int
+
+
+def _host_number(label: str) -> int:
+    return int(label.rsplit("-", 1)[1])
+
+
+def build_table1(testbed: Testbed) -> Table1:
+    """Compress the testbed back into Table I's (site, access) rows."""
+    rows: list[Table1Row] = []
+    for site in testbed.sites:
+        # Group consecutive hosts sharing (access label, AS kind, flags).
+        group: list = []
+
+        def flush() -> None:
+            if not group:
+                return
+            first, last = _host_number(group[0].label), _host_number(group[-1].label)
+            hosts = str(first) if first == last else f"{first}-{last}"
+            h = group[0]
+            as_label = (
+                f"AS{h.endpoint.asn}" if h.endpoint.asn < HOME_AS_BASE else "ASx"
+            )
+            rows.append(
+                Table1Row(
+                    hosts=hosts,
+                    site=site.name,
+                    country=site.country,
+                    as_label=as_label,
+                    access=h.endpoint.access.label,
+                    nat=h.endpoint.access.nat,
+                    firewall=h.endpoint.access.firewall,
+                )
+            )
+            group.clear()
+
+        prev_key = None
+        for host in site.hosts:
+            acc = host.endpoint.access
+            key = (acc.label, acc.nat, acc.firewall, host.endpoint.asn >= HOME_AS_BASE,
+                   host.endpoint.asn if host.endpoint.asn >= HOME_AS_BASE else 0)
+            # Home hosts each sit in their own AS; still group identical
+            # consecutive home rows like the paper does ("11-12").
+            home = host.endpoint.asn >= HOME_AS_BASE
+            group_key = (acc.label, acc.nat, acc.firewall, home)
+            if prev_key is not None and group_key != prev_key:
+                flush()
+            group.append(host)
+            prev_key = group_key
+        flush()
+
+    countries = {s.country for s in testbed.sites}
+    campus = {h.endpoint.asn for h in testbed.institution_hosts}
+    home = {h.endpoint.asn for h in testbed.home_hosts}
+    return Table1(
+        rows=rows,
+        total_hosts=len(testbed),
+        institution_hosts=len(testbed.institution_hosts),
+        home_hosts=len(testbed.home_hosts),
+        countries=len(countries),
+        campus_ases=len(campus),
+        home_ases=len(home),
+    )

@@ -1,0 +1,100 @@
+"""Table II: stream rates, overall peer counts and contributor counts.
+
+For each application the paper reports mean/max over probes of:
+
+* received and transmitted stream rate (kb/s, all traffic incl. signaling);
+* the number of distinct peers seen ("all peers");
+* the number of contributing peers in each direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.views import build_views
+from repro.experiments.campaign import Campaign
+from repro.trace.flows import FlowTable
+from repro.units import to_kbps
+
+
+@dataclass(frozen=True, slots=True)
+class Table2Row:
+    """One application's row group."""
+
+    app: str
+    rx_kbps_mean: float
+    rx_kbps_max: float
+    tx_kbps_mean: float
+    tx_kbps_max: float
+    all_peers_mean: float
+    all_peers_max: int
+    contrib_rx_mean: float
+    contrib_rx_max: int
+    contrib_tx_mean: float
+    contrib_tx_max: int
+    total_observed_peers: int
+
+
+@dataclass
+class Table2:
+    """The reproduced Table II."""
+
+    rows: list[Table2Row]
+
+    def row(self, app: str) -> Table2Row:
+        for r in self.rows:
+            if r.app == app:
+                return r
+        raise KeyError(app)
+
+
+def _per_probe_stats(flows: FlowTable, duration_s: float) -> dict:
+    probe_ips = flows.probe_ips
+    contrib = build_views(flows)
+    everyone = build_views(flows, contributors_only=False)
+
+    rx_rates, tx_rates, n_peers = [], [], []
+    contrib_rx, contrib_tx = [], []
+    for ip in probe_ips:
+        ip = int(ip)
+        rx = flows.received_by(ip)
+        tx = flows.sent_by(ip)
+        rx_rates.append(to_kbps(rx["bytes"].sum() * 8.0 / duration_s))
+        tx_rates.append(to_kbps(tx["bytes"].sum() * 8.0 / duration_s))
+        n_peers.append(
+            len(np.unique(np.concatenate([rx["src"], tx["dst"]])))
+        )
+        contrib_rx.append(int((contrib.download.probe_ip == np.uint32(ip)).sum()))
+        contrib_tx.append(int((contrib.upload.probe_ip == np.uint32(ip)).sum()))
+
+    total_observed = len(
+        np.unique(
+            np.concatenate(
+                [everyone.download.peer_ip, everyone.upload.peer_ip]
+            )
+        )
+    )
+    return {
+        "rx_kbps_mean": float(np.mean(rx_rates)),
+        "rx_kbps_max": float(np.max(rx_rates)),
+        "tx_kbps_mean": float(np.mean(tx_rates)),
+        "tx_kbps_max": float(np.max(tx_rates)),
+        "all_peers_mean": float(np.mean(n_peers)),
+        "all_peers_max": int(np.max(n_peers)),
+        "contrib_rx_mean": float(np.mean(contrib_rx)),
+        "contrib_rx_max": int(np.max(contrib_rx)),
+        "contrib_tx_mean": float(np.mean(contrib_tx)),
+        "contrib_tx_max": int(np.max(contrib_tx)),
+        "total_observed_peers": total_observed,
+    }
+
+
+def build_table2(campaign: Campaign) -> Table2:
+    """Compute Table II over every run of a campaign."""
+    rows = []
+    for app, run in campaign.runs.items():
+        stats = _per_probe_stats(run.flows, run.result.duration_s)
+        rows.append(Table2Row(app=app, **stats))
+    return Table2(rows=rows)

@@ -1,0 +1,93 @@
+"""Table IV: network awareness as peer-wise and byte-wise bias.
+
+The paper's headline table: for each network property (BW, AS, CC, NET,
+HOP), each application, and both directions, the preference indices over
+all contributors (P, B) and over non-NAPA-WINE contributors (P′, B′).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.framework import AwarenessReport
+from repro.core.views import Direction
+from repro.experiments.campaign import Campaign
+
+#: Property order of the paper's table.
+METRIC_ORDER = ("BW", "AS", "CC", "NET", "HOP")
+
+
+@dataclass(frozen=True, slots=True)
+class Table4Cell:
+    """One (metric, app, direction) cell group: B′ P′ B P."""
+
+    metric: str
+    app: str
+    direction: str
+    B_prime: float
+    P_prime: float
+    B: float
+    P: float
+
+
+@dataclass
+class Table4:
+    """The reproduced Table IV (flat cell list + lookup helpers)."""
+
+    cells: list[Table4Cell]
+
+    def cell(self, metric: str, app: str, direction: str) -> Table4Cell:
+        for c in self.cells:
+            if (c.metric, c.app, c.direction) == (metric, app, direction):
+                return c
+        raise KeyError((metric, app, direction))
+
+    @property
+    def metrics(self) -> list[str]:
+        seen: list[str] = []
+        for c in self.cells:
+            if c.metric not in seen:
+                seen.append(c.metric)
+        return seen
+
+    @property
+    def apps(self) -> list[str]:
+        seen: list[str] = []
+        for c in self.cells:
+            if c.app not in seen:
+                seen.append(c.app)
+        return seen
+
+
+def cells_from_report(app: str, report: AwarenessReport) -> list[Table4Cell]:
+    """Flatten one application's awareness report into table cells."""
+    cells = []
+    for metric in report.metric_names:
+        scores = report[metric]
+        for direction in Direction:
+            s = scores.get(direction)
+            cells.append(
+                Table4Cell(
+                    metric=metric,
+                    app=app,
+                    direction=direction.value,
+                    B_prime=s.B_prime,
+                    P_prime=s.P_prime,
+                    B=s.B,
+                    P=s.P,
+                )
+            )
+    return cells
+
+
+def build_table4(campaign: Campaign) -> Table4:
+    """Compute Table IV over every run of a campaign."""
+    cells: list[Table4Cell] = []
+    for metric in METRIC_ORDER:
+        for app, run in campaign.runs.items():
+            if metric not in run.report.metric_names:
+                continue
+            for c in cells_from_report(app, run.report):
+                if c.metric == metric:
+                    cells.append(c)
+    return Table4(cells=cells)

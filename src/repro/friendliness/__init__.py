@@ -1,0 +1,24 @@
+"""Network-friendliness analysis — the paper's forward-looking question.
+
+The paper concludes that P2P-TV systems "definitively need to improve the
+level of network-awareness, so to better localize the traffic in the
+network".  This subpackage quantifies exactly that:
+
+* :mod:`repro.friendliness.cost` — how much work the network performs to
+  carry an experiment's traffic: byte×hop volume, transit-link load,
+  intra-AS / intra-country localization indices;
+* :mod:`repro.friendliness.whatif` — what-if evaluation: re-run a system
+  with increased awareness (e.g. the :func:`repro.streaming.profiles
+  .napa_wine` next-generation profile) and measure the localisation gain
+  at equal streaming quality.
+"""
+
+from repro.friendliness.cost import TrafficCost, traffic_cost
+from repro.friendliness.whatif import WhatIfOutcome, compare_profiles
+
+__all__ = [
+    "TrafficCost",
+    "traffic_cost",
+    "WhatIfOutcome",
+    "compare_profiles",
+]

@@ -1,0 +1,103 @@
+"""What-if evaluation: how much would awareness help?
+
+Runs two application profiles on identically-seeded worlds and compares
+network cost *and* user-side streaming quality, answering the paper's
+closing question quantitatively: a next-generation client should localise
+traffic **without** degrading the stream.
+
+Quality proxy: the per-probe received video rate relative to the nominal
+stream rate (a probe receiving the full stream plays it; the simulator
+has no player, so rate sufficiency is the observable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.friendliness.cost import TrafficCost, traffic_cost
+from repro.streaming.engine import EngineConfig, simulate
+from repro.streaming.profiles import AppProfile
+from repro.trace.flows import build_flow_table
+from repro.trace.records import PacketKind
+from repro.units import BITS_PER_BYTE
+
+
+@dataclass(frozen=True, slots=True)
+class RunSummary:
+    """One profile's cost + quality numbers."""
+
+    profile: str
+    cost: TrafficCost
+    mean_rx_rate_bps: float
+    rate_sufficiency: float  # mean RX rate / nominal stream rate
+
+
+@dataclass(frozen=True, slots=True)
+class WhatIfOutcome:
+    """Side-by-side comparison of a baseline and a candidate profile."""
+
+    baseline: RunSummary
+    candidate: RunSummary
+
+    @property
+    def hop_reduction(self) -> float:
+        """Relative reduction in mean hops per byte (positive = better)."""
+        b = self.baseline.cost.mean_hops_per_byte
+        c = self.candidate.cost.mean_hops_per_byte
+        return (b - c) / b if b else float("nan")
+
+    @property
+    def transit_reduction(self) -> float:
+        """Relative reduction in transit (inter-AS) byte share."""
+        b = self.baseline.cost.transit_fraction
+        c = self.candidate.cost.transit_fraction
+        return (b - c) / b if b else float("nan")
+
+    @property
+    def quality_preserved(self) -> bool:
+        """Candidate keeps ≥ 90 % of the baseline's rate sufficiency."""
+        return self.candidate.rate_sufficiency >= 0.9 * self.baseline.rate_sufficiency
+
+
+def _summarise(profile: AppProfile, duration_s: float, seed: int) -> RunSummary:
+    result = simulate(
+        profile, engine_config=EngineConfig(duration_s=duration_s, seed=seed)
+    )
+    flows = build_flow_table(
+        result.transfers, result.signaling, result.hosts, result.world.paths
+    )
+    cost = traffic_cost(flows, result.world.paths)
+
+    video = result.transfers[result.transfers["kind"] == int(PacketKind.VIDEO)]
+    probes = result.probe_ips
+    rates = []
+    for ip in probes:
+        nbytes = video["bytes"][video["dst"] == ip].sum()
+        rates.append(nbytes * BITS_PER_BYTE / duration_s)
+    mean_rate = float(np.mean(rates))
+    return RunSummary(
+        profile=profile.name,
+        cost=cost,
+        mean_rx_rate_bps=mean_rate,
+        rate_sufficiency=mean_rate / profile.video.rate_bps,
+    )
+
+
+def compare_profiles(
+    baseline: AppProfile,
+    candidate: AppProfile,
+    *,
+    duration_s: float = 180.0,
+    seed: int = 23,
+) -> WhatIfOutcome:
+    """Run both profiles under identical conditions and compare.
+
+    Both runs use the same engine seed, so world, population, churn and
+    demand realisations match; only the application behaviour differs.
+    """
+    return WhatIfOutcome(
+        baseline=_summarise(baseline, duration_s, seed),
+        candidate=_summarise(candidate, duration_s, seed),
+    )

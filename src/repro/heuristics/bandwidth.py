@@ -1,0 +1,50 @@
+"""Capacity inference from packet-train dispersion (min inter-packet gap).
+
+Paper §III-B: video chunks are sent as bursts of packets ("packet
+trains"); consecutive packets act as packet-pairs whose spacing at the
+receiver equals the serialisation time of one packet at the path
+bottleneck.  Measuring the *minimum* IPG over a flow and comparing it to
+1 ms — the transmission time of a 1250 B packet at 10 Mb/s — classifies
+the sender as high- or low-bandwidth:
+
+    ``BW(e, p) > 10 Mb/s  ⇔  min IPG(e → p) < 1 ms``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.units import BITS_PER_BYTE, MBPS
+
+#: The paper's reference packet size (bytes).
+REFERENCE_PACKET_BYTES = 1250
+
+#: The paper's capacity threshold and the equivalent IPG threshold.
+HIGH_BW_CAPACITY_BPS = 10 * MBPS
+HIGH_BW_IPG_THRESHOLD_S = REFERENCE_PACKET_BYTES * BITS_PER_BYTE / HIGH_BW_CAPACITY_BPS
+
+
+def classify_high_bandwidth(
+    min_ipg_s: np.ndarray, threshold_s: float = HIGH_BW_IPG_THRESHOLD_S
+) -> np.ndarray:
+    """High-bandwidth indicator per flow from min inter-packet gaps.
+
+    Flows that never carried a multi-packet train have ``min_ipg = +inf``
+    and classify as low-bandwidth — the conservative choice (no evidence
+    of a fast path is treated as absence).
+    """
+    return np.asarray(min_ipg_s) < threshold_s
+
+
+def estimate_capacity_bps(
+    min_ipg_s: np.ndarray, packet_bytes: int = REFERENCE_PACKET_BYTES
+) -> np.ndarray:
+    """Point estimate of the bottleneck capacity from the min IPG.
+
+    ``capacity = packet_size / min_ipg``; +inf gaps give a 0 b/s estimate
+    (no train ⇒ no information, not an infinite-capacity path).
+    """
+    gaps = np.asarray(min_ipg_s, dtype=np.float64)
+    with np.errstate(divide="ignore"):
+        est = packet_bytes * BITS_PER_BYTE / gaps
+    return np.where(np.isfinite(gaps), est, 0.0)

@@ -1,0 +1,54 @@
+"""Hop-count inference from received TTLs.
+
+Paper §III-B: ``HOP(e, p)`` is evaluated as ``128 − TTL`` of received
+packets, 128 being the Windows default initial TTL (the measured clients
+were Windows applications).  A small share of senders run stacks with
+initial TTL 64 or 255; the standard trick — also implemented here — is to
+round the received TTL up to the nearest common initial value, since real
+paths are far shorter than the gaps between 64, 128 and 255.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+#: Common initial TTLs, ascending.
+COMMON_INITIAL_TTLS = (64, 128, 255)
+
+
+def infer_initial_ttl(ttl: np.ndarray) -> np.ndarray:
+    """Most plausible initial TTL for each received TTL value."""
+    ttl = np.asarray(ttl, dtype=np.int64)
+    if np.any(ttl <= 0) or np.any(ttl > 255):
+        raise AnalysisError("received TTLs must be in [1, 255]")
+    out = np.full(ttl.shape, COMMON_INITIAL_TTLS[-1], dtype=np.int64)
+    for initial in reversed(COMMON_INITIAL_TTLS):
+        out = np.where(ttl <= initial, initial, out)
+    return out
+
+
+def hops_from_ttl(ttl: np.ndarray, assume_initial: int | None = None) -> np.ndarray:
+    """Router-hop estimate per received TTL.
+
+    Parameters
+    ----------
+    ttl:
+        Received TTL values.
+    assume_initial:
+        Fix the initial TTL (the paper assumes 128 throughout).  When
+        None, the initial TTL is inferred per packet — more robust when
+        a minority of peers run non-Windows stacks.
+    """
+    ttl = np.asarray(ttl, dtype=np.int64)
+    if assume_initial is not None:
+        if assume_initial not in COMMON_INITIAL_TTLS:
+            raise AnalysisError(f"implausible initial TTL {assume_initial}")
+        initial = np.full(ttl.shape, assume_initial, dtype=np.int64)
+    else:
+        initial = infer_initial_ttl(ttl)
+    hops = initial - ttl
+    # A fixed wrong assumption can go negative (e.g. TTL 250 under 128);
+    # clamp at 0, the conservative "same subnet" estimate.
+    return np.maximum(hops, 0)

@@ -1,0 +1,118 @@
+"""IP → AS / country / subnet resolution (the whois/GeoIP step).
+
+The paper maps peer addresses to Autonomous Systems and countries with
+public registry data.  Our equivalent is built from the synthetic world's
+prefix allocations — the same information a routing registry would
+publish — and offers vectorised longest-prefix-match lookups.
+
+It can also be built from a :class:`HostTable`'s *public view* (per-host
+AS/CC rows), which models a GeoIP database keyed by exact addresses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RegistryError
+from repro.topology.ip import subnet_key
+from repro.trace.hosts import HostTable
+
+
+class IpRegistry:
+    """Prefix-based address resolver with vectorised lookups."""
+
+    def __init__(
+        self,
+        networks: np.ndarray,
+        prefix_sizes: np.ndarray,
+        asns: np.ndarray,
+        country_codes: np.ndarray,
+        subnet_prefixlen: int = 24,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        networks / prefix_sizes:
+            Aligned arrays: prefix network addresses and their address-span
+            sizes (``2**(32-prefixlen)``).  Prefixes must be disjoint.
+        asns / country_codes:
+            Owner AS numbers and country codes, aligned with the prefixes.
+        subnet_prefixlen:
+            Granularity of the NET ("same subnet") relation.
+        """
+        order = np.argsort(networks, kind="stable")
+        self._networks = np.asarray(networks, dtype=np.uint64)[order]
+        self._sizes = np.asarray(prefix_sizes, dtype=np.uint64)[order]
+        self._asns = np.asarray(asns, dtype=np.int64)[order]
+        self._ccs = np.asarray(country_codes, dtype="U2")[order]
+        self.subnet_prefixlen = subnet_prefixlen
+        ends = self._networks + self._sizes
+        if np.any(self._networks[1:] < ends[:-1]):
+            raise RegistryError("registry prefixes overlap")
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def from_world(cls, world) -> "IpRegistry":
+        """Build from a :class:`~repro.topology.world.World`'s allocations."""
+        networks, sizes, asns, ccs = [], [], [], []
+        for asys in world.registry:
+            for prefix in asys.prefixes:
+                networks.append(prefix.network)
+                sizes.append(prefix.num_addresses)
+                asns.append(asys.asn)
+                ccs.append(asys.country_code)
+        if not networks:
+            raise RegistryError("world has no allocated prefixes")
+        return cls(
+            np.array(networks, dtype=np.uint64),
+            np.array(sizes, dtype=np.uint64),
+            np.array(asns, dtype=np.int64),
+            np.array(ccs, dtype="U2"),
+            subnet_prefixlen=world.config.subnet_prefixlen,
+        )
+
+    @classmethod
+    def from_hosts(cls, hosts: HostTable, subnet_prefixlen: int = 24) -> "IpRegistry":
+        """Build from per-host records (a GeoIP-style exact-address DB)."""
+        rows = hosts.rows
+        if len(rows) == 0:
+            raise RegistryError("empty host table")
+        return cls(
+            rows["ip"].astype(np.uint64),
+            np.ones(len(rows), dtype=np.uint64),
+            rows["asn"].astype(np.int64),
+            rows["cc"],
+            subnet_prefixlen=subnet_prefixlen,
+        )
+
+    # --------------------------------------------------------------- lookups
+    def _indices(self, ips: np.ndarray) -> np.ndarray:
+        ips64 = np.asarray(ips, dtype=np.uint64)
+        idx = np.searchsorted(self._networks, ips64, side="right") - 1
+        valid = idx >= 0
+        idx_c = np.maximum(idx, 0)
+        inside = valid & (ips64 < self._networks[idx_c] + self._sizes[idx_c])
+        if not np.all(inside):
+            bad = np.asarray(ips)[~inside]
+            raise RegistryError(f"unresolvable addresses (first few): {bad[:5]}")
+        return idx_c
+
+    def asn_of(self, ips: np.ndarray) -> np.ndarray:
+        """AS numbers for an address array."""
+        return self._asns[self._indices(ips)]
+
+    def country_of(self, ips: np.ndarray) -> np.ndarray:
+        """Country codes for an address array."""
+        return self._ccs[self._indices(ips)]
+
+    def subnet_of(self, ips: np.ndarray) -> np.ndarray:
+        """Subnet identifiers (masked network addresses)."""
+        return subnet_key(np.asarray(ips, dtype=np.uint32), self.subnet_prefixlen)
+
+    def resolve(self, ip: int) -> tuple[int, str]:
+        """Scalar convenience: ``(asn, country_code)`` for one address."""
+        idx = self._indices(np.array([ip]))
+        return int(self._asns[idx[0]]), str(self._ccs[idx[0]])
+
+    def __len__(self) -> int:
+        return len(self._networks)

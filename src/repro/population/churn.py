@@ -1,0 +1,116 @@
+"""Session churn: when remote peers are online.
+
+Live-TV audiences churn: viewers join and leave throughout the broadcast.
+We model each remote peer with at most one session inside the experiment
+window: a fraction of the swarm is present from the start (tuned-in before
+the capture began), the rest arrive as a Poisson process; session lengths
+are log-normal with a heavy tail (the "stable peers" of the literature).
+
+The churn process is materialised up-front into per-peer (join, leave)
+intervals so the event engine can consume it without further randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class Session:
+    """One peer's online interval within the experiment window."""
+
+    peer_id: int
+    join: float
+    leave: float
+
+    def online_at(self, t: float) -> bool:
+        """True when the peer is online at time ``t``."""
+        return self.join <= t < self.leave
+
+    @property
+    def duration(self) -> float:
+        return self.leave - self.join
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnConfig:
+    """Churn process knobs.
+
+    Parameters
+    ----------
+    initial_fraction:
+        Fraction of the swarm already online at t = 0.
+    mean_session_s:
+        Mean session duration (log-normal).
+    sigma:
+        Log-normal shape parameter; larger = heavier tail.
+    """
+
+    initial_fraction: float = 0.75
+    mean_session_s: float = 1500.0
+    sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.initial_fraction <= 1:
+            raise ConfigurationError("initial_fraction must be in [0, 1]")
+        if self.mean_session_s <= 0:
+            raise ConfigurationError("mean_session_s must be positive")
+        if self.sigma <= 0:
+            raise ConfigurationError("sigma must be positive")
+
+
+class ChurnProcess:
+    """Materialised join/leave schedule for a peer population."""
+
+    def __init__(self, sessions: list[Session], horizon: float) -> None:
+        self.sessions = sessions
+        self.horizon = horizon
+        self._by_peer = {s.peer_id: s for s in sessions}
+
+    @classmethod
+    def generate(
+        cls,
+        peer_ids: list[int],
+        horizon: float,
+        config: ChurnConfig,
+        rng: np.random.Generator,
+    ) -> "ChurnProcess":
+        """Draw one session per peer over ``[0, horizon]``.
+
+        Initially-online peers start at 0; late joiners arrive uniformly
+        over the window (a Poisson process conditioned on the arrival
+        count).  Sessions are clipped to the horizon.
+        """
+        if horizon <= 0:
+            raise ConfigurationError("horizon must be positive")
+        n = len(peer_ids)
+        initial = rng.random(n) < config.initial_fraction
+        joins = np.where(initial, 0.0, rng.uniform(0.0, horizon, size=n))
+        # Log-normal with the requested mean: mean = exp(mu + sigma^2/2).
+        mu = np.log(config.mean_session_s) - config.sigma**2 / 2.0
+        durations = rng.lognormal(mean=mu, sigma=config.sigma, size=n)
+        leaves = np.minimum(joins + durations, horizon)
+        sessions = [
+            Session(peer_id=pid, join=float(j), leave=float(l))
+            for pid, j, l in zip(peer_ids, joins, leaves)
+        ]
+        return cls(sessions, horizon)
+
+    def session_of(self, peer_id: int) -> Session:
+        """The session of one peer."""
+        return self._by_peer[peer_id]
+
+    def online_at(self, t: float) -> list[int]:
+        """Peer ids online at time ``t``."""
+        return [s.peer_id for s in self.sessions if s.online_at(t)]
+
+    def online_count_at(self, t: float) -> int:
+        """Number of peers online at time ``t``."""
+        return sum(1 for s in self.sessions if s.online_at(t))
+
+    def __len__(self) -> int:
+        return len(self.sessions)

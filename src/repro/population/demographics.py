@@ -1,0 +1,110 @@
+"""Audience demographics: country mix and access-bandwidth mix.
+
+The distributions below encode the qualitative facts the paper reports for
+CCTV-1 at Chinese peak hour (Fig. 1): China holds the large majority of
+observed peers, the four probe countries appear with small but non-zero
+shares, and a tail of other countries makes up the rest.  The bandwidth mix
+produces a population in which roughly a third of peers sit behind
+>10 Mb/s uplinks — the raw material on which the applications' strong
+selection bias operates (contributors end up 83–90 % high-bandwidth even
+though the population is not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Demographics:
+    """A country mix plus per-country bandwidth class mixes.
+
+    Parameters
+    ----------
+    country_weights:
+        Country code → relative share of the audience.  Normalised on use.
+    highbw_fraction:
+        Country code → fraction of that country's peers behind high-bandwidth
+        (>10 Mb/s uplink) access.  ``default_highbw`` is used when a country
+        is missing from the map.
+    default_highbw:
+        Fallback high-bandwidth fraction.
+    probe_as_fraction:
+        Fraction of *probe-country* peers placed inside the probe-site
+        campus ASes (AS1–AS6) rather than a consumer ISP — the "other
+        customers / students of the same network" who make the non-NAPA
+        same-AS peer set P′ non-empty.
+    """
+
+    country_weights: dict[str, float]
+    highbw_fraction: dict[str, float] = field(default_factory=dict)
+    default_highbw: float = 0.30
+    probe_as_fraction: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not self.country_weights:
+            raise ConfigurationError("country_weights must not be empty")
+        if any(w < 0 for w in self.country_weights.values()):
+            raise ConfigurationError("country weights must be non-negative")
+        total = sum(self.country_weights.values())
+        if total <= 0:
+            raise ConfigurationError("country weights must sum to a positive value")
+        if not 0 <= self.probe_as_fraction <= 1:
+            raise ConfigurationError("probe_as_fraction must be in [0, 1]")
+
+    def normalised_weights(self) -> tuple[list[str], np.ndarray]:
+        """Country codes and their normalised probabilities, aligned."""
+        codes = list(self.country_weights)
+        probs = np.array([self.country_weights[c] for c in codes], dtype=float)
+        return codes, probs / probs.sum()
+
+    def highbw_for(self, country_code: str) -> float:
+        """High-bandwidth fraction for one country."""
+        return self.highbw_fraction.get(country_code, self.default_highbw)
+
+
+def cctv1_audience(probe_as_fraction: float = 0.02) -> Demographics:
+    """The default CCTV-1-at-peak-hour audience mix.
+
+    China dominates; the probe countries get small shares (they *are*
+    observed in Fig. 1 beyond the probes themselves); a tail of other
+    Asian/Western countries rounds it out.
+    """
+    return Demographics(
+        country_weights={
+            "CN": 70.0,
+            # Probe countries: diaspora + institutional viewers.
+            "IT": 3.0,
+            "FR": 3.0,
+            "HU": 2.0,
+            "PL": 2.0,
+            # Rest of the world ('*' in Fig. 1).
+            "TW": 5.0,
+            "JP": 3.0,
+            "KR": 3.0,
+            "US": 4.0,
+            "CA": 1.5,
+            "DE": 1.5,
+            "GB": 1.5,
+            "ES": 1.0,
+            "NL": 0.5,
+            "SE": 0.5,
+            "SG": 0.5,
+            "AU": 0.5,
+            "BR": 0.5,
+        },
+        highbw_fraction={
+            # Chinese audience: many campus/office networks at peak hour.
+            "CN": 0.35,
+            "KR": 0.55,
+            "JP": 0.45,
+            "TW": 0.40,
+            "US": 0.30,
+        },
+        default_highbw=0.30,
+        probe_as_fraction=probe_as_fraction,
+    )

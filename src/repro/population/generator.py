@@ -1,0 +1,120 @@
+"""Swarm instantiation: place remote peers on the synthetic Internet.
+
+Each remote peer gets an endpoint (IP inside a consumer ISP of its country,
+or — for a small configurable fraction of probe-country peers — inside a
+probe campus AS), an access link drawn from its country's bandwidth mix,
+and an initial TTL (a small fraction of peers run non-Windows stacks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.population.demographics import Demographics, cctv1_audience
+from repro.topology.access import AccessLink, dsl, ftth, lan
+from repro.topology.geography import PROBE_COUNTRIES
+from repro.topology.host import INITIAL_TTL_UNIX, INITIAL_TTL_WINDOWS, NetworkEndpoint
+from repro.topology.world import PROBE_AS_NUMBERS, World
+
+
+@dataclass(frozen=True, slots=True)
+class RemotePeer:
+    """One non-probe swarm member."""
+
+    peer_id: int
+    endpoint: NetworkEndpoint
+
+    @property
+    def is_high_bandwidth(self) -> bool:
+        return self.endpoint.access.is_high_bandwidth
+
+
+@dataclass(frozen=True, slots=True)
+class PopulationConfig:
+    """Swarm size and composition.
+
+    Parameters
+    ----------
+    size:
+        Number of remote peers.
+    demographics:
+        Country / bandwidth mixes; defaults to the CCTV-1 audience.
+    unix_fraction:
+        Fraction of peers whose OS stamps TTL 64 instead of 128 (the
+        hop-inference heuristic must detect the initial TTL, §III-B).
+    """
+
+    size: int
+    demographics: Demographics | None = None
+    unix_fraction: float = 0.04
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ConfigurationError(f"population size must be >= 0, got {self.size}")
+        if not 0 <= self.unix_fraction <= 1:
+            raise ConfigurationError("unix_fraction must be in [0, 1]")
+
+
+#: Probe-country code → campus ASNs available for "same-AS civilians".
+_PROBE_AS_BY_CC: dict[str, list[int]] = {}
+for _name, (_asn, _cc) in PROBE_AS_NUMBERS.items():
+    _PROBE_AS_BY_CC.setdefault(_cc, []).append(_asn)
+
+
+def _draw_access(highbw: bool, rng: np.random.Generator) -> AccessLink:
+    """Draw an access link for one peer given its bandwidth class."""
+    if highbw:
+        # Campus/office LAN or fast fibre.
+        if rng.random() < 0.6:
+            return lan(100.0)
+        return ftth(100.0, rng.choice([20.0, 50.0, 100.0]))
+    # Consumer DSL/cable plans of the era (down/up in Mb/s).
+    down = float(rng.choice([1.0, 2.0, 4.0, 6.0, 8.0]))
+    up = float(rng.choice([0.256, 0.384, 0.512, 0.640, 1.0]))
+    return dsl(down, up, nat=bool(rng.random() < 0.5))
+
+
+def generate_population(
+    world: World,
+    config: PopulationConfig,
+    rng: np.random.Generator,
+) -> list[RemotePeer]:
+    """Generate ``config.size`` remote peers placed on ``world``.
+
+    Deterministic given ``rng``.  Peers of probe countries land inside the
+    probe campus ASes with probability ``demographics.probe_as_fraction``;
+    everyone else goes to a consumer ISP of their country (or, if the
+    country has none registered, a random foreign ISP — modelling
+    mis-geolocated or satellite-connected stragglers).
+    """
+    demo = config.demographics or cctv1_audience()
+    codes, probs = demo.normalised_weights()
+    countries = rng.choice(len(codes), size=config.size, p=probs)
+    peers: list[RemotePeer] = []
+    all_isps = [asn for cc in codes for asn in world.access_isps(cc)]
+    if not all_isps:
+        raise ConfigurationError("world has no consumer ISPs registered")
+
+    for peer_id in range(config.size):
+        cc = codes[int(countries[peer_id])]
+        highbw = rng.random() < demo.highbw_for(cc)
+        in_probe_as = (
+            cc in PROBE_COUNTRIES
+            and cc in _PROBE_AS_BY_CC
+            and rng.random() < demo.probe_as_fraction
+        )
+        if in_probe_as:
+            asn = int(rng.choice(_PROBE_AS_BY_CC[cc]))
+            # Campus-AS civilians are mostly on the institution LAN.
+            access = lan(100.0) if rng.random() < 0.9 else _draw_access(highbw, rng)
+        else:
+            isps = world.access_isps(cc)
+            asn = int(rng.choice(isps if isps else all_isps))
+            access = _draw_access(highbw, rng)
+        ttl = INITIAL_TTL_UNIX if rng.random() < config.unix_fraction else INITIAL_TTL_WINDOWS
+        endpoint = world.new_endpoint(asn, access, initial_ttl=ttl)
+        peers.append(RemotePeer(peer_id=peer_id, endpoint=endpoint))
+    return peers

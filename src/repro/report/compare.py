@@ -1,0 +1,235 @@
+"""Shape checks: does the reproduction preserve the paper's findings?
+
+Absolute numbers cannot match (our substrate is a simulator, the paper's a
+planetary deployment), so the comparison layer asserts the paper's
+*qualitative claims* — who wins, by roughly what factor, where the
+orderings fall.  Each claim becomes a named :class:`ShapeCheck`, evaluated
+by :func:`check_campaign_shape`, consumed by the integration tests and by
+EXPERIMENTS.md generation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.experiments.campaign import Campaign
+from repro.experiments.figure2 import Figure2, build_figure2
+from repro.experiments.table2 import Table2, build_table2
+from repro.experiments.table3 import Table3, build_table3
+from repro.experiments.table4 import Table4, build_table4
+
+
+@dataclass(frozen=True, slots=True)
+class ShapeCheck:
+    """One qualitative claim and its verdict on the measured data."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def _check(name: str, passed: bool, detail: str) -> ShapeCheck:
+    return ShapeCheck(name=name, passed=bool(passed), detail=detail)
+
+
+def _table2_checks(t2: Table2) -> list[ShapeCheck]:
+    pp, sc, tv = t2.row("pplive"), t2.row("sopcast"), t2.row("tvants")
+    return [
+        _check(
+            "T2: swarm reach ordering PPLive ≫ SopCast ≫ TVAnts",
+            pp.all_peers_mean > sc.all_peers_mean > tv.all_peers_mean,
+            f"all-peers mean {pp.all_peers_mean:.0f} / {sc.all_peers_mean:.0f} / {tv.all_peers_mean:.0f}",
+        ),
+        _check(
+            "T2: contributor ordering PPLive > SopCast > TVAnts (RX)",
+            pp.contrib_rx_mean > sc.contrib_rx_mean > tv.contrib_rx_mean,
+            f"contrib RX mean {pp.contrib_rx_mean:.0f} / {sc.contrib_rx_mean:.0f} / {tv.contrib_rx_mean:.0f}",
+        ),
+        _check(
+            "T2: PPLive uploads far more than it downloads",
+            pp.tx_kbps_mean > 2 * pp.rx_kbps_mean,
+            f"PPLive TX {pp.tx_kbps_mean:.0f} kb/s vs RX {pp.rx_kbps_mean:.0f} kb/s",
+        ),
+        _check(
+            "T2: SopCast uploads less than it downloads",
+            sc.tx_kbps_mean < sc.rx_kbps_mean,
+            f"SopCast TX {sc.tx_kbps_mean:.0f} vs RX {sc.rx_kbps_mean:.0f} kb/s",
+        ),
+        _check(
+            "T2: TVAnts upload ≈ download (within 2×)",
+            0.5 < tv.tx_kbps_mean / tv.rx_kbps_mean < 2.0,
+            f"TVAnts TX/RX = {tv.tx_kbps_mean / tv.rx_kbps_mean:.2f}",
+        ),
+        _check(
+            "T2: received rate ≥ nominal 384 kb/s for every app",
+            min(pp.rx_kbps_mean, sc.rx_kbps_mean, tv.rx_kbps_mean) >= 384 * 0.9,
+            f"RX means {pp.rx_kbps_mean:.0f}/{sc.rx_kbps_mean:.0f}/{tv.rx_kbps_mean:.0f}",
+        ),
+        _check(
+            "T2: PPLive receives the most (signaling overhead)",
+            pp.rx_kbps_mean > sc.rx_kbps_mean
+            and pp.rx_kbps_mean > tv.rx_kbps_mean,
+            f"RX means {pp.rx_kbps_mean:.0f}/{sc.rx_kbps_mean:.0f}/{tv.rx_kbps_mean:.0f}",
+        ),
+    ]
+
+
+def _table3_checks(t3: Table3) -> list[ShapeCheck]:
+    pp, sc, tv = t3.row("pplive"), t3.row("sopcast"), t3.row("tvants")
+    return [
+        _check(
+            "T3: self-bias magnitude TVAnts > SopCast > PPLive (bytes)",
+            tv.contrib_byte_pct > sc.contrib_byte_pct > pp.contrib_byte_pct,
+            f"contrib byte% {tv.contrib_byte_pct:.1f} / {sc.contrib_byte_pct:.1f} / {pp.contrib_byte_pct:.1f}",
+        ),
+        _check(
+            # §III-C: "NAPA-WINE peers clearly prefer to exchange data
+            # among them" — byte share above contacted-peer share.  Checked
+            # for SopCast/TVAnts; PPLive is excluded because its probes are
+            # ~50× over-represented among contacts at simulator swarm sizes
+            # (46 of 4k vs 46 of 181k), putting the margin below seed noise
+            # (see EXPERIMENTS.md); its self-bias ordering is asserted above.
+            "T3: probes' byte share exceeds their contacted-peer share",
+            sc.contrib_byte_pct > sc.all_peer_pct
+            and tv.contrib_byte_pct > tv.all_peer_pct,
+            f"byte% vs contacted-peer%: sopcast {sc.contrib_byte_pct:.1f}/{sc.all_peer_pct:.1f}, "
+            f"tvants {tv.contrib_byte_pct:.1f}/{tv.all_peer_pct:.1f}",
+        ),
+        _check(
+            "T3: contributor peer-share exceeds all-peer share for every app",
+            pp.contrib_peer_pct > pp.all_peer_pct
+            and sc.contrib_peer_pct > sc.all_peer_pct
+            and tv.contrib_peer_pct > tv.all_peer_pct,
+            "probes are preferentially *contributors*, not just contacts",
+        ),
+    ]
+
+
+def _table4_checks(t4: Table4) -> list[ShapeCheck]:
+    def cell(metric, app, direction="download"):
+        return t4.cell(metric, app, direction)
+
+    checks = [
+        _check(
+            "T4/BW: strong byte preference for high-bandwidth peers (all apps)",
+            all(cell("BW", app).B > 90 for app in ("pplive", "sopcast", "tvants")),
+            "B_D " + ", ".join(f"{a}={cell('BW', a).B:.1f}" for a in ("pplive", "sopcast", "tvants")),
+        ),
+        _check(
+            "T4/BW: peer preference 80–97 % (high, below byte preference)",
+            all(80 <= cell("BW", app).P <= 97.5 for app in ("pplive", "sopcast", "tvants")),
+            "P_D " + ", ".join(f"{a}={cell('BW', a).P:.1f}" for a in ("pplive", "sopcast", "tvants")),
+        ),
+        _check(
+            "T4/BW: preference survives probe exclusion (not self-induced)",
+            all(cell("BW", app).B_prime > 90 for app in ("pplive", "sopcast", "tvants")),
+            "B'_D " + ", ".join(f"{a}={cell('BW', a).B_prime:.1f}" for a in ("pplive", "sopcast", "tvants")),
+        ),
+        _check(
+            "T4/AS: PPLive byte preference ≫ peer preference (ratio ≥ 2)",
+            cell("AS", "pplive").B_prime >= 2 * cell("AS", "pplive").P_prime,
+            f"B'={cell('AS', 'pplive').B_prime:.1f} vs P'={cell('AS', 'pplive').P_prime:.1f}",
+        ),
+        _check(
+            "T4/AS: TVAnts byte preference > peer preference (ratio ≥ 1.5)",
+            cell("AS", "tvants").B_prime >= 1.5 * cell("AS", "tvants").P_prime,
+            f"B'={cell('AS', 'tvants').B_prime:.1f} vs P'={cell('AS', 'tvants').P_prime:.1f}",
+        ),
+        _check(
+            "T4/AS: SopCast is AS-unaware (B' ≈ P', both small)",
+            abs(cell("AS", "sopcast").B_prime - cell("AS", "sopcast").P_prime) < 2.0
+            and cell("AS", "sopcast").B_prime < 5.0,
+            f"B'={cell('AS', 'sopcast').B_prime:.1f} vs P'={cell('AS', 'sopcast').P_prime:.1f}",
+        ),
+        _check(
+            "T4/AS: TVAnts discovers same-AS peers better than PPLive",
+            cell("AS", "tvants").P > cell("AS", "pplive").P,
+            f"P tvants={cell('AS', 'tvants').P:.1f} vs pplive={cell('AS', 'pplive').P:.1f}",
+        ),
+        _check(
+            "T4/CC: country preference explained by AS preference (CC ≈ AS)",
+            all(
+                abs(cell("CC", app).B - cell("AS", app).B)
+                <= max(4.0, 0.5 * cell("AS", app).B)
+                for app in ("pplive", "sopcast", "tvants")
+            ),
+            "per-app |B_CC − B_AS| small",
+        ),
+        _check(
+            "T4/NET: no non-probe same-subnet peers exist (P' empty)",
+            all(
+                math.isnan(cell("NET", app).B_prime)
+                or cell("NET", app).B_prime == 0.0
+                for app in ("pplive", "sopcast", "tvants")
+            ),
+            "the same-subnet set contains only NAPA-WINE probes",
+        ),
+        _check(
+            "T4/NET: TVAnts shows the strongest subnet byte share",
+            cell("NET", "tvants").B > cell("NET", "sopcast").B
+            and cell("NET", "tvants").B > cell("NET", "pplive").B,
+            f"B tvants={cell('NET', 'tvants').B:.1f}, sopcast={cell('NET', 'sopcast').B:.1f}, pplive={cell('NET', 'pplive').B:.1f}",
+        ),
+        _check(
+            "T4/HOP: no hop awareness for PPLive/SopCast (|B' − P'| small)",
+            abs(cell("HOP", "pplive").B_prime - cell("HOP", "pplive").P_prime) < 10
+            and abs(cell("HOP", "sopcast").B_prime - cell("HOP", "sopcast").P_prime) < 10,
+            "non-probe byte and peer preferences agree",
+        ),
+        _check(
+            "T4/HOP: TVAnts at most a small short-path preference",
+            cell("HOP", "tvants").B_prime - cell("HOP", "tvants").P_prime < 20,
+            f"B'−P' = {cell('HOP', 'tvants').B_prime - cell('HOP', 'tvants').P_prime:.1f}",
+        ),
+    ]
+    return checks
+
+
+def _figure2_checks(f2: Figure2) -> list[ShapeCheck]:
+    r = {m.app: m.ratio_intra_inter for m in f2.matrices}
+    checks = [
+        _check(
+            "F2: intra/inter ratio ordering TVAnts > PPLive > SopCast",
+            r["tvants"] > r["pplive"] > r["sopcast"],
+            f"R = {r['tvants']:.2f} / {r['pplive']:.2f} / {r['sopcast']:.2f}",
+        ),
+        _check(
+            "F2: TVAnts favours intra-AS traffic (R > 1.3)",
+            r["tvants"] > 1.3,
+            f"R = {r['tvants']:.2f}",
+        ),
+        _check(
+            # Paper: R = 0.2 for SopCast, i.e. no intra-AS favouritism;
+            # R ≈ 1 is the unbiased value, so we accept anything below 1.5.
+            "F2: SopCast does not favour intra-AS traffic (R ≲ 1)",
+            r["sopcast"] < 1.5,
+            f"R = {r['sopcast']:.2f}",
+        ),
+    ]
+    return checks
+
+
+def check_campaign_shape(campaign: Campaign) -> list[ShapeCheck]:
+    """Evaluate every qualitative claim on a (3-app) campaign."""
+    t2 = build_table2(campaign)
+    t3 = build_table3(campaign)
+    t4 = build_table4(campaign)
+    f2 = build_figure2(campaign)
+    checks: list[ShapeCheck] = []
+    checks += _table2_checks(t2)
+    checks += _table3_checks(t3)
+    checks += _table4_checks(t4)
+    checks += _figure2_checks(f2)
+    return checks
+
+
+def render_checks(checks: list[ShapeCheck]) -> str:
+    """One line per check: PASS/FAIL, claim, measured detail."""
+    lines = []
+    for c in checks:
+        status = "PASS" if c.passed else "FAIL"
+        lines.append(f"[{status}] {c.name}  ({c.detail})")
+    n_pass = sum(c.passed for c in checks)
+    lines.append(f"{n_pass}/{len(checks)} shape checks passed")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""The published numbers, transcribed from the paper.
+
+Used by the comparison layer, the shape tests and EXPERIMENTS.md
+generation.  Keys follow the library's lower-case app names.
+
+Sources: Table II (experiment summary), Table III (self-induced bias),
+Table IV (network awareness), §IV-B text (Fig. 2 intra/inter ratios R).
+"""
+
+from __future__ import annotations
+
+#: Table II — mean/max stream rates (kb/s), peer and contributor counts.
+PAPER_TABLE2: dict[str, dict[str, float]] = {
+    "pplive": {
+        "rx_kbps_mean": 552, "rx_kbps_max": 934,
+        "tx_kbps_mean": 3384, "tx_kbps_max": 11818,
+        "all_peers_mean": 23101, "all_peers_max": 39797,
+        "contrib_rx_mean": 391, "contrib_rx_max": 841,
+        "contrib_tx_mean": 1025, "contrib_tx_max": 2570,
+        "total_observed_peers": 181729,
+    },
+    "sopcast": {
+        "rx_kbps_mean": 449, "rx_kbps_max": 542,
+        "tx_kbps_mean": 293, "tx_kbps_max": 1070,
+        "all_peers_mean": 776, "all_peers_max": 1233,
+        "contrib_rx_mean": 139, "contrib_rx_max": 229,
+        "contrib_tx_mean": 152, "contrib_tx_max": 243,
+        "total_observed_peers": 4057,
+    },
+    "tvants": {
+        "rx_kbps_mean": 419, "rx_kbps_max": 478,
+        "tx_kbps_mean": 464, "tx_kbps_max": 1001,
+        "all_peers_mean": 229, "all_peers_max": 270,
+        "contrib_rx_mean": 58, "contrib_rx_max": 90,
+        "contrib_tx_mean": 75, "contrib_tx_max": 118,
+        "total_observed_peers": 550,
+    },
+}
+
+#: Table III — self-induced bias percentages.
+PAPER_TABLE3: dict[str, dict[str, float]] = {
+    "pplive": {
+        "contrib_peer_pct": 0.95, "contrib_byte_pct": 3.54,
+        "all_peer_pct": 0.10, "all_byte_pct": 3.33,
+    },
+    "sopcast": {
+        "contrib_peer_pct": 10.25, "contrib_byte_pct": 17.71,
+        "all_peer_pct": 4.60, "all_byte_pct": 19.45,
+    },
+    "tvants": {
+        "contrib_peer_pct": 29.82, "contrib_byte_pct": 56.31,
+        "all_peer_pct": 15.56, "all_byte_pct": 56.06,
+    },
+}
+
+#: Table IV — (metric, app, direction) → {B_prime, P_prime, B, P}.
+#: NaN encodes the paper's '-' (unmeasurable / empty set) cells.
+_N = float("nan")
+PAPER_TABLE4: dict[tuple[str, str, str], dict[str, float]] = {
+    ("BW", "pplive", "download"): {"B_prime": 95.9, "P_prime": 85.9, "B": 95.6, "P": 86.1},
+    ("BW", "sopcast", "download"): {"B_prime": 98.2, "P_prime": 83.3, "B": 98.5, "P": 85.3},
+    ("BW", "tvants", "download"): {"B_prime": 96.5, "P_prime": 83.2, "B": 98.2, "P": 89.6},
+    ("BW", "pplive", "upload"): {"B_prime": _N, "P_prime": _N, "B": _N, "P": _N},
+    ("BW", "sopcast", "upload"): {"B_prime": _N, "P_prime": _N, "B": _N, "P": _N},
+    ("BW", "tvants", "upload"): {"B_prime": _N, "P_prime": _N, "B": _N, "P": _N},
+    ("AS", "pplive", "download"): {"B_prime": 6.5, "P_prime": 0.6, "B": 12.8, "P": 1.3},
+    ("AS", "sopcast", "download"): {"B_prime": 0.6, "P_prime": 0.7, "B": 3.5, "P": 3.9},
+    ("AS", "tvants", "download"): {"B_prime": 7.3, "P_prime": 3.3, "B": 32.0, "P": 13.5},
+    ("AS", "pplive", "upload"): {"B_prime": 0.8, "P_prime": 0.2, "B": 1.8, "P": 0.5},
+    ("AS", "sopcast", "upload"): {"B_prime": 1.7, "P_prime": 0.7, "B": 6.4, "P": 3.9},
+    ("AS", "tvants", "upload"): {"B_prime": 11.6, "P_prime": 1.8, "B": 30.1, "P": 9.6},
+    ("CC", "pplive", "download"): {"B_prime": 6.5, "P_prime": 0.6, "B": 13.1, "P": 1.4},
+    ("CC", "sopcast", "download"): {"B_prime": 0.6, "P_prime": 0.8, "B": 4.0, "P": 4.4},
+    ("CC", "tvants", "download"): {"B_prime": 7.6, "P_prime": 4.0, "B": 37.9, "P": 16.3},
+    ("CC", "pplive", "upload"): {"B_prime": 1.1, "P_prime": 0.3, "B": 2.1, "P": 0.6},
+    ("CC", "sopcast", "upload"): {"B_prime": 1.7, "P_prime": 0.8, "B": 7.2, "P": 4.4},
+    ("CC", "tvants", "upload"): {"B_prime": 14.3, "P_prime": 3.1, "B": 37.7, "P": 12.5},
+    ("NET", "pplive", "download"): {"B_prime": _N, "P_prime": _N, "B": 9.9, "P": 0.8},
+    ("NET", "sopcast", "download"): {"B_prime": _N, "P_prime": _N, "B": 2.0, "P": 2.6},
+    ("NET", "tvants", "download"): {"B_prime": _N, "P_prime": _N, "B": 18.1, "P": 6.7},
+    ("NET", "pplive", "upload"): {"B_prime": _N, "P_prime": _N, "B": 1.4, "P": 0.3},
+    ("NET", "sopcast", "upload"): {"B_prime": _N, "P_prime": _N, "B": 3.5, "P": 2.6},
+    ("NET", "tvants", "upload"): {"B_prime": _N, "P_prime": _N, "B": 18.1, "P": 5.4},
+    ("HOP", "pplive", "download"): {"B_prime": 42.2, "P_prime": 41.1, "B": 51.4, "P": 42.4},
+    ("HOP", "sopcast", "download"): {"B_prime": 29.0, "P_prime": 40.7, "B": 37.9, "P": 48.0},
+    ("HOP", "tvants", "download"): {"B_prime": 62.1, "P_prime": 55.0, "B": 81.1, "P": 71.9},
+    ("HOP", "pplive", "upload"): {"B_prime": 30.4, "P_prime": 40.4, "B": 31.7, "P": 41.0},
+    ("HOP", "sopcast", "upload"): {"B_prime": 45.9, "P_prime": 43.0, "B": 56.9, "P": 49.8},
+    ("HOP", "tvants", "upload"): {"B_prime": 57.8, "P_prime": 53.0, "B": 78.9, "P": 67.2},
+}
+
+#: §IV-B — Fig. 2 intra/inter-AS mean-traffic ratios R.
+PAPER_FIG2_RATIOS: dict[str, float] = {
+    "tvants": 1.93,
+    "sopcast": 0.2,
+    "pplive": 0.98,
+}

@@ -1,0 +1,106 @@
+"""Per-probe breakdown: heterogeneity across vantage points.
+
+Table IV aggregates over all 46 probes, but the testbed is deliberately
+heterogeneous (campus LANs vs home DSL, §II).  This view recomputes one
+partition's P/B per probe so the spread is visible — e.g. home-DSL
+probes systematically measure lower BW byte-preference because their
+contributor sets are small, while the AS preference concentrates on the
+big campus sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.partitions import PreferentialPartition
+from repro.core.preference import PreferenceCounts, per_probe_counts
+from repro.core.views import DirectionalView
+from repro.errors import AnalysisError
+from repro.topology.testbed import Testbed
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeBreakdownRow:
+    """One probe's slice of a partition's preference indices."""
+
+    label: str
+    site: str
+    access: str
+    counts: PreferenceCounts
+
+    @property
+    def P(self) -> float:  # noqa: N802 - paper notation
+        return self.counts.peer_percent
+
+    @property
+    def B(self) -> float:  # noqa: N802
+        return self.counts.byte_percent
+
+
+@dataclass
+class ProbeBreakdown:
+    """All probes' rows plus spread statistics."""
+
+    metric: str
+    rows: list[ProbeBreakdownRow]
+
+    def row(self, label: str) -> ProbeBreakdownRow:
+        for r in self.rows:
+            if r.label == label:
+                return r
+        raise KeyError(label)
+
+    def spread(self, field: str = "B") -> tuple[float, float]:
+        """(mean, std) of P or B across probes with data."""
+        values = np.array(
+            [getattr(r, field) for r in self.rows if not np.isnan(getattr(r, field))]
+        )
+        if len(values) == 0:
+            raise AnalysisError("no probes with measurable data")
+        return float(values.mean()), float(values.std())
+
+
+def per_probe_breakdown(
+    view: DirectionalView,
+    partition: PreferentialPartition,
+    testbed: Testbed,
+) -> ProbeBreakdown:
+    """Recompute one partition per probe over a contributor view."""
+    indicator = partition.indicator(view)
+    by_probe = per_probe_counts(view, indicator)
+    rows = []
+    for host in testbed:
+        counts = by_probe.get(host.endpoint.ip)
+        if counts is None:
+            counts = PreferenceCounts(0, 0, 0, 0)
+        rows.append(
+            ProbeBreakdownRow(
+                label=host.label,
+                site=host.site,
+                access=host.endpoint.access.label,
+                counts=counts,
+            )
+        )
+    return ProbeBreakdown(metric=partition.name, rows=rows)
+
+
+def render_probe_breakdown(breakdown: ProbeBreakdown, limit: int | None = None) -> str:
+    """Monospace per-probe table (optionally truncated)."""
+    from repro.report.tables import render_table
+
+    def fmt(v: float) -> str:
+        return "-" if np.isnan(v) else f"{v:.1f}"
+
+    rows = [
+        [r.label, r.site, r.access, str(r.counts.total_peers), fmt(r.P), fmt(r.B)]
+        for r in (breakdown.rows[:limit] if limit else breakdown.rows)
+    ]
+    mean, std = breakdown.spread("B")
+    out = render_table(
+        ["Probe", "Site", "Access", "peers", "P%", "B%"],
+        rows,
+        title=f"PER-PROBE {breakdown.metric} preference (download)",
+    )
+    return out + f"\nB across probes: {mean:.1f} ± {std:.1f}"

@@ -1,0 +1,129 @@
+"""Monospace table renderers.
+
+``render_table`` is a small generic grid formatter; the ``render_tableN``
+functions lay the experiment artifacts out like the paper's tables.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.table1 import Table1
+from repro.experiments.table2 import Table2
+from repro.experiments.table3 import Table3
+from repro.experiments.table4 import Table4
+
+
+def render_table(
+    headers: list[str], rows: list[list[str]], title: str | None = None
+) -> str:
+    """Format a grid with column-width alignment and a rule under headers."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: list[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def _num(value: float, digits: int = 1) -> str:
+    """Render a float, using '-' for the paper's unmeasurable cells."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    if digits == 0:
+        return f"{value:.0f}"
+    return f"{value:.{digits}f}"
+
+
+def render_table1(table: Table1) -> str:
+    """Render Table I (testbed summary)."""
+    rows = [
+        [r.hosts, r.site, r.country, r.as_label, r.access,
+         "Y" if r.nat else "-", "Y" if r.firewall else "-"]
+        for r in table.rows
+    ]
+    body = render_table(
+        ["Host", "Site", "CC", "AS", "Access", "NAT", "FW"],
+        rows,
+        title="TABLE I — testbed summary",
+    )
+    summary = (
+        f"\n{table.total_hosts} hosts = {table.institution_hosts} institution + "
+        f"{table.home_hosts} home; {table.countries} countries, "
+        f"{table.campus_ases} campus ASes + {table.home_ases} home ASes"
+    )
+    return body + summary
+
+
+def render_table2(table: Table2) -> str:
+    """Render Table II (experiment summary)."""
+    rows = []
+    for r in table.rows:
+        rows.append(
+            [
+                r.app,
+                _num(r.rx_kbps_mean, 0), _num(r.rx_kbps_max, 0),
+                _num(r.tx_kbps_mean, 0), _num(r.tx_kbps_max, 0),
+                _num(r.all_peers_mean, 0), str(r.all_peers_max),
+                _num(r.contrib_rx_mean, 0), str(r.contrib_rx_max),
+                _num(r.contrib_tx_mean, 0), str(r.contrib_tx_max),
+            ]
+        )
+    return render_table(
+        ["App", "RX kb/s", "max", "TX kb/s", "max", "Peers", "max",
+         "C.RX", "max", "C.TX", "max"],
+        rows,
+        title="TABLE II — stream rates, peers and contributors (per probe)",
+    )
+
+
+def render_table3(table: Table3) -> str:
+    """Render Table III (self-induced bias)."""
+    rows = [
+        [
+            r.app,
+            _num(r.contrib_peer_pct, 2), _num(r.contrib_byte_pct, 2),
+            _num(r.all_peer_pct, 2), _num(r.all_byte_pct, 2),
+        ]
+        for r in table.rows
+    ]
+    return render_table(
+        ["App", "Contrib Peer%", "Contrib Bytes%", "All Peer%", "All Bytes%"],
+        rows,
+        title="TABLE III — NAPA-WINE self-induced bias",
+    )
+
+
+def render_table4(table: Table4) -> str:
+    """Render Table IV (network awareness, paper layout)."""
+    rows = []
+    for metric in table.metrics:
+        for app in table.apps:
+            try:
+                d = table.cell(metric, app, "download")
+                u = table.cell(metric, app, "upload")
+            except KeyError:
+                continue
+            rows.append(
+                [
+                    metric, app,
+                    _num(d.B_prime), _num(d.P_prime), _num(d.B), _num(d.P),
+                    _num(u.B_prime), _num(u.P_prime), _num(u.B), _num(u.P),
+                ]
+            )
+    return render_table(
+        ["Net", "App",
+         "B'D%", "P'D%", "BD%", "PD%",
+         "B'U%", "P'U%", "BU%", "PU%"],
+        rows,
+        title="TABLE IV — network awareness as peer-wise and byte-wise bias",
+    )

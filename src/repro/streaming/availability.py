@@ -1,0 +1,119 @@
+"""Statistical chunk-availability model for the remote swarm.
+
+Only the probes run the full protocol (their traffic is what the paper
+captures).  A remote peer's buffer state is summarised by one number: its
+*diffusion delay* d — how long after generation a chunk typically reaches
+it through the (unsimulated) remote mesh.  High-bandwidth peers sit closer
+to the source in mesh-pull systems and receive chunks earlier, which is
+exactly the mechanism that makes them better providers.
+
+Remote peer r holds chunk c at time t iff::
+
+    max(gen_time(c) + d_r, join_r + startup) <= t < gen_time(c) + retention
+
+(the chunk has had time to diffuse to r, r was already watching, and the
+chunk is still inside r's sliding retention window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.streaming.chunk import ChunkClock
+
+
+@dataclass(frozen=True, slots=True)
+class AvailabilityConfig:
+    """Diffusion-delay distribution knobs.
+
+    Delays are ``base + Exp(scale)``, with separate parameters per
+    bandwidth class.
+    """
+
+    highbw_base_s: float = 0.8
+    highbw_scale_s: float = 1.2
+    lowbw_base_s: float = 1.2
+    lowbw_scale_s: float = 1.8
+    startup_s: float = 8.0
+    retention_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if min(self.highbw_base_s, self.lowbw_base_s) < 0:
+            raise ConfigurationError("diffusion bases must be non-negative")
+        if min(self.highbw_scale_s, self.lowbw_scale_s) <= 0:
+            raise ConfigurationError("diffusion scales must be positive")
+        if self.retention_s <= self.startup_s:
+            raise ConfigurationError("retention must exceed startup")
+
+
+class RemoteAvailability:
+    """Vectorised availability oracle over a remote peer population."""
+
+    def __init__(
+        self,
+        clock: ChunkClock,
+        highbw: np.ndarray,
+        joins: np.ndarray,
+        config: AvailabilityConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        clock:
+            The channel chunk clock.
+        highbw:
+            Boolean array, one entry per remote peer.
+        joins:
+            Session join times, aligned with ``highbw``.
+        config / rng:
+            Distribution knobs and the seeded generator used to draw each
+            peer's diffusion delay once (delays are then fixed).
+        """
+        n = len(highbw)
+        if len(joins) != n:
+            raise ConfigurationError("highbw and joins must be aligned")
+        self._clock = clock
+        self._config = config
+        base = np.where(highbw, config.highbw_base_s, config.lowbw_base_s)
+        scale = np.where(highbw, config.highbw_scale_s, config.lowbw_scale_s)
+        self.delays = base + rng.exponential(1.0, size=n) * scale
+        self.ready_from = np.maximum(0.0, np.asarray(joins, dtype=float)) + config.startup_s
+
+    def __len__(self) -> int:
+        return len(self.delays)
+
+    def has_chunk(self, peer_idx: int, chunk_id: int, t: float) -> bool:
+        """Whether remote ``peer_idx`` holds ``chunk_id`` at time ``t``."""
+        gen = self._clock.generation_time(chunk_id)
+        if t >= gen + self._config.retention_s:
+            return False
+        arrival = max(gen + self.delays[peer_idx], self.ready_from[peer_idx])
+        return t >= arrival
+
+    def have_chunk(self, peer_idx: np.ndarray, chunk_id: int, t: float) -> np.ndarray:
+        """Vectorised :meth:`has_chunk` over many peers for one chunk."""
+        gen = self._clock.generation_time(chunk_id)
+        if t >= gen + self._config.retention_s:
+            return np.zeros(len(peer_idx), dtype=bool)
+        idx = np.asarray(peer_idx, dtype=np.int64)
+        arrival = np.maximum(gen + self.delays[idx], self.ready_from[idx])
+        return t >= arrival
+
+    def newest_missing(self, peer_idx: int, t: float) -> int | None:
+        """The newest chunk ``peer_idx`` does *not* yet hold at ``t``.
+
+        This is what the remote would pull from a probe: its current
+        deficit at the live edge.  Returns None while the peer is still in
+        startup (it wants everything; callers treat that as the live edge).
+        """
+        live = self._clock.latest_chunk(t)
+        # Peer holds chunk c iff gen(c) + delay <= t, i.e. c <= (t-delay)/dt.
+        have_up_to = self._clock.latest_chunk(max(0.0, t - self.delays[peer_idx]))
+        if t < self.ready_from[peer_idx]:
+            return live
+        missing = have_up_to + 1
+        return missing if missing <= live else None

@@ -1,0 +1,96 @@
+"""Sliding playout buffer for full-protocol (probe) peers.
+
+A live-streaming peer tries to hold every chunk inside a window trailing
+the live edge; chunks older than the window are evicted (played out).  The
+buffer also answers "which chunks am I missing" for the request scheduler
+and serves as the ground-truth buffer map advertised to partners.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.streaming.chunk import ChunkClock
+
+
+class PlayoutBuffer:
+    """Set of held chunk ids inside a sliding window."""
+
+    def __init__(self, clock: ChunkClock, window_s: float, join_time: float = 0.0) -> None:
+        if window_s <= 0:
+            raise SimulationError("buffer window must be positive")
+        self._clock = clock
+        self._window_s = window_s
+        self._join_time = join_time
+        self._chunks: set[int] = set()
+        self._received_bytes = 0
+
+    @property
+    def window_chunks(self) -> int:
+        """Window width in chunks."""
+        return max(1, int(self._window_s / self._clock.chunk_interval))
+
+    def window_range(self, t: float) -> range:
+        """Chunk ids inside the window at time ``t`` (oldest → live edge).
+
+        The lower edge never precedes the peer's join time: a live viewer
+        has no use for content streamed before it tuned in.
+        """
+        live = self._clock.latest_chunk(t)
+        oldest = max(live - self.window_chunks + 1, self._clock.latest_chunk(self._join_time), 0)
+        return range(oldest, live + 1)
+
+    def add(self, chunk_id: int) -> bool:
+        """Insert a received chunk; returns False for duplicates."""
+        if chunk_id in self._chunks:
+            return False
+        self._chunks.add(chunk_id)
+        self._received_bytes += self._clock.chunk_bytes
+        return True
+
+    def evict_before(self, t: float) -> int:
+        """Drop chunks that slid out of the window; returns count dropped."""
+        floor = self.window_range(t).start
+        stale = [c for c in self._chunks if c < floor]
+        for c in stale:
+            self._chunks.remove(c)
+        return len(stale)
+
+    def has(self, chunk_id: int) -> bool:
+        return chunk_id in self._chunks
+
+    def missing(
+        self, t: float, exclude: set[int] | None = None, live_lag: int = 0
+    ) -> list[int]:
+        """Window chunks not held (and not in ``exclude``), newest first.
+
+        Newest-first matches the latest-useful-chunk scheduling that live
+        systems favour: recent chunks are both most valuable to playback
+        and most available at partners.  ``live_lag`` skips the newest few
+        chunks — real players keep a small offset from the live edge so
+        that requested chunks have had time to diffuse to some providers.
+        """
+        exclude = exclude or set()
+        window = self.window_range(t)
+        newest = window.stop - 1 - max(0, live_lag)
+        return [
+            c
+            for c in range(newest, window.start - 1, -1)
+            if c not in self._chunks and c not in exclude
+        ]
+
+    def continuity(self, t: float) -> float:
+        """Fraction of the current window held — a playback-quality proxy."""
+        window = self.window_range(t)
+        n = len(window)
+        if n == 0:
+            return 1.0
+        held = sum(1 for c in window if c in self._chunks)
+        return held / n
+
+    @property
+    def received_bytes(self) -> int:
+        """Total video payload accepted (duplicates excluded)."""
+        return self._received_bytes
+
+    def __len__(self) -> int:
+        return len(self._chunks)

@@ -1,0 +1,635 @@
+"""The discrete-event P2P-TV engine.
+
+Architecture (see DESIGN.md §3): the engine is *probe-centric*.  The 46
+NAPA-WINE probes run the full mesh-pull protocol — discovery, partner
+management, buffer maps, per-chunk provider selection, upload queuing —
+because the paper's dataset is exactly the traffic those probes saw.  The
+remote swarm is modelled statistically: each remote peer has a position in
+the chunk-diffusion process (:class:`RemoteAvailability`), responds to
+probe requests through a real uplink queue, and generates its own pull
+demand towards the probes it finds attractive (the upload direction).
+
+Everything stochastic draws from named, seeded RNG streams
+(:class:`~repro.config.RngBundle`), so a run is a pure function of
+``(world seed, profile, engine seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import RngBundle
+from repro.errors import ConfigurationError, SimulationError
+from repro.population.churn import ChurnConfig, ChurnProcess
+from repro.population.demographics import Demographics, cctv1_audience
+from repro.population.generator import PopulationConfig, RemotePeer, generate_population
+from repro.streaming.availability import RemoteAvailability
+from repro.streaming.buffer import PlayoutBuffer
+from repro.streaming.events import EventQueue
+from repro.streaming.profiles import AppProfile
+from repro.streaming.selection import CandidateFeatures, SelectionPolicy
+from repro.streaming.transport import (
+    SignalingBook,
+    TransferRecorder,
+    UplinkScheduler,
+    bottleneck_bps,
+)
+from repro.topology.paths import ACCESS_DEPTH
+from repro.topology.testbed import Testbed, build_napa_wine_testbed
+from repro.topology.world import World
+from repro.trace.hosts import HostTable
+from repro.trace.records import PacketKind
+from repro.units import BITS_PER_BYTE
+
+#: Size of a chunk-request / poll datagram.
+REQUEST_BYTES = 80
+
+#: Demand multiplier for probes below the high-bandwidth threshold (remotes
+#: rarely pick them as parents — their uplink cannot sustain the stream).
+LOWBW_DEMAND_FACTOR = 0.15
+
+#: Probability that a discovery contact towards a firewalled peer fails.
+FIREWALL_DROP_PROB = 0.8
+
+
+def _approx_latency(same_subnet: bool, same_as: bool, same_cc: bool) -> float:
+    """One-way latency estimate used for protocol timing.
+
+    Coarse on purpose: serialisation dominates transfer time, and the
+    analysis consumes byte counts and packet dispersion, not latencies.
+    """
+    if same_subnet:
+        return 0.001
+    if same_as:
+        return 0.005
+    if same_cc:
+        return 0.02
+    return 0.08
+
+
+@dataclass(frozen=True, slots=True)
+class EngineConfig:
+    """Run-level engine parameters (profile-independent)."""
+
+    duration_s: float = 600.0
+    seed: int = 7
+    demand_rebalance_s: float = 20.0
+    max_backlog_s: float = 4.0
+    #: Hop threshold for the ``near`` selection feature (only consulted when
+    #: a profile sets a nonzero hop weight).
+    hop_near_threshold: int = 19
+    #: Per-tick budget of candidate-less chunks examined before giving up.
+    max_probe_attempts: int = 24
+    #: Probability that a chunk request fails because the provider's
+    #: advertised buffer map was stale.  Failed chunks age and get retried,
+    #: which is how slower peers (whose chunks arrive late) ever get picked.
+    stale_buffermap_prob: float = 0.2
+    #: Outstanding chunk requests allowed per provider.  Pipelining caps
+    #: force request spreading: when the preferred providers are busy the
+    #: scheduler falls back to less-preferred (often slower) partners —
+    #: the mechanism that keeps low-bandwidth peers in the contributor set
+    #: while they receive few bytes.
+    max_outstanding_per_provider: int = 2
+    #: Probability that a chunk request datagram is lost in the network
+    #: (the request is recorded — the capture saw it leave — but no
+    #: response ever comes; the chunk is retried at a later tick).
+    #: Default 0: loss is an opt-in robustness knob.
+    request_loss_prob: float = 0.0
+    #: Probability that a *firewalled* probe drops an unsolicited remote
+    #: downloader attachment (Table I's FW column given teeth).
+    firewall_attach_drop_prob: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.demand_rebalance_s <= 0:
+            raise ConfigurationError("rebalance interval must be positive")
+
+
+class _ProbeState:
+    """Mutable protocol state of one full-protocol (probe) peer."""
+
+    __slots__ = ("gidx", "known", "partners", "buffer", "inflight", "busy")
+
+    def __init__(self, gidx: int, buffer: PlayoutBuffer) -> None:
+        self.gidx = gidx
+        self.known: set[int] = set()
+        self.partners: set[int] = set()
+        self.buffer = buffer
+        self.inflight: set[int] = set()
+        #: provider gidx → outstanding chunk requests (per-peer pipelining cap).
+        self.busy: dict[int, int] = {}
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produces.
+
+    ``transfers`` and ``signaling`` are the raw log; ``hosts`` is the
+    ground-truth host table; downstream code turns these into probe-side
+    flow tables and packet traces.
+    """
+
+    transfers: np.ndarray
+    signaling: np.ndarray
+    hosts: HostTable
+    testbed: Testbed
+    world: World
+    profile: AppProfile
+    config: EngineConfig
+    events_processed: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def probe_ips(self) -> np.ndarray:
+        return self.hosts.probe_ips
+
+    @property
+    def duration_s(self) -> float:
+        return self.config.duration_s
+
+
+class Engine:
+    """One experiment: one application profile on one synthetic Internet."""
+
+    def __init__(
+        self,
+        world: World,
+        testbed: Testbed,
+        profile: AppProfile,
+        population: list[RemotePeer],
+        config: EngineConfig,
+    ) -> None:
+        self.world = world
+        self.testbed = testbed
+        self.profile = profile
+        self.config = config
+        self.clock = profile.video.clock
+        self._rngs = RngBundle(config.seed)
+        self._queue = EventQueue()
+        self._recorder = TransferRecorder()
+        self._signaling = SignalingBook()
+
+        self._build_directory(population)
+        self._build_protocol_state()
+
+    # ----------------------------------------------------------- directory
+    def _build_directory(self, population: list[RemotePeer]) -> None:
+        """Flatten remotes + probes into aligned attribute arrays.
+
+        Global index space: remotes occupy ``[0, R)``, probes ``[R, R+P)``.
+        """
+        remotes = [r.endpoint for r in population]
+        probes = [h.endpoint for h in self.testbed.hosts]
+        endpoints = remotes + probes
+        self.n_remote = len(remotes)
+        self.n_probe = len(probes)
+        n = len(endpoints)
+        if self.n_probe == 0:
+            raise SimulationError("testbed has no probes")
+
+        self._ip = np.array([e.ip for e in endpoints], dtype=np.uint32)
+        self._asn = np.array([e.asn for e in endpoints], dtype=np.int32)
+        cc_codes = sorted({e.country_code for e in endpoints})
+        self._cc_labels = cc_codes
+        cc_index = {c: i for i, c in enumerate(cc_codes)}
+        self._cc = np.array([cc_index[e.country_code] for e in endpoints], dtype=np.int16)
+        self._subnet = np.array([e.subnet for e in endpoints], dtype=np.uint32)
+        self._up = np.array([e.access.up_bps for e in endpoints], dtype=np.float64)
+        self._down = np.array([e.access.down_bps for e in endpoints], dtype=np.float64)
+        self._highbw = np.array([e.access.is_high_bandwidth for e in endpoints], dtype=bool)
+        self._firewalled = np.array([e.access.firewall for e in endpoints], dtype=bool)
+        self._initial_ttl = np.array([e.initial_ttl for e in endpoints], dtype=np.uint8)
+        self._access_depth = np.array(
+            [ACCESS_DEPTH[e.access.kind] for e in endpoints], dtype=np.uint8
+        )
+        self._is_probe = np.zeros(n, dtype=bool)
+        self._is_probe[self.n_remote :] = True
+
+        # Sessions: remotes churn, probes stay for the whole experiment.
+        churn = ChurnProcess.generate(
+            list(range(self.n_remote)),
+            self.config.duration_s,
+            self.profile.churn,
+            self._rngs["churn"],
+        )
+        self._join = np.full(n, 0.0)
+        self._leave = np.full(n, self.config.duration_s)
+        for s in churn.sessions:
+            self._join[s.peer_id] = s.join
+            self._leave[s.peer_id] = s.leave
+
+        self.availability = RemoteAvailability(
+            self.clock,
+            self._highbw[: self.n_remote],
+            self._join[: self.n_remote],
+            self.profile.availability,
+            self._rngs["availability"],
+        )
+        self.uplink = UplinkScheduler(n, self._up, self.config.max_backlog_s)
+
+    def _build_protocol_state(self) -> None:
+        video = self.profile.video
+        self._probes: list[_ProbeState] = []
+        for k in range(self.n_probe):
+            gidx = self.n_remote + k
+            buffer = PlayoutBuffer(self.clock, video.buffer_window_s, join_time=0.0)
+            self._probes.append(_ProbeState(gidx, buffer))
+        rng_sel = self._rngs["selection"]
+        self._partner_policy = SelectionPolicy(
+            self.profile.partner_weights, rng_sel, self.profile.selection_temperature
+        )
+        self._provider_policy = SelectionPolicy(
+            self.profile.provider_weights, rng_sel, self.profile.selection_temperature
+        )
+        self._remote_policy = SelectionPolicy(
+            self.profile.remote_weights, rng_sel, self.profile.selection_temperature
+        )
+        #: (remote gidx, probe gidx) pairs currently attached as downloaders.
+        self._attached: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------- features
+    def _features(self, chooser: int, cands: np.ndarray) -> CandidateFeatures:
+        """Awareness features of ``cands`` from ``chooser``'s viewpoint."""
+        need_hop = False
+        for policy in (self._partner_policy, self._provider_policy, self._remote_policy):
+            if policy.weights.hop:
+                need_hop = True
+        if need_hop:
+            hops = self.world.paths.hops_many(
+                np.full(len(cands), self._ip[chooser]),
+                np.full(len(cands), self._asn[chooser]),
+                np.full(len(cands), self._subnet[chooser]),
+                np.full(len(cands), self._access_depth[chooser]),
+                self._ip[cands],
+                self._asn[cands],
+                self._subnet[cands],
+                self._access_depth[cands],
+            )
+            near = hops < self.config.hop_near_threshold
+        else:
+            near = np.zeros(len(cands), dtype=bool)
+        return CandidateFeatures(
+            highbw=self._highbw[cands],
+            same_as=self._asn[cands] == self._asn[chooser],
+            same_cc=self._cc[cands] == self._cc[chooser],
+            same_net=self._subnet[cands] == self._subnet[chooser],
+            near=near,
+        )
+
+    def _online_mask(self, t: float) -> np.ndarray:
+        return (self._join <= t) & (t < self._leave)
+
+    def _latency(self, a: int, b: int) -> float:
+        return _approx_latency(
+            bool(self._subnet[a] == self._subnet[b]),
+            bool(self._asn[a] == self._asn[b]),
+            bool(self._cc[a] == self._cc[b]),
+        )
+
+    # ------------------------------------------------------------- recording
+    def _record(self, t: float, src: int, dst: int, nbytes: int, kind: PacketKind) -> None:
+        self._recorder.record(
+            t,
+            int(self._ip[src]),
+            int(self._ip[dst]),
+            nbytes,
+            kind,
+            bottleneck_bps(float(self._up[src]), float(self._down[dst])),
+        )
+
+    # ------------------------------------------------------------- discovery
+    def _tracker_sample(self, probe: _ProbeState, k: int, t: float) -> np.ndarray:
+        """Sample up to ``k`` new online peers for ``probe``.
+
+        TVAnts-style AS-biased discovery oversamples same-AS peers by
+        ``discovery_as_bias``; firewalled candidates often drop the contact.
+        """
+        online = self._online_mask(t)
+        online[probe.gidx] = False
+        pool = np.flatnonzero(online)
+        if len(probe.known):
+            pool = pool[~np.isin(pool, np.fromiter(probe.known, dtype=np.int64))]
+        if len(pool) == 0:
+            return pool
+        rng = self._rngs["engine"]
+        bias = self.profile.discovery_as_bias
+        if bias > 0:
+            weights = 1.0 + bias * (self._asn[pool] == self._asn[probe.gidx])
+            probs = weights / weights.sum()
+        else:
+            probs = None
+        k = min(k, len(pool))
+        picked = rng.choice(pool, size=k, replace=False, p=probs)
+        # Firewalled peers drop most unsolicited contacts.
+        keep = ~self._firewalled[picked] | (rng.random(len(picked)) >= FIREWALL_DROP_PROB)
+        return picked[keep]
+
+    def _on_discovery(self, probe: _ProbeState) -> None:
+        t = self._queue.now
+        found = self._tracker_sample(probe, self.profile.contact_batch, t)
+        hs = self.profile.handshake_bytes
+        for cand in found:
+            c = int(cand)
+            probe.known.add(c)
+            self._record(t, probe.gidx, c, hs, PacketKind.SIGNALING)
+            self._record(t + 2 * self._latency(probe.gidx, c), c, probe.gidx, hs, PacketKind.SIGNALING)
+        self._queue.schedule(t + self.profile.contact_interval_s, self._on_discovery, probe)
+
+    # -------------------------------------------------------------- partners
+    def _on_partner_refresh(self, probe: _ProbeState) -> None:
+        t = self._queue.now
+        rng = self._rngs["engine"]
+        online = self._online_mask(t)
+        # Sticky partnerships: keep most current (online) partners, refill
+        # the remaining slots from the known set with the awareness policy.
+        kept = {
+            g
+            for g in probe.partners
+            if online[g] and rng.random() < self.profile.partner_stickiness
+        }
+        known = np.fromiter(probe.known, dtype=np.int64, count=len(probe.known))
+        cands = known[online[known]] if len(known) else known
+        if len(kept):
+            cands = cands[~np.isin(cands, np.fromiter(kept, dtype=np.int64))]
+        slots = self.profile.max_partners - len(kept)
+        if len(cands) and slots > 0:
+            feats = self._features(probe.gidx, cands)
+            picked = self._partner_policy.choose(feats, slots)
+            new_partners = kept | {int(cands[i]) for i in picked}
+        else:
+            new_partners = kept
+        added = new_partners - probe.partners
+        removed = probe.partners - new_partners
+        p = self.profile
+        me = int(self._ip[probe.gidx])
+        for g in added:
+            other = int(self._ip[g])
+            # Periodic buffer-map exchange runs both ways; keepalives too.
+            self._signaling.open(me, other, t, p.buffermap_interval_s, p.buffermap_bytes)
+            self._signaling.open(other, me, t, p.buffermap_interval_s, p.buffermap_bytes)
+            self._signaling.open(me, other, t, p.keepalive_interval_s, p.keepalive_bytes)
+            self._signaling.open(other, me, t, p.keepalive_interval_s, p.keepalive_bytes)
+        for g in removed:
+            other = int(self._ip[g])
+            self._signaling.close(me, other, t)
+            self._signaling.close(other, me, t)
+        probe.partners = new_partners
+        self._queue.schedule(t + p.partner_refresh_s, self._on_partner_refresh, probe)
+
+    # ------------------------------------------------------------- streaming
+    def _provider_has(self, g: int, chunk: int, t: float) -> bool:
+        """Whether peer ``g`` can serve ``chunk`` at ``t`` (ground truth for
+        probes, the availability oracle for remotes)."""
+        if g >= self.n_remote:
+            return self._probes[g - self.n_remote].buffer.has(chunk)
+        return self.availability.has_chunk(g, chunk, t)
+
+    def _on_tick(self, probe: _ProbeState) -> None:
+        t = self._queue.now
+        probe.buffer.evict_before(t)
+        window_floor = probe.buffer.window_range(t).start
+        probe.inflight = {c for c in probe.inflight if c >= window_floor}
+        missing = probe.buffer.missing(
+            t, exclude=probe.inflight, live_lag=self.profile.live_lag_chunks
+        )
+        if missing and probe.partners:
+            partners = np.fromiter(probe.partners, dtype=np.int64, count=len(probe.partners))
+            online = self._online_mask(t)
+            partners = partners[online[partners]]
+            slots = self.profile.max_parallel_requests - len(probe.inflight)
+            attempts = self.config.max_probe_attempts
+            for chunk in missing:
+                if slots <= 0 or attempts <= 0:
+                    break
+                attempts -= 1
+                if len(partners) == 0:
+                    break
+                cap = self.config.max_outstanding_per_provider
+                holders = partners[
+                    [
+                        probe.busy.get(int(g), 0) < cap
+                        and self._provider_has(int(g), chunk, t)
+                        for g in partners
+                    ]
+                ]
+                if len(holders) == 0:
+                    continue
+                if self._rngs["engine"].random() < self.profile.explore_prob:
+                    pick = int(self._rngs["engine"].integers(len(holders)))
+                else:
+                    feats = self._features(probe.gidx, holders)
+                    pick = self._provider_policy.choose_one(feats)
+                provider = int(holders[pick])
+                if self._request_chunk(probe, provider, chunk, t):
+                    slots -= 1
+        self._queue.schedule(t + self.profile.tick_interval_s, self._on_tick, probe)
+
+    def _request_chunk(self, probe: _ProbeState, provider: int, chunk: int, t: float) -> bool:
+        """Issue a chunk request; returns True when a transfer was queued."""
+        lat = self._latency(probe.gidx, provider)
+        self._record(t, probe.gidx, provider, REQUEST_BYTES, PacketKind.CONTROL)
+        if (
+            self.config.request_loss_prob > 0
+            and self._rngs["engine"].random() < self.config.request_loss_prob
+        ):
+            # The request datagram was lost; nothing comes back and the
+            # chunk ages until the next tick retries it.
+            return False
+        if self._rngs["engine"].random() < self.config.stale_buffermap_prob:
+            # Stale buffer map: the provider no longer has (or never had)
+            # the chunk and answers with a short decline.
+            self._record(
+                t + 2 * lat, provider, probe.gidx, REQUEST_BYTES, PacketKind.CONTROL
+            )
+            return False
+        nbytes = self.clock.chunk_bytes
+        start = self.uplink.admit(provider, t + lat, nbytes)
+        if start is None:
+            return False
+        bn = bottleneck_bps(float(self._up[provider]), float(self._down[probe.gidx]))
+        arrival = start + nbytes * BITS_PER_BYTE / bn + lat
+        self._record(start, provider, probe.gidx, nbytes, PacketKind.VIDEO)
+        probe.inflight.add(chunk)
+        probe.busy[provider] = probe.busy.get(provider, 0) + 1
+        self._queue.schedule(arrival, self._on_chunk_arrival, probe, chunk, provider)
+        return True
+
+    def _on_chunk_arrival(self, probe: _ProbeState, chunk: int, provider: int) -> None:
+        probe.inflight.discard(chunk)
+        probe.buffer.add(chunk)
+        left = probe.busy.get(provider, 0) - 1
+        if left > 0:
+            probe.busy[provider] = left
+        else:
+            probe.busy.pop(provider, None)
+
+    # ------------------------------------------------------ remote demand
+    def _demand_target(self, probe_gidx: int) -> float:
+        base = self.profile.remote_demand
+        return base if self._highbw[probe_gidx] else base * LOWBW_DEMAND_FACTOR
+
+    def _on_demand_rebalance(self) -> None:
+        """Re-sample which remotes download from which probes.
+
+        Runs every ``demand_rebalance_s``: each probe attracts a
+        Poisson-distributed number of remote downloaders, sampled with the
+        profile's remote-side awareness weights (this is the ground-truth
+        mechanism behind the paper's *upload*-direction metrics).
+        """
+        t = self._queue.now
+        rng = self._rngs["engine"]
+        online = self._online_mask(t)
+        remotes = np.flatnonzero(online[: self.n_remote])
+        self._attached.clear()
+        if len(remotes):
+            for probe in self._probes:
+                target = self._demand_target(probe.gidx)
+                if self._firewalled[probe.gidx]:
+                    # Firewalled probes drop most unsolicited inbound
+                    # sessions; only the surviving fraction attaches.
+                    target *= 1.0 - self.config.firewall_attach_drop_prob
+                k = min(int(rng.poisson(target)), len(remotes))
+                if k == 0:
+                    continue
+                feats = self._features(probe.gidx, remotes)
+                picked = self._remote_policy.choose(feats, k)
+                window_end = min(t + self.config.demand_rebalance_s, self.config.duration_s)
+                for i in picked:
+                    r = int(remotes[i])
+                    self._attached.add((r, probe.gidx))
+                    probe.known.add(r)
+                    self._record(t, r, probe.gidx, self.profile.handshake_bytes, PacketKind.SIGNALING)
+                    self._schedule_pulls(r, probe, t, window_end)
+        self._queue.schedule(
+            t + self.config.demand_rebalance_s, self._on_demand_rebalance
+        )
+
+    def _schedule_pulls(self, remote: int, probe: _ProbeState, t0: float, t1: float) -> None:
+        rng = self._rngs["engine"]
+        rate = self.profile.remote_pull_rate
+        if rate <= 0:
+            return
+        n = rng.poisson(rate * (t1 - t0))
+        if n == 0:
+            return
+        times = np.sort(rng.uniform(t0, t1, size=n))
+        for tp in times:
+            self._queue.schedule(float(tp), self._on_remote_pull, remote, probe)
+
+    def _on_remote_pull(self, remote: int, probe: _ProbeState) -> None:
+        t = self._queue.now
+        if (remote, probe.gidx) not in self._attached or t >= self._leave[remote]:
+            return
+        self._record(t, remote, probe.gidx, REQUEST_BYTES, PacketKind.CONTROL)
+        chunk = self._serveable_chunk(remote, probe, t)
+        if chunk is None:
+            return
+        nbytes = self.clock.chunk_bytes
+        lat = self._latency(remote, probe.gidx)
+        start = self.uplink.admit(probe.gidx, t + lat, nbytes)
+        if start is None:
+            return
+        bn = bottleneck_bps(float(self._up[probe.gidx]), float(self._down[remote]))
+        self._record(start, probe.gidx, remote, nbytes, PacketKind.VIDEO)
+
+    def _serveable_chunk(self, remote: int, probe: _ProbeState, t: float) -> int | None:
+        """The newest chunk ``probe`` holds that ``remote`` still lacks."""
+        want = self.availability.newest_missing(remote, t)
+        if want is None:
+            return None
+        for chunk in range(want, max(want - 6, 0) - 1, -1):
+            if probe.buffer.has(chunk) and not self.availability.has_chunk(remote, chunk, t):
+                return chunk
+        return None
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> SimulationResult:
+        """Execute the experiment and return the raw result bundle."""
+        t_stagger = self.profile.tick_interval_s / max(1, self.n_probe)
+        for i, probe in enumerate(self._probes):
+            found = self._tracker_sample(probe, self.profile.tracker_initial, 0.0)
+            probe.known.update(int(g) for g in found)
+            hs = self.profile.handshake_bytes
+            for cand in found:
+                self._record(0.0, probe.gidx, int(cand), hs, PacketKind.SIGNALING)
+                self._record(0.0, int(cand), probe.gidx, hs, PacketKind.SIGNALING)
+            self._queue.schedule(i * t_stagger, self._on_partner_refresh, probe)
+            self._queue.schedule(0.05 + i * t_stagger, self._on_tick, probe)
+            self._queue.schedule(
+                0.5 + i * t_stagger * 10, self._on_discovery, probe
+            )
+        self._queue.schedule(0.0, self._on_demand_rebalance)
+
+        events = self._queue.run_until(self.config.duration_s)
+
+        hosts = HostTable.from_columns(
+            ip=self._ip,
+            asn=self._asn,
+            cc=np.array([self._cc_labels[c] for c in self._cc], dtype="U2"),
+            subnet=self._subnet,
+            up_bps=self._up,
+            down_bps=self._down,
+            is_probe=self._is_probe,
+            highbw=self._highbw,
+            initial_ttl=self._initial_ttl,
+            access_depth=self._access_depth,
+        )
+        return SimulationResult(
+            transfers=self._recorder.finalize(),
+            signaling=self._signaling.finalize(self.config.duration_s),
+            hosts=hosts,
+            testbed=self.testbed,
+            world=self.world,
+            profile=self.profile,
+            config=self.config,
+            events_processed=events,
+        )
+
+
+def simulate(
+    profile: AppProfile,
+    *,
+    duration_s: float = 600.0,
+    seed: int = 7,
+    world: World | None = None,
+    testbed: Testbed | None = None,
+    demographics: Demographics | None = None,
+    engine_config: EngineConfig | None = None,
+) -> SimulationResult:
+    """Run one complete experiment for ``profile`` — the main entry point.
+
+    Builds (or reuses) the synthetic Internet and Table I testbed,
+    generates the profile's audience, runs the engine, and returns the raw
+    result.  The audience honours the profile's ``eu_audience_boost`` and
+    ``probe_as_fraction`` (channel-popularity effects).
+    """
+    config = engine_config or EngineConfig(duration_s=duration_s, seed=seed)
+    if world is None:
+        world = World()
+    if testbed is None:
+        testbed = build_napa_wine_testbed(world)
+    if demographics is None:
+        base = cctv1_audience(probe_as_fraction=profile.probe_as_fraction)
+        if profile.eu_audience_boost != 1.0:
+            weights = dict(base.country_weights)
+            for cc in ("IT", "FR", "HU", "PL"):
+                weights[cc] = weights.get(cc, 1.0) * profile.eu_audience_boost
+            demographics = Demographics(
+                country_weights=weights,
+                highbw_fraction=base.highbw_fraction,
+                default_highbw=base.default_highbw,
+                probe_as_fraction=profile.probe_as_fraction,
+            )
+        else:
+            demographics = base
+    rngs = RngBundle(config.seed)
+    population = generate_population(
+        world,
+        PopulationConfig(size=profile.swarm_size, demographics=demographics),
+        rngs["population"],
+    )
+    engine = Engine(world, testbed, profile, population, config)
+    return engine.run()

@@ -1,0 +1,54 @@
+"""Discrete-event core: a deterministic heapq-based event queue.
+
+Events are ``(time, sequence, callback, args)`` tuples; the monotonically
+increasing sequence number makes simultaneous events fire in scheduling
+order, which keeps runs bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+class EventQueue:
+    """Minimal deterministic event queue."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[..., None], tuple[Any, ...]]] = []
+        self._seq = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (time of the last popped event)."""
+        return self._now
+
+    def schedule(self, t: float, callback: Callable[..., None], *args: Any) -> None:
+        """Enqueue ``callback(*args)`` to fire at time ``t``.
+
+        Scheduling into the past is an engine bug and raises immediately —
+        silently clamping would hide causality violations.
+        """
+        if t < self._now:
+            raise SimulationError(
+                f"event scheduled in the past: {t:.6f} < now {self._now:.6f}"
+            )
+        heapq.heappush(self._heap, (t, self._seq, callback, args))
+        self._seq += 1
+
+    def run_until(self, t_end: float) -> int:
+        """Drain events with time ≤ ``t_end``; returns events processed."""
+        processed = 0
+        while self._heap and self._heap[0][0] <= t_end:
+            t, _seq, callback, args = heapq.heappop(self._heap)
+            self._now = t
+            callback(*args)
+            processed += 1
+        self._now = max(self._now, t_end)
+        return processed
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,158 @@
+"""Transport model: uplink serialisation, latency, and transfer recording.
+
+The transport layer is where access capacities become *observable*:
+
+* a sender's uplink serialises transfers one at a time (its ``tx_free_at``
+  horizon), so a 0.384 Mb/s DSL uplink physically cannot sustain more than
+  one stream — the capacity constraint behind the BW findings;
+* the path bottleneck ``min(src.up, dst.down)`` paces the packets of each
+  chunk train, which is what the receiver-side min-IPG estimator measures;
+* every exchange lands in a columnar :class:`TransferRecorder` (compact
+  ``array`` columns, finalised into one structured numpy array).
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.trace.records import SIGNALING_DTYPE, TRANSFER_DTYPE, PacketKind
+from repro.units import BITS_PER_BYTE
+
+#: Payload bytes per video packet (the paper's 1250 B reference packet,
+#: whose serialisation at 10 Mb/s takes exactly 1 ms — the BW threshold).
+PACKET_PAYLOAD_BYTES = 1250
+
+#: Base propagation latency plus per-hop forwarding delay.
+BASE_LATENCY_S = 0.004
+PER_HOP_LATENCY_S = 0.002
+
+
+def path_latency(hops: int) -> float:
+    """One-way latency of a path with ``hops`` router hops."""
+    return BASE_LATENCY_S + PER_HOP_LATENCY_S * hops
+
+
+def bottleneck_bps(src_up_bps: float, dst_down_bps: float) -> float:
+    """The path bottleneck seen by a transfer ``src → dst``."""
+    return min(src_up_bps, dst_down_bps)
+
+
+class TransferRecorder:
+    """Columnar accumulator for the engine's transfer log."""
+
+    def __init__(self) -> None:
+        self._ts = array("d")
+        self._src = array("L")
+        self._dst = array("L")
+        self._bytes = array("L")
+        self._kind = array("B")
+        self._bottleneck = array("d")
+
+    def record(
+        self,
+        ts: float,
+        src_ip: int,
+        dst_ip: int,
+        nbytes: int,
+        kind: PacketKind,
+        bottleneck: float,
+    ) -> None:
+        """Append one exchange."""
+        self._ts.append(ts)
+        self._src.append(src_ip)
+        self._dst.append(dst_ip)
+        self._bytes.append(nbytes)
+        self._kind.append(int(kind))
+        self._bottleneck.append(bottleneck)
+
+    def __len__(self) -> int:
+        return len(self._ts)
+
+    def finalize(self) -> np.ndarray:
+        """Materialise the log as a time-sorted structured array."""
+        n = len(self._ts)
+        out = np.empty(n, dtype=TRANSFER_DTYPE)
+        out["ts"] = np.frombuffer(self._ts, dtype=np.float64, count=n)
+        out["src"] = np.frombuffer(self._src, dtype=f"u{self._src.itemsize}", count=n)
+        out["dst"] = np.frombuffer(self._dst, dtype=f"u{self._dst.itemsize}", count=n)
+        out["bytes"] = np.frombuffer(self._bytes, dtype=f"u{self._bytes.itemsize}", count=n)
+        out["kind"] = np.frombuffer(self._kind, dtype=np.uint8, count=n)
+        out["bottleneck"] = np.frombuffer(self._bottleneck, dtype=np.float64, count=n)
+        return out[np.argsort(out["ts"], kind="stable")]
+
+
+class SignalingBook:
+    """Open/close periodic signaling relationships between peer pairs.
+
+    Buffer-map and keepalive exchanges are periodic and dynamically inert
+    (tiny packets), so instead of clogging the event queue the engine logs
+    *intervals*; :func:`repro.trace.packets.expand_signaling` later expands
+    them to timestamped transfers, vectorised.
+    """
+
+    def __init__(self) -> None:
+        self._open: dict[tuple[int, int, float, int], float] = {}
+        self._closed: list[tuple[int, int, float, float, float, int]] = []
+
+    def open(self, src_ip: int, dst_ip: int, t: float, interval: float, nbytes: int) -> None:
+        """Start a periodic exchange ``src → dst`` at time ``t``."""
+        if interval <= 0:
+            raise SimulationError("signaling interval must be positive")
+        key = (src_ip, dst_ip, interval, nbytes)
+        # Re-opening an already-open relationship keeps the earlier start.
+        self._open.setdefault(key, t)
+
+    def close(self, src_ip: int, dst_ip: int, t: float) -> None:
+        """Stop every periodic exchange ``src → dst`` at time ``t``."""
+        for key in [k for k in self._open if k[0] == src_ip and k[1] == dst_ip]:
+            start = self._open.pop(key)
+            if t > start:
+                self._closed.append((key[0], key[1], start, t, key[2], key[3]))
+
+    def finalize(self, t_end: float) -> np.ndarray:
+        """Close everything still open and return the interval table."""
+        for key, start in list(self._open.items()):
+            if t_end > start:
+                self._closed.append((key[0], key[1], start, t_end, key[2], key[3]))
+        self._open.clear()
+        out = np.empty(len(self._closed), dtype=SIGNALING_DTYPE)
+        for i, (src, dst, start, stop, interval, nbytes) in enumerate(self._closed):
+            out[i] = (src, dst, start, stop, interval, nbytes)
+        return out
+
+
+class UplinkScheduler:
+    """Per-peer uplink serialisation with bounded queueing.
+
+    ``admit`` answers: if ``src`` starts serialising ``nbytes`` now (or when
+    its uplink frees up), when does transmission start — or is the backlog
+    already too deep to accept the request?
+    """
+
+    def __init__(self, n_peers: int, up_bps: np.ndarray, max_backlog_s: float = 4.0) -> None:
+        if len(up_bps) != n_peers:
+            raise SimulationError("up_bps must have one entry per peer")
+        self._free_at = np.zeros(n_peers, dtype=np.float64)
+        self._up_bps = np.asarray(up_bps, dtype=np.float64)
+        self._max_backlog_s = max_backlog_s
+
+    def admit(self, peer_idx: int, t: float, nbytes: int) -> float | None:
+        """Try to enqueue ``nbytes`` on ``peer_idx``'s uplink at time ``t``.
+
+        Returns the serialisation start time, or None when the uplink
+        backlog exceeds the bound (the request is declined — the requester
+        will try another provider at its next tick).
+        """
+        start = max(t, self._free_at[peer_idx])
+        if start - t > self._max_backlog_s:
+            return None
+        duration = nbytes * BITS_PER_BYTE / self._up_bps[peer_idx]
+        self._free_at[peer_idx] = start + duration
+        return float(start)
+
+    def backlog(self, peer_idx: int, t: float) -> float:
+        """Seconds of queued serialisation work at ``t``."""
+        return max(0.0, float(self._free_at[peer_idx]) - t)

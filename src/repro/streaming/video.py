@@ -1,0 +1,54 @@
+"""Video source configuration.
+
+All three applications in the paper streamed the same CCTV-1 channel at a
+nominal 384 kb/s (Windows Media 9).  :class:`VideoConfig` captures the
+channel parameters and produces the shared :class:`ChunkClock`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.streaming.chunk import ChunkClock
+from repro.units import kbps
+
+#: Nominal CCTV-1 stream rate used in every experiment of the paper.
+DEFAULT_STREAM_RATE_BPS: float = kbps(384)
+
+#: Default chunk payload: 16 kB ⇒ exactly 3 chunks/s at 384 kb/s.
+DEFAULT_CHUNK_BYTES: int = 16_000
+
+
+@dataclass(frozen=True, slots=True)
+class VideoConfig:
+    """Channel parameters.
+
+    Parameters
+    ----------
+    rate_bps:
+        Stream rate (bit/s).
+    chunk_bytes:
+        Chunk payload size; the packetiser cuts chunks into MTU-sized
+        packets whose dispersion encodes the sender's bottleneck.
+    buffer_window_s:
+        Width of the sliding playout window peers try to fill.
+    playout_delay_s:
+        Startup delay between joining and the first played chunk.
+    """
+
+    rate_bps: float = DEFAULT_STREAM_RATE_BPS
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    buffer_window_s: float = 30.0
+    playout_delay_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.buffer_window_s <= 0 or self.playout_delay_s < 0:
+            raise ConfigurationError("invalid buffer/playout configuration")
+        if self.playout_delay_s >= self.buffer_window_s:
+            raise ConfigurationError("playout delay must be inside the buffer window")
+
+    @property
+    def clock(self) -> ChunkClock:
+        """The chunk clock for this channel."""
+        return ChunkClock(rate_bps=self.rate_bps, chunk_bytes=self.chunk_bytes)

@@ -1,0 +1,23 @@
+"""Swarm analytics: the measurements the paper's related work performs.
+
+The paper positions itself against single-system studies of overlay
+structure ([7]: node degree of popular vs unpopular channels) and peer
+stability ([8]: stable peers and their importance).  This subpackage
+implements those complementary analyses over our probe-side traces:
+
+* :mod:`repro.swarm.overlay` — the observed exchange graph, degree
+  statistics, popular-vs-unpopular comparisons;
+* :mod:`repro.swarm.stability` — contributor activity spans, stable-peer
+  identification, and their byte share.
+"""
+
+from repro.swarm.overlay import DegreeStats, OverlayGraph, build_overlay
+from repro.swarm.stability import StabilityReport, stability_report
+
+__all__ = [
+    "DegreeStats",
+    "OverlayGraph",
+    "build_overlay",
+    "StabilityReport",
+    "stability_report",
+]

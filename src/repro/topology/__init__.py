@@ -1,0 +1,61 @@
+"""Synthetic Internet topology substrate.
+
+This subpackage replaces the real Internet the paper measured with a
+controlled, fully-observable model that produces the same per-packet
+observables (addresses, TTLs, bottleneck capacities) the analysis framework
+consumes:
+
+* :mod:`repro.topology.ip` — vectorised IPv4 address arithmetic;
+* :mod:`repro.topology.geography` — country registry;
+* :mod:`repro.topology.autonomous_system` — AS registry and prefix ownership;
+* :mod:`repro.topology.subnet` — subnet allocation and host addressing;
+* :mod:`repro.topology.access` — access-link classes (LAN / DSL / CATV);
+* :mod:`repro.topology.asgraph` — AS-level graph and router-hop distances;
+* :mod:`repro.topology.paths` — end-to-end path model (hops, asymmetry, TTL);
+* :mod:`repro.topology.testbed` — the NAPA-WINE probe testbed of Table I.
+"""
+
+from repro.topology.access import AccessClass, AccessLink
+from repro.topology.autonomous_system import AutonomousSystem, ASRegistry
+from repro.topology.asgraph import ASGraph, ASGraphConfig
+from repro.topology.geography import Country, CountryRegistry, WORLD
+from repro.topology.ip import (
+    IPv4Prefix,
+    format_ip,
+    format_ips,
+    parse_ip,
+    parse_ips,
+)
+from repro.topology.paths import PathModel, PathModelConfig
+from repro.topology.subnet import Subnet, SubnetAllocator
+from repro.topology.testbed import (
+    ProbeHost,
+    ProbeSite,
+    Testbed,
+    build_napa_wine_testbed,
+)
+
+__all__ = [
+    "AccessClass",
+    "AccessLink",
+    "AutonomousSystem",
+    "ASRegistry",
+    "ASGraph",
+    "ASGraphConfig",
+    "Country",
+    "CountryRegistry",
+    "WORLD",
+    "IPv4Prefix",
+    "format_ip",
+    "format_ips",
+    "parse_ip",
+    "parse_ips",
+    "PathModel",
+    "PathModelConfig",
+    "Subnet",
+    "SubnetAllocator",
+    "ProbeHost",
+    "ProbeSite",
+    "Testbed",
+    "build_napa_wine_testbed",
+]

@@ -1,0 +1,123 @@
+"""Access-link model: capacities, technology classes, NAT/firewall flags.
+
+Table I of the paper characterises every probe by its access technology —
+institutional ``high-bw`` LAN, ``DSL d/u`` (down/up in Mb/s or kb/s) or
+``CATV`` — plus NAT and firewall presence.  The same model is reused for the
+synthetic remote population.
+
+The paper's BW partition threshold is 10 Mb/s: a peer whose *uplink*
+bottleneck exceeds it emits back-to-back 1250 B packets with inter-packet
+gaps below 1 ms and is classified high-bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ConfigurationError
+from repro.units import MBPS, kbps, mbps
+
+#: Capacity threshold separating high- from low-bandwidth peers (paper §III-B).
+HIGH_BW_THRESHOLD_BPS: float = 10 * MBPS
+
+
+class AccessClass(Enum):
+    """Access technology classes appearing in Table I (plus FTTH for the
+    synthetic population tail)."""
+
+    LAN = "high-bw"   # institutional 100 Mb/s-class Ethernet
+    DSL = "dsl"
+    CATV = "catv"
+    FTTH = "ftth"
+
+
+@dataclass(frozen=True, slots=True)
+class AccessLink:
+    """One peer's access link.
+
+    Parameters
+    ----------
+    kind:
+        Technology class.
+    down_bps / up_bps:
+        Downstream / upstream capacity in bit/s.  These are the *bottleneck*
+        capacities the packet-train dispersion encodes.
+    nat / firewall:
+        Presence of a NAT or filtering middlebox (Table I columns).  NATed
+        peers cannot accept unsolicited inbound sessions; firewalled peers
+        additionally drop unsolicited inbound UDP.
+    """
+
+    kind: AccessClass
+    down_bps: float
+    up_bps: float
+    nat: bool = False
+    firewall: bool = False
+
+    def __post_init__(self) -> None:
+        if self.down_bps <= 0 or self.up_bps <= 0:
+            raise ConfigurationError(
+                f"access capacities must be positive, got down={self.down_bps}, up={self.up_bps}"
+            )
+
+    @property
+    def is_high_bandwidth(self) -> bool:
+        """Ground-truth high-bandwidth classification (uplink > 10 Mb/s).
+
+        The paper can only infer a peer's capacity from traffic the peer
+        *sends*, so the classification keys on the uplink bottleneck.
+        """
+        return self.up_bps > HIGH_BW_THRESHOLD_BPS
+
+    @property
+    def label(self) -> str:
+        """Table I style label, e.g. ``'DSL 6/0.512'`` or ``'high-bw'``."""
+        if self.kind is AccessClass.LAN:
+            return "high-bw"
+        down = self.down_bps / MBPS
+        up = self.up_bps / MBPS
+        return f"{self.kind.value.upper()} {down:g}/{up:g}"
+
+
+def lan(rate_mbps: float = 100.0, *, nat: bool = False, firewall: bool = False) -> AccessLink:
+    """An institutional LAN link (symmetric, default 100 Mb/s)."""
+    return AccessLink(AccessClass.LAN, mbps(rate_mbps), mbps(rate_mbps), nat=nat, firewall=firewall)
+
+
+def dsl(
+    down_mbps: float,
+    up_mbps: float,
+    *,
+    nat: bool = False,
+    firewall: bool = False,
+) -> AccessLink:
+    """An asymmetric DSL link, capacities in Mb/s (Table I convention)."""
+    return AccessLink(AccessClass.DSL, mbps(down_mbps), mbps(up_mbps), nat=nat, firewall=firewall)
+
+
+def catv(
+    down_mbps: float,
+    up_mbps: float,
+    *,
+    nat: bool = False,
+    firewall: bool = False,
+) -> AccessLink:
+    """A cable (CATV) link, capacities in Mb/s."""
+    return AccessLink(AccessClass.CATV, mbps(down_mbps), mbps(up_mbps), nat=nat, firewall=firewall)
+
+
+def ftth(
+    down_mbps: float = 100.0,
+    up_mbps: float = 50.0,
+    *,
+    nat: bool = True,
+    firewall: bool = False,
+) -> AccessLink:
+    """A fibre-to-the-home link (synthetic population only)."""
+    return AccessLink(AccessClass.FTTH, mbps(down_mbps), mbps(up_mbps), nat=nat, firewall=firewall)
+
+
+def dsl_kbps(down_kbps: float, up_kbps: float, **kw: bool) -> AccessLink:
+    """DSL link with capacities in kb/s, for sub-megabit uplinks."""
+    return AccessLink(AccessClass.DSL, kbps(down_kbps), kbps(up_kbps), **kw)

@@ -1,0 +1,140 @@
+"""Autonomous System registry and prefix ownership.
+
+An :class:`AutonomousSystem` models one routing domain: it belongs to a
+country, has a coarse *tier* (transit vs access ISP vs campus network), and
+owns one or more IPv4 prefixes from which its subnets are carved.  The
+analysis-side registry (:mod:`repro.heuristics.registry`) answers
+"which AS / country does this IP belong to" exactly the way the paper's
+whois/GeoIP step did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import AllocationError, TopologyError
+from repro.topology.ip import IPv4Prefix
+
+
+class ASTier(Enum):
+    """Coarse position of an AS in the Internet hierarchy.
+
+    The tier drives the synthetic AS-graph construction: tier-1 transit
+    networks form a dense core, access ISPs and campus networks hang off
+    them.  Router-hop counts across an AS also scale with its tier.
+    """
+
+    TIER1 = "tier1"        # global transit backbone
+    TRANSIT = "transit"    # regional transit
+    ACCESS = "access"      # consumer ISP (DSL / CATV customers)
+    CAMPUS = "campus"      # university / institution network
+
+
+@dataclass(eq=False)
+class AutonomousSystem:
+    """One Autonomous System.
+
+    Parameters
+    ----------
+    asn:
+        AS number, unique within a registry.
+    name:
+        Human-readable name (e.g. ``"AS2/GARR"``).
+    country_code:
+        The country the AS is (predominantly) located in.
+    tier:
+        Position in the hierarchy, see :class:`ASTier`.
+    prefixes:
+        IPv4 prefixes owned by this AS.  Subnets are carved from them by
+        :class:`repro.topology.subnet.SubnetAllocator`.
+    """
+
+    asn: int
+    name: str
+    country_code: str
+    tier: ASTier = ASTier.ACCESS
+    prefixes: list[IPv4Prefix] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise TopologyError(f"ASN must be positive, got {self.asn}")
+
+    def add_prefix(self, prefix: IPv4Prefix) -> None:
+        """Attach an owned prefix, rejecting overlaps with existing ones."""
+        for existing in self.prefixes:
+            if existing.overlaps(prefix):
+                raise AllocationError(
+                    f"prefix {prefix} overlaps {existing} already owned by AS{self.asn}"
+                )
+        self.prefixes.append(prefix)
+
+    def owns(self, address: int) -> bool:
+        """True when ``address`` belongs to one of this AS's prefixes."""
+        return any(p.contains(address) for p in self.prefixes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AS{self.asn}({self.name}, {self.country_code}, {self.tier.value})"
+
+
+class ASRegistry:
+    """Registry of all Autonomous Systems in a synthetic topology.
+
+    Guarantees ASN uniqueness and global prefix disjointness, so every IP
+    maps to at most one AS — the invariant the analysis registry relies on.
+    """
+
+    def __init__(self) -> None:
+        self._by_asn: dict[int, AutonomousSystem] = {}
+
+    def create(
+        self,
+        asn: int,
+        name: str,
+        country_code: str,
+        tier: ASTier = ASTier.ACCESS,
+    ) -> AutonomousSystem:
+        """Create and register a new AS."""
+        if asn in self._by_asn:
+            raise TopologyError(f"AS{asn} already registered")
+        asys = AutonomousSystem(asn=asn, name=name, country_code=country_code, tier=tier)
+        self._by_asn[asn] = asys
+        return asys
+
+    def get(self, asn: int) -> AutonomousSystem:
+        """Look up an AS by number."""
+        try:
+            return self._by_asn[asn]
+        except KeyError as exc:
+            raise TopologyError(f"unknown AS{asn}") from exc
+
+    def assign_prefix(self, asn: int, prefix: IPv4Prefix) -> None:
+        """Assign ``prefix`` to ``asn``, enforcing global disjointness."""
+        for other in self._by_asn.values():
+            for existing in other.prefixes:
+                if existing.overlaps(prefix):
+                    raise AllocationError(
+                        f"prefix {prefix} overlaps {existing} of AS{other.asn}"
+                    )
+        self._by_asn[asn].add_prefix(prefix)
+
+    def owner_of(self, address: int) -> AutonomousSystem | None:
+        """The AS owning ``address``, or None if unallocated."""
+        for asys in self._by_asn.values():
+            if asys.owns(address):
+                return asys
+        return None
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._by_asn
+
+    def __iter__(self):
+        return iter(self._by_asn.values())
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    @property
+    def asns(self) -> list[int]:
+        """All registered AS numbers, insertion-ordered."""
+        return list(self._by_asn)

@@ -1,0 +1,103 @@
+"""Country registry for peer geolocation.
+
+The paper geolocates peers into countries (Fig. 1 labels CN, HU, IT, FR, PL
+plus ``*`` for the rest of the world).  This module provides the country
+model for both the synthetic population generator and the analysis-side
+geolocation registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True, slots=True)
+class Country:
+    """A country with ISO-like code, display name and coarse region."""
+
+    code: str
+    name: str
+    region: str
+
+    def __post_init__(self) -> None:
+        if len(self.code) != 2 or not self.code.isupper():
+            raise TopologyError(f"country code must be 2 uppercase letters, got {self.code!r}")
+
+
+class CountryRegistry:
+    """A lookup table of :class:`Country` objects keyed by code."""
+
+    def __init__(self, countries: list[Country] | None = None) -> None:
+        self._by_code: dict[str, Country] = {}
+        for country in countries or []:
+            self.add(country)
+
+    def add(self, country: Country) -> Country:
+        """Register a country; re-adding an identical entry is a no-op."""
+        existing = self._by_code.get(country.code)
+        if existing is not None:
+            if existing != country:
+                raise TopologyError(f"conflicting registration for {country.code}")
+            return existing
+        self._by_code[country.code] = country
+        return country
+
+    def get(self, code: str) -> Country:
+        """Look up a country by code, raising :class:`TopologyError` if absent."""
+        try:
+            return self._by_code[code]
+        except KeyError as exc:
+            raise TopologyError(f"unknown country code {code!r}") from exc
+
+    def __contains__(self, code: str) -> bool:
+        return code in self._by_code
+
+    def __iter__(self):
+        return iter(self._by_code.values())
+
+    def __len__(self) -> int:
+        return len(self._by_code)
+
+    @property
+    def codes(self) -> list[str]:
+        """All registered codes, insertion-ordered."""
+        return list(self._by_code)
+
+
+def _default_world() -> CountryRegistry:
+    entries = [
+        # The countries in which NAPA-WINE probes sit (Table I) ...
+        Country("HU", "Hungary", "EU"),
+        Country("IT", "Italy", "EU"),
+        Country("FR", "France", "EU"),
+        Country("PL", "Poland", "EU"),
+        # ... the dominant audience of the CCTV-1 channel ...
+        Country("CN", "China", "AS"),
+        # ... and a tail of other countries observed in P2P-TV swarms.
+        Country("US", "United States", "NA"),
+        Country("CA", "Canada", "NA"),
+        Country("JP", "Japan", "AS"),
+        Country("KR", "South Korea", "AS"),
+        Country("TW", "Taiwan", "AS"),
+        Country("SG", "Singapore", "AS"),
+        Country("DE", "Germany", "EU"),
+        Country("ES", "Spain", "EU"),
+        Country("GB", "United Kingdom", "EU"),
+        Country("NL", "Netherlands", "EU"),
+        Country("SE", "Sweden", "EU"),
+        Country("AU", "Australia", "OC"),
+        Country("BR", "Brazil", "SA"),
+    ]
+    return CountryRegistry(entries)
+
+
+#: The default world model shared by population generation and reporting.
+WORLD: CountryRegistry = _default_world()
+
+#: Countries hosting NAPA-WINE probes, in the paper's Fig. 1 label order.
+PROBE_COUNTRIES: tuple[str, ...] = ("HU", "IT", "FR", "PL")
+
+#: Fig. 1 uses these labels explicitly; every other country is binned as '*'.
+FIGURE1_LABELS: tuple[str, ...] = ("CN", "HU", "IT", "FR", "PL")

@@ -1,0 +1,68 @@
+"""Network endpoint descriptor shared by the simulator and the testbed.
+
+A :class:`NetworkEndpoint` carries everything the path and transport models
+need to know about one host: its address, subnet, AS, country, access link
+and the initial TTL its operating system stamps on outgoing packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.topology.access import AccessLink
+from repro.topology.ip import format_ip, subnet_key
+
+#: Default initial TTLs by OS family.  The paper assumes Windows (128)
+#: because the measured P2P-TV clients were Windows-only applications.
+INITIAL_TTL_WINDOWS = 128
+INITIAL_TTL_UNIX = 64
+
+_VALID_TTLS = (INITIAL_TTL_WINDOWS, INITIAL_TTL_UNIX, 255)
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkEndpoint:
+    """One host's network identity.
+
+    Parameters
+    ----------
+    ip:
+        IPv4 address as an integer.
+    asn:
+        The Autonomous System the host's prefix belongs to.
+    country_code:
+        The host's country.
+    access:
+        The host's access link (capacities + NAT/firewall).
+    subnet_prefixlen:
+        Length of the host's subnet; two endpoints are on the same subnet
+        when their masked addresses match (and hop distance is then zero).
+    initial_ttl:
+        TTL stamped on packets this host originates.
+    """
+
+    ip: int
+    asn: int
+    country_code: str
+    access: AccessLink
+    subnet_prefixlen: int = 24
+    initial_ttl: int = INITIAL_TTL_WINDOWS
+
+    def __post_init__(self) -> None:
+        if self.initial_ttl not in _VALID_TTLS:
+            raise ConfigurationError(
+                f"initial TTL must be one of {_VALID_TTLS}, got {self.initial_ttl}"
+            )
+
+    @property
+    def subnet(self) -> int:
+        """The masked network address identifying this host's subnet."""
+        return int(subnet_key(self.ip, self.subnet_prefixlen))
+
+    def same_subnet(self, other: "NetworkEndpoint") -> bool:
+        """True when both hosts sit on the same subnet."""
+        return self.subnet == other.subnet and self.subnet_prefixlen == other.subnet_prefixlen
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{format_ip(self.ip)} (AS{self.asn}, {self.country_code}, {self.access.label})"

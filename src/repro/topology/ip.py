@@ -1,0 +1,163 @@
+"""IPv4 address arithmetic, scalar and vectorised.
+
+Addresses are represented as unsigned 32-bit integers (``numpy.uint32`` in
+arrays, plain ``int`` for scalars).  The trace records store addresses in
+this form, so the hot paths (registry lookups, flow grouping) never touch
+strings.  Dotted-quad formatting exists only for reporting and debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AddressError
+
+#: The full IPv4 space size.
+IPV4_SPACE = 1 << 32
+
+_OCTET_SHIFTS = (24, 16, 8, 0)
+
+
+def parse_ip(text: str) -> int:
+    """Parse a dotted-quad string into an integer address.
+
+    >>> parse_ip("10.0.0.1")
+    167772161
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"malformed IPv4 address {text!r}")
+    value = 0
+    for part, shift in zip(parts, _OCTET_SHIFTS):
+        try:
+            octet = int(part, 10)
+        except ValueError as exc:
+            raise AddressError(f"malformed IPv4 address {text!r}") from exc
+        if not 0 <= octet <= 255:
+            raise AddressError(f"octet out of range in {text!r}")
+        value |= octet << shift
+    return value
+
+
+def format_ip(value: int) -> str:
+    """Format an integer address as a dotted quad.
+
+    >>> format_ip(167772161)
+    '10.0.0.1'
+    """
+    value = int(value)
+    if not 0 <= value < IPV4_SPACE:
+        raise AddressError(f"address {value!r} outside IPv4 space")
+    return ".".join(str((value >> shift) & 0xFF) for shift in _OCTET_SHIFTS)
+
+
+def parse_ips(texts: list[str]) -> np.ndarray:
+    """Parse a list of dotted quads into a ``uint32`` array."""
+    return np.fromiter((parse_ip(t) for t in texts), dtype=np.uint32, count=len(texts))
+
+
+def format_ips(values: np.ndarray) -> list[str]:
+    """Format a ``uint32`` array of addresses as dotted quads."""
+    return [format_ip(int(v)) for v in np.asarray(values).ravel()]
+
+
+def _mask_for(prefixlen: int) -> int:
+    if not 0 <= prefixlen <= 32:
+        raise AddressError(f"prefix length {prefixlen!r} outside [0, 32]")
+    if prefixlen == 0:
+        return 0
+    return (0xFFFFFFFF << (32 - prefixlen)) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True, slots=True)
+class IPv4Prefix:
+    """An IPv4 prefix ``network/prefixlen`` in integer form.
+
+    The constructor normalises the network address (host bits are cleared),
+    mirroring how routing tables store prefixes.
+    """
+
+    network: int
+    prefixlen: int
+
+    def __post_init__(self) -> None:
+        mask = _mask_for(self.prefixlen)
+        if not 0 <= self.network < IPV4_SPACE:
+            raise AddressError(f"network {self.network!r} outside IPv4 space")
+        object.__setattr__(self, "network", self.network & mask)
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Prefix":
+        """Parse ``'a.b.c.d/len'`` notation."""
+        try:
+            net_text, len_text = text.split("/")
+        except ValueError as exc:
+            raise AddressError(f"malformed prefix {text!r}") from exc
+        return cls(parse_ip(net_text), int(len_text))
+
+    @property
+    def mask(self) -> int:
+        """The netmask as an integer."""
+        return _mask_for(self.prefixlen)
+
+    @property
+    def num_addresses(self) -> int:
+        """Total addresses covered, including network/broadcast."""
+        return 1 << (32 - self.prefixlen)
+
+    @property
+    def first_host(self) -> int:
+        """First usable host address (network + 1 for prefixes < /31)."""
+        return self.network + (1 if self.prefixlen < 31 else 0)
+
+    @property
+    def last_host(self) -> int:
+        """Last usable host address (broadcast - 1 for prefixes < /31)."""
+        top = self.network + self.num_addresses - 1
+        return top - (1 if self.prefixlen < 31 else 0)
+
+    @property
+    def num_hosts(self) -> int:
+        """Number of assignable host addresses."""
+        return self.last_host - self.first_host + 1
+
+    def contains(self, address: int) -> bool:
+        """True when ``address`` falls inside this prefix."""
+        return (int(address) & self.mask) == self.network
+
+    def contains_many(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorised membership test over a ``uint32`` address array."""
+        addrs = np.asarray(addresses, dtype=np.uint64)
+        return (addrs & np.uint64(self.mask)) == np.uint64(self.network)
+
+    def overlaps(self, other: "IPv4Prefix") -> bool:
+        """True when the two prefixes share any address."""
+        shorter, longer = sorted((self, other), key=lambda p: p.prefixlen)
+        return shorter.contains(longer.network)
+
+    def subnets(self, new_prefixlen: int) -> list["IPv4Prefix"]:
+        """Enumerate the sub-prefixes of length ``new_prefixlen``."""
+        if new_prefixlen < self.prefixlen:
+            raise AddressError(
+                f"cannot split /{self.prefixlen} into larger /{new_prefixlen}"
+            )
+        step = 1 << (32 - new_prefixlen)
+        count = 1 << (new_prefixlen - self.prefixlen)
+        return [
+            IPv4Prefix(self.network + i * step, new_prefixlen) for i in range(count)
+        ]
+
+    def __str__(self) -> str:
+        return f"{format_ip(self.network)}/{self.prefixlen}"
+
+
+def subnet_key(addresses: np.ndarray, prefixlen: int = 24) -> np.ndarray:
+    """Vectorised subnet identifier: the address masked to ``prefixlen``.
+
+    Two addresses with equal keys sit in the same /``prefixlen`` network.
+    Used by the NET partition to group peers by subnet without string work.
+    """
+    mask = np.uint32(_mask_for(prefixlen))
+    return np.asarray(addresses, dtype=np.uint32) & mask

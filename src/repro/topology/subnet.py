@@ -1,0 +1,99 @@
+"""Subnet allocation and host addressing inside Autonomous Systems.
+
+The NET metric of the paper asks whether two peers share a *subnetwork*
+(operationally: the path between them has zero router hops, so the received
+TTL equals the sender's initial TTL).  We model subnets as /24-by-default
+prefixes carved out of each AS's owned space; hosts draw sequential
+addresses from their subnet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError
+from repro.topology.autonomous_system import ASRegistry, AutonomousSystem
+from repro.topology.ip import IPv4Prefix
+
+
+@dataclass(eq=False)
+class Subnet:
+    """A subnet inside an AS from which host addresses are assigned."""
+
+    prefix: IPv4Prefix
+    asn: int
+    site: str | None = None
+    _next_offset: int = field(default=0, repr=False)
+
+    def allocate_address(self) -> int:
+        """Hand out the next unused host address in this subnet."""
+        address = self.prefix.first_host + self._next_offset
+        if address > self.prefix.last_host:
+            raise AllocationError(f"subnet {self.prefix} exhausted")
+        self._next_offset += 1
+        return address
+
+    @property
+    def allocated(self) -> int:
+        """How many addresses have been handed out so far."""
+        return self._next_offset
+
+    @property
+    def capacity(self) -> int:
+        """Total assignable host addresses."""
+        return self.prefix.num_hosts
+
+
+class SubnetAllocator:
+    """Carves subnets out of AS-owned prefixes and assigns host addresses.
+
+    One allocator manages the entire synthetic topology, enforcing that
+    subnets never overlap (each AS prefix is consumed linearly).
+    """
+
+    def __init__(self, registry: ASRegistry, subnet_prefixlen: int = 24) -> None:
+        if not 8 <= subnet_prefixlen <= 30:
+            raise AllocationError(
+                f"subnet prefix length {subnet_prefixlen} outside sane range [8, 30]"
+            )
+        self._registry = registry
+        self._subnet_prefixlen = subnet_prefixlen
+        #: per-ASN cursor: (prefix index, subnets consumed within prefix)
+        self._cursors: dict[int, tuple[int, int]] = {}
+        self._subnets: list[Subnet] = []
+
+    @property
+    def subnets(self) -> list[Subnet]:
+        """All subnets allocated so far, in allocation order."""
+        return list(self._subnets)
+
+    def new_subnet(self, asn: int, site: str | None = None) -> Subnet:
+        """Allocate the next free subnet inside AS ``asn``."""
+        asys: AutonomousSystem = self._registry.get(asn)
+        if not asys.prefixes:
+            raise AllocationError(f"AS{asn} owns no prefixes to carve subnets from")
+        prefix_idx, consumed = self._cursors.get(asn, (0, 0))
+        while prefix_idx < len(asys.prefixes):
+            parent = asys.prefixes[prefix_idx]
+            if self._subnet_prefixlen < parent.prefixlen:
+                raise AllocationError(
+                    f"cannot carve /{self._subnet_prefixlen} subnets out of {parent}"
+                )
+            available = 1 << (self._subnet_prefixlen - parent.prefixlen)
+            if consumed < available:
+                step = 1 << (32 - self._subnet_prefixlen)
+                net = parent.network + consumed * step
+                subnet = Subnet(
+                    prefix=IPv4Prefix(net, self._subnet_prefixlen),
+                    asn=asn,
+                    site=site,
+                )
+                self._cursors[asn] = (prefix_idx, consumed + 1)
+                self._subnets.append(subnet)
+                return subnet
+            prefix_idx, consumed = prefix_idx + 1, 0
+        raise AllocationError(f"AS{asn} prefix space exhausted")
+
+    def new_host(self, subnet: Subnet) -> int:
+        """Assign the next host address in ``subnet``."""
+        return subnet.allocate_address()

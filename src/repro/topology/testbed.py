@@ -1,0 +1,182 @@
+"""The NAPA-WINE probe testbed — a literal instantiation of Table I.
+
+Table I of the paper lists every vantage point: 7 industrial/academic sites
+in 4 countries, institution hosts on campus LANs inside ASes AS1–AS6, and
+home PCs each behind its own consumer ISP ("ASx" rows) with DSL or CATV
+access, some NATed and/or firewalled.
+
+Note on counts: the paper's text says "44 peers, including 37 PCs from 7
+sites and 7 home PCs", while Table I as printed enumerates 39 institution
+hosts + 7 home hosts = 46.  We instantiate the table literally (46 hosts)
+and expose both numbers; the two-host difference does not affect any
+reported metric, which are all ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.topology.access import AccessLink, catv, dsl, lan
+from repro.topology.host import NetworkEndpoint
+from repro.topology.subnet import Subnet
+from repro.topology.world import HOME_AS_BASE, PROBE_AS_NUMBERS, World
+
+
+@dataclass(frozen=True, slots=True)
+class _HostSpec:
+    """One Table I row expanded to a single host."""
+
+    label: str          # e.g. "PoliTO-11"
+    site: str
+    country: str
+    as_name: str | None  # symbolic campus AS ("AS2"), None for home "ASx"
+    access: AccessLink
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeHost:
+    """A deployed probe: Table I row bound to a concrete endpoint."""
+
+    label: str
+    site: str
+    endpoint: NetworkEndpoint
+
+    @property
+    def is_institution(self) -> bool:
+        """True for campus-LAN hosts (AS1–AS6), False for home PCs."""
+        return self.endpoint.asn < HOME_AS_BASE
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeSite:
+    """One participating institution and its hosts."""
+
+    name: str
+    country: str
+    hosts: tuple[ProbeHost, ...]
+
+
+def _table1_specs() -> list[_HostSpec]:
+    """Expand Table I row-by-row."""
+    rows: list[_HostSpec] = []
+
+    def institution(site: str, cc: str, as_name: str, count: int, link_factory, start: int = 1):
+        for i in range(start, start + count):
+            rows.append(_HostSpec(f"{site}-{i}", site, cc, as_name, link_factory()))
+
+    def home(site: str, cc: str, idx: int, link: AccessLink):
+        rows.append(_HostSpec(f"{site}-{idx}", site, cc, None, link))
+
+    # BME (HU, AS1): hosts 1-4 high-bw; host 5 home DSL 6/0.512.
+    institution("BME", "HU", "AS1", 4, lan)
+    home("BME", "HU", 5, dsl(6, 0.512))
+    # PoliTO (IT, AS2): 1-9 high-bw; 10 DSL 4/0.384; 11-12 DSL 8/0.384 NAT.
+    institution("PoliTO", "IT", "AS2", 9, lan)
+    home("PoliTO", "IT", 10, dsl(4, 0.384))
+    home("PoliTO", "IT", 11, dsl(8, 0.384, nat=True))
+    home("PoliTO", "IT", 12, dsl(8, 0.384, nat=True))
+    # MT (HU, AS3): 1-4 high-bw.
+    institution("MT", "HU", "AS3", 4, lan)
+    # FFT (FR, AS5): 1-3 high-bw.
+    institution("FFT", "FR", "AS5", 3, lan)
+    # ENST (FR, AS4): 1-4 high-bw firewalled; 5 DSL 22/1.8 NAT.
+    institution("ENST", "FR", "AS4", 4, lambda: lan(firewall=True))
+    home("ENST", "FR", 5, dsl(22, 1.8, nat=True))
+    # UniTN (IT, AS2): 1-5 high-bw; 6-7 high-bw NAT; 8 DSL 2.5/0.384 NAT+FW.
+    institution("UniTN", "IT", "AS2", 5, lan)
+    institution("UniTN", "IT", "AS2", 2, lambda: lan(nat=True), start=6)
+    home("UniTN", "IT", 8, dsl(2.5, 0.384, nat=True, firewall=True))
+    # WUT (PL, AS6): 1-8 high-bw; 9 CATV 6/0.512.
+    institution("WUT", "PL", "AS6", 8, lan)
+    home("WUT", "PL", 9, catv(6, 0.512))
+
+    return rows
+
+
+#: Site name → country, in Table I order.
+SITE_COUNTRIES: dict[str, str] = {
+    "BME": "HU", "PoliTO": "IT", "MT": "HU", "FFT": "FR",
+    "ENST": "FR", "UniTN": "IT", "WUT": "PL",
+}
+
+
+class Testbed:
+    """The deployed probe set W of the paper's framework."""
+
+    def __init__(self, sites: list[ProbeSite]) -> None:
+        self.sites = tuple(sites)
+        self.hosts: tuple[ProbeHost, ...] = tuple(h for s in sites for h in s.hosts)
+        self._by_label = {h.label: h for h in self.hosts}
+        if len(self._by_label) != len(self.hosts):
+            raise ValueError("duplicate probe labels in testbed")
+
+    def host(self, label: str) -> ProbeHost:
+        """Look a probe up by Table I label (e.g. ``'PoliTO-11'``)."""
+        return self._by_label[label]
+
+    @property
+    def endpoints(self) -> list[NetworkEndpoint]:
+        """All probe endpoints."""
+        return [h.endpoint for h in self.hosts]
+
+    @property
+    def probe_ips(self) -> set[int]:
+        """The probe address set used by the self-bias filter."""
+        return {h.endpoint.ip for h in self.hosts}
+
+    @property
+    def institution_hosts(self) -> list[ProbeHost]:
+        return [h for h in self.hosts if h.is_institution]
+
+    @property
+    def home_hosts(self) -> list[ProbeHost]:
+        return [h for h in self.hosts if not h.is_institution]
+
+    @property
+    def high_bandwidth_hosts(self) -> list[ProbeHost]:
+        """Probes whose uplink exceeds the 10 Mb/s threshold (Fig. 2 set)."""
+        return [h for h in self.hosts if h.endpoint.access.is_high_bandwidth]
+
+    def __len__(self) -> int:
+        return len(self.hosts)
+
+    def __iter__(self):
+        return iter(self.hosts)
+
+
+def build_napa_wine_testbed(world: World) -> Testbed:
+    """Deploy the Table I testbed into ``world``.
+
+    Each site gets one campus subnet inside its Table I AS (PoliTO and
+    UniTN get *different* subnets of the shared AS2); every home PC gets a
+    dedicated home-ISP AS, mirroring the paper's "7 other ASs and ISPs".
+    """
+    specs = _table1_specs()
+    site_subnets: dict[tuple[str, str], Subnet] = {}
+    next_home_asn = HOME_AS_BASE
+    hosts_by_site: dict[str, list[ProbeHost]] = {}
+
+    for spec in specs:
+        if spec.as_name is not None:
+            asn = PROBE_AS_NUMBERS[spec.as_name][0]
+            key = (spec.site, spec.as_name)
+            subnet = site_subnets.get(key)
+            if subnet is None:
+                subnet = world.new_subnet(asn, site=spec.site)
+                site_subnets[key] = subnet
+            endpoint = world.new_endpoint(asn, spec.access, subnet=subnet)
+        else:
+            asn = next_home_asn
+            next_home_asn += 1
+            world.add_home_as(asn, spec.country)
+            subnet = world.new_subnet(asn, site=f"{spec.site}-home")
+            endpoint = world.new_endpoint(asn, spec.access, subnet=subnet)
+        hosts_by_site.setdefault(spec.site, []).append(
+            ProbeHost(label=spec.label, site=spec.site, endpoint=endpoint)
+        )
+
+    sites = [
+        ProbeSite(name=name, country=SITE_COUNTRIES[name], hosts=tuple(hosts))
+        for name, hosts in hosts_by_site.items()
+    ]
+    return Testbed(sites)

@@ -1,0 +1,232 @@
+"""Synthetic-Internet assembly: registries, graph, address space, paths.
+
+A :class:`World` bundles everything the experiments need to place hosts on
+a consistent synthetic Internet:
+
+* an :class:`~repro.topology.autonomous_system.ASRegistry` with tier-1 core,
+  regional transit, consumer access ISPs (China-heavy, matching the CCTV-1
+  audience), campus networks for the probe sites and one small "home" ISP
+  per home probe;
+* an :class:`~repro.topology.asgraph.ASGraph` over those ASes;
+* a :class:`~repro.topology.subnet.SubnetAllocator` carving subnets and
+  assigning host addresses;
+* a :class:`~repro.topology.paths.PathModel` answering hop/TTL queries.
+
+Every allocation is deterministic given the configured seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.topology.access import AccessLink
+from repro.topology.asgraph import ASGraph, ASGraphConfig
+from repro.topology.autonomous_system import ASRegistry, ASTier, AutonomousSystem
+from repro.topology.geography import WORLD, CountryRegistry
+from repro.topology.host import INITIAL_TTL_WINDOWS, NetworkEndpoint
+from repro.topology.ip import IPv4Prefix
+from repro.topology.subnet import Subnet, SubnetAllocator
+
+#: Hosts packed into one remote-population subnet before opening a new one.
+_REMOTE_SUBNET_FILL = 100
+
+
+@dataclass(frozen=True, slots=True)
+class WorldConfig:
+    """Shape of the synthetic Internet.
+
+    Parameters
+    ----------
+    seed:
+        Drives graph wiring and path jitter.
+    tier1_count:
+        Size of the global transit core.
+    transit_per_region:
+        Regional transit ASes per region label.
+    cn_access_isps:
+        Number of large Chinese consumer ISPs (the dominant audience).
+    other_access_isps_per_country:
+        Consumer ISPs for each non-probe, non-CN country.
+    subnet_prefixlen:
+        Subnet granularity (the NET metric's notion of "same subnet").
+    """
+
+    seed: int = 1
+    tier1_count: int = 4
+    transit_per_region: int = 3
+    cn_access_isps: int = 6
+    other_access_isps_per_country: int = 1
+    subnet_prefixlen: int = 24
+
+    def __post_init__(self) -> None:
+        if self.tier1_count < 1:
+            raise ConfigurationError("need at least one tier-1 AS")
+
+
+#: Probe-site campus ASes of Table I: symbolic name → (ASN, country).
+#: AS2 hosts both PoliTO and UniTN (an Italian NREN).
+PROBE_AS_NUMBERS: dict[str, tuple[int, str]] = {
+    "AS1": (1, "HU"),
+    "AS2": (2, "IT"),
+    "AS3": (3, "HU"),
+    "AS4": (4, "FR"),
+    "AS5": (5, "FR"),
+    "AS6": (6, "PL"),
+}
+
+#: First ASN used for the per-home-probe "ASx" ISPs.
+HOME_AS_BASE = 101
+#: First ASN used for synthetic core/transit/access ASes.
+SYNTH_AS_BASE = 1000
+
+
+class World:
+    """A fully-assembled synthetic Internet."""
+
+    def __init__(self, config: WorldConfig | None = None,
+                 countries: CountryRegistry | None = None) -> None:
+        self.config = config or WorldConfig()
+        self.countries = countries or WORLD
+        self.registry = ASRegistry()
+        self.regions: dict[int, str] = {}
+        self._rng = np.random.default_rng(self.config.seed)
+        self._next_asn = SYNTH_AS_BASE
+        self._next_prefix_block = 0
+        self._access_isps_by_cc: dict[str, list[int]] = {}
+        self._remote_subnets: dict[int, Subnet] = {}
+        self._build_ases()
+        self.allocator = SubnetAllocator(self.registry, self.config.subnet_prefixlen)
+        self.asgraph = ASGraph.build(
+            self.registry, self.regions, self._rng, ASGraphConfig()
+        )
+        from repro.topology.paths import PathModel, PathModelConfig
+
+        self.paths = PathModel(self.asgraph, PathModelConfig(seed=self.config.seed))
+        self.paths.ensure_asns(self.registry.asns)
+
+    # ------------------------------------------------------------------ build
+    def _fresh_asn(self) -> int:
+        asn = self._next_asn
+        self._next_asn += 1
+        return asn
+
+    def _fresh_prefix(self) -> IPv4Prefix:
+        """Sequential, globally disjoint /16 blocks starting at 1.0.0.0."""
+        base = (1 << 24) + (self._next_prefix_block << 16)
+        self._next_prefix_block += 1
+        if base >= (223 << 24):
+            raise TopologyError("synthetic address space exhausted")
+        return IPv4Prefix(base, 16)
+
+    def _add_as(self, name: str, cc: str, tier: ASTier, asn: int | None = None) -> AutonomousSystem:
+        asn = self._fresh_asn() if asn is None else asn
+        asys = self.registry.create(asn, name, cc, tier)
+        self.registry.assign_prefix(asn, self._fresh_prefix())
+        self.regions[asn] = self.countries.get(cc).region
+        if tier is ASTier.ACCESS:
+            self._access_isps_by_cc.setdefault(cc, []).append(asn)
+        return asys
+
+    def _build_ases(self) -> None:
+        cfg = self.config
+        # Global core.
+        core_ccs = ["US", "DE", "CN", "GB", "JP", "FR"]
+        for i in range(cfg.tier1_count):
+            cc = core_ccs[i % len(core_ccs)]
+            self._add_as(f"Tier1-{i}", cc, ASTier.TIER1)
+        # Regional transit.
+        region_anchor = {"EU": ["DE", "FR", "NL"], "AS": ["CN", "JP", "KR"],
+                         "NA": ["US", "US", "CA"], "OC": ["AU"], "SA": ["BR"]}
+        for region, ccs in region_anchor.items():
+            for i in range(cfg.transit_per_region):
+                cc = ccs[i % len(ccs)]
+                self._add_as(f"Transit-{region}-{i}", cc, ASTier.TRANSIT)
+        # Chinese consumer ISPs (the bulk of the audience).
+        for i in range(cfg.cn_access_isps):
+            self._add_as(f"CN-ISP-{i}", "CN", ASTier.ACCESS)
+        # One (configurable) consumer ISP per remaining country.
+        for country in self.countries:
+            if country.code == "CN":
+                continue
+            for i in range(cfg.other_access_isps_per_country):
+                self._add_as(f"{country.code}-ISP-{i}", country.code, ASTier.ACCESS)
+        # Probe-site campus networks, Table I numbering.
+        for name, (asn, cc) in PROBE_AS_NUMBERS.items():
+            self._add_as(name, cc, ASTier.CAMPUS, asn=asn)
+
+    # --------------------------------------------------------------- topology
+    def add_home_as(self, asn: int, cc: str) -> AutonomousSystem:
+        """Register a dedicated home-ISP AS (Table I's ``ASx`` rows)."""
+        if asn in self.registry:
+            existing = self.registry.get(asn)
+            if existing.country_code != cc:
+                raise TopologyError(f"AS{asn} already registered in {existing.country_code}")
+            return existing
+        asys = self._add_as(f"HomeISP-{asn}", cc, ASTier.ACCESS, asn=asn)
+        # The AS graph is already built; attach the new node to a same-region
+        # transit provider so paths exist.
+        self._attach_late_as(asn)
+        self.paths.ensure_asns([asn])
+        return asys
+
+    def _attach_late_as(self, asn: int) -> None:
+        graph = self.asgraph.graph
+        region = self.regions[asn]
+        transit = [
+            a.asn
+            for a in self.registry
+            if a.tier is ASTier.TRANSIT and self.regions.get(a.asn) == region
+        ]
+        if not transit:
+            transit = [a.asn for a in self.registry if a.tier is ASTier.TIER1]
+        picks = self._rng.choice(transit, size=min(2, len(transit)), replace=False)
+        graph.add_node(asn, tier=ASTier.ACCESS)
+        for up in picks:
+            graph.add_edge(asn, int(up))
+        # New node invalidates cached single-source distances.
+        self.asgraph._hop_cache.clear()
+
+    # -------------------------------------------------------------- endpoints
+    def new_subnet(self, asn: int, site: str | None = None) -> Subnet:
+        """Allocate a fresh subnet inside ``asn``."""
+        return self.allocator.new_subnet(asn, site)
+
+    def new_endpoint(
+        self,
+        asn: int,
+        access: AccessLink,
+        *,
+        subnet: Subnet | None = None,
+        initial_ttl: int = INITIAL_TTL_WINDOWS,
+    ) -> NetworkEndpoint:
+        """Create a host endpoint inside ``asn``.
+
+        If ``subnet`` is None a shared per-AS "remote population" subnet is
+        used, opened lazily and recycled until it holds
+        ``_REMOTE_SUBNET_FILL`` hosts — so remote peers of the same ISP
+        sometimes share subnets, but never share one with a probe.
+        """
+        asys = self.registry.get(asn)
+        if subnet is None:
+            subnet = self._remote_subnets.get(asn)
+            if subnet is None or subnet.allocated >= min(_REMOTE_SUBNET_FILL, subnet.capacity):
+                subnet = self.new_subnet(asn)
+                self._remote_subnets[asn] = subnet
+        elif subnet.asn != asn:
+            raise TopologyError(f"subnet {subnet.prefix} belongs to AS{subnet.asn}, not AS{asn}")
+        ip = self.allocator.new_host(subnet)
+        return NetworkEndpoint(
+            ip=ip,
+            asn=asn,
+            country_code=asys.country_code,
+            access=access,
+            subnet_prefixlen=self.config.subnet_prefixlen,
+            initial_ttl=initial_ttl,
+        )
+
+    def access_isps(self, country_code: str) -> list[int]:
+        """Consumer-ISP ASNs registered for ``country_code``."""
+        return list(self._access_isps_by_cc.get(country_code, []))

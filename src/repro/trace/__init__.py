@@ -1,0 +1,56 @@
+"""Packet/flow trace layer: what tcpdump at the probes would have seen.
+
+The engine logs *transfers* (one record per application-level exchange:
+a video chunk, a handshake, a request) plus *signaling intervals* (periodic
+buffer-map/keepalive exchanges between partners).  This subpackage turns
+that log into analysis-ready artifacts:
+
+* :mod:`repro.trace.records` — structured dtypes and kind codes;
+* :mod:`repro.trace.hosts` — the host attribute table (ground truth);
+* :mod:`repro.trace.capture` — probe-side capture filtering;
+* :mod:`repro.trace.packets` — transfer → packet-train expansion (IPG,
+  TTL), vectorised;
+* :mod:`repro.trace.flows` — directional flow aggregation (the input to
+  the awareness framework);
+* :mod:`repro.trace.store` — npz persistence for traces and host tables.
+"""
+
+from repro.trace.records import (
+    FLOW_DTYPE,
+    PACKET_DTYPE,
+    SIGNALING_DTYPE,
+    TRANSFER_DTYPE,
+    PacketKind,
+)
+from repro.trace.hosts import HostTable
+from repro.trace.capture import captured_by, probe_transfers
+from repro.trace.packets import PacketSynthesizer, expand_signaling
+from repro.trace.flows import FlowTable, build_flow_table
+from repro.trace.store import (
+    TraceBundle,
+    load_trace_bundle,
+    rebuild_world,
+    save_trace_bundle,
+)
+from repro.trace.pcap import read_pcap, write_pcap
+
+__all__ = [
+    "FLOW_DTYPE",
+    "PACKET_DTYPE",
+    "SIGNALING_DTYPE",
+    "TRANSFER_DTYPE",
+    "PacketKind",
+    "HostTable",
+    "captured_by",
+    "probe_transfers",
+    "PacketSynthesizer",
+    "expand_signaling",
+    "FlowTable",
+    "build_flow_table",
+    "TraceBundle",
+    "save_trace_bundle",
+    "load_trace_bundle",
+    "rebuild_world",
+    "read_pcap",
+    "write_pcap",
+]

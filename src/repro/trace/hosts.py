@@ -1,0 +1,112 @@
+"""Host attribute table: ground truth for every address in an experiment.
+
+The engine emits one :class:`HostTable` per simulation.  It serves two
+distinct consumers, and the separation matters:
+
+* the **trace layer** uses the full table (capacities, TTLs, access
+  depths) to synthesise faithful packets — this mirrors physical reality;
+* the **analysis registry** (:mod:`repro.heuristics.registry`) is built
+  from the *public* columns only (ip → AS / country), mirroring what a
+  whois/GeoIP database would reveal; capacities and classes must be
+  *inferred* from traffic, exactly as in the paper.
+
+Lookups are vectorised via ``searchsorted`` on the sorted address column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+
+HOST_DTYPE = np.dtype(
+    [
+        ("ip", "u4"),
+        ("asn", "i4"),
+        ("cc", "U2"),
+        ("subnet", "u4"),
+        ("up_bps", "f8"),
+        ("down_bps", "f8"),
+        ("is_probe", "?"),
+        ("highbw", "?"),
+        ("initial_ttl", "u1"),
+        ("access_depth", "u1"),
+    ]
+)
+
+
+class HostTable:
+    """Sorted-by-address host attribute table with vectorised lookup."""
+
+    def __init__(self, rows: np.ndarray) -> None:
+        if rows.dtype != HOST_DTYPE:
+            raise TraceError(f"host table dtype mismatch: {rows.dtype}")
+        order = np.argsort(rows["ip"], kind="stable")
+        self._rows = rows[order]
+        ips = self._rows["ip"]
+        if len(ips) > 1 and np.any(ips[1:] == ips[:-1]):
+            raise TraceError("duplicate addresses in host table")
+
+    @classmethod
+    def from_columns(cls, **columns: np.ndarray) -> "HostTable":
+        """Build from aligned column arrays named after ``HOST_DTYPE`` fields."""
+        n = len(columns["ip"])
+        rows = np.empty(n, dtype=HOST_DTYPE)
+        for name in HOST_DTYPE.names:
+            rows[name] = columns[name]
+        return cls(rows)
+
+    @property
+    def rows(self) -> np.ndarray:
+        """The underlying sorted structured array (do not mutate)."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # ---------------------------------------------------------------- lookup
+    def indices_of(self, ips: np.ndarray) -> np.ndarray:
+        """Row indices for an address array; raises on unknown addresses."""
+        ips = np.asarray(ips, dtype=np.uint32)
+        table = self._rows["ip"]
+        idx = np.searchsorted(table, ips)
+        idx_clipped = np.minimum(idx, len(table) - 1)
+        if len(table) == 0 or not np.all(table[idx_clipped] == ips):
+            missing = ips[(idx >= len(table)) | (table[idx_clipped] != ips)]
+            raise TraceError(f"addresses not in host table: {missing[:5]}...")
+        return idx_clipped
+
+    def gather(self, ips: np.ndarray, field: str) -> np.ndarray:
+        """Vectorised attribute lookup: ``field`` values for each address."""
+        return self._rows[field][self.indices_of(ips)]
+
+    def row_for(self, ip: int) -> np.void:
+        """Single-address lookup returning the full record."""
+        idx = self.indices_of(np.array([ip], dtype=np.uint32))
+        return self._rows[int(idx[0])]
+
+    def __contains__(self, ip: int) -> bool:
+        table = self._rows["ip"]
+        idx = np.searchsorted(table, np.uint32(ip))
+        return idx < len(table) and table[idx] == np.uint32(ip)
+
+    # ------------------------------------------------------------ convenience
+    @property
+    def probe_ips(self) -> np.ndarray:
+        """Addresses of the NAPA-WINE probes (the set W of the framework)."""
+        return self._rows["ip"][self._rows["is_probe"]]
+
+    def public_view(self) -> "HostTable":
+        """The table a *measurement analyst* may legitimately use.
+
+        Capacities and ground-truth class flags are zeroed; only address,
+        AS, country and subnet survive — the whois/GeoIP information the
+        paper's methodology relies on.
+        """
+        rows = self._rows.copy()
+        rows["up_bps"] = 0.0
+        rows["down_bps"] = 0.0
+        rows["highbw"] = False
+        rows["initial_ttl"] = 0
+        rows["access_depth"] = 0
+        return HostTable(rows)

@@ -1,0 +1,158 @@
+"""Classic libpcap export/import for synthesised packet traces.
+
+The NAPA-WINE dataset was distributed as packet captures; this module
+round-trips our :data:`~repro.trace.records.PACKET_DTYPE` arrays through
+the classic pcap format (magic ``0xa1b2c3d4``, microsecond timestamps) so
+traces can be inspected with tcpdump/tshark or fed to third-party tools.
+
+Each record is rendered as an Ethernet/IPv4/UDP datagram: the IPv4 header
+carries the true source/destination addresses and TTL; the UDP
+destination port encodes the packet kind (so ground-truth labels survive
+the export, in the spirit of an annotated dataset); the UDP payload is
+zero-filled to the recorded size.
+
+Only what this library itself writes is supported on read — this is an
+interchange format for *our* traces, not a general pcap parser.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.records import PACKET_DTYPE, PacketKind
+
+#: Classic pcap magic (little-endian, microsecond resolution).
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_VERSION = (2, 4)
+LINKTYPE_ETHERNET = 1
+
+#: UDP ports encoding the packet kind (arbitrary registered-range values).
+KIND_TO_PORT = {
+    PacketKind.SIGNALING: 40000,
+    PacketKind.VIDEO: 40001,
+    PacketKind.CONTROL: 40002,
+}
+PORT_TO_KIND = {v: k for k, v in KIND_TO_PORT.items()}
+
+_ETH_HEADER = bytes(12) + struct.pack(">H", 0x0800)  # zero MACs, IPv4
+_IP_HEADER_LEN = 20
+_UDP_HEADER_LEN = 8
+_SRC_PORT = 40000
+
+
+def _ipv4_header(total_len: int, ttl: int, src: int, dst: int) -> bytes:
+    """A minimal IPv4 header (no options, UDP, checksum zeroed)."""
+    return struct.pack(
+        ">BBHHHBBHII",
+        0x45,          # version 4, IHL 5
+        0,             # DSCP/ECN
+        total_len,     # total length
+        0, 0,          # identification, flags/fragment
+        ttl,
+        17,            # protocol UDP
+        0,             # header checksum (not validated by readers we target)
+        src,
+        dst,
+    )
+
+
+def write_pcap(path: str | Path, packets: np.ndarray) -> Path:
+    """Write a packet array as a classic pcap file.
+
+    Timestamps are truncated to microseconds (pcap's resolution); the
+    reader reproduces them to that precision.
+    """
+    if packets.dtype != PACKET_DTYPE:
+        raise TraceError("write_pcap() wants a PACKET_DTYPE array")
+    path = Path(path)
+    if path.suffix != ".pcap":
+        path = path.with_suffix(path.suffix + ".pcap")
+
+    with open(path, "wb") as fh:
+        fh.write(
+            struct.pack(
+                "<IHHiIII",
+                PCAP_MAGIC,
+                *PCAP_VERSION,
+                0,          # thiszone
+                0,          # sigfigs
+                65535,      # snaplen
+                LINKTYPE_ETHERNET,
+            )
+        )
+        for pkt in packets:
+            payload_len = int(pkt["size"])
+            ip_total = _IP_HEADER_LEN + _UDP_HEADER_LEN + payload_len
+            frame = (
+                _ETH_HEADER
+                + _ipv4_header(ip_total, int(pkt["ttl"]), int(pkt["src"]), int(pkt["dst"]))
+                + struct.pack(
+                    ">HHHH",
+                    _SRC_PORT,
+                    KIND_TO_PORT[PacketKind(int(pkt["kind"]))],
+                    _UDP_HEADER_LEN + payload_len,
+                    0,
+                )
+                + bytes(payload_len)
+            )
+            ts = float(pkt["ts"])
+            sec = int(ts)
+            usec = int(round((ts - sec) * 1_000_000))
+            if usec == 1_000_000:  # rounding spill-over at .999999x
+                sec, usec = sec + 1, 0
+            fh.write(struct.pack("<IIII", sec, usec, len(frame), len(frame)))
+            fh.write(frame)
+    return path
+
+
+def read_pcap(path: str | Path) -> np.ndarray:
+    """Read a pcap file written by :func:`write_pcap` back into packets."""
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) < 24:
+        raise TraceError(f"{path}: truncated pcap header")
+    magic, vmaj, vmin, _tz, _sig, _snap, linktype = struct.unpack(
+        "<IHHiIII", data[:24]
+    )
+    if magic != PCAP_MAGIC:
+        raise TraceError(f"{path}: unsupported pcap magic {magic:#x}")
+    if linktype != LINKTYPE_ETHERNET:
+        raise TraceError(f"{path}: unsupported linktype {linktype}")
+
+    records = []
+    offset = 24
+    while offset < len(data):
+        if offset + 16 > len(data):
+            raise TraceError(f"{path}: truncated record header at {offset}")
+        sec, usec, incl, orig = struct.unpack("<IIII", data[offset : offset + 16])
+        offset += 16
+        if incl != orig or offset + incl > len(data):
+            raise TraceError(f"{path}: truncated record body at {offset}")
+        frame = data[offset : offset + incl]
+        offset += incl
+
+        if len(frame) < 14 + _IP_HEADER_LEN + _UDP_HEADER_LEN:
+            raise TraceError(f"{path}: frame too short")
+        ip = frame[14 : 14 + _IP_HEADER_LEN]
+        _vihl, _tos, _total, _ident, _frag, ttl, proto, _ck, src, dst = struct.unpack(
+            ">BBHHHBBHII", ip
+        )
+        if proto != 17:
+            raise TraceError(f"{path}: non-UDP frame")
+        udp = frame[14 + _IP_HEADER_LEN : 14 + _IP_HEADER_LEN + _UDP_HEADER_LEN]
+        _sport, dport, udp_len, _ = struct.unpack(">HHHH", udp)
+        kind = PORT_TO_KIND.get(dport)
+        if kind is None:
+            raise TraceError(f"{path}: unknown kind port {dport}")
+        records.append(
+            (sec + usec / 1e6, src, dst, udp_len - _UDP_HEADER_LEN, ttl, int(kind))
+        )
+
+    out = np.empty(len(records), dtype=PACKET_DTYPE)
+    for i, row in enumerate(records):
+        out[i] = row
+    return out

@@ -1,0 +1,119 @@
+"""Trace persistence: save/load experiment bundles as ``.npz`` archives.
+
+A bundle holds everything needed to re-run the analysis without re-running
+the simulation: the transfer log, signaling intervals, host table and a
+JSON metadata blob (profile name, duration, seed).  The NAPA-WINE project
+distributed its traces to the community on request; this is our equivalent
+exchange format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.hosts import HOST_DTYPE, HostTable
+from repro.trace.records import SIGNALING_DTYPE, TRANSFER_DTYPE
+
+#: Format marker; bump on incompatible layout changes.
+FORMAT_VERSION = 1
+
+
+@dataclass
+class TraceBundle:
+    """One saved experiment: raw logs + ground truth + metadata."""
+
+    transfers: np.ndarray
+    signaling: np.ndarray
+    hosts: HostTable
+    meta: dict
+
+    def __post_init__(self) -> None:
+        if self.transfers.dtype != TRANSFER_DTYPE:
+            raise TraceError("bundle transfers have wrong dtype")
+        if self.signaling.dtype != SIGNALING_DTYPE:
+            raise TraceError("bundle signaling has wrong dtype")
+
+    @classmethod
+    def from_result(cls, result) -> "TraceBundle":
+        """Build a bundle from a :class:`SimulationResult`."""
+        meta = {
+            "profile": result.profile.name,
+            "duration_s": result.config.duration_s,
+            "seed": result.config.seed,
+            "swarm_size": result.profile.swarm_size,
+            "events": result.events_processed,
+            # The synthetic Internet is a pure function of its seed; storing
+            # it lets analysis rebuild the exact path model (for TTLs).
+            "world_seed": result.world.config.seed,
+            "subnet_prefixlen": result.world.config.subnet_prefixlen,
+        }
+        return cls(
+            transfers=result.transfers,
+            signaling=result.signaling,
+            hosts=result.hosts,
+            meta=meta,
+        )
+
+
+def save_trace_bundle(path: str | Path, bundle: TraceBundle) -> Path:
+    """Write a bundle to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = dict(bundle.meta)
+    meta["format_version"] = FORMAT_VERSION
+    np.savez_compressed(
+        path,
+        transfers=bundle.transfers,
+        signaling=bundle.signaling,
+        hosts=bundle.hosts.rows,
+        meta=np.array(json.dumps(meta)),
+    )
+    return path
+
+
+def load_trace_bundle(path: str | Path) -> TraceBundle:
+    """Read a bundle written by :func:`save_trace_bundle`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            meta = json.loads(str(data["meta"]))
+            transfers = np.asarray(data["transfers"], dtype=TRANSFER_DTYPE)
+            signaling = np.asarray(data["signaling"], dtype=SIGNALING_DTYPE)
+            hosts = HostTable(np.asarray(data["hosts"], dtype=HOST_DTYPE))
+        except KeyError as exc:
+            raise TraceError(f"{path} is not a trace bundle: missing {exc}") from exc
+    version = meta.pop("format_version", None)
+    if version != FORMAT_VERSION:
+        raise TraceError(
+            f"{path}: unsupported bundle format {version!r} (expected {FORMAT_VERSION})"
+        )
+    return TraceBundle(transfers=transfers, signaling=signaling, hosts=hosts, meta=meta)
+
+
+def rebuild_world(bundle: TraceBundle):
+    """Reconstruct the synthetic Internet a bundle was captured on.
+
+    The world (AS registry, graph wiring, path jitter) is a deterministic
+    function of its seed, and the Table I testbed deployment consumes the
+    world's allocators in a fixed order — so replaying both yields the
+    exact path model the capture saw.
+    """
+    from repro.topology.testbed import build_napa_wine_testbed
+    from repro.topology.world import World, WorldConfig
+
+    try:
+        config = WorldConfig(
+            seed=int(bundle.meta["world_seed"]),
+            subnet_prefixlen=int(bundle.meta.get("subnet_prefixlen", 24)),
+        )
+    except KeyError as exc:
+        raise TraceError("bundle lacks world_seed; cannot rebuild paths") from exc
+    world = World(config)
+    build_napa_wine_testbed(world)
+    return world

@@ -1,0 +1,103 @@
+"""Unit helpers used throughout the package.
+
+The simulator and the analysis framework exchange quantities in a small set
+of canonical units:
+
+* time        — seconds (float)
+* data size   — bytes (int or float)
+* data rate   — bits per second (float)
+
+These helpers exist so that magic conversion constants (``* 1000 / 8`` and
+friends) never appear inline in simulation or analysis code, which is one of
+the more common sources of silent errors in measurement tooling.
+"""
+
+from __future__ import annotations
+
+#: Bits per byte. Named to make rate conversions self-describing.
+BITS_PER_BYTE = 8
+
+#: Seconds in one millisecond / microsecond.
+MS = 1e-3
+US = 1e-6
+
+#: One kilobit/megabit per second, in bit/s (network convention: powers of 10).
+KBPS = 1_000.0
+MBPS = 1_000_000.0
+
+#: One kilobyte/megabyte, decimal (used for human-readable reporting only).
+KB = 1_000
+MB = 1_000_000
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits-per-second to the canonical bit/s."""
+    return value * KBPS
+
+
+def mbps(value: float) -> float:
+    """Convert megabits-per-second to the canonical bit/s."""
+    return value * MBPS
+
+
+def to_kbps(bits_per_second: float) -> float:
+    """Convert a bit/s rate to kilobits-per-second."""
+    return bits_per_second / KBPS
+
+def to_mbps(bits_per_second: float) -> float:
+    """Convert a bit/s rate to megabits-per-second."""
+    return bits_per_second / MBPS
+
+
+def bytes_to_bits(n_bytes: float) -> float:
+    """Convert a byte count to bits."""
+    return n_bytes * BITS_PER_BYTE
+
+
+def bits_to_bytes(n_bits: float) -> float:
+    """Convert a bit count to bytes."""
+    return n_bits / BITS_PER_BYTE
+
+
+def transmission_time(n_bytes: float, rate_bps: float) -> float:
+    """Seconds needed to serialise ``n_bytes`` on a ``rate_bps`` link.
+
+    Raises
+    ------
+    ValueError
+        If the rate is not strictly positive.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"link rate must be > 0 bit/s, got {rate_bps!r}")
+    return bytes_to_bits(n_bytes) / rate_bps
+
+
+def rate_from_bytes(n_bytes: float, duration_s: float) -> float:
+    """Average rate in bit/s of ``n_bytes`` transferred over ``duration_s``.
+
+    Raises
+    ------
+    ValueError
+        If the duration is not strictly positive.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration must be > 0 s, got {duration_s!r}")
+    return bytes_to_bits(n_bytes) / duration_s
+
+
+def fmt_rate(bits_per_second: float) -> str:
+    """Human-readable rate, e.g. ``'384 kb/s'`` or ``'3.4 Mb/s'``."""
+    if bits_per_second >= MBPS:
+        return f"{bits_per_second / MBPS:.2f} Mb/s"
+    if bits_per_second >= KBPS:
+        return f"{bits_per_second / KBPS:.0f} kb/s"
+    return f"{bits_per_second:.0f} b/s"
+
+
+def fmt_bytes(n_bytes: float) -> str:
+    """Human-readable byte count, e.g. ``'1.2 MB'``."""
+    if n_bytes >= MB:
+        return f"{n_bytes / MB:.2f} MB"
+    if n_bytes >= KB:
+        return f"{n_bytes / KB:.1f} kB"
+    return f"{n_bytes:.0f} B"

@@ -1,0 +1,119 @@
+"""Result validation: machine-checkable invariants of a simulation.
+
+A user extending the engine (new profiles, new transport features) wants
+to know that the physics still holds.  :func:`validate_result` audits a
+:class:`~repro.streaming.engine.SimulationResult` against the invariants
+the analysis depends on and returns a list of human-readable violations
+(empty = clean).  The failure-injection tests corrupt results on purpose
+and assert the right violations fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.streaming.engine import SimulationResult
+from repro.trace.records import PacketKind
+from repro.units import BITS_PER_BYTE
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One broken invariant."""
+
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"[{self.rule}] {self.detail}"
+
+
+def validate_result(
+    result: SimulationResult, *, capacity_slack: float = 1.1
+) -> list[Violation]:
+    """Audit a simulation result; returns violations (empty = clean)."""
+    out: list[Violation] = []
+    tr = result.transfers
+    duration = result.duration_s
+
+    # --- structural -------------------------------------------------------
+    if len(tr) and not np.all(np.diff(tr["ts"]) >= 0):
+        out.append(Violation("time-order", "transfer log is not time-sorted"))
+    if len(tr) and np.any(tr["ts"] < 0):
+        out.append(Violation("time-range", "negative timestamps present"))
+    if len(tr) and np.any(tr["src"] == tr["dst"]):
+        out.append(Violation("self-traffic", "transfers with src == dst"))
+    known_kinds = {int(k) for k in PacketKind}
+    if len(tr) and not set(np.unique(tr["kind"]).tolist()) <= known_kinds:
+        out.append(Violation("kinds", "unknown packet kind codes"))
+
+    # --- address coverage ---------------------------------------------------
+    try:
+        if len(tr):
+            result.hosts.indices_of(tr["src"])
+            result.hosts.indices_of(tr["dst"])
+    except Exception as exc:
+        out.append(Violation("addresses", f"unknown addresses in log: {exc}"))
+
+    # --- probe-centric capture ----------------------------------------------
+    probes = result.probe_ips
+    if len(tr):
+        touches = np.isin(tr["src"], probes) | np.isin(tr["dst"], probes)
+        if not np.all(touches):
+            n = int((~touches).sum())
+            out.append(
+                Violation("capture", f"{n} transfers invisible to every probe")
+            )
+
+    # --- physics: uplink capacity ------------------------------------------
+    if len(tr):
+        video = tr[tr["kind"] == int(PacketKind.VIDEO)]
+        if len(video):
+            srcs, inverse = np.unique(video["src"], return_inverse=True)
+            sent = np.bincount(
+                inverse, weights=video["bytes"].astype(np.float64)
+            )
+            caps = result.hosts.gather(srcs, "up_bps")
+            rates = sent * BITS_PER_BYTE / duration
+            over = rates > caps * capacity_slack
+            if over.any():
+                worst = int(np.argmax(rates / caps))
+                out.append(
+                    Violation(
+                        "capacity",
+                        f"{int(over.sum())} senders exceed uplink capacity "
+                        f"(worst: {srcs[worst]} at "
+                        f"{rates[worst] / caps[worst]:.2f}× its uplink)",
+                    )
+                )
+
+    # --- signaling intervals -------------------------------------------------
+    sig = result.signaling
+    if len(sig):
+        if np.any(sig["start"] >= sig["stop"]):
+            out.append(Violation("signaling", "empty or inverted intervals"))
+        if np.any(sig["interval"] <= 0):
+            out.append(Violation("signaling", "non-positive intervals"))
+        if np.any(sig["stop"] > duration + 1e-9):
+            out.append(Violation("signaling", "intervals beyond the horizon"))
+
+    # --- host table ground truth ---------------------------------------------
+    rows = result.hosts.rows
+    if np.any(rows["up_bps"] <= 0) or np.any(rows["down_bps"] <= 0):
+        out.append(Violation("hosts", "non-positive capacities in host table"))
+    truth_mismatch = rows["highbw"] != (rows["up_bps"] > 10e6)
+    if np.any(truth_mismatch):
+        out.append(
+            Violation(
+                "hosts",
+                f"{int(truth_mismatch.sum())} hosts with inconsistent "
+                "high-bandwidth flags",
+            )
+        )
+    if int(rows["is_probe"].sum()) != len(result.testbed):
+        out.append(
+            Violation("hosts", "probe flag count disagrees with the testbed")
+        )
+    return out

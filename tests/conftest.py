@@ -1,0 +1,78 @@
+"""Shared fixtures.
+
+Expensive artifacts (worlds, simulations, campaigns) are session-scoped:
+they are deterministic, read-only for tests, and building them once keeps
+the suite fast.  Tests that need mutation build their own instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.framework import AwarenessAnalyzer
+from repro.experiments.campaign import Campaign, CampaignConfig, run_campaign
+from repro.heuristics.registry import IpRegistry
+from repro.streaming.engine import EngineConfig, SimulationResult, simulate
+from repro.streaming.profiles import get_profile
+from repro.topology.testbed import Testbed, build_napa_wine_testbed
+from repro.topology.world import World
+from repro.trace.flows import FlowTable, build_flow_table
+
+
+@pytest.fixture(scope="session")
+def world() -> World:
+    """A default synthetic Internet (no testbed deployed)."""
+    return World()
+
+
+@pytest.fixture(scope="session")
+def deployed() -> tuple[World, Testbed]:
+    """A world with the Table I testbed deployed on it."""
+    w = World()
+    tb = build_napa_wine_testbed(w)
+    return w, tb
+
+
+@pytest.fixture(scope="session")
+def testbed(deployed) -> Testbed:
+    return deployed[1]
+
+
+@pytest.fixture(scope="session")
+def sim_small() -> SimulationResult:
+    """A short TVAnts run — the workhorse for trace/analysis tests."""
+    return simulate(
+        get_profile("tvants"),
+        engine_config=EngineConfig(duration_s=60.0, seed=5),
+    )
+
+
+@pytest.fixture(scope="session")
+def flows_small(sim_small) -> FlowTable:
+    return build_flow_table(
+        sim_small.transfers, sim_small.signaling, sim_small.hosts, sim_small.world.paths
+    )
+
+
+@pytest.fixture(scope="session")
+def registry_small(sim_small) -> IpRegistry:
+    return IpRegistry.from_world(sim_small.world)
+
+
+@pytest.fixture(scope="session")
+def report_small(flows_small, registry_small):
+    return AwarenessAnalyzer(registry_small).analyze(flows_small)
+
+
+@pytest.fixture(scope="session")
+def campaign_small() -> Campaign:
+    """A scaled-down three-app campaign for table/figure/compare tests."""
+    return run_campaign(
+        CampaignConfig(duration_s=90.0, seed=42, scale=0.5)
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,72 @@
+"""Self-bias quantification and probe exclusion."""
+
+import numpy as np
+import pytest
+
+from repro.core.bias import exclude_probe_peers, self_bias
+from repro.core.views import Direction, DirectionalView, build_views
+
+
+def make_view(peer_ips, nbytes):
+    n = len(peer_ips)
+    return DirectionalView(
+        direction=Direction.DOWNLOAD,
+        probe_ip=np.zeros(n, dtype=np.uint32),
+        peer_ip=np.asarray(peer_ips, dtype=np.uint32),
+        bytes=np.asarray(nbytes, dtype=np.uint64),
+        min_ipg=np.full(n, np.inf),
+        ttl=np.full(n, 120.0),
+    )
+
+
+class TestExclusion:
+    def test_removes_probe_peers_only(self):
+        view = make_view([1, 2, 3, 4], [10, 20, 30, 40])
+        pruned = exclude_probe_peers(view, np.array([2, 4], dtype=np.uint32))
+        assert pruned.peer_ip.tolist() == [1, 3]
+        assert pruned.bytes.tolist() == [10, 30]
+
+    def test_idempotent(self):
+        view = make_view([1, 2, 3], [1, 1, 1])
+        probes = np.array([2], dtype=np.uint32)
+        once = exclude_probe_peers(view, probes)
+        twice = exclude_probe_peers(once, probes)
+        assert np.array_equal(once.peer_ip, twice.peer_ip)
+
+    def test_no_probes_noop(self):
+        view = make_view([1, 2], [1, 2])
+        pruned = exclude_probe_peers(view, np.array([], dtype=np.uint32))
+        assert len(pruned) == 2
+
+    def test_simulation_views(self, flows_small):
+        views = build_views(flows_small)
+        probes = flows_small.probe_ips
+        pruned = exclude_probe_peers(views.download, probes)
+        assert not np.isin(pruned.peer_ip, probes).any()
+        assert len(pruned) < len(views.download)
+
+
+class TestSelfBias:
+    def test_basic(self):
+        view = make_view([1, 2, 3, 4], [10, 10, 10, 70])
+        bias = self_bias(view, np.array([4], dtype=np.uint32))
+        assert bias.peer_percent == pytest.approx(25.0)
+        assert bias.byte_percent == pytest.approx(70.0)
+
+    def test_empty_view_nan(self):
+        bias = self_bias(make_view([], []), np.array([1], dtype=np.uint32))
+        assert np.isnan(bias.peer_percent)
+
+    def test_no_probe_peers_zero(self):
+        bias = self_bias(make_view([1, 2], [5, 5]), np.array([9], dtype=np.uint32))
+        assert bias.peer_percent == 0.0
+        assert bias.byte_percent == 0.0
+
+    def test_consistency_with_exclusion(self):
+        view = make_view([1, 2, 3, 4], [10, 20, 30, 40])
+        probes = np.array([1, 3], dtype=np.uint32)
+        bias = self_bias(view, probes)
+        pruned = exclude_probe_peers(view, probes)
+        assert bias.byte_percent == pytest.approx(
+            100 * (1 - pruned.bytes.sum() / view.bytes.sum())
+        )

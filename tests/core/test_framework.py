@@ -1,0 +1,102 @@
+"""The full analyzer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.framework import AwarenessAnalyzer, DirectionScores
+from repro.core.partitions import ASPartition, BWPartition
+from repro.core.preference import PreferenceCounts
+from repro.errors import AnalysisError
+
+
+class TestAnalyzer:
+    def test_default_metrics(self, report_small):
+        assert report_small.metric_names == ["BW", "AS", "CC", "NET", "HOP"]
+
+    def test_unknown_metric_raises(self, report_small):
+        with pytest.raises(AnalysisError):
+            report_small["RTT"]
+
+    def test_bw_upload_unmeasurable(self, report_small):
+        scores = report_small["BW"].upload
+        assert math.isnan(scores.P) and math.isnan(scores.B)
+
+    def test_all_percentages_bounded(self, report_small):
+        for metric in report_small.metric_names:
+            for scores in (report_small[metric].download, report_small[metric].upload):
+                for value in (scores.P, scores.B, scores.P_prime, scores.B_prime):
+                    assert math.isnan(value) or 0 <= value <= 100
+
+    def test_net_prime_empty(self, report_small):
+        # No non-probe peer shares a probe subnet by construction.
+        net = report_small["NET"].download
+        assert net.non_probe.peers_preferred == 0
+
+    def test_self_bias_populated(self, report_small):
+        for key in ("download", "upload"):
+            assert key in report_small.self_bias_contributors
+            assert key in report_small.self_bias_all_peers
+
+    def test_contributor_bias_exceeds_allpeer_bias(self, report_small):
+        c = report_small.self_bias_contributors["download"]
+        a = report_small.self_bias_all_peers["download"]
+        assert c.peer_percent > a.peer_percent
+
+    def test_custom_partitions(self, flows_small, registry_small):
+        analyzer = AwarenessAnalyzer(
+            registry_small, partitions=[BWPartition(), ASPartition(registry_small)]
+        )
+        report = analyzer.analyze(flows_small)
+        assert report.metric_names == ["BW", "AS"]
+
+    def test_duplicate_partition_names_rejected(self, registry_small):
+        with pytest.raises(AnalysisError):
+            AwarenessAnalyzer(
+                registry_small, partitions=[BWPartition(), BWPartition()]
+            )
+
+    def test_empty_partitions_rejected(self, registry_small):
+        with pytest.raises(AnalysisError):
+            AwarenessAnalyzer(registry_small, partitions=[])
+
+    def test_deterministic(self, flows_small, registry_small):
+        a = AwarenessAnalyzer(registry_small).analyze(flows_small)
+        b = AwarenessAnalyzer(registry_small).analyze(flows_small)
+        for metric in a.metric_names:
+            assert a[metric].download.B == b[metric].download.B
+            pa, pb = a[metric].upload.P, b[metric].upload.P
+            assert pa == pb or (math.isnan(pa) and math.isnan(pb))
+
+
+class TestDirectionScores:
+    def test_nan_on_missing(self):
+        s = DirectionScores(None, None)
+        assert math.isnan(s.P) and math.isnan(s.B_prime)
+
+    def test_passthrough(self):
+        counts = PreferenceCounts(1, 3, 100, 300)
+        s = DirectionScores(counts, None)
+        assert s.P == 25.0 and s.B == 25.0
+
+
+class TestSemanticConsistency:
+    """Cross-checks between the report and raw recomputation."""
+
+    def test_bw_matches_manual_computation(self, report_small, flows_small):
+        from repro.core.views import build_views
+        from repro.heuristics.bandwidth import classify_high_bandwidth
+
+        views = build_views(flows_small)
+        view = views.download
+        ind = classify_high_bandwidth(view.min_ipg)
+        manual_b = 100.0 * view.bytes[ind].sum() / view.bytes.sum()
+        assert report_small["BW"].download.B == pytest.approx(manual_b)
+
+    def test_primed_leq_information(self, report_small, flows_small):
+        # Excluding probes removes rows; the primed totals must be smaller.
+        for metric in report_small.metric_names:
+            scores = report_small[metric].download
+            if scores.all_peers and scores.non_probe:
+                assert scores.non_probe.total_peers <= scores.all_peers.total_peers

@@ -1,0 +1,171 @@
+"""Preferential partitions — axioms and semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partitions import (
+    ASPartition,
+    BWPartition,
+    CCPartition,
+    HOPPartition,
+    NETPartition,
+    PAPER_HOP_THRESHOLD,
+    SubnetPartition,
+    default_partitions,
+)
+from repro.core.views import Direction, DirectionalView, build_views
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def views(flows_small):
+    return build_views(flows_small)
+
+
+class TestAxioms:
+    """X_P and its complement partition the support: the indicator is a
+    total boolean function — every pair lands in exactly one class."""
+
+    def test_every_partition_total(self, views, registry_small):
+        for partition in default_partitions(registry_small):
+            for direction in Direction:
+                if not partition.supports(direction):
+                    continue
+                view = views.get(direction)
+                ind = partition.indicator(view)
+                assert ind.dtype == bool
+                assert len(ind) == len(view)
+
+    def test_indicator_deterministic(self, views, registry_small):
+        for partition in default_partitions(registry_small):
+            a = partition.indicator(views.download)
+            b = partition.indicator(views.download)
+            assert np.array_equal(a, b)
+
+
+class TestBW:
+    def test_threshold_semantics(self, views):
+        ind = BWPartition().indicator(views.download)
+        assert np.array_equal(ind, views.download.min_ipg < 1e-3)
+
+    def test_download_only(self):
+        p = BWPartition()
+        assert p.supports(Direction.DOWNLOAD)
+        assert not p.supports(Direction.UPLOAD)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(AnalysisError):
+            BWPartition(ipg_threshold_s=0)
+
+    def test_matches_ground_truth(self, views, sim_small):
+        view = views.download
+        trained = view.min_ipg < np.inf
+        ind = BWPartition().indicator(view)
+        truth = sim_small.hosts.gather(view.peer_ip, "highbw")
+        assert np.array_equal(ind[trained], truth[trained])
+
+
+class TestASCC:
+    def test_as_semantics(self, views, registry_small, sim_small):
+        ind = ASPartition(registry_small).indicator(views.download)
+        truth = sim_small.hosts.gather(
+            views.download.peer_ip, "asn"
+        ) == sim_small.hosts.gather(views.download.probe_ip, "asn")
+        assert np.array_equal(ind, truth)
+
+    def test_cc_semantics(self, views, registry_small, sim_small):
+        ind = CCPartition(registry_small).indicator(views.download)
+        truth = sim_small.hosts.gather(
+            views.download.peer_ip, "cc"
+        ) == sim_small.hosts.gather(views.download.probe_ip, "cc")
+        assert np.array_equal(ind, truth)
+
+    def test_as_implies_cc(self, views, registry_small):
+        as_ind = ASPartition(registry_small).indicator(views.download)
+        cc_ind = CCPartition(registry_small).indicator(views.download)
+        assert np.all(cc_ind[as_ind])
+
+
+class TestNET:
+    def test_net_is_zero_hop(self, views, sim_small):
+        ind = NETPartition().indicator(views.download)
+        same_subnet = sim_small.hosts.gather(
+            views.download.peer_ip, "subnet"
+        ) == sim_small.hosts.gather(views.download.probe_ip, "subnet")
+        assert np.array_equal(ind, same_subnet)
+
+    def test_net_implies_as(self, views, registry_small):
+        net = NETPartition().indicator(views.download)
+        as_ = ASPartition(registry_small).indicator(views.download)
+        assert np.all(as_[net])
+
+    def test_nan_ttl_conservative(self):
+        view = DirectionalView(
+            direction=Direction.UPLOAD,
+            probe_ip=np.zeros(2, dtype=np.uint32),
+            peer_ip=np.ones(2, dtype=np.uint32),
+            bytes=np.ones(2, dtype=np.uint64),
+            min_ipg=np.full(2, np.inf),
+            ttl=np.array([np.nan, 128.0]),
+        )
+        ind = NETPartition().indicator(view)
+        assert ind.tolist() == [False, True]
+
+    def test_subnet_partition_cross_validates_ttl_path(self, views, registry_small):
+        # The registry-based SUBNET partition and the TTL-based NET
+        # partition must agree on the download side.
+        net = NETPartition().indicator(views.download)
+        sub = SubnetPartition(registry_small).indicator(views.download)
+        assert np.array_equal(net, sub)
+
+
+class TestHOP:
+    def test_threshold_semantics(self, views):
+        from repro.heuristics.hops import hops_from_ttl
+
+        part = HOPPartition(threshold=10)
+        ind = part.indicator(views.download)
+        hops = hops_from_ttl(views.download.ttl.astype(np.int64))
+        assert np.array_equal(ind, hops < 10)
+
+    def test_paper_default(self):
+        assert HOPPartition().threshold == PAPER_HOP_THRESHOLD == 19
+
+    def test_median_auto_threshold_splits_population(self, views):
+        part = HOPPartition(threshold=None)
+        view = views.download
+        median = part.observed_median(view)
+        ind = part.indicator(view)
+        # Roughly half below the median (ties allowed on one side).
+        assert 0.2 < ind.mean() < 0.8
+        assert median > 0
+
+    def test_median_requires_observations(self):
+        view = DirectionalView(
+            direction=Direction.UPLOAD,
+            probe_ip=np.zeros(1, dtype=np.uint32),
+            peer_ip=np.ones(1, dtype=np.uint32),
+            bytes=np.ones(1, dtype=np.uint64),
+            min_ipg=np.full(1, np.inf),
+            ttl=np.array([np.nan]),
+        )
+        with pytest.raises(AnalysisError):
+            HOPPartition(threshold=None).observed_median(view)
+
+    def test_unseen_ttl_not_near(self):
+        view = DirectionalView(
+            direction=Direction.UPLOAD,
+            probe_ip=np.zeros(1, dtype=np.uint32),
+            peer_ip=np.ones(1, dtype=np.uint32),
+            bytes=np.ones(1, dtype=np.uint64),
+            min_ipg=np.full(1, np.inf),
+            ttl=np.array([np.nan]),
+        )
+        assert not HOPPartition(threshold=19).indicator(view)[0]
+
+
+class TestDefaults:
+    def test_paper_five(self, registry_small):
+        names = [p.name for p in default_partitions(registry_small)]
+        assert names == ["BW", "AS", "CC", "NET", "HOP"]

@@ -1,0 +1,131 @@
+"""Preference indices — eqs. (1)–(8) — including property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.preference import PreferenceCounts, per_probe_counts, preference_counts
+from repro.core.views import Direction, DirectionalView
+from repro.errors import AnalysisError
+
+
+def make_view(nbytes, probes=None):
+    n = len(nbytes)
+    return DirectionalView(
+        direction=Direction.DOWNLOAD,
+        probe_ip=np.asarray(probes if probes is not None else np.zeros(n), dtype=np.uint32),
+        peer_ip=np.arange(n, dtype=np.uint32) + 1000,
+        bytes=np.asarray(nbytes, dtype=np.uint64),
+        min_ipg=np.full(n, np.inf),
+        ttl=np.full(n, 120.0),
+    )
+
+
+class TestCounts:
+    def test_basic(self):
+        view = make_view([100, 200, 300])
+        counts = preference_counts(view, np.array([True, False, True]))
+        assert counts.peers_preferred == 2
+        assert counts.peers_other == 1
+        assert counts.bytes_preferred == 400
+        assert counts.bytes_other == 200
+
+    def test_percentages(self):
+        view = make_view([100, 300])
+        counts = preference_counts(view, np.array([True, False]))
+        assert counts.peer_percent == pytest.approx(50.0)
+        assert counts.byte_percent == pytest.approx(25.0)
+
+    def test_empty_view_nan(self):
+        counts = preference_counts(make_view([]), np.zeros(0, dtype=bool))
+        assert np.isnan(counts.peer_percent)
+        assert np.isnan(counts.byte_percent)
+
+    def test_zero_bytes_nan_byte_percent(self):
+        counts = preference_counts(make_view([0, 0]), np.array([True, False]))
+        assert counts.peer_percent == 50.0
+        assert np.isnan(counts.byte_percent)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(AnalysisError):
+            preference_counts(make_view([1, 2]), np.array([True]))
+
+
+class TestPaperEquations:
+    """Worked example mirroring the paper's definitions."""
+
+    def test_eq_7_8(self):
+        # Two probes; probe A has 2 preferred peers (100+200 B) and 1 other
+        # (700 B); probe B has 1 preferred (50 B).
+        view = make_view([100, 200, 700, 50], probes=[1, 1, 1, 2])
+        ind = np.array([True, True, False, True])
+        counts = preference_counts(view, ind)
+        assert counts.peer_percent == pytest.approx(100 * 3 / 4)
+        assert counts.byte_percent == pytest.approx(100 * 350 / 1050)
+
+    def test_all_preferred(self):
+        counts = preference_counts(make_view([10, 20]), np.array([True, True]))
+        assert counts.peer_percent == 100.0
+        assert counts.byte_percent == 100.0
+
+    def test_none_preferred(self):
+        counts = preference_counts(make_view([10, 20]), np.array([False, False]))
+        assert counts.peer_percent == 0.0
+        assert counts.byte_percent == 0.0
+
+
+class TestPerProbe:
+    def test_per_probe_sums_to_global(self):
+        view = make_view([10, 20, 30, 40, 50], probes=[1, 1, 2, 2, 3])
+        ind = np.array([True, False, True, True, False])
+        global_counts = preference_counts(view, ind)
+        per = per_probe_counts(view, ind)
+        assert sum(c.peers_preferred for c in per.values()) == global_counts.peers_preferred
+        assert sum(c.bytes_preferred for c in per.values()) == global_counts.bytes_preferred
+        assert sum(c.total_peers for c in per.values()) == global_counts.total_peers
+
+    def test_per_probe_keys(self):
+        view = make_view([1, 2, 3], probes=[7, 8, 7])
+        per = per_probe_counts(view, np.ones(3, dtype=bool))
+        assert set(per) == {7, 8}
+
+
+bytes_lists = st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=40)
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(bytes_lists, st.data())
+    def test_bounds(self, nbytes, data):
+        ind = np.array(
+            data.draw(st.lists(st.booleans(), min_size=len(nbytes), max_size=len(nbytes)))
+        )
+        counts = preference_counts(make_view(nbytes), ind)
+        assert 0 <= counts.peer_percent <= 100
+        if counts.total_bytes > 0:
+            assert 0 <= counts.byte_percent <= 100
+
+    @settings(max_examples=40, deadline=None)
+    @given(bytes_lists, st.integers(min_value=1, max_value=1000), st.data())
+    def test_unit_invariance(self, nbytes, scale, data):
+        """B is insensitive to the unit of measure (paper §III-A)."""
+        ind = np.array(
+            data.draw(st.lists(st.booleans(), min_size=len(nbytes), max_size=len(nbytes)))
+        )
+        a = preference_counts(make_view(nbytes), ind)
+        b = preference_counts(make_view([x * scale for x in nbytes]), ind)
+        if a.total_bytes > 0:
+            assert a.byte_percent == pytest.approx(b.byte_percent)
+        assert a.peer_percent == b.peer_percent
+
+    @settings(max_examples=40, deadline=None)
+    @given(bytes_lists, st.data())
+    def test_complement_sums_to_100(self, nbytes, data):
+        ind = np.array(
+            data.draw(st.lists(st.booleans(), min_size=len(nbytes), max_size=len(nbytes)))
+        )
+        a = preference_counts(make_view(nbytes), ind)
+        b = preference_counts(make_view(nbytes), ~ind)
+        assert a.peer_percent + b.peer_percent == pytest.approx(100.0)
+        if a.total_bytes > 0:
+            assert a.byte_percent + b.byte_percent == pytest.approx(100.0)

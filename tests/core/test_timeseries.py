@@ -1,0 +1,159 @@
+"""Time-windowed preference indices."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitions import ASPartition, BWPartition
+from repro.core.timeseries import (
+    WindowedScores,
+    windowed_from_flows,
+    windowed_preference,
+)
+from repro.core.views import Direction, DirectionalView
+from repro.errors import AnalysisError
+
+
+def make_view(n, nbytes=1000):
+    return DirectionalView(
+        direction=Direction.DOWNLOAD,
+        probe_ip=np.zeros(n, dtype=np.uint32),
+        peer_ip=np.arange(n, dtype=np.uint32) + 1,
+        bytes=np.full(n, nbytes, dtype=np.uint64),
+        min_ipg=np.full(n, np.inf),
+        ttl=np.full(n, 120.0),
+    )
+
+
+class TestWindowedPreference:
+    def test_single_window_matches_aggregate(self):
+        view = make_view(4)
+        ind = np.array([True, True, False, False])
+        scores = windowed_preference(
+            view, ind,
+            first_ts=np.zeros(4), last_ts=np.full(4, 9.0),
+            window_s=10.0, t_end=10.0,
+        )
+        assert len(scores) == 1
+        assert scores.peer_percent[0] == pytest.approx(50.0)
+        assert scores.byte_percent[0] == pytest.approx(50.0)
+
+    def test_flow_present_in_overlapped_windows_only(self):
+        view = make_view(1)
+        ind = np.array([True])
+        scores = windowed_preference(
+            view, ind,
+            first_ts=np.array([12.0]), last_ts=np.array([18.0]),
+            window_s=10.0, t_end=30.0,
+        )
+        assert np.isnan(scores.peer_percent[0])
+        assert scores.peer_percent[1] == 100.0
+        assert np.isnan(scores.peer_percent[2])
+
+    def test_bytes_apportioned_by_overlap(self):
+        # One preferred flow spanning two windows evenly, one other flow
+        # only in the first window.
+        view = make_view(2, nbytes=1000)
+        ind = np.array([True, False])
+        scores = windowed_preference(
+            view, ind,
+            first_ts=np.array([5.0, 0.0]), last_ts=np.array([15.0, 9.0]),
+            window_s=10.0, t_end=20.0,
+        )
+        # Window 0: preferred flow contributes half its bytes (500) vs
+        # other flow's full 1000.
+        assert scores.byte_percent[0] == pytest.approx(100 * 500 / 1500)
+        # Window 1: only the preferred flow is active.
+        assert scores.byte_percent[1] == pytest.approx(100.0)
+
+    def test_point_flows_counted_once(self):
+        view = make_view(1)
+        ind = np.array([True])
+        scores = windowed_preference(
+            view, ind,
+            first_ts=np.array([5.0]), last_ts=np.array([5.0]),
+            window_s=10.0, t_end=20.0,
+        )
+        assert scores.peer_percent[0] == 100.0
+        assert np.isnan(scores.peer_percent[1])
+
+    def test_invalid_inputs(self):
+        view = make_view(1)
+        with pytest.raises(AnalysisError):
+            windowed_preference(
+                view, np.array([True]),
+                np.zeros(1), np.ones(1), window_s=0.0, t_end=10.0,
+            )
+        with pytest.raises(AnalysisError):
+            windowed_preference(
+                view, np.array([True, False]),
+                np.zeros(1), np.ones(1), window_s=1.0, t_end=10.0,
+            )
+
+
+class TestStabilisation:
+    def test_detects_settled_series(self):
+        scores = WindowedScores(
+            window_s=10.0,
+            starts=np.arange(5) * 10.0,
+            peer_percent=np.full(5, 50.0),
+            byte_percent=np.array([20.0, 80.0, 95.0, 96.0, 97.0]),
+        )
+        assert scores.stabilisation_window(tolerance=5.0) == 2
+
+    def test_unstable_series(self):
+        scores = WindowedScores(
+            window_s=10.0,
+            starts=np.arange(4) * 10.0,
+            peer_percent=np.full(4, 50.0),
+            byte_percent=np.array([10.0, 90.0, 10.0, 90.0]),
+        )
+        assert scores.stabilisation_window(tolerance=5.0) == 3  # only last
+
+    def test_all_nan(self):
+        scores = WindowedScores(
+            window_s=10.0,
+            starts=np.arange(2) * 10.0,
+            peer_percent=np.full(2, np.nan),
+            byte_percent=np.full(2, np.nan),
+        )
+        assert scores.stabilisation_window() is None
+
+
+class TestOnSimulation:
+    def test_bw_preference_stable_over_windows(self, flows_small, sim_small):
+        scores = windowed_from_flows(
+            flows_small,
+            BWPartition(),
+            window_s=15.0,
+            t_end=sim_small.duration_s,
+        )
+        finite = scores.byte_percent[np.isfinite(scores.byte_percent)]
+        assert len(finite) >= 3
+        # Bandwidth preference is strong in every window, not an artifact
+        # of aggregation.
+        assert np.all(finite > 85)
+
+    def test_windows_converge_to_aggregate(self, flows_small, sim_small, report_small):
+        scores = windowed_from_flows(
+            flows_small,
+            BWPartition(),
+            window_s=20.0,
+            t_end=sim_small.duration_s,
+        )
+        finite = scores.byte_percent[np.isfinite(scores.byte_percent)]
+        aggregate = report_small["BW"].download.B
+        assert abs(np.mean(finite) - aggregate) < 10
+
+    def test_unknown_direction_rejected(self, flows_small, registry_small):
+        with pytest.raises(AnalysisError):
+            windowed_from_flows(
+                flows_small, ASPartition(registry_small),
+                window_s=10.0, t_end=60.0, direction="sideways",
+            )
+
+    def test_upload_direction(self, flows_small, registry_small, sim_small):
+        scores = windowed_from_flows(
+            flows_small, ASPartition(registry_small),
+            window_s=20.0, t_end=sim_small.duration_s, direction="upload",
+        )
+        assert len(scores) == 3

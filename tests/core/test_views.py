@@ -1,0 +1,86 @@
+"""Contributor views."""
+
+import numpy as np
+import pytest
+
+from repro.core.views import Direction, DirectionalView, build_views
+
+
+class TestBuildViews:
+    def test_directions_oriented_correctly(self, flows_small):
+        views = build_views(flows_small)
+        probes = set(flows_small.probe_ips.tolist())
+        assert set(views.download.probe_ip.tolist()) <= probes
+        assert set(views.upload.probe_ip.tolist()) <= probes
+
+    def test_download_rows_are_contributor_flows(self, flows_small):
+        from repro.heuristics.contributors import contributor_mask
+
+        views = build_views(flows_small)
+        flows = flows_small.flows
+        keep = contributor_mask(flows)
+        expected = (
+            keep & np.isin(flows["dst"], flows_small.probe_ips)
+        ).sum()
+        assert len(views.download) == expected
+
+    def test_all_peers_superset_of_contributors(self, flows_small):
+        contrib = build_views(flows_small)
+        everyone = build_views(flows_small, contributors_only=False)
+        assert len(everyone.download) >= len(contrib.download)
+        assert len(everyone.upload) >= len(contrib.upload)
+
+    def test_download_measurements_from_own_flow(self, flows_small):
+        views = build_views(flows_small)
+        # Download rows always carry finite TTL (the e→p stream exists).
+        assert np.all(np.isfinite(views.download.ttl))
+
+    def test_upload_reverse_measurements(self, flows_small):
+        views = build_views(flows_small)
+        v = views.upload
+        # Most upload rows have reverse traffic (requests/signaling), so
+        # coverage should be high but missing entries are tolerated.
+        assert np.isfinite(v.ttl).mean() > 0.8
+
+    def test_get_by_direction(self, flows_small):
+        views = build_views(flows_small)
+        assert views.get(Direction.DOWNLOAD) is views.download
+        assert views.get(Direction.UPLOAD) is views.upload
+
+
+class TestDirectionalView:
+    def _view(self, n=4):
+        return DirectionalView(
+            direction=Direction.DOWNLOAD,
+            probe_ip=np.arange(n, dtype=np.uint32),
+            peer_ip=np.arange(n, dtype=np.uint32) + 100,
+            bytes=np.full(n, 10, dtype=np.uint64),
+            min_ipg=np.full(n, 1e-3),
+            ttl=np.full(n, 120.0),
+        )
+
+    def test_select(self):
+        v = self._view()
+        picked = v.select(np.array([True, False, True, False]))
+        assert len(picked) == 2
+        assert picked.peer_ip.tolist() == [100, 102]
+
+    def test_total_bytes(self):
+        assert self._view().total_bytes == 40
+
+    def test_distinct_peers(self):
+        v = self._view()
+        assert v.distinct_peers() == 4
+
+    def test_misaligned_rejected(self):
+        import repro.errors as errors
+
+        with pytest.raises(errors.AnalysisError):
+            DirectionalView(
+                direction=Direction.DOWNLOAD,
+                probe_ip=np.zeros(3, dtype=np.uint32),
+                peer_ip=np.zeros(2, dtype=np.uint32),
+                bytes=np.zeros(3, dtype=np.uint64),
+                min_ipg=np.zeros(3),
+                ttl=np.zeros(3),
+            )

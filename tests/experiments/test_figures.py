@@ -1,0 +1,81 @@
+"""Figure builders (1–2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure1 import OTHER, build_figure1
+from repro.experiments.figure2 import build_figure2
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def f1(self, campaign_small):
+        return build_figure1(campaign_small)
+
+    def test_one_bar_group_per_app(self, f1):
+        assert {b.app for b in f1.bars} == {"pplive", "sopcast", "tvants"}
+
+    def test_shares_sum_to_100(self, f1):
+        for bars in f1.bars:
+            for shares in (bars.peers, bars.rx_bytes, bars.tx_bytes):
+                assert sum(shares.values()) == pytest.approx(100.0, abs=0.1)
+
+    def test_labels(self, f1):
+        assert f1.labels == ("CN", "HU", "IT", "FR", "PL", OTHER)
+
+    def test_china_dominates_peers(self, f1):
+        for bars in f1.bars:
+            assert bars.peers["CN"] > 40
+
+    def test_european_bytes_exceed_peer_share(self, f1):
+        # The locality bias: EU countries' byte share > their peer share
+        # for the AS-aware apps (hinting Fig. 1's message).
+        bars = f1.bar("tvants")
+        eu_peer = sum(bars.peers[c] for c in ("HU", "IT", "FR", "PL"))
+        eu_rx = sum(bars.rx_bytes[c] for c in ("HU", "IT", "FR", "PL"))
+        assert eu_rx > eu_peer
+
+    def test_total_peer_ordering(self, f1):
+        assert (
+            f1.bar("pplive").total_peers
+            > f1.bar("sopcast").total_peers
+            > f1.bar("tvants").total_peers
+        )
+
+    def test_unknown_app(self, f1):
+        with pytest.raises(KeyError):
+            f1.bar("uusee")
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def f2(self, campaign_small):
+        return build_figure2(campaign_small)
+
+    def test_one_matrix_per_app(self, f2):
+        assert {m.app for m in f2.matrices} == {"pplive", "sopcast", "tvants"}
+
+    def test_as_numbers_are_campus(self, f2):
+        for m in f2.matrices:
+            assert set(m.as_numbers) <= {1, 2, 3, 4, 5, 6}
+
+    def test_matrix_nonnegative(self, f2):
+        for m in f2.matrices:
+            assert np.all(m.mean_bytes >= 0)
+            assert np.all(m.mean_bytes_local >= 0)
+            assert np.all(m.mean_bytes_local <= m.mean_bytes + 1e-9)
+
+    def test_ratio_ordering(self, f2):
+        r = {m.app: m.ratio_intra_inter for m in f2.matrices}
+        assert r["tvants"] > r["sopcast"]
+
+    def test_local_share_bounded(self, f2):
+        for m in f2.matrices:
+            s = m.local_share_intra
+            assert math.isnan(s) or 0 <= s <= 1.0 + 1e-9
+
+    def test_unknown_app(self, f2):
+        with pytest.raises(KeyError):
+            f2.matrix("uusee")

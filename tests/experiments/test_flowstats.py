@@ -1,0 +1,87 @@
+"""Flow-level statistics (the related-work [12] views)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.experiments.flowstats import (
+    build_flowstats,
+    flow_scatter,
+    render_flowstats,
+    top_contributors,
+)
+
+
+class TestScatter:
+    def test_scatter_columns_aligned(self, flows_small):
+        s = flow_scatter(flows_small, "tvants")
+        assert len(s.durations_s) == len(s.mean_packet_bytes) == len(flows_small)
+
+    def test_two_clusters_exist(self, flows_small):
+        # Video flows: near-MTU mean sizes; signaling flows: small.
+        s = flow_scatter(flows_small)
+        assert (s.mean_packet_bytes > 1000).any()
+        assert (s.mean_packet_bytes < 300).any()
+
+    def test_video_cluster_fraction(self, flows_small):
+        s = flow_scatter(flows_small)
+        frac = s.video_cluster_fraction()
+        assert 0 < frac < 1
+
+    def test_durations_nonnegative(self, flows_small):
+        s = flow_scatter(flows_small)
+        assert np.all(s.durations_s >= 0)
+
+    def test_empty(self, flows_small):
+        from repro.trace.flows import FlowTable
+        from repro.trace.records import FLOW_DTYPE
+
+        empty = FlowTable(np.empty(0, dtype=FLOW_DTYPE), flows_small.hosts)
+        s = flow_scatter(empty)
+        assert len(s) == 0
+        assert np.isnan(s.video_cluster_fraction())
+
+
+class TestTopContributors:
+    def test_share_bounded(self, flows_small):
+        t = top_contributors(flows_small, n=10)
+        assert np.all((t.top_share_per_probe > 0) & (t.top_share_per_probe <= 1))
+
+    def test_monotone_in_n(self, flows_small):
+        t5 = top_contributors(flows_small, n=5)
+        t20 = top_contributors(flows_small, n=20)
+        assert t20.mean_share >= t5.mean_share
+
+    def test_top_all_is_everything(self, flows_small):
+        t = top_contributors(flows_small, n=10**6)
+        assert t.mean_share == pytest.approx(1.0)
+
+    def test_invalid_n(self, flows_small):
+        with pytest.raises(AnalysisError):
+            top_contributors(flows_small, n=0)
+
+
+class TestCampaignReport:
+    @pytest.fixture(scope="class")
+    def report(self, campaign_small):
+        return build_flowstats(campaign_small)
+
+    def test_covers_all_apps(self, report):
+        for app in ("pplive", "sopcast", "tvants"):
+            assert report.scatter(app).app == app
+            assert report.top(app).app == app
+
+    def test_top10_concentration_is_high(self, report):
+        # A handful of providers dominate each probe's download — the
+        # observation [12] reports for all three systems.
+        for app in ("pplive", "sopcast", "tvants"):
+            assert report.top(app).mean_share > 0.4
+
+    def test_unknown_app(self, report):
+        with pytest.raises(KeyError):
+            report.scatter("uusee")
+
+    def test_render(self, report):
+        out = render_flowstats(report)
+        assert "FLOW STATS" in out
+        assert "top-10" in out

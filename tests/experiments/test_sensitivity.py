@@ -1,0 +1,82 @@
+"""Threshold sensitivity of the methodology."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.experiments.sensitivity import (
+    SensitivityReport,
+    SweepPoint,
+    render_sensitivity,
+    sweep_sensitivity,
+)
+
+
+@pytest.fixture(scope="module")
+def report(flows_small, registry_small):
+    return sweep_sensitivity(flows_small, registry_small)
+
+
+class TestSweep:
+    def test_all_parameters_swept(self, report):
+        assert set(report.parameters()) == {
+            "contributor_volume",
+            "contributor_mean_size",
+            "ipg_threshold_ms",
+            "hop_threshold",
+        }
+
+    def test_point_count(self, report):
+        assert len(report.points) == 4 + 3 + 3 + 3
+
+    def test_bw_finding_robust_to_contributor_thresholds(self, report):
+        # The 96–98 % byte concentration must not hinge on the contributor
+        # cut-offs: excursion under a 6× volume sweep stays small.
+        assert report.excursion("bw_byte_pct", "contributor_volume") < 3.0
+
+    def test_as_finding_robust(self, report):
+        assert report.excursion("as_byte_pct_nonprobe", "contributor_volume") < 6.0
+
+    def test_ipg_threshold_verdict_robust(self, report):
+        # Halving the threshold to 0.5 ms (= 20 Mb/s) legitimately demotes
+        # 20 Mb/s-uplink FTTH peers, so B moves a few points — but the
+        # "strong bandwidth preference" verdict (B ≫ 50) never flips.
+        bw_values = [
+            p.bw_byte_pct for p in report.points
+            if p.parameter == "ipg_threshold_ms"
+        ]
+        assert report.excursion("bw_byte_pct", "ipg_threshold_ms") < 15.0
+        assert all(v > 85 for v in bw_values)
+
+    def test_hop_threshold_moves_hop_only(self, report):
+        # HOP's B' is a split of a tightly-clustered hop distribution, so
+        # it swings with its own threshold — the very reason the paper's
+        # verdict reads B' ≈ P' (both move together), not the absolute.
+        assert report.excursion("hop_byte_pct_nonprobe", "hop_threshold") > 0.5
+        # Sanity: more-permissive thresholds admit more near-bytes.
+        hop_points = sorted(
+            (p.value, p.hop_byte_pct_nonprobe)
+            for p in report.points
+            if p.parameter == "hop_threshold"
+        )
+        values = [v for _, v in hop_points]
+        assert values == sorted(values)
+        # ...and the other headline indices don't move at all.
+        assert report.excursion("bw_byte_pct", "hop_threshold") < 0.5
+        assert report.excursion("as_byte_pct_nonprobe", "hop_threshold") < 0.5
+
+    def test_excursion_unknown_field_rejected(self, report):
+        with pytest.raises(AnalysisError):
+            report.excursion("bw_byte_pct", "nonexistent_param")
+
+
+class TestRender:
+    def test_render(self, report):
+        out = render_sensitivity(report)
+        assert "SENSITIVITY" in out
+        assert "max excursions" in out
+        assert "ipg_threshold_ms" in out
+
+    def test_report_structure(self):
+        point = SweepPoint("x", 1.0, 90.0, 5.0, 50.0)
+        rep = SensitivityReport(points=[point])
+        assert rep.excursion("bw_byte_pct") == 0.0

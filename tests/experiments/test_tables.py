@@ -1,0 +1,127 @@
+"""Table builders (I–IV)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.table1 import build_table1
+from repro.experiments.table2 import build_table2
+from repro.experiments.table3 import build_table3
+from repro.experiments.table4 import build_table4
+
+
+class TestTable1:
+    def test_counts(self, testbed):
+        t1 = build_table1(testbed)
+        assert t1.total_hosts == 46
+        assert t1.institution_hosts == 39
+        assert t1.home_hosts == 7
+        assert t1.countries == 4
+        assert t1.campus_ases == 6
+        assert t1.home_ases == 7
+
+    def test_row_compression(self, testbed):
+        t1 = build_table1(testbed)
+        # BME appears as "1-4" + "5"; WUT as "1-8" + "9".
+        bme = [r for r in t1.rows if r.site == "BME"]
+        assert [r.hosts for r in bme] == ["1-4", "5"]
+        wut = [r for r in t1.rows if r.site == "WUT"]
+        assert [r.hosts for r in wut] == ["1-8", "9"]
+
+    def test_home_rows_labelled_asx(self, testbed):
+        t1 = build_table1(testbed)
+        home = [r for r in t1.rows if r.access != "high-bw"]
+        assert all(r.as_label == "ASx" for r in home)
+
+    def test_polito_rows(self, testbed):
+        t1 = build_table1(testbed)
+        polito = [r for r in t1.rows if r.site == "PoliTO"]
+        assert [r.hosts for r in polito] == ["1-9", "10", "11-12"]
+        assert polito[2].nat
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def t2(self, campaign_small):
+        return build_table2(campaign_small)
+
+    def test_one_row_per_app(self, t2):
+        assert {r.app for r in t2.rows} == {"pplive", "sopcast", "tvants"}
+
+    def test_reach_ordering(self, t2):
+        assert (
+            t2.row("pplive").all_peers_mean
+            > t2.row("sopcast").all_peers_mean
+            > t2.row("tvants").all_peers_mean
+        )
+
+    def test_rx_rate_near_nominal(self, t2):
+        for app in ("pplive", "sopcast", "tvants"):
+            assert t2.row(app).rx_kbps_mean > 300
+
+    def test_max_geq_mean(self, t2):
+        for r in t2.rows:
+            assert r.rx_kbps_max >= r.rx_kbps_mean
+            assert r.all_peers_max >= r.all_peers_mean
+            assert r.contrib_rx_max >= r.contrib_rx_mean
+
+    def test_contributors_subset_of_peers(self, t2):
+        for r in t2.rows:
+            assert r.contrib_rx_mean <= r.all_peers_mean
+
+    def test_unknown_app(self, t2):
+        with pytest.raises(KeyError):
+            t2.row("uusee")
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def t3(self, campaign_small):
+        return build_table3(campaign_small)
+
+    def test_percentages_bounded(self, t3):
+        for r in t3.rows:
+            for v in (r.contrib_peer_pct, r.contrib_byte_pct, r.all_peer_pct, r.all_byte_pct):
+                assert math.isnan(v) or 0 <= v <= 100
+
+    def test_self_bias_ordering(self, t3):
+        assert (
+            t3.row("tvants").contrib_byte_pct
+            > t3.row("sopcast").contrib_byte_pct
+            > t3.row("pplive").contrib_byte_pct
+        )
+
+    def test_contrib_peer_share_exceeds_all(self, t3):
+        for r in t3.rows:
+            assert r.contrib_peer_pct >= r.all_peer_pct
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def t4(self, campaign_small):
+        return build_table4(campaign_small)
+
+    def test_metric_order(self, t4):
+        assert t4.metrics == ["BW", "AS", "CC", "NET", "HOP"]
+
+    def test_full_grid(self, t4):
+        # 5 metrics × 3 apps × 2 directions.
+        assert len(t4.cells) == 30
+
+    def test_cell_lookup(self, t4):
+        cell = t4.cell("BW", "tvants", "download")
+        assert cell.B > 90
+
+    def test_bw_upload_is_dash(self, t4):
+        cell = t4.cell("BW", "tvants", "upload")
+        assert math.isnan(cell.B) and math.isnan(cell.P)
+
+    def test_unknown_cell(self, t4):
+        with pytest.raises(KeyError):
+            t4.cell("RTT", "tvants", "download")
+
+    def test_values_bounded(self, t4):
+        for c in t4.cells:
+            for v in (c.B, c.P, c.B_prime, c.P_prime):
+                assert math.isnan(v) or 0 <= v <= 100

@@ -1,0 +1,66 @@
+"""Min-IPG capacity inference, validated against simulator ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.heuristics.bandwidth import (
+    HIGH_BW_IPG_THRESHOLD_S,
+    classify_high_bandwidth,
+    estimate_capacity_bps,
+)
+from repro.units import mbps
+
+
+class TestThreshold:
+    def test_paper_identity(self):
+        # 1250 B at 10 Mb/s is exactly 1 ms.
+        assert HIGH_BW_IPG_THRESHOLD_S == pytest.approx(1e-3)
+
+    def test_classification(self):
+        gaps = np.array([1e-4, 9.9e-4, 1e-3, 2.5e-3, np.inf])
+        out = classify_high_bandwidth(gaps)
+        assert out.tolist() == [True, True, False, False, False]
+
+    def test_inf_is_conservative_low(self):
+        assert not classify_high_bandwidth(np.array([np.inf]))[0]
+
+    def test_custom_threshold(self):
+        gaps = np.array([2e-3])
+        assert classify_high_bandwidth(gaps, threshold_s=5e-3)[0]
+
+
+class TestCapacityEstimate:
+    def test_point_estimate(self):
+        # 1 ms gap → 10 Mb/s.
+        assert estimate_capacity_bps(np.array([1e-3]))[0] == pytest.approx(mbps(10))
+
+    def test_inf_gap_gives_zero(self):
+        assert estimate_capacity_bps(np.array([np.inf]))[0] == 0.0
+
+    def test_monotone(self):
+        gaps = np.array([1e-4, 1e-3, 1e-2])
+        est = estimate_capacity_bps(gaps)
+        assert est[0] > est[1] > est[2]
+
+
+class TestGroundTruthRecovery:
+    """The estimator must recover the simulator's true peer classes."""
+
+    def test_classification_matches_truth(self, flows_small, sim_small):
+        flows = flows_small.with_video()
+        # Only flows with real packet trains are classifiable.
+        flows = flows[flows["video_pkts"] >= 2]
+        inferred = classify_high_bandwidth(flows["min_ipg"])
+        truth = sim_small.hosts.gather(flows["src"], "highbw")
+        # Sender-paced trains make the inference exact in our model.
+        assert np.array_equal(inferred, truth)
+
+    def test_capacity_estimates_within_jitter(self, flows_small, sim_small):
+        flows = flows_small.with_video()
+        flows = flows[flows["video_pkts"] >= 2]
+        est = estimate_capacity_bps(flows["min_ipg"])
+        truth = sim_small.hosts.gather(flows["src"], "up_bps")
+        ratio = est / truth
+        # One-sided jitter widens gaps by at most 8 %.
+        assert np.all(ratio > 0.9)
+        assert np.all(ratio <= 1.0 + 1e-9)

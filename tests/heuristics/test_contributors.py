@@ -1,0 +1,118 @@
+"""Contributor identification, validated against ground-truth labels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.heuristics.contributors import (
+    ContributorCriteria,
+    contributor_mask,
+    contributor_mask_packets,
+)
+from repro.trace.packets import PacketSynthesizer
+from repro.trace.records import FLOW_DTYPE
+
+
+class TestCriteria:
+    def test_defaults_sane(self):
+        crit = ContributorCriteria()
+        assert crit.payload_packet_bytes < 1250
+        assert crit.min_payload_bytes >= 2 * crit.payload_packet_bytes
+
+    def test_invalid_rejected(self):
+        with pytest.raises(AnalysisError):
+            ContributorCriteria(payload_packet_bytes=0)
+
+
+def _flow(nbytes, pkts, video_bytes=0, video_pkts=0):
+    row = np.zeros(1, dtype=FLOW_DTYPE)
+    row["bytes"], row["pkts"] = nbytes, pkts
+    row["video_bytes"], row["video_pkts"] = video_bytes, video_pkts
+    row["min_ipg"] = np.inf
+    return row
+
+
+class TestFlowHeuristic:
+    def test_video_flow_detected(self):
+        # 10 chunks of video: big mean packet size, big volume.
+        flow = _flow(160_000, 130, 160_000, 130)
+        assert contributor_mask(flow)[0]
+
+    def test_signaling_only_rejected(self):
+        # Hundreds of tiny keepalives: volume without payload-sized packets.
+        flow = _flow(60_000, 500)
+        assert not contributor_mask(flow)[0]
+
+    def test_tiny_exchange_rejected(self):
+        flow = _flow(1250, 1, 1250, 1)
+        assert not contributor_mask(flow)[0]
+
+    def test_empty(self):
+        assert len(contributor_mask(np.empty(0, dtype=FLOW_DTYPE))) == 0
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(AnalysisError):
+            contributor_mask(np.zeros(1, dtype=np.float64))
+
+
+class TestGroundTruthValidation:
+    """Accuracy against the simulator's video_bytes labels (unavailable to
+    the heuristic, which only reads bytes/pkts)."""
+
+    def test_conservative_and_accurate(self, flows_small):
+        flows = flows_small.flows
+        inferred = contributor_mask(flows)
+        truth = flows["video_bytes"] > 0
+        # Conservative: (almost) nothing without video is flagged.
+        false_pos = (inferred & ~truth).sum()
+        assert false_pos == 0
+        # Accurate: misses only marginal few-chunk exchanges drowned in
+        # signaling (tiny mean packet size).
+        missed = flows[truth & ~inferred]
+        assert np.all(missed["video_bytes"] <= 3 * 16_000)
+        # Overall agreement is high.
+        agree = (inferred == truth).mean()
+        assert agree > 0.9
+
+    def test_byte_coverage_near_total(self, flows_small):
+        flows = flows_small.flows
+        inferred = contributor_mask(flows)
+        truth_bytes = flows["video_bytes"].sum()
+        caught = flows["video_bytes"][inferred].sum()
+        assert caught / truth_bytes > 0.98
+
+
+class TestPacketHeuristic:
+    def test_agrees_with_flow_heuristic(self, sim_small):
+        probe = int(sim_small.probe_ips[7])
+        mask = (sim_small.transfers["src"] == probe) | (
+            sim_small.transfers["dst"] == probe
+        )
+        transfers = sim_small.transfers[mask][:2000]
+        synth = PacketSynthesizer(sim_small.hosts, sim_small.world.paths)
+        packets = synth.expand(transfers)
+        by_pair = contributor_mask_packets(packets)
+        from repro.trace.flows import build_flow_table
+
+        table = build_flow_table(
+            transfers,
+            np.empty(0, dtype=sim_small.signaling.dtype),
+            sim_small.hosts,
+            sim_small.world.paths,
+            probes_only=False,
+        )
+        flow_mask = contributor_mask(table.flows)
+        agree = 0
+        for row, flagged in zip(table.flows, flow_mask):
+            key = (int(row["src"]), int(row["dst"]))
+            agree += by_pair.get(key, False) == bool(flagged)
+        assert agree / len(table.flows) > 0.95
+
+    def test_empty(self):
+        from repro.trace.records import PACKET_DTYPE
+
+        assert contributor_mask_packets(np.empty(0, dtype=PACKET_DTYPE)) == {}
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(AnalysisError):
+            contributor_mask_packets(np.zeros(1, dtype=FLOW_DTYPE))

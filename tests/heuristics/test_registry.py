@@ -1,0 +1,98 @@
+"""IP → AS/CC/subnet resolution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RegistryError
+from repro.heuristics.registry import IpRegistry
+from repro.topology.ip import parse_ip
+
+
+def small_registry():
+    return IpRegistry(
+        networks=np.array([parse_ip("10.0.0.0"), parse_ip("10.1.0.0")], dtype=np.uint64),
+        prefix_sizes=np.array([65536, 65536], dtype=np.uint64),
+        asns=np.array([100, 200]),
+        country_codes=np.array(["IT", "CN"]),
+    )
+
+
+class TestBasicLookups:
+    def test_asn_of(self):
+        reg = small_registry()
+        out = reg.asn_of(np.array([parse_ip("10.0.5.1"), parse_ip("10.1.9.9")]))
+        assert out.tolist() == [100, 200]
+
+    def test_country_of(self):
+        reg = small_registry()
+        out = reg.country_of(np.array([parse_ip("10.1.0.1")]))
+        assert out[0] == "CN"
+
+    def test_resolve_scalar(self):
+        assert small_registry().resolve(parse_ip("10.0.0.7")) == (100, "IT")
+
+    def test_unresolvable_raises(self):
+        reg = small_registry()
+        with pytest.raises(RegistryError):
+            reg.asn_of(np.array([parse_ip("11.0.0.1")]))
+        with pytest.raises(RegistryError):
+            reg.asn_of(np.array([parse_ip("9.255.255.255")]))
+
+    def test_boundary_addresses(self):
+        reg = small_registry()
+        assert reg.resolve(parse_ip("10.0.0.0"))[0] == 100
+        assert reg.resolve(parse_ip("10.0.255.255"))[0] == 100
+        assert reg.resolve(parse_ip("10.1.0.0"))[0] == 200
+
+    def test_subnet_of(self):
+        reg = small_registry()
+        subs = reg.subnet_of(
+            np.array([parse_ip("10.0.1.5"), parse_ip("10.0.1.200"), parse_ip("10.0.2.5")])
+        )
+        assert subs[0] == subs[1] != subs[2]
+
+    def test_overlapping_prefixes_rejected(self):
+        with pytest.raises(RegistryError):
+            IpRegistry(
+                networks=np.array([0, 100], dtype=np.uint64),
+                prefix_sizes=np.array([256, 256], dtype=np.uint64),
+                asns=np.array([1, 2]),
+                country_codes=np.array(["IT", "FR"]),
+            )
+
+
+class TestFromWorld:
+    def test_resolves_every_simulated_host(self, sim_small):
+        reg = IpRegistry.from_world(sim_small.world)
+        rows = sim_small.hosts.rows
+        assert np.array_equal(reg.asn_of(rows["ip"]), rows["asn"])
+        assert np.array_equal(reg.country_of(rows["ip"]), rows["cc"])
+
+    def test_subnet_matches_ground_truth(self, sim_small):
+        reg = IpRegistry.from_world(sim_small.world)
+        rows = sim_small.hosts.rows
+        assert np.array_equal(reg.subnet_of(rows["ip"]), rows["subnet"])
+
+
+class TestFromHosts:
+    def test_exact_address_lookup(self, sim_small):
+        reg = IpRegistry.from_hosts(sim_small.hosts)
+        rows = sim_small.hosts.rows
+        assert np.array_equal(reg.asn_of(rows["ip"]), rows["asn"])
+
+    def test_agrees_with_world_registry(self, sim_small):
+        world_reg = IpRegistry.from_world(sim_small.world)
+        host_reg = IpRegistry.from_hosts(sim_small.hosts)
+        ips = sim_small.hosts.rows["ip"]
+        assert np.array_equal(world_reg.asn_of(ips), host_reg.asn_of(ips))
+        assert np.array_equal(world_reg.country_of(ips), host_reg.country_of(ips))
+
+    def test_empty_hosts_rejected(self):
+        from repro.trace.hosts import HOST_DTYPE, HostTable
+
+        with pytest.raises(RegistryError):
+            IpRegistry.from_hosts(HostTable(np.empty(0, dtype=HOST_DTYPE)))
+
+    def test_len(self, sim_small):
+        reg = IpRegistry.from_hosts(sim_small.hosts)
+        assert len(reg) == len(sim_small.hosts)

@@ -1,0 +1,115 @@
+"""Passive RTT estimation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.heuristics.rtt import (
+    estimate_rtt_from_packets,
+    estimate_rtt_from_transfers,
+)
+from repro.trace.packets import PacketSynthesizer
+from repro.trace.records import FLOW_DTYPE, TRANSFER_DTYPE, PacketKind
+
+
+def make_log(rows):
+    out = np.zeros(len(rows), dtype=TRANSFER_DTYPE)
+    for i, (ts, src, dst, kind) in enumerate(rows):
+        out[i] = (ts, src, dst, 80 if kind == PacketKind.CONTROL else 16000,
+                  int(kind), 1e8)
+    return out
+
+
+class TestTransfersVariant:
+    def test_simple_match(self):
+        log = make_log(
+            [
+                (1.0, 10, 20, PacketKind.CONTROL),   # probe 10 asks peer 20
+                (1.05, 20, 10, PacketKind.VIDEO),    # data comes back
+                (2.0, 10, 20, PacketKind.CONTROL),
+                (2.20, 20, 10, PacketKind.VIDEO),
+            ]
+        )
+        rtt = estimate_rtt_from_transfers(log, probe_ip=10)
+        assert rtt == {20: pytest.approx(0.05)}
+
+    def test_minimum_over_exchanges(self):
+        log = make_log(
+            [
+                (1.0, 10, 20, PacketKind.CONTROL),
+                (1.30, 20, 10, PacketKind.VIDEO),
+                (2.0, 10, 20, PacketKind.CONTROL),
+                (2.02, 20, 10, PacketKind.VIDEO),
+            ]
+        )
+        assert estimate_rtt_from_transfers(log, 10)[20] == pytest.approx(0.02)
+
+    def test_unanswered_requests_absent(self):
+        log = make_log([(1.0, 10, 20, PacketKind.CONTROL)])
+        assert estimate_rtt_from_transfers(log, 10) == {}
+
+    def test_stale_responses_ignored(self):
+        log = make_log(
+            [
+                (1.0, 10, 20, PacketKind.CONTROL),
+                (9.0, 20, 10, PacketKind.VIDEO),   # way beyond max_match
+            ]
+        )
+        assert estimate_rtt_from_transfers(log, 10, max_match_s=5.0) == {}
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(AnalysisError):
+            estimate_rtt_from_transfers(np.zeros(1, dtype=FLOW_DTYPE), 10)
+
+    def test_per_peer_separation(self):
+        log = make_log(
+            [
+                (1.0, 10, 20, PacketKind.CONTROL),
+                (1.0, 10, 30, PacketKind.CONTROL),
+                (1.01, 20, 10, PacketKind.VIDEO),
+                (1.50, 30, 10, PacketKind.VIDEO),
+            ]
+        )
+        rtt = estimate_rtt_from_transfers(log, 10)
+        assert rtt[20] == pytest.approx(0.01)
+        assert rtt[30] == pytest.approx(0.50)
+
+
+class TestOnSimulation:
+    def test_estimates_plausible_and_rank_peers(self, sim_small):
+        probe = int(sim_small.probe_ips[0])
+        rtt = estimate_rtt_from_transfers(sim_small.transfers, probe)
+        assert len(rtt) > 5
+        values = np.array(list(rtt.values()))
+        # Lower-bounded by the engine's minimum latency, upper-bounded by
+        # serialisation at DSL rates plus queueing.
+        assert np.all(values > 0)
+        assert np.all(values < 5.0)
+        # Same-subnet peers (if any answered) must look fast.
+        hosts = sim_small.hosts
+        probe_subnet = int(hosts.row_for(probe)["subnet"])
+        local = [
+            v for ip, v in rtt.items()
+            if int(hosts.row_for(ip)["subnet"]) == probe_subnet
+        ]
+        far = [
+            v for ip, v in rtt.items()
+            if str(hosts.row_for(ip)["cc"]) == "CN"
+        ]
+        if local and far:
+            assert min(local) < np.median(far)
+
+    def test_packet_variant_agrees(self, sim_small):
+        probe = int(sim_small.probe_ips[0])
+        mask = (sim_small.transfers["src"] == probe) | (
+            sim_small.transfers["dst"] == probe
+        )
+        transfers = sim_small.transfers[mask]
+        synth = PacketSynthesizer(sim_small.hosts, sim_small.world.paths)
+        packets = synth.expand(transfers)
+        rtt_t = estimate_rtt_from_transfers(transfers, probe)
+        rtt_p = estimate_rtt_from_packets(packets, probe)
+        shared = set(rtt_t) & set(rtt_p)
+        assert len(shared) > 3
+        for ip in shared:
+            assert rtt_p[ip] == pytest.approx(rtt_t[ip], abs=1e-6)

@@ -1,0 +1,99 @@
+"""Session churn process."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.population.churn import ChurnConfig, ChurnProcess, Session
+
+
+class TestSession:
+    def test_online_interval(self):
+        s = Session(peer_id=0, join=10.0, leave=50.0)
+        assert s.online_at(10.0)
+        assert s.online_at(49.999)
+        assert not s.online_at(9.999)
+        assert not s.online_at(50.0)
+
+    def test_duration(self):
+        assert Session(0, 5.0, 12.5).duration == 7.5
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"initial_fraction": -0.1},
+            {"initial_fraction": 1.1},
+            {"mean_session_s": 0},
+            {"sigma": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(**kw)
+
+
+class TestGenerate:
+    def _gen(self, n=500, horizon=600.0, seed=0, **kw):
+        return ChurnProcess.generate(
+            list(range(n)), horizon, ChurnConfig(**kw), np.random.default_rng(seed)
+        )
+
+    def test_one_session_per_peer(self):
+        proc = self._gen()
+        assert len(proc) == 500
+        assert {s.peer_id for s in proc.sessions} == set(range(500))
+
+    def test_sessions_inside_horizon(self):
+        proc = self._gen()
+        for s in proc.sessions:
+            assert 0.0 <= s.join <= s.leave <= 600.0
+
+    def test_initial_fraction(self):
+        proc = self._gen(n=2000, initial_fraction=0.75)
+        at_zero = sum(1 for s in proc.sessions if s.join == 0.0)
+        assert 0.68 < at_zero / 2000 < 0.82
+
+    def test_all_initial(self):
+        proc = self._gen(n=100, initial_fraction=1.0)
+        assert all(s.join == 0.0 for s in proc.sessions)
+
+    def test_none_initial(self):
+        proc = self._gen(n=100, initial_fraction=0.0)
+        assert all(s.join > 0.0 for s in proc.sessions)
+
+    def test_mean_session_roughly_configured(self):
+        proc = self._gen(n=4000, horizon=1e9, mean_session_s=1000.0, sigma=0.8)
+        mean = np.mean([s.duration for s in proc.sessions])
+        assert 800 < mean < 1250
+
+    def test_online_queries_consistent(self):
+        proc = self._gen(n=300)
+        t = 300.0
+        ids = proc.online_at(t)
+        assert len(ids) == proc.online_count_at(t)
+        for pid in ids:
+            assert proc.session_of(pid).online_at(t)
+
+    def test_deterministic(self):
+        a = self._gen(seed=4)
+        b = self._gen(seed=4)
+        assert [(s.join, s.leave) for s in a.sessions] == [
+            (s.join, s.leave) for s in b.sessions
+        ]
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._gen(horizon=0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1.0), st.integers(1, 200))
+    def test_property_sessions_clipped(self, frac, n):
+        proc = ChurnProcess.generate(
+            list(range(n)), 100.0,
+            ChurnConfig(initial_fraction=frac, mean_session_s=50.0),
+            np.random.default_rng(1),
+        )
+        assert all(s.leave <= 100.0 for s in proc.sessions)

@@ -1,0 +1,67 @@
+"""Audience demographics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.population.demographics import Demographics, cctv1_audience
+
+
+class TestValidation:
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Demographics(country_weights={})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Demographics(country_weights={"CN": -1.0})
+
+    def test_zero_sum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Demographics(country_weights={"CN": 0.0})
+
+    def test_bad_probe_as_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Demographics(country_weights={"CN": 1.0}, probe_as_fraction=1.5)
+
+
+class TestNormalisation:
+    def test_weights_normalise(self):
+        demo = Demographics(country_weights={"CN": 3.0, "IT": 1.0})
+        codes, probs = demo.normalised_weights()
+        assert probs.sum() == pytest.approx(1.0)
+        assert dict(zip(codes, probs))["CN"] == pytest.approx(0.75)
+
+    def test_alignment(self):
+        demo = Demographics(country_weights={"CN": 1.0, "IT": 2.0, "FR": 1.0})
+        codes, probs = demo.normalised_weights()
+        assert len(codes) == len(probs) == 3
+
+
+class TestHighBwLookup:
+    def test_explicit(self):
+        demo = Demographics(
+            country_weights={"CN": 1.0}, highbw_fraction={"CN": 0.4}
+        )
+        assert demo.highbw_for("CN") == 0.4
+
+    def test_default(self):
+        demo = Demographics(country_weights={"CN": 1.0}, default_highbw=0.25)
+        assert demo.highbw_for("IT") == 0.25
+
+
+class TestCctv1Audience:
+    def test_china_dominates(self):
+        codes, probs = cctv1_audience().normalised_weights()
+        shares = dict(zip(codes, probs))
+        assert shares["CN"] > 0.5
+        assert shares["CN"] > 10 * shares["IT"]
+
+    def test_probe_countries_present(self):
+        demo = cctv1_audience()
+        for cc in ("IT", "FR", "HU", "PL"):
+            assert demo.country_weights.get(cc, 0) > 0
+
+    def test_probability_mass_sums_to_one(self):
+        _, probs = cctv1_audience().normalised_weights()
+        assert np.isclose(probs.sum(), 1.0)

@@ -1,0 +1,99 @@
+"""Swarm generation on the synthetic Internet."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.population.demographics import Demographics, cctv1_audience
+from repro.population.generator import PopulationConfig, generate_population
+from repro.topology.world import PROBE_AS_NUMBERS, World
+
+
+@pytest.fixture(scope="module")
+def pop_world():
+    return World()
+
+
+def _gen(world, size=600, seed=3, **demo_kw):
+    demo = cctv1_audience(**demo_kw) if demo_kw else None
+    return generate_population(
+        world, PopulationConfig(size=size, demographics=demo),
+        np.random.default_rng(seed),
+    )
+
+
+class TestConfig:
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PopulationConfig(size=-1)
+
+    def test_bad_unix_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PopulationConfig(size=10, unix_fraction=2.0)
+
+    def test_zero_size_ok(self, pop_world):
+        assert _gen(pop_world, size=0) == []
+
+
+class TestComposition:
+    def test_size(self, pop_world):
+        assert len(_gen(pop_world)) == 600
+
+    def test_unique_ids_and_ips(self, pop_world):
+        peers = _gen(pop_world)
+        assert len({p.peer_id for p in peers}) == len(peers)
+        assert len({p.endpoint.ip for p in peers}) == len(peers)
+
+    def test_china_dominates(self, pop_world):
+        peers = _gen(pop_world)
+        cn = sum(1 for p in peers if p.endpoint.country_code == "CN")
+        assert cn / len(peers) > 0.5
+
+    def test_highbw_fraction_plausible(self, pop_world):
+        peers = _gen(pop_world, size=1500)
+        frac = np.mean([p.is_high_bandwidth for p in peers])
+        assert 0.2 < frac < 0.55
+
+    def test_some_campus_civilians(self, pop_world):
+        peers = _gen(pop_world, size=1500)
+        campus_asns = {asn for asn, _ in PROBE_AS_NUMBERS.values()}
+        in_campus = [p for p in peers if p.endpoint.asn in campus_asns]
+        assert len(in_campus) > 0
+        # Campus civilians belong to probe countries only.
+        assert all(
+            p.endpoint.country_code in ("IT", "FR", "HU", "PL") for p in in_campus
+        )
+
+    def test_probe_as_fraction_zero_means_no_civilians(self, pop_world):
+        peers = _gen(pop_world, size=800, probe_as_fraction=0.0)
+        campus_asns = {asn for asn, _ in PROBE_AS_NUMBERS.values()}
+        assert not any(p.endpoint.asn in campus_asns for p in peers)
+
+    def test_ttl_mix(self, pop_world):
+        peers = _gen(pop_world, size=1500)
+        ttls = {p.endpoint.initial_ttl for p in peers}
+        assert 128 in ttls
+        unix = sum(1 for p in peers if p.endpoint.initial_ttl == 64)
+        assert 0 < unix / len(peers) < 0.15
+
+    def test_deterministic(self):
+        w1, w2 = World(), World()
+        p1 = _gen(w1, seed=9)
+        p2 = _gen(w2, seed=9)
+        assert [p.endpoint.ip for p in p1] == [p.endpoint.ip for p in p2]
+
+    def test_seed_changes_population(self):
+        w1, w2 = World(), World()
+        p1 = _gen(w1, seed=1)
+        p2 = _gen(w2, seed=2)
+        assert [p.endpoint.country_code for p in p1] != [
+            p.endpoint.country_code for p in p2
+        ]
+
+    def test_country_without_isp_falls_back(self, pop_world):
+        demo = Demographics(country_weights={"CN": 1.0, "BR": 50.0})
+        peers = generate_population(
+            pop_world, PopulationConfig(size=50, demographics=demo),
+            np.random.default_rng(0),
+        )
+        assert len(peers) == 50  # BR has an ISP in the default world; no crash

@@ -1,0 +1,92 @@
+"""Sanity of the transcribed paper numbers (internal consistency)."""
+
+import math
+
+from repro.report.paper import (
+    PAPER_FIG2_RATIOS,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+)
+
+
+class TestTable2Transcription:
+    def test_apps(self):
+        assert set(PAPER_TABLE2) == {"pplive", "sopcast", "tvants"}
+
+    def test_reach_ordering_as_published(self):
+        assert (
+            PAPER_TABLE2["pplive"]["all_peers_mean"]
+            > PAPER_TABLE2["sopcast"]["all_peers_mean"]
+            > PAPER_TABLE2["tvants"]["all_peers_mean"]
+        )
+
+    def test_max_geq_mean(self):
+        for row in PAPER_TABLE2.values():
+            assert row["rx_kbps_max"] >= row["rx_kbps_mean"]
+            assert row["tx_kbps_max"] >= row["tx_kbps_mean"]
+
+    def test_pplive_upload_heavy(self):
+        assert PAPER_TABLE2["pplive"]["tx_kbps_mean"] > 3000
+
+
+class TestTable3Transcription:
+    def test_tvants_highest_self_bias(self):
+        assert PAPER_TABLE3["tvants"]["contrib_byte_pct"] > 50
+
+    def test_percentages_bounded(self):
+        for row in PAPER_TABLE3.values():
+            for v in row.values():
+                assert 0 <= v <= 100
+
+
+class TestTable4Transcription:
+    def test_full_grid(self):
+        metrics = {k[0] for k in PAPER_TABLE4}
+        apps = {k[1] for k in PAPER_TABLE4}
+        dirs = {k[2] for k in PAPER_TABLE4}
+        assert metrics == {"BW", "AS", "CC", "NET", "HOP"}
+        assert apps == {"pplive", "sopcast", "tvants"}
+        assert dirs == {"download", "upload"}
+        assert len(PAPER_TABLE4) == 30
+
+    def test_bw_upload_unmeasured(self):
+        for app in ("pplive", "sopcast", "tvants"):
+            cell = PAPER_TABLE4[("BW", app, "upload")]
+            assert all(math.isnan(v) for v in cell.values())
+
+    def test_bw_download_values(self):
+        for app in ("pplive", "sopcast", "tvants"):
+            cell = PAPER_TABLE4[("BW", app, "download")]
+            assert cell["B"] > 95 and cell["P"] > 83
+
+    def test_pplive_as_ratio_about_ten(self):
+        cell = PAPER_TABLE4[("AS", "pplive", "download")]
+        assert 8 < cell["B_prime"] / cell["P_prime"] < 12
+
+    def test_sopcast_as_no_preference(self):
+        cell = PAPER_TABLE4[("AS", "sopcast", "download")]
+        assert abs(cell["B_prime"] - cell["P_prime"]) < 0.5
+
+    def test_net_prime_unmeasured(self):
+        for app in ("pplive", "sopcast", "tvants"):
+            cell = PAPER_TABLE4[("NET", app, "download")]
+            assert math.isnan(cell["B_prime"])
+            assert not math.isnan(cell["B"])
+
+    def test_values_bounded(self):
+        for cell in PAPER_TABLE4.values():
+            for v in cell.values():
+                assert math.isnan(v) or 0 <= v <= 100
+
+
+class TestFig2Transcription:
+    def test_ratio_ordering(self):
+        assert (
+            PAPER_FIG2_RATIOS["tvants"]
+            > PAPER_FIG2_RATIOS["pplive"]
+            > PAPER_FIG2_RATIOS["sopcast"]
+        )
+
+    def test_tvants_nearly_two(self):
+        assert PAPER_FIG2_RATIOS["tvants"] == 1.93

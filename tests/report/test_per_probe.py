@@ -1,0 +1,70 @@
+"""Per-probe breakdown view."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitions import ASPartition, BWPartition
+from repro.core.views import build_views
+from repro.errors import AnalysisError
+from repro.report.per_probe import (
+    per_probe_breakdown,
+    render_probe_breakdown,
+)
+
+
+@pytest.fixture(scope="module")
+def breakdown(flows_small, sim_small):
+    views = build_views(flows_small)
+    return per_probe_breakdown(views.download, BWPartition(), sim_small.testbed)
+
+
+class TestBreakdown:
+    def test_one_row_per_probe(self, breakdown, sim_small):
+        assert len(breakdown.rows) == len(sim_small.testbed)
+
+    def test_rows_labelled(self, breakdown):
+        row = breakdown.row("PoliTO-1")
+        assert row.site == "PoliTO"
+        assert row.access == "high-bw"
+
+    def test_unknown_label(self, breakdown):
+        with pytest.raises(KeyError):
+            breakdown.row("MIT-1")
+
+    def test_sum_matches_aggregate(self, breakdown, report_small):
+        agg = report_small["BW"].download.all_peers
+        total_pref = sum(r.counts.peers_preferred for r in breakdown.rows)
+        total = sum(r.counts.total_peers for r in breakdown.rows)
+        assert total_pref == agg.peers_preferred
+        assert total == agg.total_peers
+
+    def test_every_probe_has_contributors(self, breakdown):
+        assert all(r.counts.total_peers > 0 for r in breakdown.rows)
+
+    def test_spread(self, breakdown):
+        mean, std = breakdown.spread("B")
+        assert 80 < mean <= 100
+        assert std >= 0
+
+    def test_heterogeneity_visible(self, flows_small, sim_small, registry_small):
+        # AS preference concentrates on campus probes; home probes (own
+        # tiny ASes) have essentially none.
+        views = build_views(flows_small)
+        bd = per_probe_breakdown(
+            views.download, ASPartition(registry_small), sim_small.testbed
+        )
+        campus = [r.B for r in bd.rows if r.access == "high-bw" and not np.isnan(r.B)]
+        home = [r.B for r in bd.rows if r.access != "high-bw" and not np.isnan(r.B)]
+        assert np.mean(campus) > np.mean(home)
+
+
+class TestRender:
+    def test_render(self, breakdown):
+        out = render_probe_breakdown(breakdown)
+        assert "PER-PROBE BW" in out
+        assert "PoliTO-1" in out
+        assert "±" in out
+
+    def test_limit(self, breakdown):
+        out = render_probe_breakdown(breakdown, limit=3)
+        assert "WUT-9" not in out

@@ -1,0 +1,71 @@
+"""Text renderers."""
+
+from repro.experiments.figure1 import build_figure1
+from repro.experiments.figure2 import build_figure2
+from repro.experiments.table1 import build_table1
+from repro.experiments.table2 import build_table2
+from repro.experiments.table3 import build_table3
+from repro.experiments.table4 import build_table4
+from repro.report.figures import render_figure1, render_figure2, render_matrix
+from repro.report.tables import (
+    render_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+
+class TestGenericTable:
+    def test_alignment(self):
+        out = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines}) == 1  # rectangular
+
+    def test_title(self):
+        out = render_table(["x"], [["1"]], title="TITLE")
+        assert out.startswith("TITLE")
+
+
+class TestTableRenderers:
+    def test_table1(self, testbed):
+        out = render_table1(build_table1(testbed))
+        assert "TABLE I" in out
+        assert "PoliTO" in out and "high-bw" in out and "DSL 6/0.512" in out
+        assert "46 hosts" in out
+
+    def test_table2(self, campaign_small):
+        out = render_table2(build_table2(campaign_small))
+        assert "TABLE II" in out
+        for app in ("pplive", "sopcast", "tvants"):
+            assert app in out
+
+    def test_table3(self, campaign_small):
+        out = render_table3(build_table3(campaign_small))
+        assert "TABLE III" in out
+
+    def test_table4_dashes_for_unmeasurable(self, campaign_small):
+        out = render_table4(build_table4(campaign_small))
+        assert "TABLE IV" in out
+        # BW upload cells are '-'.
+        bw_lines = [l for l in out.splitlines() if l.lstrip().startswith("BW")]
+        assert bw_lines and all(l.rstrip().endswith("-") for l in bw_lines)
+
+
+class TestFigureRenderers:
+    def test_figure1(self, campaign_small):
+        out = render_figure1(build_figure1(campaign_small))
+        assert "FIGURE 1" in out
+        assert "CN:" in out and "RX" in out and "TX" in out
+
+    def test_figure2(self, campaign_small):
+        out = render_figure2(build_figure2(campaign_small))
+        assert "FIGURE 2" in out
+        assert "R(intra/inter)" in out
+
+    def test_generic_matrix(self):
+        import numpy as np
+
+        out = render_matrix(np.eye(2), ["A", "B"], title="M")
+        assert out.startswith("M")
+        assert "A" in out and "B" in out

@@ -1,0 +1,68 @@
+"""Chunk clock arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.streaming.chunk import ChunkClock
+from repro.units import kbps
+
+
+@pytest.fixture()
+def clock() -> ChunkClock:
+    # The paper's channel: 384 kb/s cut into 16 kB chunks = 3 chunks/s.
+    return ChunkClock(rate_bps=kbps(384), chunk_bytes=16_000)
+
+
+class TestBasics:
+    def test_chunk_interval(self, clock):
+        assert clock.chunk_interval == pytest.approx(1 / 3)
+
+    def test_chunks_per_second(self, clock):
+        assert clock.chunks_per_second == pytest.approx(3.0)
+
+    def test_generation_time(self, clock):
+        assert clock.generation_time(0) == 0.0
+        assert clock.generation_time(9) == pytest.approx(3.0)
+
+    def test_latest_chunk(self, clock):
+        assert clock.latest_chunk(0.0) == 0
+        assert clock.latest_chunk(1.0) == 3
+        assert clock.latest_chunk(0.99) == 2
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            ChunkClock(rate_bps=0, chunk_bytes=100)
+        with pytest.raises(ConfigurationError):
+            ChunkClock(rate_bps=100, chunk_bytes=0)
+
+
+class TestChunkRange:
+    def test_basic(self, clock):
+        assert list(clock.chunk_range(0.0, 1.0)) == [1, 2, 3]
+
+    def test_empty(self, clock):
+        assert list(clock.chunk_range(1.0, 1.0)) == []
+
+    @given(st.floats(min_value=0, max_value=1e4), st.floats(min_value=0, max_value=100))
+    def test_latest_consistent_with_generation(self, t, dt):
+        clock = ChunkClock(rate_bps=kbps(384), chunk_bytes=16_000)
+        latest = clock.latest_chunk(t)
+        eps = 1e-9 * max(1.0, t)  # float division at exact boundaries
+        assert clock.generation_time(latest) <= t + eps
+        assert clock.generation_time(latest + 1) > t - eps
+
+    @given(
+        st.floats(min_value=0, max_value=1000),
+        st.floats(min_value=0, max_value=1000),
+    )
+    def test_range_is_consecutive(self, a, b):
+        clock = ChunkClock(rate_bps=kbps(384), chunk_bytes=16_000)
+        lo, hi = min(a, b), max(a, b)
+        ids = list(clock.chunk_range(lo, hi))
+        if ids:
+            assert ids == list(range(ids[0], ids[-1] + 1))
+            eps = 1e-9 * max(1.0, hi)  # float rounding at chunk boundaries
+            assert all(
+                lo - eps < clock.generation_time(c) <= hi + eps for c in ids
+            )

@@ -1,0 +1,140 @@
+"""Engine integration: physical invariants of the simulated traffic."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.engine import EngineConfig, simulate
+from repro.streaming.profiles import get_profile
+from repro.trace.records import PacketKind
+from repro.units import BITS_PER_BYTE
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate(
+        get_profile("tvants"), engine_config=EngineConfig(duration_s=60.0, seed=5)
+    )
+
+
+class TestLogWellFormed:
+    def test_timestamps_in_window(self, result):
+        ts = result.transfers["ts"]
+        assert np.all(ts >= 0.0)
+        # Queued uploads may start slightly after the horizon was reached.
+        assert np.all(ts <= result.duration_s + 5.0)
+
+    def test_sorted_by_time(self, result):
+        ts = result.transfers["ts"]
+        assert np.all(np.diff(ts) >= 0)
+
+    def test_no_self_traffic(self, result):
+        assert np.all(result.transfers["src"] != result.transfers["dst"])
+
+    def test_all_addresses_known(self, result):
+        tr = result.transfers
+        for col in ("src", "dst"):
+            result.hosts.indices_of(tr[col])  # raises on unknown
+
+    def test_kinds_valid(self, result):
+        kinds = set(np.unique(result.transfers["kind"]).tolist())
+        assert kinds <= {int(k) for k in PacketKind}
+
+    def test_every_transfer_touches_a_probe(self, result):
+        tr = result.transfers
+        probes = result.probe_ips
+        touches = np.isin(tr["src"], probes) | np.isin(tr["dst"], probes)
+        assert np.all(touches)
+
+    def test_signaling_intervals_well_formed(self, result):
+        sig = result.signaling
+        assert np.all(sig["start"] < sig["stop"])
+        assert np.all(sig["stop"] <= result.duration_s)
+        assert np.all(sig["interval"] > 0)
+
+
+class TestStreamingBehaviour:
+    def test_probes_receive_roughly_stream_rate(self, result):
+        tr = result.transfers
+        video = tr[tr["kind"] == int(PacketKind.VIDEO)]
+        probes = result.probe_ips
+        rx = video[np.isin(video["dst"], probes)]
+        per_probe = []
+        for ip in probes:
+            nbytes = rx["bytes"][rx["dst"] == ip].sum()
+            per_probe.append(nbytes * BITS_PER_BYTE / result.duration_s)
+        mean_rate = np.mean(per_probe)
+        nominal = result.profile.video.rate_bps
+        assert 0.75 * nominal < mean_rate < 1.25 * nominal
+
+    def test_uplink_capacity_respected(self, result):
+        tr = result.transfers
+        video = tr[tr["kind"] == int(PacketKind.VIDEO)]
+        for src in np.unique(video["src"]):
+            sent = video["bytes"][video["src"] == src].sum()
+            cap = float(result.hosts.row_for(int(src))["up_bps"])
+            # Average sending rate cannot exceed the uplink (small slack for
+            # the tail transfer crossing the horizon).
+            assert sent * BITS_PER_BYTE / result.duration_s <= cap * 1.1
+
+    def test_video_flows_from_many_distinct_providers(self, result):
+        tr = result.transfers
+        video = tr[tr["kind"] == int(PacketKind.VIDEO)]
+        probes = result.probe_ips
+        rx = video[np.isin(video["dst"], probes)]
+        assert len(np.unique(rx["src"])) > 30
+
+    def test_remote_demand_generates_probe_uploads(self, result):
+        tr = result.transfers
+        video = tr[tr["kind"] == int(PacketKind.VIDEO)]
+        probes = result.probe_ips
+        tx = video[np.isin(video["src"], probes) & ~np.isin(video["dst"], probes)]
+        assert tx["bytes"].sum() > 0
+
+    def test_signaling_present_both_directions(self, result):
+        tr = result.transfers
+        sig = tr[tr["kind"] == int(PacketKind.SIGNALING)]
+        probes = result.probe_ips
+        assert np.isin(sig["src"], probes).any()
+        assert np.isin(sig["dst"], probes).any()
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_logs(self):
+        cfg = EngineConfig(duration_s=20.0, seed=77)
+        a = simulate(get_profile("tvants"), engine_config=cfg)
+        b = simulate(get_profile("tvants"), engine_config=cfg)
+        assert np.array_equal(a.transfers, b.transfers)
+        assert np.array_equal(a.signaling, b.signaling)
+        assert np.array_equal(a.hosts.rows, b.hosts.rows)
+
+    def test_seed_changes_traffic(self):
+        a = simulate(
+            get_profile("tvants"), engine_config=EngineConfig(duration_s=20.0, seed=1)
+        )
+        b = simulate(
+            get_profile("tvants"), engine_config=EngineConfig(duration_s=20.0, seed=2)
+        )
+        assert not np.array_equal(a.transfers, b.transfers)
+
+
+class TestHostTable:
+    def test_probe_count(self, result):
+        assert len(result.probe_ips) == 46
+
+    def test_swarm_size(self, result):
+        rows = result.hosts.rows
+        assert (~rows["is_probe"]).sum() == result.profile.swarm_size
+
+    def test_ground_truth_classes_consistent(self, result):
+        rows = result.hosts.rows
+        assert np.all(rows["highbw"] == (rows["up_bps"] > 10e6))
+
+
+class TestEngineConfig:
+    def test_bad_duration_rejected(self):
+        with pytest.raises(Exception):
+            EngineConfig(duration_s=0)
+
+    def test_bad_rebalance_rejected(self):
+        with pytest.raises(Exception):
+            EngineConfig(demand_rebalance_s=0)

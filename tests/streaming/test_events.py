@@ -1,0 +1,73 @@
+"""Deterministic event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.streaming.events import EventQueue
+
+
+class TestScheduling:
+    def test_fifo_within_same_time(self):
+        q = EventQueue()
+        order = []
+        q.schedule(1.0, order.append, "a")
+        q.schedule(1.0, order.append, "b")
+        q.schedule(1.0, order.append, "c")
+        q.run_until(2.0)
+        assert order == ["a", "b", "c"]
+
+    def test_time_ordering(self):
+        q = EventQueue()
+        order = []
+        q.schedule(3.0, order.append, 3)
+        q.schedule(1.0, order.append, 1)
+        q.schedule(2.0, order.append, 2)
+        q.run_until(10.0)
+        assert order == [1, 2, 3]
+
+    def test_past_scheduling_rejected(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda: None)
+        q.run_until(5.0)
+        with pytest.raises(SimulationError):
+            q.schedule(4.0, lambda: None)
+
+    def test_run_until_boundary_inclusive(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(5.0, fired.append, True)
+        q.run_until(5.0)
+        assert fired == [True]
+
+    def test_events_beyond_horizon_stay_queued(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(5.0, fired.append, 1)
+        q.schedule(7.0, fired.append, 2)
+        assert q.run_until(6.0) == 1
+        assert fired == [1]
+        assert len(q) == 1
+
+    def test_now_advances_to_horizon(self):
+        q = EventQueue()
+        q.run_until(12.5)
+        assert q.now == 12.5
+
+    def test_events_can_reschedule(self):
+        q = EventQueue()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 5:
+                q.schedule(q.now + 1.0, tick)
+
+        q.schedule(0.0, tick)
+        q.run_until(100.0)
+        assert count[0] == 5
+
+    def test_processed_count(self):
+        q = EventQueue()
+        for i in range(7):
+            q.schedule(float(i), lambda: None)
+        assert q.run_until(10.0) == 7

@@ -1,0 +1,125 @@
+"""Awareness-weighted peer selection."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.streaming.selection import (
+    CandidateFeatures,
+    SelectionPolicy,
+    SelectionWeights,
+)
+
+
+def feats(highbw, same_as=None, same_cc=None, same_net=None, near=None):
+    n = len(highbw)
+    z = np.zeros(n, dtype=bool)
+    return CandidateFeatures(
+        highbw=np.asarray(highbw, dtype=bool),
+        same_as=np.asarray(same_as, dtype=bool) if same_as is not None else z,
+        same_cc=np.asarray(same_cc, dtype=bool) if same_cc is not None else z.copy(),
+        same_net=np.asarray(same_net, dtype=bool) if same_net is not None else z.copy(),
+        near=np.asarray(near, dtype=bool) if near is not None else z.copy(),
+    )
+
+
+class TestWeights:
+    def test_no_awareness(self):
+        assert not SelectionWeights().any_awareness()
+
+    def test_any_awareness(self):
+        assert SelectionWeights(bw=1.0).any_awareness()
+        assert SelectionWeights(hop=0.5).any_awareness()
+
+
+class TestScores:
+    def test_zero_weights_flat(self, rng):
+        policy = SelectionPolicy(SelectionWeights(), rng)
+        s = policy.scores(feats([True, False, True]))
+        assert np.all(s == 0)
+
+    def test_additive(self, rng):
+        policy = SelectionPolicy(SelectionWeights(bw=1.0, as_=2.0), rng)
+        f = feats([True, False], same_as=[True, False])
+        s = policy.scores(f)
+        assert s[0] == pytest.approx(3.0)
+        assert s[1] == pytest.approx(0.0)
+
+
+class TestProbabilities:
+    def test_sum_to_one(self, rng):
+        policy = SelectionPolicy(SelectionWeights(bw=2.0), rng)
+        p = policy.probabilities(feats([True, False, False, True]))
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_uniform_when_weightless(self, rng):
+        policy = SelectionPolicy(SelectionWeights(), rng)
+        p = policy.probabilities(feats([True, False, True, False]))
+        assert np.allclose(p, 0.25)
+
+    def test_weight_ratio_is_exponential(self, rng):
+        w = 1.5
+        policy = SelectionPolicy(SelectionWeights(bw=w), rng)
+        p = policy.probabilities(feats([True, False]))
+        assert p[0] / p[1] == pytest.approx(math.exp(w))
+
+    def test_temperature_flattens(self, rng):
+        sharp = SelectionPolicy(SelectionWeights(bw=2.0), rng, temperature=0.5)
+        flat = SelectionPolicy(SelectionWeights(bw=2.0), rng, temperature=4.0)
+        f = feats([True, False])
+        assert sharp.probabilities(f)[0] > flat.probabilities(f)[0]
+
+    def test_empty_batch(self, rng):
+        policy = SelectionPolicy(SelectionWeights(bw=1.0), rng)
+        assert len(policy.probabilities(feats([]))) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=30),
+        st.floats(min_value=0.0, max_value=5.0),
+    )
+    def test_property_valid_distribution(self, flags, w):
+        policy = SelectionPolicy(
+            SelectionWeights(bw=w), np.random.default_rng(0)
+        )
+        p = policy.probabilities(feats(flags))
+        assert np.all(p >= 0)
+        assert p.sum() == pytest.approx(1.0)
+
+
+class TestChoose:
+    def test_choose_distinct(self, rng):
+        policy = SelectionPolicy(SelectionWeights(bw=1.0), rng)
+        picked = policy.choose(feats([True] * 10), k=5)
+        assert len(set(picked.tolist())) == 5
+
+    def test_choose_caps_at_batch(self, rng):
+        policy = SelectionPolicy(SelectionWeights(), rng)
+        assert len(policy.choose(feats([True, False]), k=10)) == 2
+
+    def test_choose_empty(self, rng):
+        policy = SelectionPolicy(SelectionWeights(), rng)
+        assert len(policy.choose(feats([]), k=3)) == 0
+        assert policy.choose_one(feats([])) == -1
+
+    def test_bias_observable_in_sampling(self):
+        policy = SelectionPolicy(
+            SelectionWeights(bw=2.5), np.random.default_rng(0)
+        )
+        f = feats([True] * 30 + [False] * 70)
+        hits = sum(int(policy.choose_one(f)) < 30 for _ in range(800))
+        # e^2.5 ≈ 12.2 weight: expected high-bw pick share ≈ 0.84.
+        assert hits / 800 > 0.7
+
+    def test_zero_temperature_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            SelectionPolicy(SelectionWeights(), rng, temperature=0.0)
+
+    def test_deterministic_given_rng(self):
+        f = feats([True, False] * 10)
+        a = SelectionPolicy(SelectionWeights(bw=1.0), np.random.default_rng(5))
+        b = SelectionPolicy(SelectionWeights(bw=1.0), np.random.default_rng(5))
+        assert a.choose(f, 5).tolist() == b.choose(f, 5).tolist()

@@ -1,0 +1,132 @@
+"""Transport: uplink serialisation, recording, signaling book."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.streaming.transport import (
+    SignalingBook,
+    TransferRecorder,
+    UplinkScheduler,
+    bottleneck_bps,
+    path_latency,
+)
+from repro.trace.records import SIGNALING_DTYPE, TRANSFER_DTYPE, PacketKind
+from repro.units import kbps, mbps
+
+
+class TestHelpers:
+    def test_bottleneck(self):
+        assert bottleneck_bps(mbps(100), mbps(4)) == mbps(4)
+        assert bottleneck_bps(kbps(384), mbps(100)) == kbps(384)
+
+    def test_latency_grows_with_hops(self):
+        assert path_latency(20) > path_latency(2) > 0
+
+
+class TestRecorder:
+    def test_round_trip(self):
+        rec = TransferRecorder()
+        rec.record(1.0, 10, 20, 16000, PacketKind.VIDEO, mbps(10))
+        rec.record(0.5, 11, 21, 80, PacketKind.CONTROL, mbps(1))
+        out = rec.finalize()
+        assert out.dtype == TRANSFER_DTYPE
+        assert len(out) == 2
+        # Sorted by time.
+        assert out["ts"][0] == 0.5
+        assert out["src"][1] == 10 and out["dst"][1] == 20
+        assert out["kind"][0] == int(PacketKind.CONTROL)
+
+    def test_empty(self):
+        assert len(TransferRecorder().finalize()) == 0
+
+    def test_len(self):
+        rec = TransferRecorder()
+        assert len(rec) == 0
+        rec.record(0, 1, 2, 3, PacketKind.SIGNALING, 1.0)
+        assert len(rec) == 1
+
+
+class TestUplinkScheduler:
+    def test_serialisation(self):
+        up = np.array([kbps(384)])
+        sched = UplinkScheduler(1, up)
+        # One 16 kB chunk takes 1/3 s at 384 kb/s.
+        s1 = sched.admit(0, 0.0, 16_000)
+        s2 = sched.admit(0, 0.0, 16_000)
+        assert s1 == 0.0
+        assert s2 == pytest.approx(1 / 3)
+
+    def test_backlog_bound(self):
+        sched = UplinkScheduler(1, np.array([kbps(384)]), max_backlog_s=1.0)
+        admitted = 0
+        for _ in range(10):
+            if sched.admit(0, 0.0, 16_000) is not None:
+                admitted += 1
+        # 1 s of backlog holds three 1/3-s chunks (plus the one at t=0).
+        assert admitted == 4
+
+    def test_idle_uplink_starts_immediately(self):
+        sched = UplinkScheduler(1, np.array([mbps(100)]))
+        sched.admit(0, 0.0, 16_000)
+        assert sched.admit(0, 10.0, 16_000) == 10.0
+
+    def test_backlog_query(self):
+        sched = UplinkScheduler(1, np.array([kbps(384)]))
+        sched.admit(0, 0.0, 16_000)
+        assert sched.backlog(0, 0.0) == pytest.approx(1 / 3)
+        assert sched.backlog(0, 10.0) == 0.0
+
+    def test_independent_peers(self):
+        sched = UplinkScheduler(2, np.array([kbps(384), mbps(100)]))
+        sched.admit(0, 0.0, 16_000)
+        assert sched.admit(1, 0.0, 16_000) == 0.0
+
+    def test_misaligned_capacities_rejected(self):
+        with pytest.raises(SimulationError):
+            UplinkScheduler(2, np.array([1.0]))
+
+
+class TestSignalingBook:
+    def test_open_close(self):
+        book = SignalingBook()
+        book.open(1, 2, 10.0, 2.0, 120)
+        book.close(1, 2, 30.0)
+        out = book.finalize(100.0)
+        assert out.dtype == SIGNALING_DTYPE
+        assert len(out) == 1
+        assert out["start"][0] == 10.0 and out["stop"][0] == 30.0
+
+    def test_finalize_closes_open(self):
+        book = SignalingBook()
+        book.open(1, 2, 10.0, 2.0, 120)
+        out = book.finalize(50.0)
+        assert out["stop"][0] == 50.0
+
+    def test_reopen_keeps_earlier_start(self):
+        book = SignalingBook()
+        book.open(1, 2, 10.0, 2.0, 120)
+        book.open(1, 2, 20.0, 2.0, 120)
+        out = book.finalize(50.0)
+        assert len(out) == 1
+        assert out["start"][0] == 10.0
+
+    def test_close_is_directional(self):
+        book = SignalingBook()
+        book.open(1, 2, 0.0, 2.0, 120)
+        book.open(2, 1, 0.0, 2.0, 120)
+        book.close(1, 2, 10.0)
+        out = book.finalize(20.0)
+        stops = {(int(r["src"]), int(r["dst"])): float(r["stop"]) for r in out}
+        assert stops[(1, 2)] == 10.0
+        assert stops[(2, 1)] == 20.0
+
+    def test_zero_length_interval_dropped(self):
+        book = SignalingBook()
+        book.open(1, 2, 10.0, 2.0, 120)
+        book.close(1, 2, 10.0)
+        assert len(book.finalize(20.0)) == 0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            SignalingBook().open(1, 2, 0.0, 0.0, 10)

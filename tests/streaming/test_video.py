@@ -1,0 +1,41 @@
+"""Video/channel configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streaming.video import (
+    DEFAULT_CHUNK_BYTES,
+    DEFAULT_STREAM_RATE_BPS,
+    VideoConfig,
+)
+
+
+class TestDefaults:
+    def test_paper_rate(self):
+        # CCTV-1 nominal 384 kb/s.
+        assert DEFAULT_STREAM_RATE_BPS == 384_000
+
+    def test_default_chunking_three_per_second(self):
+        cfg = VideoConfig()
+        assert cfg.clock.chunks_per_second == pytest.approx(3.0)
+
+    def test_default_chunk_bytes(self):
+        assert VideoConfig().chunk_bytes == DEFAULT_CHUNK_BYTES
+
+
+class TestValidation:
+    def test_playout_inside_window(self):
+        with pytest.raises(ConfigurationError):
+            VideoConfig(buffer_window_s=10.0, playout_delay_s=10.0)
+
+    def test_negative_playout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VideoConfig(playout_delay_s=-1.0)
+
+    def test_nonpositive_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VideoConfig(buffer_window_s=0.0)
+
+    def test_clock_reflects_custom_rate(self):
+        cfg = VideoConfig(rate_bps=768_000, chunk_bytes=16_000)
+        assert cfg.clock.chunks_per_second == pytest.approx(6.0)

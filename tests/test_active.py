@@ -1,0 +1,125 @@
+"""Active probing: ping / traceroute over the synthetic Internet."""
+
+import numpy as np
+import pytest
+
+from repro.active import ActiveProber
+from repro.errors import ConfigurationError
+from repro.topology.access import dsl
+from repro.topology.testbed import build_napa_wine_testbed
+from repro.topology.world import World
+
+
+@pytest.fixture(scope="module")
+def setup():
+    world = World()
+    testbed = build_napa_wine_testbed(world)
+    cn = world.access_isps("CN")[0]
+    remote = world.new_endpoint(cn, dsl(4, 0.5))
+    return world, testbed, remote
+
+
+class TestPing:
+    def test_stats_ordered(self, setup):
+        world, tb, remote = setup
+        prober = ActiveProber(world, tb.host("PoliTO-1").endpoint, seed=1)
+        res = prober.ping(remote, count=20)
+        assert res.received == 20
+        assert res.rtt_min_s <= res.rtt_avg_s <= res.rtt_max_s
+
+    def test_min_approaches_true_rtt(self, setup):
+        world, tb, remote = setup
+        src = tb.host("PoliTO-1").endpoint
+        prober = ActiveProber(world, src, seed=2, jitter_scale_s=0.001)
+        res = prober.ping(remote, count=200)
+        truth = prober.true_rtt(remote)
+        assert res.rtt_min_s >= truth
+        assert res.rtt_min_s - truth < 0.002
+
+    def test_nearby_faster_than_far(self, setup):
+        world, tb, remote = setup
+        src = tb.host("PoliTO-1").endpoint
+        prober = ActiveProber(world, src, seed=3)
+        near = prober.ping(tb.host("UniTN-1").endpoint, count=50)
+        far = prober.ping(remote, count=50)
+        assert near.rtt_min_s < far.rtt_min_s
+
+    def test_loss(self, setup):
+        world, tb, remote = setup
+        prober = ActiveProber(world, tb.host("BME-1").endpoint, seed=4, loss_prob=0.5)
+        res = prober.ping(remote, count=400)
+        assert 0.35 < res.loss_rate < 0.65
+
+    def test_total_loss_gives_nan(self, setup):
+        world, tb, remote = setup
+        prober = ActiveProber(world, tb.host("BME-1").endpoint, seed=5, loss_prob=0.999999)
+        res = prober.ping(remote, count=5)
+        assert res.received in (0, 1)  # overwhelmingly lost
+
+    def test_invalid_params(self, setup):
+        world, tb, remote = setup
+        with pytest.raises(ConfigurationError):
+            ActiveProber(world, tb.host("BME-1").endpoint, loss_prob=1.0)
+        prober = ActiveProber(world, tb.host("BME-1").endpoint)
+        with pytest.raises(ConfigurationError):
+            prober.ping(remote, count=0)
+
+
+class TestTraceroute:
+    def test_length_equals_forward_hops(self, setup):
+        world, tb, remote = setup
+        src = tb.host("WUT-1").endpoint
+        prober = ActiveProber(world, src, seed=6)
+        trace = prober.traceroute(remote)
+        assert len(trace) == world.paths.hops(src, remote)
+
+    def test_ttls_consecutive(self, setup):
+        world, tb, remote = setup
+        prober = ActiveProber(world, tb.host("WUT-1").endpoint, seed=6)
+        trace = prober.traceroute(remote)
+        assert [h.ttl for h in trace] == list(range(1, len(trace) + 1))
+
+    def test_rtts_monotone_on_average(self, setup):
+        world, tb, remote = setup
+        prober = ActiveProber(
+            world, tb.host("WUT-1").endpoint, seed=6, jitter_scale_s=1e-6
+        )
+        trace = prober.traceroute(remote)
+        rtts = [h.rtt_s for h in trace]
+        assert rtts == sorted(rtts)
+
+    def test_same_subnet_empty(self, setup):
+        world, tb, _ = setup
+        prober = ActiveProber(world, tb.host("PoliTO-1").endpoint, seed=7)
+        assert prober.traceroute(tb.host("PoliTO-2").endpoint) == []
+
+    def test_as_path_endpoints(self, setup):
+        world, tb, remote = setup
+        src = tb.host("ENST-1").endpoint
+        prober = ActiveProber(world, src, seed=8)
+        as_path = prober.as_path_of(remote)
+        assert as_path[0] == src.asn
+        assert as_path[-1] == remote.asn
+
+    def test_as_path_matches_graph_route(self, setup):
+        world, tb, remote = setup
+        src = tb.host("ENST-1").endpoint
+        prober = ActiveProber(world, src, seed=8)
+        observed = prober.as_path_of(remote)
+        expected = world.asgraph.as_path(src.asn, remote.asn)
+        assert observed == expected
+
+
+class TestPassiveActiveCrossValidation:
+    def test_ttl_hops_agree_with_traceroute(self, setup):
+        """The paper's passive 128−TTL estimate equals what an active
+        traceroute walks — the consistency the methodology relies on."""
+        from repro.heuristics.hops import hops_from_ttl
+
+        world, tb, remote = setup
+        src = tb.host("MT-1").endpoint
+        received_ttl = world.paths.ttl_at_receiver(remote, src)
+        passive = int(hops_from_ttl(np.array([received_ttl]))[0])
+        prober = ActiveProber(world, remote, seed=9)
+        active = len(prober.traceroute(src))
+        assert passive == active

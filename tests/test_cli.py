@@ -1,0 +1,71 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.app == "tvants"
+        assert args.duration == 300.0
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--app", "bittorrent"])
+
+    def test_campaign_apps(self):
+        args = build_parser().parse_args(["campaign", "--apps", "tvants", "sopcast"])
+        assert args.apps == ["tvants", "sopcast"]
+
+
+class TestEndToEnd:
+    def test_simulate_then_analyze(self, tmp_path, capsys):
+        out = tmp_path / "t.npz"
+        rc = main(
+            ["simulate", "--app", "tvants", "--duration", "25", "--seed", "3",
+             "--out", str(out)]
+        )
+        assert rc == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "trace bundle written" in captured
+
+        rc = main(["analyze", str(out)])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "TABLE IV" in captured
+        assert "self-induced bias" in captured
+
+    def test_replicate_command(self, capsys):
+        rc = main(
+            ["replicate", "--duration", "20", "--scale", "0.3",
+             "--seeds", "5", "6"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replications" in out
+        assert "pass rates" in out
+
+    def test_localize_command(self, capsys):
+        rc = main(["localize", "--duration", "20", "--scale", "0.3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "LOCALIZATION" in out
+
+    def test_single_app_campaign(self, capsys):
+        rc = main(
+            ["campaign", "--apps", "tvants", "--duration", "20", "--scale", "0.5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "TABLE IV" in out
+        assert "FIGURE 2" in out
+        # Shape checks need all three apps; skipped for one.
+        assert "shape checks" not in out

@@ -1,0 +1,121 @@
+"""Network-friendliness metrics and what-if evaluation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.friendliness.cost import TrafficCost, cost_comparison_rows, traffic_cost
+
+
+class TestTrafficCost:
+    @pytest.fixture(scope="class")
+    def cost(self, flows_small, sim_small):
+        return traffic_cost(flows_small, sim_small.world.paths)
+
+    def test_positive_volume(self, cost):
+        assert cost.total_bytes > 0
+        assert cost.byte_hops > 0
+
+    def test_mean_hops_plausible(self, cost):
+        # Dominated by CN→EU paths: somewhere between campus and the
+        # longest simulated routes.
+        assert 3 < cost.mean_hops_per_byte < 30
+
+    def test_localization_fractions_nested(self, cost):
+        # subnet ⊆ AS ⊆ country-or-AS: subnet share can't exceed AS share.
+        assert cost.subnet_localization <= cost.as_localization + 1e-12
+        assert 0 <= cost.as_localization <= 1
+        assert 0 <= cost.cc_localization <= 1
+
+    def test_transit_complement(self, cost):
+        assert cost.transit_fraction == pytest.approx(
+            1.0 - cost.as_localization
+        )
+
+    def test_accounting_consistency(self, cost):
+        assert cost.intra_as_bytes + cost.transit_bytes == cost.total_bytes
+
+    def test_video_only_smaller_than_total(self, flows_small, sim_small):
+        video = traffic_cost(flows_small, sim_small.world.paths, video_only=True)
+        everything = traffic_cost(flows_small, sim_small.world.paths, video_only=False)
+        assert video.total_bytes < everything.total_bytes
+
+    def test_empty_table(self, sim_small):
+        from repro.trace.flows import FlowTable
+        from repro.trace.records import FLOW_DTYPE
+
+        empty = FlowTable(np.empty(0, dtype=FLOW_DTYPE), sim_small.hosts)
+        cost = traffic_cost(empty, sim_small.world.paths)
+        assert cost.total_bytes == 0
+        assert math.isnan(cost.mean_hops_per_byte)
+
+    def test_comparison_rows(self, cost):
+        rows = cost_comparison_rows({"tvants": cost})
+        assert rows[0][0] == "tvants"
+        assert len(rows[0]) == 6
+
+    def test_comparison_rows_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            cost_comparison_rows({})
+
+
+class TestWhatIf:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        from repro.friendliness.whatif import compare_profiles
+        from repro.streaming.profiles import get_profile, napa_wine
+
+        return compare_profiles(
+            get_profile("sopcast").scaled(0.5),
+            napa_wine().scaled(0.5),
+            duration_s=60.0,
+            seed=23,
+        )
+
+    def test_aware_client_localises(self, outcome):
+        assert outcome.hop_reduction > 0.1
+        assert outcome.transit_reduction > 0.1
+
+    def test_quality_preserved(self, outcome):
+        assert outcome.quality_preserved
+        assert outcome.candidate.rate_sufficiency > 0.8
+
+    def test_summaries_labelled(self, outcome):
+        assert outcome.baseline.profile == "sopcast"
+        assert outcome.candidate.profile == "napa-wine"
+
+
+class TestLocalizationExperiment:
+    def test_report_over_campaign(self, campaign_small):
+        from repro.experiments.localization import (
+            build_localization,
+            render_localization,
+        )
+
+        report = build_localization(campaign_small)
+        assert {r.app for r in report.rows} == {"pplive", "sopcast", "tvants"}
+        # TVAnts (AS-aware) localises more than SopCast (blind).
+        assert (
+            report.row("tvants").cost.as_localization
+            > report.row("sopcast").cost.as_localization
+        )
+        out = render_localization(report)
+        assert "LOCALIZATION" in out
+        with pytest.raises(KeyError):
+            report.row("uusee")
+
+
+class TestNapaWineProfile:
+    def test_registered(self):
+        from repro.streaming.profiles import get_profile
+
+        p = get_profile("napa-wine")
+        assert p.partner_weights.hop > 0
+        assert p.provider_weights.net > 0
+
+    def test_keeps_bandwidth_awareness(self):
+        from repro.streaming.profiles import napa_wine
+
+        assert napa_wine().provider_weights.bw > 1.0

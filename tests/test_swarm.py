@@ -1,0 +1,110 @@
+"""Swarm analytics: overlay graph and stability."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.swarm import build_overlay, stability_report
+
+
+class TestOverlay:
+    @pytest.fixture(scope="class")
+    def overlay(self, flows_small):
+        return build_overlay(flows_small)
+
+    def test_nodes_annotated(self, overlay):
+        some = next(iter(overlay.graph.nodes))
+        attrs = overlay.graph.nodes[some]
+        assert {"asn", "cc", "highbw", "is_probe"} <= set(attrs)
+
+    def test_edges_weighted(self, overlay):
+        u, v, data = next(iter(overlay.graph.edges(data=True)))
+        assert data["bytes"] > 0
+        assert overlay.edge_bytes(u, v) == data["bytes"]
+
+    def test_absent_edge_zero(self, overlay):
+        assert overlay.edge_bytes(1, 2) == 0
+
+    def test_only_contributor_edges(self, overlay, flows_small):
+        from repro.heuristics.contributors import contributor_mask
+
+        expected = int(contributor_mask(flows_small.flows).sum())
+        assert overlay.graph.number_of_edges() == expected
+
+    def test_degree_stats(self, overlay):
+        stats = overlay.degree_stats()
+        assert stats.n_nodes == len(overlay)
+        assert stats.max_degree >= stats.mean_degree >= 1
+        # Probes see everything, so their degrees dwarf the average.
+        assert stats.probe_mean_degree > 2 * stats.mean_degree
+
+    def test_probe_perspective_bias(self, overlay):
+        # Every edge touches a probe (the capture can't see anything else).
+        probe_set = overlay.probe_ips
+        for u, v in overlay.graph.edges():
+            assert u in probe_set or v in probe_set
+
+    def test_same_as_fraction_bounded(self, overlay):
+        frac = overlay.same_as_edge_fraction()
+        assert 0 <= frac <= 1
+
+    def test_popular_channel_has_denser_local_structure(self, campaign_small):
+        # TVAnts (locality-aware) overlays have a larger same-AS edge share
+        # than SopCast's (blind) — the structural view of Table IV.
+        tv = build_overlay(campaign_small["tvants"].flows)
+        sc = build_overlay(campaign_small["sopcast"].flows)
+        assert tv.same_as_edge_fraction() > sc.same_as_edge_fraction()
+
+    def test_empty_overlay_raises_on_stats(self, flows_small):
+        from repro.trace.flows import FlowTable
+        from repro.trace.records import FLOW_DTYPE
+
+        empty = build_overlay(
+            FlowTable(np.empty(0, dtype=FLOW_DTYPE), flows_small.hosts)
+        )
+        with pytest.raises(AnalysisError):
+            empty.degree_stats()
+
+
+class TestStability:
+    @pytest.fixture(scope="class")
+    def report(self, flows_small, sim_small):
+        return stability_report(flows_small, sim_small.duration_s)
+
+    def test_counts(self, report):
+        assert report.n_peers > 0
+        assert 0 <= report.n_stable <= report.n_peers
+
+    def test_spans_bounded(self, report, sim_small):
+        assert 0 <= report.span_median_s <= sim_small.duration_s
+        assert 0 <= report.span_mean_s <= sim_small.duration_s
+
+    def test_stable_peers_carry_disproportionate_bytes(self, report):
+        # The published stable-peer finding: byte share > peer share.
+        if report.n_stable:
+            assert report.concentration > 1.0
+
+    def test_shares_consistent(self, report):
+        assert report.stable_peer_share == pytest.approx(
+            report.n_stable / report.n_peers
+        )
+        assert 0 <= report.stable_byte_share <= 1
+
+    def test_threshold_monotonicity(self, flows_small, sim_small):
+        lax = stability_report(flows_small, sim_small.duration_s, stable_threshold=0.3)
+        strict = stability_report(flows_small, sim_small.duration_s, stable_threshold=0.9)
+        assert lax.n_stable >= strict.n_stable
+
+    def test_invalid_inputs(self, flows_small):
+        with pytest.raises(AnalysisError):
+            stability_report(flows_small, 0.0)
+        with pytest.raises(AnalysisError):
+            stability_report(flows_small, 60.0, stable_threshold=1.5)
+
+    def test_empty_flows(self, flows_small):
+        from repro.trace.flows import FlowTable
+        from repro.trace.records import FLOW_DTYPE
+
+        empty = FlowTable(np.empty(0, dtype=FLOW_DTYPE), flows_small.hosts)
+        rep = stability_report(empty, 60.0)
+        assert rep.n_peers == 0

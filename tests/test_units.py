@@ -1,0 +1,84 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestRateConversions:
+    def test_kbps(self):
+        assert units.kbps(384) == 384_000.0
+
+    def test_mbps(self):
+        assert units.mbps(10) == 10_000_000.0
+
+    def test_to_kbps_roundtrip(self):
+        assert units.to_kbps(units.kbps(123.5)) == pytest.approx(123.5)
+
+    def test_to_mbps_roundtrip(self):
+        assert units.to_mbps(units.mbps(2.75)) == pytest.approx(2.75)
+
+
+class TestByteBitConversions:
+    def test_bytes_to_bits(self):
+        assert units.bytes_to_bits(1250) == 10_000
+
+    def test_bits_to_bytes(self):
+        assert units.bits_to_bytes(10_000) == 1250
+
+    def test_roundtrip(self):
+        assert units.bits_to_bytes(units.bytes_to_bits(977)) == 977
+
+
+class TestTransmissionTime:
+    def test_reference_packet_at_10mbps_takes_1ms(self):
+        # The paper's BW threshold identity.
+        assert units.transmission_time(1250, units.mbps(10)) == pytest.approx(1e-3)
+
+    def test_chunk_at_dsl_uplink(self):
+        # 16 kB at 384 kb/s = 1/3 s — one chunk interval, a DSL uplink can
+        # serve exactly one stream copy.
+        assert units.transmission_time(16_000, units.kbps(384)) == pytest.approx(1 / 3)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(100, 0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(100, -5)
+
+
+class TestRateFromBytes:
+    def test_basic(self):
+        assert units.rate_from_bytes(48_000, 1.0) == pytest.approx(units.kbps(384))
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            units.rate_from_bytes(100, 0)
+
+
+class TestFormatting:
+    def test_fmt_rate_mbps(self):
+        assert units.fmt_rate(3_400_000) == "3.40 Mb/s"
+
+    def test_fmt_rate_kbps(self):
+        assert units.fmt_rate(384_000) == "384 kb/s"
+
+    def test_fmt_rate_bps(self):
+        assert units.fmt_rate(500) == "500 b/s"
+
+    def test_fmt_bytes_mb(self):
+        assert units.fmt_bytes(2_500_000) == "2.50 MB"
+
+    def test_fmt_bytes_kb(self):
+        assert units.fmt_bytes(16_000) == "16.0 kB"
+
+    def test_fmt_bytes_b(self):
+        assert units.fmt_bytes(80) == "80 B"
+
+    def test_fmt_never_raises_on_float_edge(self):
+        assert isinstance(units.fmt_bytes(0), str)
+        assert math.isfinite(float(units.fmt_rate(0).split()[0]))

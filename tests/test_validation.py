@@ -1,0 +1,81 @@
+"""Result validation and failure injection."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.validation import Violation, validate_result
+
+
+def _corrupt(result):
+    """A shallow-copied result whose arrays are private copies."""
+    out = copy.copy(result)
+    out.transfers = result.transfers.copy()
+    out.signaling = result.signaling.copy()
+    return out
+
+
+class TestCleanResult:
+    def test_no_violations(self, sim_small):
+        assert validate_result(sim_small) == []
+
+
+class TestFailureInjection:
+    def test_unsorted_log_detected(self, sim_small):
+        bad = _corrupt(sim_small)
+        bad.transfers["ts"][0] = 1e9
+        rules = {v.rule for v in validate_result(bad)}
+        assert "time-order" in rules
+
+    def test_self_traffic_detected(self, sim_small):
+        bad = _corrupt(sim_small)
+        bad.transfers["dst"][5] = bad.transfers["src"][5]
+        rules = {v.rule for v in validate_result(bad)}
+        assert "self-traffic" in rules
+
+    def test_unknown_kind_detected(self, sim_small):
+        bad = _corrupt(sim_small)
+        bad.transfers["kind"][0] = 99
+        rules = {v.rule for v in validate_result(bad)}
+        assert "kinds" in rules
+
+    def test_unknown_address_detected(self, sim_small):
+        bad = _corrupt(sim_small)
+        bad.transfers["src"][0] = 1  # 0.0.0.1 is never allocated
+        rules = {v.rule for v in validate_result(bad)}
+        assert "addresses" in rules
+
+    def test_probe_invisible_traffic_detected(self, sim_small):
+        bad = _corrupt(sim_small)
+        remotes = bad.hosts.rows[~bad.hosts.rows["is_probe"]]["ip"]
+        bad.transfers["src"][10] = remotes[0]
+        bad.transfers["dst"][10] = remotes[1]
+        rules = {v.rule for v in validate_result(bad)}
+        assert "capture" in rules
+
+    def test_capacity_violation_detected(self, sim_small):
+        from repro.trace.records import PacketKind
+
+        bad = _corrupt(sim_small)
+        video = bad.transfers["kind"] == int(PacketKind.VIDEO)
+        # Inflate one slow sender's bytes absurdly.
+        lows = bad.hosts.rows[
+            (~bad.hosts.rows["highbw"]) & (~bad.hosts.rows["is_probe"])
+        ]["ip"]
+        sender_mask = video & np.isin(bad.transfers["src"], lows)
+        if sender_mask.any():
+            bad.transfers["bytes"][np.flatnonzero(sender_mask)[0]] = 2**31
+            rules = {v.rule for v in validate_result(bad)}
+            assert "capacity" in rules
+
+    def test_bad_signaling_detected(self, sim_small):
+        bad = _corrupt(sim_small)
+        if len(bad.signaling):
+            bad.signaling["stop"][0] = bad.signaling["start"][0]
+            rules = {v.rule for v in validate_result(bad)}
+            assert "signaling" in rules
+
+    def test_violation_formatting(self):
+        v = Violation(rule="x", detail="boom")
+        assert "x" in str(v) and "boom" in str(v)

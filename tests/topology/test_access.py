@@ -1,0 +1,82 @@
+"""Access-link classes and the high-bandwidth threshold."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology.access import (
+    AccessClass,
+    AccessLink,
+    catv,
+    dsl,
+    dsl_kbps,
+    ftth,
+    lan,
+)
+from repro.units import mbps
+
+
+class TestFactories:
+    def test_lan_symmetric(self):
+        link = lan()
+        assert link.down_bps == link.up_bps == mbps(100)
+        assert link.kind is AccessClass.LAN
+
+    def test_dsl_asymmetric(self):
+        link = dsl(6, 0.512)
+        assert link.down_bps == mbps(6)
+        assert link.up_bps == mbps(0.512)
+
+    def test_catv(self):
+        assert catv(6, 0.512).kind is AccessClass.CATV
+
+    def test_ftth_defaults_nat(self):
+        assert ftth().nat is True
+
+    def test_dsl_kbps(self):
+        link = dsl_kbps(4000, 384)
+        assert link.up_bps == 384_000
+
+    def test_flags(self):
+        link = dsl(8, 0.384, nat=True, firewall=True)
+        assert link.nat and link.firewall
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AccessLink(AccessClass.DSL, 0, 1)
+
+
+class TestHighBandwidthClassification:
+    """Ground truth must match the paper's 10 Mb/s uplink threshold."""
+
+    def test_lan_is_high(self):
+        assert lan().is_high_bandwidth
+
+    @pytest.mark.parametrize(
+        "link",
+        [dsl(6, 0.512), dsl(4, 0.384), dsl(8, 0.384), dsl(22, 1.8),
+         dsl(2.5, 0.384), catv(6, 0.512)],
+    )
+    def test_every_table1_home_link_is_low(self, link):
+        # None of Table I's home accesses exceeds 10 Mb/s upstream.
+        assert not link.is_high_bandwidth
+
+    def test_threshold_is_strict(self):
+        at_threshold = AccessLink(AccessClass.FTTH, mbps(100), mbps(10))
+        above = AccessLink(AccessClass.FTTH, mbps(100), mbps(10.1))
+        assert not at_threshold.is_high_bandwidth
+        assert above.is_high_bandwidth
+
+    def test_classification_uses_uplink_not_downlink(self):
+        fast_down = AccessLink(AccessClass.DSL, mbps(50), mbps(1))
+        assert not fast_down.is_high_bandwidth
+
+
+class TestLabels:
+    def test_lan_label(self):
+        assert lan().label == "high-bw"
+
+    def test_dsl_label_matches_table1_style(self):
+        assert dsl(6, 0.512).label == "DSL 6/0.512"
+
+    def test_catv_label(self):
+        assert catv(6, 0.512).label == "CATV 6/0.512"

@@ -1,0 +1,110 @@
+"""AS-level graph construction and hop distances."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.asgraph import ASGraph, ASGraphConfig, INTERNAL_HOPS
+from repro.topology.autonomous_system import ASRegistry, ASTier
+
+
+def _registry_and_regions():
+    reg = ASRegistry()
+    regions = {}
+    for asn, tier, region in [
+        (10, ASTier.TIER1, "NA"), (11, ASTier.TIER1, "EU"),
+        (20, ASTier.TRANSIT, "EU"), (21, ASTier.TRANSIT, "EU"),
+        (22, ASTier.TRANSIT, "AS"),
+        (30, ASTier.ACCESS, "EU"), (31, ASTier.ACCESS, "AS"),
+        (40, ASTier.CAMPUS, "EU"),
+    ]:
+        cc = {"NA": "US", "EU": "IT", "AS": "CN"}[region]
+        reg.create(asn, f"AS{asn}", cc, tier)
+        regions[asn] = region
+    return reg, regions
+
+
+@pytest.fixture()
+def graph(rng) -> ASGraph:
+    reg, regions = _registry_and_regions()
+    return ASGraph.build(reg, regions, rng, ASGraphConfig())
+
+
+class TestBuild:
+    def test_connected(self, graph):
+        import networkx as nx
+
+        assert nx.is_connected(graph.graph)
+
+    def test_tier1_mesh(self, graph):
+        assert graph.graph.has_edge(10, 11)
+
+    def test_every_edge_as_has_uplink(self, graph):
+        for asn in (30, 31, 40):
+            assert graph.degree(asn) >= 1
+
+    def test_requires_tier1(self, rng):
+        reg = ASRegistry()
+        reg.create(1, "x", "IT", ASTier.ACCESS)
+        with pytest.raises(TopologyError):
+            ASGraph.build(reg, {1: "EU"}, rng)
+
+    def test_deterministic_given_rng(self):
+        reg1, regions = _registry_and_regions()
+        reg2, _ = _registry_and_regions()
+        g1 = ASGraph.build(reg1, regions, np.random.default_rng(7))
+        g2 = ASGraph.build(reg2, regions, np.random.default_rng(7))
+        assert sorted(g1.graph.edges) == sorted(g2.graph.edges)
+
+
+class TestPaths:
+    def test_same_as_path(self, graph):
+        assert graph.as_path(30, 30) == [30]
+
+    def test_path_endpoints(self, graph):
+        path = graph.as_path(30, 31)
+        assert path[0] == 30 and path[-1] == 31
+
+    def test_unknown_as_raises(self, graph):
+        with pytest.raises(TopologyError):
+            graph.as_path(30, 999)
+
+    def test_internal_hops_by_tier(self, graph):
+        assert graph.internal_hops(10) == INTERNAL_HOPS[ASTier.TIER1]
+        assert graph.internal_hops(40) == INTERNAL_HOPS[ASTier.CAMPUS]
+
+
+class TestTransitHops:
+    def test_same_as(self, graph):
+        assert graph.transit_hops(30, 30) == graph.internal_hops(30)
+
+    def test_symmetric(self, graph):
+        for a in (30, 31, 40):
+            for b in (30, 31, 40):
+                assert graph.transit_hops(a, b) == graph.transit_hops(b, a)
+
+    def test_triangle_inequality_via_shortest_path(self, graph):
+        # transit_hops uses shortest paths, so going "via" any AS can't be
+        # cheaper than the direct value (minus double-counted internals).
+        direct = graph.transit_hops(30, 31)
+        via = (
+            graph.transit_hops(30, 20)
+            + graph.transit_hops(20, 31)
+            - graph.internal_hops(20)
+        )
+        assert direct <= via + graph.internal_hops(20)
+
+    def test_matches_as_path_cost(self, graph):
+        path = graph.as_path(30, 31)
+        cost = graph.internal_hops(path[0]) + sum(
+            1 + graph.internal_hops(asn) for asn in path[1:]
+        )
+        assert graph.transit_hops(30, 31) == cost
+
+    def test_cache_consistency(self, graph):
+        first = graph.transit_hops(30, 31)
+        assert graph.transit_hops(30, 31) == first
+
+    def test_unknown_as_raises(self, graph):
+        with pytest.raises(TopologyError):
+            graph.transit_hops(999, 30)

@@ -1,0 +1,70 @@
+"""AS registry and prefix ownership."""
+
+import pytest
+
+from repro.errors import AllocationError, TopologyError
+from repro.topology.autonomous_system import ASRegistry, ASTier, AutonomousSystem
+from repro.topology.ip import IPv4Prefix
+
+
+class TestAutonomousSystem:
+    def test_create(self):
+        asys = AutonomousSystem(asn=1, name="AS1", country_code="HU")
+        assert asys.tier is ASTier.ACCESS
+
+    def test_nonpositive_asn_rejected(self):
+        with pytest.raises(TopologyError):
+            AutonomousSystem(asn=0, name="x", country_code="IT")
+
+    def test_add_prefix_and_owns(self):
+        asys = AutonomousSystem(asn=5, name="x", country_code="FR")
+        asys.add_prefix(IPv4Prefix.parse("10.0.0.0/16"))
+        assert asys.owns(IPv4Prefix.parse("10.0.5.0/24").network)
+        assert not asys.owns(IPv4Prefix.parse("10.1.0.0/16").network)
+
+    def test_overlapping_prefix_rejected(self):
+        asys = AutonomousSystem(asn=5, name="x", country_code="FR")
+        asys.add_prefix(IPv4Prefix.parse("10.0.0.0/16"))
+        with pytest.raises(AllocationError):
+            asys.add_prefix(IPv4Prefix.parse("10.0.128.0/17"))
+
+
+class TestASRegistry:
+    def test_create_and_get(self):
+        reg = ASRegistry()
+        reg.create(1, "AS1", "HU", ASTier.CAMPUS)
+        assert reg.get(1).tier is ASTier.CAMPUS
+
+    def test_duplicate_asn_rejected(self):
+        reg = ASRegistry()
+        reg.create(1, "a", "HU")
+        with pytest.raises(TopologyError):
+            reg.create(1, "b", "IT")
+
+    def test_unknown_asn_raises(self):
+        with pytest.raises(TopologyError):
+            ASRegistry().get(99)
+
+    def test_global_prefix_disjointness(self):
+        reg = ASRegistry()
+        reg.create(1, "a", "HU")
+        reg.create(2, "b", "IT")
+        reg.assign_prefix(1, IPv4Prefix.parse("10.0.0.0/16"))
+        with pytest.raises(AllocationError):
+            reg.assign_prefix(2, IPv4Prefix.parse("10.0.64.0/18"))
+
+    def test_owner_of(self):
+        reg = ASRegistry()
+        reg.create(1, "a", "HU")
+        reg.assign_prefix(1, IPv4Prefix.parse("10.0.0.0/16"))
+        owner = reg.owner_of(IPv4Prefix.parse("10.0.3.0/24").network)
+        assert owner is not None and owner.asn == 1
+        assert reg.owner_of(IPv4Prefix.parse("11.0.0.0/16").network) is None
+
+    def test_iteration_and_len(self):
+        reg = ASRegistry()
+        reg.create(1, "a", "HU")
+        reg.create(2, "b", "IT")
+        assert len(reg) == 2
+        assert reg.asns == [1, 2]
+        assert 1 in reg and 3 not in reg

@@ -1,0 +1,70 @@
+"""Country registry."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.geography import (
+    FIGURE1_LABELS,
+    PROBE_COUNTRIES,
+    WORLD,
+    Country,
+    CountryRegistry,
+)
+
+
+class TestCountry:
+    def test_valid(self):
+        c = Country("IT", "Italy", "EU")
+        assert c.code == "IT"
+
+    @pytest.mark.parametrize("bad", ["it", "ITA", "I", ""])
+    def test_invalid_codes_rejected(self, bad):
+        with pytest.raises(TopologyError):
+            Country(bad, "x", "EU")
+
+
+class TestRegistry:
+    def test_add_and_get(self):
+        reg = CountryRegistry()
+        reg.add(Country("IT", "Italy", "EU"))
+        assert reg.get("IT").name == "Italy"
+
+    def test_idempotent_add(self):
+        reg = CountryRegistry()
+        c = Country("IT", "Italy", "EU")
+        reg.add(c)
+        reg.add(c)
+        assert len(reg) == 1
+
+    def test_conflicting_add_rejected(self):
+        reg = CountryRegistry([Country("IT", "Italy", "EU")])
+        with pytest.raises(TopologyError):
+            reg.add(Country("IT", "Italia", "EU"))
+
+    def test_unknown_get_raises(self):
+        with pytest.raises(TopologyError):
+            CountryRegistry().get("XX")
+
+    def test_contains_and_iter(self):
+        reg = CountryRegistry([Country("IT", "Italy", "EU")])
+        assert "IT" in reg and "FR" not in reg
+        assert [c.code for c in reg] == ["IT"]
+
+
+class TestWorldDefaults:
+    def test_probe_countries_present(self):
+        for code in PROBE_COUNTRIES:
+            assert code in WORLD
+
+    def test_china_present(self):
+        assert WORLD.get("CN").region == "AS"
+
+    def test_figure1_labels_cover_paper(self):
+        assert set(FIGURE1_LABELS) == {"CN", "HU", "IT", "FR", "PL"}
+
+    def test_probe_countries_are_european(self):
+        for code in PROBE_COUNTRIES:
+            assert WORLD.get(code).region == "EU"
+
+    def test_reasonable_world_size(self):
+        assert len(WORLD) >= 15

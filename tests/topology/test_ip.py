@@ -1,0 +1,133 @@
+"""IPv4 address arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AddressError
+from repro.topology.ip import (
+    IPv4Prefix,
+    format_ip,
+    format_ips,
+    parse_ip,
+    parse_ips,
+    subnet_key,
+)
+
+addresses = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestParseFormat:
+    def test_parse_basic(self):
+        assert parse_ip("10.0.0.1") == (10 << 24) + 1
+
+    def test_format_basic(self):
+        assert format_ip((192 << 24) + (168 << 16) + 5) == "192.168.0.5"
+
+    @given(addresses)
+    def test_roundtrip(self, value):
+        assert parse_ip(format_ip(value)) == value
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "-1.0.0.0", "a.b.c.d", ""]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(AddressError):
+            parse_ip(bad)
+
+    def test_format_out_of_range_rejected(self):
+        with pytest.raises(AddressError):
+            format_ip(2**32)
+
+    def test_vector_roundtrip(self):
+        texts = ["1.2.3.4", "255.255.255.255", "0.0.0.0"]
+        assert format_ips(parse_ips(texts)) == texts
+
+
+class TestPrefix:
+    def test_parse(self):
+        p = IPv4Prefix.parse("10.1.0.0/16")
+        assert p.prefixlen == 16
+        assert format_ip(p.network) == "10.1.0.0"
+
+    def test_host_bits_cleared(self):
+        p = IPv4Prefix(parse_ip("10.1.2.3"), 24)
+        assert format_ip(p.network) == "10.1.2.0"
+
+    def test_num_addresses(self):
+        assert IPv4Prefix.parse("10.0.0.0/24").num_addresses == 256
+        assert IPv4Prefix.parse("10.0.0.0/16").num_addresses == 65536
+
+    def test_host_range_excludes_network_and_broadcast(self):
+        p = IPv4Prefix.parse("10.0.0.0/24")
+        assert p.first_host == p.network + 1
+        assert p.last_host == p.network + 254
+        assert p.num_hosts == 254
+
+    def test_contains(self):
+        p = IPv4Prefix.parse("10.1.0.0/16")
+        assert p.contains(parse_ip("10.1.200.3"))
+        assert not p.contains(parse_ip("10.2.0.1"))
+
+    def test_contains_many_matches_scalar(self):
+        p = IPv4Prefix.parse("172.16.0.0/12")
+        ips = np.array(
+            [parse_ip(t) for t in ["172.16.0.1", "172.31.255.9", "172.32.0.1", "8.8.8.8"]],
+            dtype=np.uint32,
+        )
+        mask = p.contains_many(ips)
+        assert mask.tolist() == [p.contains(int(ip)) for ip in ips]
+
+    def test_overlap_detection(self):
+        a = IPv4Prefix.parse("10.0.0.0/8")
+        b = IPv4Prefix.parse("10.5.0.0/16")
+        c = IPv4Prefix.parse("11.0.0.0/8")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_subnets_enumeration(self):
+        p = IPv4Prefix.parse("10.0.0.0/22")
+        subs = p.subnets(24)
+        assert len(subs) == 4
+        assert [str(s) for s in subs] == [
+            "10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24",
+        ]
+
+    def test_subnets_disjoint_and_covering(self):
+        p = IPv4Prefix.parse("10.0.0.0/20")
+        subs = p.subnets(24)
+        assert sum(s.num_addresses for s in subs) == p.num_addresses
+        for i, a in enumerate(subs):
+            for b in subs[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_cannot_split_upward(self):
+        with pytest.raises(AddressError):
+            IPv4Prefix.parse("10.0.0.0/24").subnets(16)
+
+    def test_bad_prefixlen_rejected(self):
+        with pytest.raises(AddressError):
+            IPv4Prefix(0, 33)
+
+    def test_str(self):
+        assert str(IPv4Prefix.parse("10.0.0.0/8")) == "10.0.0.0/8"
+
+    @given(addresses, st.integers(min_value=0, max_value=32))
+    def test_prefix_contains_own_network(self, addr, plen):
+        p = IPv4Prefix(addr, plen)
+        assert p.contains(p.network)
+
+
+class TestSubnetKey:
+    def test_same_slash24(self):
+        a, b = parse_ip("10.1.2.3"), parse_ip("10.1.2.250")
+        assert subnet_key(np.array([a]))[0] == subnet_key(np.array([b]))[0]
+
+    def test_different_slash24(self):
+        a, b = parse_ip("10.1.2.3"), parse_ip("10.1.3.3")
+        assert subnet_key(np.array([a]))[0] != subnet_key(np.array([b]))[0]
+
+    @given(addresses)
+    def test_key_is_contained_prefix(self, addr):
+        key = int(subnet_key(np.array([addr], dtype=np.uint32), 24)[0])
+        assert IPv4Prefix(key, 24).contains(addr)

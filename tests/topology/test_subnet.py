@@ -1,0 +1,89 @@
+"""Subnet allocation and host addressing."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.topology.autonomous_system import ASRegistry
+from repro.topology.ip import IPv4Prefix
+from repro.topology.subnet import SubnetAllocator
+
+
+@pytest.fixture()
+def registry() -> ASRegistry:
+    reg = ASRegistry()
+    reg.create(1, "a", "HU")
+    reg.assign_prefix(1, IPv4Prefix.parse("10.0.0.0/22"))
+    return reg
+
+
+class TestSubnetAllocation:
+    def test_sequential_disjoint_subnets(self, registry):
+        alloc = SubnetAllocator(registry, 24)
+        subs = [alloc.new_subnet(1) for _ in range(4)]
+        prefixes = [s.prefix for s in subs]
+        for i, a in enumerate(prefixes):
+            for b in prefixes[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_exhaustion_raises(self, registry):
+        alloc = SubnetAllocator(registry, 24)
+        for _ in range(4):  # /22 holds exactly four /24s
+            alloc.new_subnet(1)
+        with pytest.raises(AllocationError):
+            alloc.new_subnet(1)
+
+    def test_no_prefix_as_raises(self, registry):
+        registry.create(2, "empty", "IT")
+        alloc = SubnetAllocator(registry, 24)
+        with pytest.raises(AllocationError):
+            alloc.new_subnet(2)
+
+    def test_spans_multiple_prefixes(self, registry):
+        registry.assign_prefix(1, IPv4Prefix.parse("10.1.0.0/23"))
+        alloc = SubnetAllocator(registry, 24)
+        subs = [alloc.new_subnet(1) for _ in range(6)]  # 4 + 2
+        assert str(subs[4].prefix) == "10.1.0.0/24"
+
+    def test_site_label_recorded(self, registry):
+        alloc = SubnetAllocator(registry, 24)
+        s = alloc.new_subnet(1, site="PoliTO")
+        assert s.site == "PoliTO"
+
+    def test_bad_prefixlen_rejected(self, registry):
+        with pytest.raises(AllocationError):
+            SubnetAllocator(registry, 31)
+
+    def test_subnets_property_tracks_all(self, registry):
+        alloc = SubnetAllocator(registry, 24)
+        alloc.new_subnet(1)
+        alloc.new_subnet(1)
+        assert len(alloc.subnets) == 2
+
+
+class TestHostAllocation:
+    def test_sequential_addresses_inside_subnet(self, registry):
+        alloc = SubnetAllocator(registry, 24)
+        sub = alloc.new_subnet(1)
+        a, b = alloc.new_host(sub), alloc.new_host(sub)
+        assert b == a + 1
+        assert sub.prefix.contains(a) and sub.prefix.contains(b)
+
+    def test_skips_network_address(self, registry):
+        alloc = SubnetAllocator(registry, 24)
+        sub = alloc.new_subnet(1)
+        assert alloc.new_host(sub) == sub.prefix.network + 1
+
+    def test_subnet_exhaustion(self, registry):
+        alloc = SubnetAllocator(registry, 24)
+        sub = alloc.new_subnet(1)
+        for _ in range(sub.capacity):
+            alloc.new_host(sub)
+        with pytest.raises(AllocationError):
+            alloc.new_host(sub)
+
+    def test_allocated_counter(self, registry):
+        alloc = SubnetAllocator(registry, 24)
+        sub = alloc.new_subnet(1)
+        assert sub.allocated == 0
+        alloc.new_host(sub)
+        assert sub.allocated == 1

@@ -1,0 +1,102 @@
+"""The Table I testbed, instantiated literally."""
+
+import pytest
+
+from repro.topology.testbed import SITE_COUNTRIES, build_napa_wine_testbed
+from repro.topology.world import HOME_AS_BASE, World
+
+
+class TestStructure:
+    def test_seven_sites(self, testbed):
+        assert len(testbed.sites) == 7
+        assert {s.name for s in testbed.sites} == set(SITE_COUNTRIES)
+
+    def test_host_counts_match_table1(self, testbed):
+        # Table I as printed: 39 institution + 7 home = 46 hosts.
+        assert len(testbed) == 46
+        assert len(testbed.institution_hosts) == 39
+        assert len(testbed.home_hosts) == 7
+
+    def test_four_countries(self, testbed):
+        assert {s.country for s in testbed.sites} == {"HU", "IT", "FR", "PL"}
+
+    def test_site_sizes(self, testbed):
+        sizes = {s.name: len(s.hosts) for s in testbed.sites}
+        assert sizes == {
+            "BME": 5, "PoliTO": 12, "MT": 4, "FFT": 3,
+            "ENST": 5, "UniTN": 8, "WUT": 9,
+        }
+
+    def test_high_bandwidth_set_is_the_39_lan_hosts(self, testbed):
+        assert len(testbed.high_bandwidth_hosts) == 39
+        assert all(h.is_institution for h in testbed.high_bandwidth_hosts)
+
+
+class TestAddressing:
+    def test_unique_ips(self, testbed):
+        assert len(testbed.probe_ips) == len(testbed)
+
+    def test_campus_as_assignment(self, testbed):
+        assert testbed.host("BME-1").endpoint.asn == 1
+        assert testbed.host("PoliTO-1").endpoint.asn == 2
+        assert testbed.host("UniTN-1").endpoint.asn == 2  # shared AS2
+        assert testbed.host("MT-1").endpoint.asn == 3
+        assert testbed.host("ENST-1").endpoint.asn == 4
+        assert testbed.host("FFT-1").endpoint.asn == 5
+        assert testbed.host("WUT-1").endpoint.asn == 6
+
+    def test_home_hosts_each_own_as(self, testbed):
+        home_asns = [h.endpoint.asn for h in testbed.home_hosts]
+        assert len(set(home_asns)) == 7
+        assert all(a >= HOME_AS_BASE for a in home_asns)
+
+    def test_same_site_shares_subnet(self, testbed):
+        a = testbed.host("WUT-1").endpoint
+        b = testbed.host("WUT-8").endpoint
+        assert a.same_subnet(b)
+
+    def test_polito_unitn_different_subnets_same_as(self, testbed):
+        a = testbed.host("PoliTO-1").endpoint
+        b = testbed.host("UniTN-1").endpoint
+        assert a.asn == b.asn == 2
+        assert not a.same_subnet(b)
+
+
+class TestAccessDetails:
+    """Spot-check Table I rows."""
+
+    @pytest.mark.parametrize(
+        "label,down_mbps,up_mbps,nat,fw",
+        [
+            ("BME-5", 6, 0.512, False, False),
+            ("PoliTO-10", 4, 0.384, False, False),
+            ("PoliTO-11", 8, 0.384, True, False),
+            ("PoliTO-12", 8, 0.384, True, False),
+            ("ENST-5", 22, 1.8, True, False),
+            ("UniTN-8", 2.5, 0.384, True, True),
+            ("WUT-9", 6, 0.512, False, False),
+        ],
+    )
+    def test_home_rows(self, testbed, label, down_mbps, up_mbps, nat, fw):
+        acc = testbed.host(label).endpoint.access
+        assert acc.down_bps == pytest.approx(down_mbps * 1e6)
+        assert acc.up_bps == pytest.approx(up_mbps * 1e6)
+        assert acc.nat == nat and acc.firewall == fw
+
+    def test_enst_lan_firewalled(self, testbed):
+        for i in range(1, 5):
+            assert testbed.host(f"ENST-{i}").endpoint.access.firewall
+
+    def test_unitn_nat_rows(self, testbed):
+        assert testbed.host("UniTN-6").endpoint.access.nat
+        assert testbed.host("UniTN-7").endpoint.access.nat
+        assert not testbed.host("UniTN-5").endpoint.access.nat
+
+    def test_lookup_unknown_label(self, testbed):
+        with pytest.raises(KeyError):
+            testbed.host("MIT-1")
+
+    def test_wut9_is_catv(self, testbed):
+        from repro.topology.access import AccessClass
+
+        assert testbed.host("WUT-9").endpoint.access.kind is AccessClass.CATV

@@ -1,0 +1,102 @@
+"""Synthetic-Internet assembly."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.access import dsl, lan
+from repro.topology.autonomous_system import ASTier
+from repro.topology.world import HOME_AS_BASE, PROBE_AS_NUMBERS, World, WorldConfig
+
+
+class TestConstruction:
+    def test_probe_ases_registered(self, world):
+        for name, (asn, cc) in PROBE_AS_NUMBERS.items():
+            asys = world.registry.get(asn)
+            assert asys.country_code == cc
+            assert asys.tier is ASTier.CAMPUS
+
+    def test_cn_isps(self, world):
+        assert len(world.access_isps("CN")) == world.config.cn_access_isps
+
+    def test_every_probe_country_has_isp(self, world):
+        for cc in ("IT", "FR", "HU", "PL"):
+            assert world.access_isps(cc)
+
+    def test_graph_covers_registry(self, world):
+        for asys in world.registry:
+            assert asys.asn in world.asgraph
+
+    def test_deterministic(self):
+        w1, w2 = World(WorldConfig(seed=9)), World(WorldConfig(seed=9))
+        assert w1.registry.asns == w2.registry.asns
+        assert sorted(w1.asgraph.graph.edges) == sorted(w2.asgraph.graph.edges)
+
+    def test_seed_changes_wiring(self):
+        w1, w2 = World(WorldConfig(seed=1)), World(WorldConfig(seed=2))
+        assert sorted(w1.asgraph.graph.edges) != sorted(w2.asgraph.graph.edges)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(Exception):
+            WorldConfig(tier1_count=0)
+
+
+class TestEndpoints:
+    def test_endpoint_in_as_prefix(self):
+        w = World()
+        asn = w.access_isps("CN")[0]
+        e = w.new_endpoint(asn, dsl(4, 0.5))
+        assert w.registry.get(asn).owns(e.ip)
+
+    def test_endpoint_country_follows_as(self):
+        w = World()
+        asn = w.access_isps("JP")[0]
+        assert w.new_endpoint(asn, lan()).country_code == "JP"
+
+    def test_remote_subnets_recycled_then_rotated(self):
+        w = World()
+        asn = w.access_isps("CN")[0]
+        first = [w.new_endpoint(asn, dsl(4, 0.5)) for _ in range(3)]
+        assert len({e.subnet for e in first}) == 1  # packed into one subnet
+        for _ in range(120):
+            w.new_endpoint(asn, dsl(4, 0.5))
+        later = w.new_endpoint(asn, dsl(4, 0.5))
+        assert later.subnet != first[0].subnet  # rolled to a fresh subnet
+
+    def test_explicit_subnet_must_match_as(self):
+        w = World()
+        a1, a2 = w.access_isps("CN")[:2]
+        sub = w.new_subnet(a1)
+        with pytest.raises(TopologyError):
+            w.new_endpoint(a2, dsl(4, 0.5), subnet=sub)
+
+    def test_unique_addresses(self):
+        w = World()
+        asn = w.access_isps("CN")[0]
+        ips = {w.new_endpoint(asn, dsl(4, 0.5)).ip for _ in range(300)}
+        assert len(ips) == 300
+
+
+class TestHomeAS:
+    def test_add_home_as(self):
+        w = World()
+        asys = w.add_home_as(HOME_AS_BASE, "IT")
+        assert asys.asn == HOME_AS_BASE
+        assert HOME_AS_BASE in w.asgraph  # attached to the graph
+        # Paths reach it.
+        e = w.new_endpoint(HOME_AS_BASE, dsl(6, 0.5))
+        probe_as = PROBE_AS_NUMBERS["AS2"][0]
+        sub = w.new_subnet(probe_as)
+        p = w.new_endpoint(probe_as, lan(), subnet=sub)
+        assert w.paths.hops(e, p) > 0
+
+    def test_idempotent(self):
+        w = World()
+        a = w.add_home_as(HOME_AS_BASE, "IT")
+        b = w.add_home_as(HOME_AS_BASE, "IT")
+        assert a is b
+
+    def test_conflicting_country_rejected(self):
+        w = World()
+        w.add_home_as(HOME_AS_BASE, "IT")
+        with pytest.raises(TopologyError):
+            w.add_home_as(HOME_AS_BASE, "FR")

@@ -1,0 +1,57 @@
+"""Probe-side capture filtering."""
+
+import numpy as np
+
+from repro.trace.capture import captured_by, probe_transfers, split_directions
+from repro.trace.records import TRANSFER_DTYPE, PacketKind
+
+
+def log(rows):
+    out = np.zeros(len(rows), dtype=TRANSFER_DTYPE)
+    for i, (src, dst) in enumerate(rows):
+        out["src"][i], out["dst"][i] = src, dst
+        out["bytes"][i] = 100 + i
+        out["kind"][i] = int(PacketKind.VIDEO)
+    return out
+
+
+class TestCapturedBy:
+    def test_keeps_probe_touching_only(self):
+        records = log([(1, 2), (2, 3), (3, 4), (1, 4)])
+        probes = np.array([1], dtype=np.uint32)
+        out = captured_by(records, probes)
+        assert len(out) == 2
+        assert set(zip(out["src"].tolist(), out["dst"].tolist())) == {(1, 2), (1, 4)}
+
+    def test_remote_remote_invisible(self):
+        records = log([(5, 6), (7, 8)])
+        assert len(captured_by(records, np.array([1], dtype=np.uint32))) == 0
+
+    def test_empty_input(self):
+        assert len(captured_by(log([]), np.array([1], dtype=np.uint32))) == 0
+
+    def test_probe_probe_kept(self):
+        records = log([(1, 2)])
+        out = captured_by(records, np.array([1, 2], dtype=np.uint32))
+        assert len(out) == 1
+
+
+class TestProbeView:
+    def test_single_probe_view(self):
+        records = log([(1, 2), (2, 1), (3, 4), (1, 5)])
+        own = probe_transfers(records, 1)
+        assert len(own) == 3
+
+    def test_split_directions(self):
+        records = log([(1, 2), (2, 1), (9, 1), (1, 9)])
+        rx, tx = split_directions(records, 1)
+        assert set(rx["src"].tolist()) == {2, 9}
+        assert set(tx["dst"].tolist()) == {2, 9}
+        assert np.all(rx["dst"] == 1)
+        assert np.all(tx["src"] == 1)
+
+    def test_simulated_capture_covers_probe_traffic(self, sim_small):
+        probes = sim_small.probe_ips
+        out = captured_by(sim_small.transfers, probes)
+        # The engine is probe-centric: everything it logs is probe-visible.
+        assert len(out) == len(sim_small.transfers)

@@ -1,0 +1,99 @@
+"""Host attribute table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.hosts import HOST_DTYPE, HostTable
+
+
+def make_table(n=5):
+    rows = np.zeros(n, dtype=HOST_DTYPE)
+    rows["ip"] = np.arange(100, 100 + n, dtype=np.uint32)[::-1]  # unsorted
+    rows["asn"] = np.arange(n) + 1
+    rows["cc"] = ["IT", "FR", "CN", "CN", "HU"][:n]
+    rows["subnet"] = rows["ip"] & np.uint32(0xFFFFFF00)
+    rows["up_bps"] = 1e6 * (np.arange(n) + 1)
+    rows["down_bps"] = 1e7
+    rows["is_probe"] = [True, False, False, True, False][:n]
+    rows["highbw"] = rows["up_bps"] > 2e6
+    rows["initial_ttl"] = 128
+    rows["access_depth"] = 2
+    return HostTable(rows)
+
+
+class TestConstruction:
+    def test_sorted_by_ip(self):
+        table = make_table()
+        assert np.all(np.diff(table.rows["ip"].astype(np.int64)) > 0)
+
+    def test_duplicate_ips_rejected(self):
+        rows = np.zeros(2, dtype=HOST_DTYPE)
+        rows["ip"] = [5, 5]
+        rows["initial_ttl"] = 128
+        with pytest.raises(TraceError):
+            HostTable(rows)
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(TraceError):
+            HostTable(np.zeros(3, dtype=np.float64))
+
+    def test_from_columns(self):
+        t = HostTable.from_columns(
+            ip=np.array([1, 2], dtype=np.uint32),
+            asn=np.array([10, 11]),
+            cc=np.array(["IT", "FR"]),
+            subnet=np.array([0, 0], dtype=np.uint32),
+            up_bps=np.array([1e6, 1e8]),
+            down_bps=np.array([1e7, 1e8]),
+            is_probe=np.array([False, True]),
+            highbw=np.array([False, True]),
+            initial_ttl=np.array([128, 64]),
+            access_depth=np.array([2, 1]),
+        )
+        assert len(t) == 2
+
+
+class TestLookup:
+    def test_gather(self):
+        table = make_table()
+        asns = table.gather(np.array([100, 104], dtype=np.uint32), "asn")
+        # ip 100 was built with asn 5 (reversed order), ip 104 with asn 1.
+        assert asns.tolist() == [5, 1]
+
+    def test_row_for(self):
+        table = make_table()
+        row = table.row_for(102)
+        assert int(row["ip"]) == 102
+
+    def test_unknown_address_raises(self):
+        table = make_table()
+        with pytest.raises(TraceError):
+            table.gather(np.array([999], dtype=np.uint32), "asn")
+
+    def test_contains(self):
+        table = make_table()
+        assert 100 in table
+        assert 99 not in table
+
+    def test_probe_ips(self):
+        table = make_table()
+        probes = set(table.probe_ips.tolist())
+        # Flags were assigned against the reversed (pre-sort) ip order:
+        # ips [104..100] got is_probe [T, F, F, T, F] → probes are 104, 101.
+        assert probes == {104, 101}
+
+
+class TestPublicView:
+    def test_capacities_hidden(self):
+        pub = make_table().public_view()
+        assert np.all(pub.rows["up_bps"] == 0)
+        assert np.all(~pub.rows["highbw"])
+        assert np.all(pub.rows["initial_ttl"] == 0)
+
+    def test_identity_columns_kept(self):
+        table = make_table()
+        pub = table.public_view()
+        assert np.array_equal(pub.rows["ip"], table.rows["ip"])
+        assert np.array_equal(pub.rows["asn"], table.rows["asn"])
+        assert np.array_equal(pub.rows["cc"], table.rows["cc"])

@@ -1,0 +1,142 @@
+"""Packet-train synthesis: counts, dispersion, TTLs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.packets import (
+    IPG_JITTER_SPAN,
+    PACKET_PAYLOAD_BYTES,
+    PacketSynthesizer,
+    expand_signaling,
+    packet_counts,
+    transfer_gaps,
+)
+from repro.trace.records import SIGNALING_DTYPE, TRANSFER_DTYPE, PacketKind
+from repro.units import BITS_PER_BYTE
+
+
+@pytest.fixture(scope="module")
+def synth(sim_small):
+    return PacketSynthesizer(sim_small.hosts, sim_small.world.paths)
+
+
+@pytest.fixture(scope="module")
+def video_sample(sim_small):
+    tr = sim_small.transfers
+    video = tr[tr["kind"] == int(PacketKind.VIDEO)]
+    return video[:200]
+
+
+class TestPacketCounts:
+    def test_video_cut_at_mtu(self, video_sample):
+        counts = packet_counts(video_sample)
+        expected = -(-video_sample["bytes"].astype(np.int64) // PACKET_PAYLOAD_BYTES)
+        assert np.array_equal(counts, expected)
+
+    def test_signaling_single_packet(self, sim_small):
+        tr = sim_small.transfers
+        sig = tr[tr["kind"] != int(PacketKind.VIDEO)][:50]
+        assert np.all(packet_counts(sig) == 1)
+
+
+class TestGaps:
+    def test_gap_encodes_sender_uplink(self, sim_small, video_sample):
+        gaps = transfer_gaps(video_sample, sim_small.hosts)
+        up = sim_small.hosts.gather(video_sample["src"], "up_bps")
+        base = PACKET_PAYLOAD_BYTES * BITS_PER_BYTE / up
+        assert np.all(gaps >= base * 0.999)
+        assert np.all(gaps <= base * (1 + IPG_JITTER_SPAN) * 1.001)
+
+    def test_single_packet_transfers_have_inf_gap(self, sim_small):
+        tr = sim_small.transfers
+        sig = tr[tr["kind"] == int(PacketKind.SIGNALING)][:50]
+        assert np.all(np.isinf(transfer_gaps(sig, sim_small.hosts)))
+
+    def test_gap_classifies_lan_vs_dsl(self, sim_small, video_sample):
+        gaps = transfer_gaps(video_sample, sim_small.hosts)
+        highbw = sim_small.hosts.gather(video_sample["src"], "highbw")
+        if highbw.any():
+            assert np.all(gaps[highbw] < 1e-3)
+        if (~highbw).any():
+            assert np.all(gaps[~highbw] > 1e-3)
+
+
+class TestExpand:
+    def test_total_bytes_preserved(self, synth, video_sample):
+        packets = synth.expand(video_sample)
+        assert packets["size"].sum() == video_sample["bytes"].sum()
+
+    def test_packet_count(self, synth, video_sample):
+        packets = synth.expand(video_sample)
+        assert len(packets) == packet_counts(video_sample).sum()
+
+    def test_sizes_mtu_except_tail(self, synth, video_sample):
+        packets = synth.expand(video_sample)
+        assert packets["size"].max() == PACKET_PAYLOAD_BYTES
+        assert np.all(packets["size"] >= 1)
+
+    def test_time_sorted(self, synth, video_sample):
+        packets = synth.expand(video_sample)
+        assert np.all(np.diff(packets["ts"]) >= 0)
+
+    def test_ttl_constant_per_pair(self, synth, video_sample):
+        packets = synth.expand(video_sample)
+        key = (packets["src"].astype(np.uint64) << np.uint64(32)) | packets["dst"]
+        for k in np.unique(key)[:20]:
+            ttls = packets["ttl"][key == k]
+            assert len(np.unique(ttls)) == 1
+
+    def test_ttl_plausible(self, synth, video_sample):
+        packets = synth.expand(video_sample)
+        initial = synth._hosts.gather(packets["src"], "initial_ttl")
+        hops = initial.astype(np.int64) - packets["ttl"].astype(np.int64)
+        assert np.all(hops >= 0)
+        assert np.all(hops < 40)
+
+    def test_empty(self, synth):
+        out = synth.expand(np.empty(0, dtype=TRANSFER_DTYPE))
+        assert len(out) == 0
+
+    def test_wrong_dtype_rejected(self, synth):
+        with pytest.raises(TraceError):
+            synth.expand(np.zeros(2, dtype=SIGNALING_DTYPE))
+
+
+class TestExpandSignaling:
+    def _intervals(self, rows):
+        out = np.zeros(len(rows), dtype=SIGNALING_DTYPE)
+        for i, (src, dst, start, stop, interval, nbytes) in enumerate(rows):
+            out[i] = (src, dst, start, stop, interval, nbytes)
+        return out
+
+    def test_count(self):
+        ivs = self._intervals([(1, 2, 0.0, 10.0, 2.0, 120)])
+        out = expand_signaling(ivs)
+        assert len(out) == 6  # t = 0, 2, 4, 6, 8, 10
+
+    def test_timestamps(self):
+        ivs = self._intervals([(1, 2, 5.0, 9.0, 2.0, 120)])
+        out = expand_signaling(ivs)
+        assert out["ts"].tolist() == [5.0, 7.0, 9.0]
+
+    def test_kind_and_bytes(self):
+        ivs = self._intervals([(1, 2, 0.0, 4.0, 2.0, 60)])
+        out = expand_signaling(ivs)
+        assert np.all(out["kind"] == int(PacketKind.SIGNALING))
+        assert np.all(out["bytes"] == 60)
+
+    def test_multiple_intervals_merged_sorted(self):
+        ivs = self._intervals(
+            [(1, 2, 10.0, 14.0, 2.0, 60), (3, 4, 0.0, 4.0, 2.0, 60)]
+        )
+        out = expand_signaling(ivs)
+        assert np.all(np.diff(out["ts"]) >= 0)
+        assert len(out) == 6
+
+    def test_empty(self):
+        assert len(expand_signaling(np.empty(0, dtype=SIGNALING_DTYPE))) == 0
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(TraceError):
+            expand_signaling(np.zeros(1, dtype=TRANSFER_DTYPE))

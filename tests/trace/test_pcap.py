@@ -1,0 +1,87 @@
+"""pcap export/import round-trips."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.packets import PacketSynthesizer
+from repro.trace.pcap import PCAP_MAGIC, read_pcap, write_pcap
+from repro.trace.records import PACKET_DTYPE
+
+
+@pytest.fixture(scope="module")
+def packets(sim_small):
+    probe = int(sim_small.probe_ips[2])
+    mask = (sim_small.transfers["src"] == probe) | (
+        sim_small.transfers["dst"] == probe
+    )
+    synth = PacketSynthesizer(sim_small.hosts, sim_small.world.paths)
+    return synth.expand(sim_small.transfers[mask][:1500])
+
+
+class TestRoundTrip:
+    def test_fields_preserved(self, packets, tmp_path):
+        path = write_pcap(tmp_path / "t.pcap", packets)
+        back = read_pcap(path)
+        assert len(back) == len(packets)
+        for field in ("src", "dst", "size", "ttl", "kind"):
+            assert np.array_equal(back[field], packets[field]), field
+
+    def test_timestamps_microsecond_accurate(self, packets, tmp_path):
+        path = write_pcap(tmp_path / "t.pcap", packets)
+        back = read_pcap(path)
+        assert np.allclose(back["ts"], packets["ts"], atol=1e-6)
+
+    def test_suffix_appended(self, packets, tmp_path):
+        path = write_pcap(tmp_path / "trace", packets[:5])
+        assert path.suffix == ".pcap"
+
+    def test_empty_trace(self, tmp_path):
+        path = write_pcap(tmp_path / "e.pcap", np.empty(0, dtype=PACKET_DTYPE))
+        assert len(read_pcap(path)) == 0
+
+
+class TestFormat:
+    def test_magic_and_linktype(self, packets, tmp_path):
+        path = write_pcap(tmp_path / "t.pcap", packets[:3])
+        header = path.read_bytes()[:24]
+        magic, _vmaj, _vmin, _tz, _sig, _snap, linktype = struct.unpack(
+            "<IHHiIII", header
+        )
+        assert magic == PCAP_MAGIC
+        assert linktype == 1  # Ethernet
+
+    def test_frames_are_valid_ipv4_udp(self, packets, tmp_path):
+        path = write_pcap(tmp_path / "t.pcap", packets[:1])
+        data = path.read_bytes()
+        frame = data[24 + 16 :]
+        assert frame[12:14] == b"\x08\x00"       # EtherType IPv4
+        assert frame[14] == 0x45                  # version/IHL
+        assert frame[14 + 9] == 17                # protocol UDP
+
+
+class TestErrors:
+    def test_wrong_dtype_rejected(self, tmp_path):
+        with pytest.raises(TraceError):
+            write_pcap(tmp_path / "x.pcap", np.zeros(2, dtype=np.float64))
+
+    def test_bad_magic_rejected(self, tmp_path):
+        bad = tmp_path / "bad.pcap"
+        bad.write_bytes(struct.pack("<IHHiIII", 0xDEADBEEF, 2, 4, 0, 0, 65535, 1))
+        with pytest.raises(TraceError):
+            read_pcap(bad)
+
+    def test_truncated_rejected(self, packets, tmp_path):
+        path = write_pcap(tmp_path / "t.pcap", packets[:3])
+        data = path.read_bytes()
+        (tmp_path / "cut.pcap").write_bytes(data[:-7])
+        with pytest.raises(TraceError):
+            read_pcap(tmp_path / "cut.pcap")
+
+    def test_header_too_short(self, tmp_path):
+        short = tmp_path / "s.pcap"
+        short.write_bytes(b"abc")
+        with pytest.raises(TraceError):
+            read_pcap(short)

@@ -1,0 +1,56 @@
+"""Trace record dtypes."""
+
+import numpy as np
+
+from repro.trace.records import (
+    FLOW_DTYPE,
+    PACKET_DTYPE,
+    SIGNALING_DTYPE,
+    TRANSFER_DTYPE,
+    PacketKind,
+    empty_flows,
+    empty_packets,
+    empty_transfers,
+)
+
+
+class TestDtypes:
+    def test_transfer_fields(self):
+        assert set(TRANSFER_DTYPE.names) == {
+            "ts", "src", "dst", "bytes", "kind", "bottleneck",
+        }
+
+    def test_packet_fields(self):
+        assert set(PACKET_DTYPE.names) == {"ts", "src", "dst", "size", "ttl", "kind"}
+
+    def test_flow_fields_cover_analysis_inputs(self):
+        needed = {"src", "dst", "bytes", "pkts", "min_ipg", "ttl",
+                  "video_bytes", "video_pkts", "first_ts", "last_ts"}
+        assert needed <= set(FLOW_DTYPE.names)
+
+    def test_signaling_fields(self):
+        assert set(SIGNALING_DTYPE.names) == {
+            "src", "dst", "start", "stop", "interval", "bytes",
+        }
+
+    def test_addresses_are_u32(self):
+        for dtype in (TRANSFER_DTYPE, PACKET_DTYPE, FLOW_DTYPE, SIGNALING_DTYPE):
+            assert dtype["src"] == np.uint32
+            assert dtype["dst"] == np.uint32
+
+
+class TestKinds:
+    def test_distinct_codes(self):
+        codes = {int(k) for k in PacketKind}
+        assert len(codes) == len(PacketKind)
+
+    def test_fits_u8(self):
+        assert max(int(k) for k in PacketKind) < 256
+
+
+class TestEmptyFactories:
+    def test_empty_arrays(self):
+        assert len(empty_transfers()) == 0
+        assert len(empty_packets()) == 0
+        assert len(empty_flows()) == 0
+        assert empty_transfers().dtype == TRANSFER_DTYPE

@@ -1,0 +1,79 @@
+"""Trace bundle persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.flows import build_flow_table
+from repro.trace.store import (
+    TraceBundle,
+    load_trace_bundle,
+    rebuild_world,
+    save_trace_bundle,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle(sim_small):
+    return TraceBundle.from_result(sim_small)
+
+
+class TestRoundTrip:
+    def test_save_load(self, bundle, tmp_path):
+        path = save_trace_bundle(tmp_path / "t.npz", bundle)
+        loaded = load_trace_bundle(path)
+        assert np.array_equal(loaded.transfers, bundle.transfers)
+        assert np.array_equal(loaded.signaling, bundle.signaling)
+        assert np.array_equal(loaded.hosts.rows, bundle.hosts.rows)
+        assert loaded.meta == bundle.meta
+
+    def test_suffix_appended(self, bundle, tmp_path):
+        path = save_trace_bundle(tmp_path / "trace", bundle)
+        assert path.suffix == ".npz"
+
+    def test_meta_contents(self, bundle, sim_small):
+        assert bundle.meta["profile"] == "tvants"
+        assert bundle.meta["duration_s"] == sim_small.config.duration_s
+        assert "world_seed" in bundle.meta
+
+    def test_bad_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, foo=np.zeros(3))
+        with pytest.raises(TraceError):
+            load_trace_bundle(bad)
+
+    def test_wrong_dtypes_rejected(self, bundle):
+        with pytest.raises(TraceError):
+            TraceBundle(
+                transfers=np.zeros(2, dtype=np.float64),
+                signaling=bundle.signaling,
+                hosts=bundle.hosts,
+                meta={},
+            )
+
+
+class TestRebuildWorld:
+    def test_analysis_identical_after_roundtrip(self, bundle, sim_small, tmp_path):
+        path = save_trace_bundle(tmp_path / "t.npz", bundle)
+        loaded = load_trace_bundle(path)
+        world = rebuild_world(loaded)
+        flows_rebuilt = build_flow_table(
+            loaded.transfers, loaded.signaling, loaded.hosts, world.paths
+        )
+        flows_orig = build_flow_table(
+            sim_small.transfers,
+            sim_small.signaling,
+            sim_small.hosts,
+            sim_small.world.paths,
+        )
+        assert np.array_equal(flows_rebuilt.flows, flows_orig.flows)
+
+    def test_missing_seed_raises(self, bundle):
+        stripped = TraceBundle(
+            transfers=bundle.transfers,
+            signaling=bundle.signaling,
+            hosts=bundle.hosts,
+            meta={k: v for k, v in bundle.meta.items() if k != "world_seed"},
+        )
+        with pytest.raises(TraceError):
+            rebuild_world(stripped)
