@@ -11,7 +11,6 @@ indices, demonstrating which knob produces which published signature:
 
 from dataclasses import replace
 
-import pytest
 
 from repro import analyze_experiment
 from repro.streaming import SelectionWeights, get_profile, simulate

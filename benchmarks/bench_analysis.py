@@ -5,7 +5,6 @@ the transfer log, packet-trace expansion, and the full awareness analysis
 — the operations a user runs repeatedly over saved captures.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.framework import AwarenessAnalyzer

@@ -8,7 +8,6 @@ dominated by hop-0 (same-LAN) exchange.
 import numpy as np
 
 from benchmarks.conftest import write_artifact
-from repro.experiments.campaign import ExperimentRun
 from repro.experiments.figure2 import build_figure2, _probe_matrix
 from repro.report.figures import render_figure2
 from repro.report.paper import PAPER_FIG2_RATIOS

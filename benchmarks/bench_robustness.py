@@ -1,0 +1,34 @@
+"""Benchmark: fault-injection severity sweep.
+
+Measures the cost of the impaired-simulation pipeline (Gilbert–Elliott
+loss schedule, churn storms, sniffer outages, clock skew, then the full
+analysis per severity point) and records how far the headline indices
+drift from the pristine baseline — the robustness claim of DESIGN.md in
+number form.
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.experiments.robustness import render_robustness, sweep_robustness
+
+
+def test_robustness_sweep(benchmark, output_dir):
+    report = benchmark(
+        sweep_robustness,
+        "tvants",
+        severities=(0.0, 0.5, 1.0),
+        duration_s=120.0,
+        seed=7,
+    )
+    write_artifact(output_dir, "robustness.txt", render_robustness(report))
+
+    # The pristine point must be undamaged and flag-free.
+    base = report.baseline
+    assert base.dropped_fraction == 0.0
+    assert base.bad_time_fraction == 0.0
+    assert not base.flags
+    # The qualitative verdict (strong BW preference) survives full severity.
+    assert all(p.bw_byte_pct > 80 for p in report.points)
+    benchmark.extra_info["bw_drift"] = round(report.drift("bw_byte_pct"), 2)
+    benchmark.extra_info["as_drift"] = round(
+        report.drift("as_byte_pct_nonprobe"), 2
+    )

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigurationError, TopologyError
+from repro.errors import ConfigurationError
 from repro.streaming.transport import BASE_LATENCY_S, PER_HOP_LATENCY_S
 from repro.topology.host import NetworkEndpoint
 from repro.topology.world import World

@@ -8,9 +8,13 @@ Three subcommands mirror the measurement workflow:
   table and figure of the paper plus the shape-check verdicts;
 * ``localize``  — the network-friendliness extension: per-app traffic
   cost plus the aware-client what-if comparison;
-* ``replicate`` — Table IV with mean ± std across seed replications.
+* ``replicate`` — Table IV with mean ± std across seed replications;
+* ``robustness`` — headline indices under increasing fault-injection
+  severity (bursty loss, churn storms, sniffer outages, clock skew).
 
 Invoke as ``repro-p2ptv`` (console script) or ``python -m repro``.
+Errors from the reproduction stack (:class:`~repro.errors.ReproError`)
+exit with status 2 and a one-line message instead of a traceback.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import ReproError
 from repro.streaming.profiles import PROFILES
 
 
@@ -84,8 +89,22 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         render_table4,
     )
 
+    from repro.faults.plan import ImpairmentPlan
+
+    impairment = None
+    if args.impair > 0:
+        impairment = ImpairmentPlan.preset(
+            args.impair, seed=args.fault_seed, duration_s=args.duration
+        )
     config = CampaignConfig(
-        apps=tuple(args.apps), duration_s=args.duration, seed=args.seed, scale=args.scale
+        apps=tuple(args.apps),
+        duration_s=args.duration,
+        seed=args.seed,
+        scale=args.scale,
+        max_retries=args.max_retries,
+        validate=args.validate,
+        checkpoint_dir=args.checkpoint_dir,
+        impairment=impairment,
     )
     campaign = run_campaign(config)
     print(render_table1(build_table1(campaign.testbed)))
@@ -102,7 +121,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if set(args.apps) >= {"pplive", "sopcast", "tvants"}:
         print()
         print(render_checks(check_campaign_shape(campaign)))
-    return 0
+    if campaign.failures:
+        print("\nerror ledger:", file=sys.stderr)
+        for failure in campaign.failures:
+            print(f"  {failure}", file=sys.stderr)
+    return 0 if not campaign.failed_apps else 1
 
 
 def _cmd_localize(args: argparse.Namespace) -> int:
@@ -142,6 +165,21 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from repro.experiments.robustness import render_robustness, sweep_robustness
+
+    report = sweep_robustness(
+        args.app,
+        severities=tuple(args.severities),
+        duration_s=args.duration,
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+        scale=args.scale,
+    )
+    print(render_robustness(report))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -169,6 +207,23 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--duration", type=float, default=300.0)
     camp.add_argument("--seed", type=int, default=42)
     camp.add_argument("--scale", type=float, default=1.0)
+    camp.add_argument(
+        "--max-retries", type=int, default=0,
+        help="retry failed simulations under reseeded engines",
+    )
+    camp.add_argument(
+        "--validate", action="store_true",
+        help="gate each run through the physics validator",
+    )
+    camp.add_argument(
+        "--checkpoint-dir", default=None,
+        help="save/resume per-app trace bundles here",
+    )
+    camp.add_argument(
+        "--impair", type=float, default=0.0, metavar="SEVERITY",
+        help="run under an impairment plan of this severity (0..1)",
+    )
+    camp.add_argument("--fault-seed", type=int, default=1)
     camp.set_defaults(func=_cmd_campaign)
 
     loc = sub.add_parser("localize", help="network-friendliness extension")
@@ -187,14 +242,37 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--seeds", type=int, nargs="+", default=[101, 202, 303])
     rep.set_defaults(func=_cmd_replicate)
 
+    rob = sub.add_parser(
+        "robustness", help="indices under increasing fault-injection severity"
+    )
+    rob.add_argument("--app", choices=sorted(PROFILES), default="tvants")
+    rob.add_argument("--duration", type=float, default=300.0)
+    rob.add_argument("--seed", type=int, default=7)
+    rob.add_argument("--fault-seed", type=int, default=1)
+    rob.add_argument("--scale", type=float, default=1.0)
+    rob.add_argument(
+        "--severities", type=float, nargs="+",
+        default=[0.0, 0.25, 0.5, 0.75, 1.0],
+    )
+    rob.set_defaults(func=_cmd_robustness)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point."""
+    """Entry point.
+
+    Traps :class:`ReproError` — expected failures (bad trace file,
+    inconsistent configuration) print one line to stderr and exit 2;
+    anything else is a bug and keeps its traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro-p2ptv: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

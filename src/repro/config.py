@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import numpy as np
 
-#: Named RNG streams, so child seeds are position-independent.
+#: Named RNG streams, so child seeds are position-independent.  The
+#: ``fault_*`` streams feed the impairment layer (:mod:`repro.faults`);
+#: they are appended last so adding them did not perturb the child seeds
+#: of the original streams.
 _STREAMS = (
     "world",
     "population",
@@ -20,6 +23,10 @@ _STREAMS = (
     "availability",
     "signaling",
     "trace",
+    "fault_loss",
+    "fault_churn",
+    "fault_capture",
+    "fault_clock",
 )
 
 

@@ -40,6 +40,7 @@ from repro.core.framework import (
     DirectionScores,
     MetricScores,
 )
+from repro.core.quality import QualityFlag
 
 __all__ = [
     "Direction",
@@ -65,4 +66,5 @@ __all__ = [
     "AwarenessReport",
     "DirectionScores",
     "MetricScores",
+    "QualityFlag",
 ]

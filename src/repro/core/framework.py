@@ -12,13 +12,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, ReproError
 from repro.heuristics.contributors import ContributorCriteria
 from repro.heuristics.registry import IpRegistry
 from repro.core.bias import exclude_probe_peers, self_bias, SelfBias
 from repro.core.partitions import PreferentialPartition, default_partitions
 from repro.core.preference import PreferenceCounts, preference_counts
-from repro.core.views import Direction, DirectionalView, ViewPair, build_views
+from repro.core.quality import QualityFlag
+from repro.core.views import Direction, ViewPair, build_views
 from repro.trace.flows import FlowTable
 
 
@@ -60,12 +61,19 @@ class MetricScores:
 
 @dataclass
 class AwarenessReport:
-    """Full analysis output for one experiment."""
+    """Full analysis output for one experiment.
+
+    ``flags`` carries degraded-mode annotations (see
+    :mod:`repro.core.quality`): an empty list means every index was
+    computed from healthy input; a flagged report is still usable, but
+    the flagged cells should be read as low-confidence.
+    """
 
     metrics: dict[str, MetricScores]
     views: ViewPair
     self_bias_contributors: dict[str, SelfBias] = field(default_factory=dict)
     self_bias_all_peers: dict[str, SelfBias] = field(default_factory=dict)
+    flags: list[QualityFlag] = field(default_factory=list)
 
     def __getitem__(self, metric: str) -> MetricScores:
         try:
@@ -79,6 +87,15 @@ class AwarenessReport:
     def metric_names(self) -> list[str]:
         return list(self.metrics)
 
+    @property
+    def degraded(self) -> bool:
+        """True when any index rests on degenerate input."""
+        return bool(self.flags)
+
+    def flags_for(self, metric: str | None = None) -> list[QualityFlag]:
+        """Flags scoped to one metric (report-wide flags included)."""
+        return [f for f in self.flags if f.metric is None or f.metric == metric]
+
 
 class AwarenessAnalyzer:
     """Applies the paper's methodology to one experiment's traffic."""
@@ -88,6 +105,8 @@ class AwarenessAnalyzer:
         registry: IpRegistry,
         partitions: list[PreferentialPartition] | None = None,
         criteria: ContributorCriteria | None = None,
+        *,
+        min_contributors: int = 3,
     ) -> None:
         """
         Parameters
@@ -100,6 +119,11 @@ class AwarenessAnalyzer:
             new properties — see ``examples/custom_metric.py``.
         criteria:
             Contributor-identification thresholds.
+        min_contributors:
+            Minimum distinct contributors per direction below which the
+            report is flagged ``few-contributors`` (the degraded-trace
+            analogue of the paper's P′/B′ bias control; the indices are
+            still computed, just marked low-confidence).
         """
         self.registry = registry
         self.partitions = (
@@ -111,12 +135,52 @@ class AwarenessAnalyzer:
         if len(set(names)) != len(names):
             raise AnalysisError(f"duplicate partition names: {names}")
         self.criteria = criteria
+        if min_contributors < 1:
+            raise AnalysisError("min_contributors must be at least 1")
+        self.min_contributors = min_contributors
 
     def analyze(self, table: FlowTable) -> AwarenessReport:
-        """Run the full methodology on one experiment."""
+        """Run the full methodology on one experiment.
+
+        Degenerate inputs — an empty contributor set, a partition that
+        cannot be evaluated, a single-class split — degrade gracefully:
+        affected cells come back NaN and the report carries
+        :class:`~repro.core.quality.QualityFlag` entries describing why,
+        instead of the analysis raising.
+        """
         probe_ips = np.asarray(table.probe_ips, dtype=np.uint32)
         views = build_views(table, self.criteria, contributors_only=True)
         all_views = build_views(table, self.criteria, contributors_only=False)
+        flags: list[QualityFlag] = []
+
+        for direction in Direction:
+            view = views.get(direction)
+            distinct = view.distinct_peers()
+            if distinct == 0:
+                flags.append(
+                    QualityFlag(
+                        "no-contributors",
+                        "no contributing peers in this direction",
+                        direction=direction.value,
+                    )
+                )
+            elif distinct < self.min_contributors:
+                flags.append(
+                    QualityFlag(
+                        "few-contributors",
+                        f"only {distinct} distinct contributors "
+                        f"(threshold {self.min_contributors})",
+                        direction=direction.value,
+                    )
+                )
+            if len(view) and not len(exclude_probe_peers(view, probe_ips)):
+                flags.append(
+                    QualityFlag(
+                        "no-nonprobe-contributors",
+                        "every contributor is a probe; P'/B' undefined",
+                        direction=direction.value,
+                    )
+                )
 
         metrics: dict[str, MetricScores] = {}
         for partition in self.partitions:
@@ -126,7 +190,29 @@ class AwarenessAnalyzer:
                 if not partition.supports(direction):
                     per_direction[direction] = DirectionScores(None, None)
                     continue
-                indicator = partition.indicator(view)
+                try:
+                    indicator = np.asarray(partition.indicator(view), dtype=bool)
+                except ReproError as exc:
+                    flags.append(
+                        QualityFlag(
+                            "metric-error",
+                            str(exc),
+                            metric=partition.name,
+                            direction=direction.value,
+                        )
+                    )
+                    per_direction[direction] = DirectionScores(None, None)
+                    continue
+                if len(view) and (indicator.all() or not indicator.any()):
+                    cls = "preferred" if indicator.all() else "non-preferred"
+                    flags.append(
+                        QualityFlag(
+                            "single-class",
+                            f"every pair fell in the {cls} class",
+                            metric=partition.name,
+                            direction=direction.value,
+                        )
+                    )
                 full = preference_counts(view, indicator)
                 pruned_view = exclude_probe_peers(view, probe_ips)
                 keep = ~np.isin(view.peer_ip, probe_ips)
@@ -138,7 +224,7 @@ class AwarenessAnalyzer:
                 upload=per_direction[Direction.UPLOAD],
             )
 
-        report = AwarenessReport(metrics=metrics, views=views)
+        report = AwarenessReport(metrics=metrics, views=views, flags=flags)
         for direction in Direction:
             key = direction.value
             report.self_bias_contributors[key] = self_bias(

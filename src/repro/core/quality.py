@@ -1,0 +1,41 @@
+"""Quality flags: degraded-mode annotations on analysis output.
+
+A damaged capture (truncated trace, sniffer outage, evaporated swarm)
+should not crash the awareness framework — but neither should it emit
+numbers indistinguishable from healthy ones.  A :class:`QualityFlag`
+marks a metric, direction or whole report whose value rests on degenerate
+input; renderers and shape checks can then annotate or exclude flagged
+cells instead of silently publishing noise.
+
+Flag codes in use:
+
+* ``no-contributors``      — a direction's contributor view is empty;
+* ``few-contributors``     — fewer distinct contributors than the
+  analyzer's minimum (the P′/B′-style bias control: an index over a
+  handful of peers is an anecdote, not a preference);
+* ``no-nonprobe-contributors`` — P′/B′ undefined because every
+  contributor is itself a probe;
+* ``single-class``         — a partition put every pair in one class, so
+  its index is degenerate (trivially 0 or 100);
+* ``metric-error``         — a partition raised on this input; its cells
+  are NaN instead of the analysis aborting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class QualityFlag:
+    """One degraded-input annotation."""
+
+    code: str
+    detail: str = ""
+    metric: str | None = None
+    direction: str | None = None
+
+    def __str__(self) -> str:
+        scope = "/".join(s for s in (self.metric, self.direction) if s)
+        head = f"[{self.code}]" if not scope else f"[{self.code} @ {scope}]"
+        return f"{head} {self.detail}" if self.detail else head

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.partitions import PreferentialPartition
-from repro.core.preference import PreferenceCounts
 from repro.core.views import DirectionalView
 from repro.errors import AnalysisError
 

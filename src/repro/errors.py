@@ -35,6 +35,18 @@ class TraceError(ReproError):
     """A packet/flow trace is malformed, truncated or incompatible."""
 
 
+class TraceWarning(UserWarning):
+    """A trace was salvaged in degraded (``strict=False``) mode.
+
+    Emitted via :mod:`warnings` when a loader recovers the intact prefix
+    of a truncated file instead of raising :class:`TraceError`.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """An impairment plan is inconsistent or could not be applied."""
+
+
 class AnalysisError(ReproError):
     """The awareness-analysis framework was invoked on unusable inputs."""
 

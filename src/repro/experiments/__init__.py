@@ -16,6 +16,7 @@ paper's table or figure, rendered to text by :mod:`repro.report`:
 from repro.experiments.campaign import (
     Campaign,
     CampaignConfig,
+    CampaignFailure,
     ExperimentRun,
     run_campaign,
 )
@@ -45,10 +46,17 @@ from repro.experiments.sensitivity import (
     render_sensitivity,
     sweep_sensitivity,
 )
+from repro.experiments.robustness import (
+    RobustnessPoint,
+    RobustnessReport,
+    render_robustness,
+    sweep_robustness,
+)
 
 __all__ = [
     "Campaign",
     "CampaignConfig",
+    "CampaignFailure",
     "ExperimentRun",
     "run_campaign",
     "Table1",
@@ -80,4 +88,8 @@ __all__ = [
     "SensitivityReport",
     "render_sensitivity",
     "sweep_sensitivity",
+    "RobustnessPoint",
+    "RobustnessReport",
+    "render_robustness",
+    "sweep_robustness",
 ]

@@ -4,23 +4,39 @@ The paper's campaign ran PPLive, SopCast and TVAnts on the *same* testbed
 watching the *same* channel.  :func:`run_campaign` mirrors that: one
 :class:`World` and Table I testbed shared across applications, one
 simulation per application, analysis applied uniformly.
+
+The runner is *resilient* the way the real campaign had to be: a failing
+experiment does not abort the campaign.  Per-application failures land in
+an error ledger (:class:`CampaignFailure`), failed simulations can retry
+under a reseeded RNG, completed runs checkpoint to disk as trace bundles
+so an interrupted campaign resumes without re-simulating, and runs can be
+gated through :func:`~repro.validation.validate_result` so physics
+violations surface in the ledger instead of flowing silently into the
+analysis.  The returned :class:`Campaign` is usable even when partial.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.framework import AwarenessAnalyzer, AwarenessReport
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError, TraceError
+from repro.faults.plan import ImpairmentLog, ImpairmentPlan, impair_result
 from repro.heuristics.registry import IpRegistry
 from repro.streaming.engine import EngineConfig, SimulationResult, simulate
 from repro.streaming.profiles import get_profile
 from repro.topology.testbed import Testbed, build_napa_wine_testbed
 from repro.topology.world import World
 from repro.trace.flows import FlowTable, build_flow_table
+from repro.trace.store import TraceBundle, load_trace_bundle, save_trace_bundle
 
 #: The applications of the paper, in its reporting order.
 PAPER_APPS = ("pplive", "sopcast", "tvants")
+
+#: Seed stride between retry attempts (a prime, to dodge accidental
+#: collisions with the ``seed + app_index`` spacing of the base seeds).
+RESEED_STRIDE = 7919
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,18 +54,53 @@ class CampaignConfig:
         Master seed; world, populations and engines derive from it.
     scale:
         Swarm scale factor (1.0 = profile defaults), for quick runs.
+    max_retries:
+        Extra simulation attempts per app after a failure, each under a
+        reseeded engine (``seed + attempt * RESEED_STRIDE``).
+    validate:
+        Gate every simulation through
+        :func:`~repro.validation.validate_result`; a run with violations
+        is excluded from ``runs`` and its violations recorded in the
+        error ledger.
+    checkpoint_dir:
+        When set, completed runs are saved there as trace bundles and
+        later campaigns with the same configuration resume from them
+        without re-simulating.
+    impairment:
+        Optional :class:`~repro.faults.plan.ImpairmentPlan`; each app
+        runs under the plan reseeded per app (``plan.seed + app index``).
     """
 
     apps: tuple[str, ...] = PAPER_APPS
     duration_s: float = 600.0
     seed: int = 42
     scale: float = 1.0
+    max_retries: int = 0
+    validate: bool = False
+    checkpoint_dir: str | None = None
+    impairment: ImpairmentPlan | None = None
 
     def __post_init__(self) -> None:
         if not self.apps:
             raise ConfigurationError("campaign needs at least one app")
         if self.duration_s <= 0 or self.scale <= 0:
             raise ConfigurationError("duration and scale must be positive")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignFailure:
+    """One ledger entry: what failed, where, under which seed."""
+
+    app: str
+    stage: str  # "checkpoint" | "simulate" | "validate" | "analyze"
+    attempt: int
+    seed: int
+    error: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.app}/{self.stage} (attempt {self.attempt}, seed {self.seed}): {self.error}"
 
 
 @dataclass
@@ -60,16 +111,24 @@ class ExperimentRun:
     result: SimulationResult
     flows: FlowTable
     report: AwarenessReport
+    from_checkpoint: bool = False
 
 
 @dataclass
 class Campaign:
-    """All runs of a campaign, keyed by application name."""
+    """All runs of a campaign, keyed by application name.
+
+    ``failures`` is the error ledger: every trapped per-app failure, in
+    occurrence order.  A campaign with failures is still usable — tables
+    and figures render over whatever ``runs`` holds.
+    """
 
     config: CampaignConfig
     world: World
     testbed: Testbed
     runs: dict[str, ExperimentRun] = field(default_factory=dict)
+    failures: list[CampaignFailure] = field(default_factory=list)
+    impairment_logs: dict[str, ImpairmentLog] = field(default_factory=dict)
 
     def __getitem__(self, app: str) -> ExperimentRun:
         return self.runs[app]
@@ -78,9 +137,132 @@ class Campaign:
     def apps(self) -> list[str]:
         return list(self.runs)
 
+    @property
+    def failed_apps(self) -> list[str]:
+        """Configured apps that produced no usable run."""
+        return [app for app in self.config.apps if app not in self.runs]
+
+    @property
+    def ok(self) -> bool:
+        """Every configured app completed and nothing hit the ledger."""
+        return not self.failed_apps and not self.failures
+
+    def failures_for(self, app: str) -> list[CampaignFailure]:
+        return [f for f in self.failures if f.app == app]
+
+
+# --------------------------------------------------------------- checkpoints
+def _checkpoint_path(cfg: CampaignConfig, app: str) -> Path:
+    return Path(cfg.checkpoint_dir) / f"{app}.npz"
+
+
+def _save_checkpoint(cfg: CampaignConfig, app: str, result: SimulationResult) -> None:
+    directory = Path(cfg.checkpoint_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    bundle = TraceBundle.from_result(result)
+    bundle.meta["campaign_scale"] = cfg.scale
+    if cfg.impairment is not None:
+        bundle.meta["impairment_seed"] = cfg.impairment.seed
+    save_trace_bundle(_checkpoint_path(cfg, app), bundle)
+
+
+def _load_checkpoint(
+    cfg: CampaignConfig,
+    app: str,
+    world: World,
+    testbed: Testbed,
+    profile,
+) -> SimulationResult:
+    """Rebuild a SimulationResult from a checkpointed trace bundle.
+
+    Raises :class:`TraceError` when the checkpoint does not match the
+    campaign configuration (stale directory reuse) — the caller then
+    falls back to simulating.
+    """
+    bundle = load_trace_bundle(_checkpoint_path(cfg, app))
+    meta = bundle.meta
+    if meta.get("profile") != profile.name:
+        raise TraceError(f"checkpoint profile {meta.get('profile')!r} != {profile.name!r}")
+    if float(meta.get("duration_s", -1.0)) != cfg.duration_s:
+        raise TraceError("checkpoint duration mismatch")
+    if float(meta.get("campaign_scale", -1.0)) != cfg.scale:
+        raise TraceError("checkpoint scale mismatch")
+    if int(meta.get("world_seed", -1)) != world.config.seed:
+        raise TraceError("checkpoint world mismatch")
+    expected_plan = None if cfg.impairment is None else cfg.impairment.seed
+    if meta.get("impairment_seed") != expected_plan:
+        raise TraceError("checkpoint impairment mismatch")
+    return SimulationResult(
+        transfers=bundle.transfers,
+        signaling=bundle.signaling,
+        hosts=bundle.hosts,
+        testbed=testbed,
+        world=world,
+        profile=profile,
+        config=EngineConfig(duration_s=cfg.duration_s, seed=int(meta.get("seed", 0))),
+        events_processed=int(meta.get("events", 0)),
+    )
+
+
+# --------------------------------------------------------------------- runner
+def _simulate_app(
+    campaign: Campaign,
+    app: str,
+    app_index: int,
+    profile,
+) -> SimulationResult | None:
+    """One app's simulation with retry-with-reseed and validation gate."""
+    from repro.validation import validate_result
+
+    cfg = campaign.config
+    plan = None
+    if cfg.impairment is not None and not cfg.impairment.is_noop:
+        plan = cfg.impairment.with_seed(cfg.impairment.seed + app_index)
+
+    for attempt in range(cfg.max_retries + 1):
+        seed = cfg.seed + app_index + attempt * RESEED_STRIDE
+        engine_config = EngineConfig(duration_s=cfg.duration_s, seed=seed)
+        if plan is not None:
+            engine_config = plan.engine_config(engine_config)
+        try:
+            result = simulate(
+                profile,
+                world=campaign.world,
+                testbed=campaign.testbed,
+                engine_config=engine_config,
+            )
+        except ReproError as exc:
+            campaign.failures.append(
+                CampaignFailure(app, "simulate", attempt, seed, str(exc))
+            )
+            continue
+        if plan is not None:
+            result, log = impair_result(result, plan)
+            campaign.impairment_logs[app] = log
+        if cfg.validate:
+            violations = validate_result(result)
+            if violations:
+                campaign.failures.append(
+                    CampaignFailure(
+                        app,
+                        "validate",
+                        attempt,
+                        seed,
+                        "; ".join(str(v) for v in violations),
+                    )
+                )
+                return None  # deterministic — retrying cannot help
+        return result
+    return None
+
 
 def run_campaign(config: CampaignConfig | None = None) -> Campaign:
-    """Run and analyse every experiment of a campaign."""
+    """Run and analyse every experiment of a campaign.
+
+    Never raises on a per-application failure: inspect
+    ``campaign.failures`` (and ``campaign.failed_apps``) for anything the
+    runner had to swallow.
+    """
     cfg = config or CampaignConfig()
     world = World()
     testbed = build_napa_wine_testbed(world)
@@ -91,17 +273,46 @@ def run_campaign(config: CampaignConfig | None = None) -> Campaign:
         profile = get_profile(app)
         if cfg.scale != 1.0:
             profile = profile.scaled(cfg.scale)
-        result = simulate(
-            profile,
-            world=world,
-            testbed=testbed,
-            engine_config=EngineConfig(duration_s=cfg.duration_s, seed=cfg.seed + i),
-        )
-        flows = build_flow_table(
-            result.transfers, result.signaling, result.hosts, world.paths
-        )
-        report = AwarenessAnalyzer(registry).analyze(flows)
+
+        result: SimulationResult | None = None
+        if cfg.checkpoint_dir and _checkpoint_path(cfg, app).exists():
+            try:
+                result = _load_checkpoint(cfg, app, world, testbed, profile)
+            except ReproError as exc:
+                campaign.failures.append(
+                    CampaignFailure(app, "checkpoint", 0, cfg.seed + i, str(exc))
+                )
+        from_checkpoint = result is not None
+        if result is None:
+            result = _simulate_app(campaign, app, i, profile)
+        if result is None:
+            continue
+
+        try:
+            flows = build_flow_table(
+                result.transfers, result.signaling, result.hosts, world.paths
+            )
+            report = AwarenessAnalyzer(registry).analyze(flows)
+        except ReproError as exc:
+            campaign.failures.append(
+                CampaignFailure(app, "analyze", 0, int(result.config.seed), str(exc))
+            )
+            continue
+
         campaign.runs[app] = ExperimentRun(
-            app=app, result=result, flows=flows, report=report
+            app=app,
+            result=result,
+            flows=flows,
+            report=report,
+            from_checkpoint=from_checkpoint,
         )
+        if cfg.checkpoint_dir and not from_checkpoint:
+            try:
+                _save_checkpoint(cfg, app, result)
+            except (ReproError, OSError) as exc:
+                campaign.failures.append(
+                    CampaignFailure(
+                        app, "checkpoint", 0, int(result.config.seed), str(exc)
+                    )
+                )
     return campaign

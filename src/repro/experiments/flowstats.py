@@ -17,7 +17,6 @@ import numpy as np
 from repro.errors import AnalysisError
 from repro.experiments.campaign import Campaign
 from repro.trace.flows import FlowTable
-from repro.units import BITS_PER_BYTE, to_kbps
 
 
 @dataclass(frozen=True, slots=True)

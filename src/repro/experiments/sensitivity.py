@@ -17,11 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.framework import AwarenessAnalyzer
-from repro.core.partitions import (
-    BWPartition,
-    HOPPartition,
-    default_partitions,
-)
+from repro.core.partitions import BWPartition, default_partitions
 from repro.errors import AnalysisError
 from repro.heuristics.contributors import ContributorCriteria
 from repro.heuristics.registry import IpRegistry

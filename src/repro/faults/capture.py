@@ -1,0 +1,103 @@
+"""Per-probe sniffer outages: capture-gap windows on the transfer log.
+
+The paper's probes ran tcpdump for an hour straight; in practice sniffers
+die — disks fill, rings overflow, machines reboot.  A capture gap removes
+everything a probe's sniffer would have recorded during its outage
+window.  Applied *post hoc* to the merged transfer log: the simulation's
+physics is untouched, only the evidence goes missing — exactly what a
+real capture gap does.
+
+A record between two probes survives as long as at least one of its
+probe endpoints was capturing at that instant (the merged campaign
+dataset contains every probe's own capture).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+
+
+@dataclass(frozen=True, slots=True)
+class CaptureOutageConfig:
+    """How sniffer outages are drawn.
+
+    Each probe independently suffers one outage with probability
+    ``outage_prob``; its start is uniform over the capture and its length
+    exponential with mean ``mean_outage_s`` (clipped to the horizon).
+    """
+
+    outage_prob: float = 0.25
+    mean_outage_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.outage_prob <= 1.0:
+            raise FaultInjectionError("outage_prob must be a probability")
+        if self.mean_outage_s <= 0:
+            raise FaultInjectionError("mean_outage_s must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class CaptureGap:
+    """One probe's sniffer outage window ``[start_s, stop_s)``."""
+
+    probe_ip: int
+    start_s: float
+    stop_s: float
+
+    def __post_init__(self) -> None:
+        if self.stop_s <= self.start_s:
+            raise FaultInjectionError("capture gap must have positive length")
+
+
+def draw_capture_gaps(
+    probe_ips: np.ndarray,
+    duration_s: float,
+    config: CaptureOutageConfig,
+    rng: np.random.Generator,
+) -> tuple[CaptureGap, ...]:
+    """Sample outage windows for a probe set."""
+    gaps: list[CaptureGap] = []
+    for ip in np.asarray(probe_ips, dtype=np.uint32):
+        if rng.random() >= config.outage_prob:
+            continue
+        start = float(rng.uniform(0.0, duration_s))
+        stop = min(start + float(rng.exponential(config.mean_outage_s)), duration_s)
+        if stop > start:
+            gaps.append(CaptureGap(probe_ip=int(ip), start_s=start, stop_s=stop))
+    return tuple(gaps)
+
+
+def apply_capture_gaps(
+    records: np.ndarray,
+    probe_ips: np.ndarray,
+    gaps: tuple[CaptureGap, ...],
+) -> np.ndarray:
+    """Drop records no capturing probe saw; returns a filtered copy.
+
+    ``records`` is any structured array with ``ts``/``src``/``dst``
+    columns (transfer logs and packet traces both qualify).
+    """
+    if not gaps or len(records) == 0:
+        return records.copy()
+    probe_ips = np.asarray(probe_ips, dtype=np.uint32)
+    starts = {g.probe_ip: g.start_s for g in gaps}
+    stops = {g.probe_ip: g.stop_s for g in gaps}
+
+    def capturing(endpoint: np.ndarray) -> np.ndarray:
+        """Per record: endpoint is a probe whose sniffer is up at ts."""
+        is_probe = np.isin(endpoint, probe_ips)
+        gap_start = np.full(len(endpoint), np.inf)
+        gap_stop = np.full(len(endpoint), np.inf)
+        for ip in starts:
+            hit = endpoint == np.uint32(ip)
+            gap_start[hit] = starts[ip]
+            gap_stop[hit] = stops[ip]
+        in_gap = (records["ts"] >= gap_start) & (records["ts"] < gap_stop)
+        return is_probe & ~in_gap
+
+    visible = capturing(records["src"]) | capturing(records["dst"])
+    return records[visible]

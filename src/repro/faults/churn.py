@@ -1,0 +1,106 @@
+"""Churn faults: storms (mass departures) and flash crowds (mass joins).
+
+The baseline :class:`~repro.population.churn.ChurnProcess` draws smooth
+Poisson arrivals and log-normal sessions.  Real broadcasts see *events*:
+an ISP outage or a boring half drains the swarm in seconds (a storm); a
+goal or a channel switch floods it (a flash crowd).  Both are expressed
+as post-transforms of a materialised churn process, so the engine stays
+oblivious: it consumes (join, leave) intervals exactly as before.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+from repro.population.churn import ChurnProcess, Session
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnStorm:
+    """A mass-departure window.
+
+    Each peer online during ``[at_s, at_s + duration_s)`` leaves with
+    probability ``leave_fraction``, at a time drawn uniformly inside the
+    window (departures cluster but are not perfectly synchronised).
+    """
+
+    at_s: float
+    duration_s: float = 30.0
+    leave_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0 or self.duration_s <= 0:
+            raise FaultInjectionError("storm window must be positive and start at t >= 0")
+        if not 0.0 <= self.leave_fraction <= 1.0:
+            raise FaultInjectionError("leave_fraction must be a probability")
+
+
+@dataclass(frozen=True, slots=True)
+class FlashCrowd:
+    """A mass-arrival event.
+
+    Each peer that had not yet joined by ``at_s`` joins at ``at_s`` with
+    probability ``join_fraction``; flash-crowd sessions last an
+    exponential ``mean_stay_s`` (channel surfers mostly leave quickly).
+    """
+
+    at_s: float
+    join_fraction: float = 0.5
+    mean_stay_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise FaultInjectionError("flash crowd must start at t >= 0")
+        if not 0.0 <= self.join_fraction <= 1.0:
+            raise FaultInjectionError("join_fraction must be a probability")
+        if self.mean_stay_s <= 0:
+            raise FaultInjectionError("mean_stay_s must be positive")
+
+
+def apply_churn_events(
+    churn: ChurnProcess,
+    storms: tuple[ChurnStorm, ...],
+    crowds: tuple[FlashCrowd, ...],
+    rng: np.random.Generator,
+) -> ChurnProcess:
+    """Overlay storms and flash crowds on a materialised churn process.
+
+    Events apply in time order.  A peer keeps at most one session (the
+    baseline model's invariant): storms can only shorten sessions, flash
+    crowds can only pull not-yet-joined peers forward — nobody rejoins.
+    """
+    if not storms and not crowds:
+        return churn
+    joins = np.array([s.join for s in churn.sessions], dtype=np.float64)
+    leaves = np.array([s.leave for s in churn.sessions], dtype=np.float64)
+    horizon = churn.horizon
+
+    events: list[tuple[float, object]] = [(s.at_s, s) for s in storms]
+    events += [(c.at_s, c) for c in crowds]
+    for at, event in sorted(events, key=lambda pair: pair[0]):
+        if isinstance(event, ChurnStorm):
+            stop = min(at + event.duration_s, horizon)
+            online = (joins <= at) & (leaves > at)
+            hit = online & (rng.random(len(joins)) < event.leave_fraction)
+            if hit.any():
+                leaves[hit] = np.minimum(
+                    leaves[hit], rng.uniform(at, stop, size=int(hit.sum()))
+                )
+        else:  # FlashCrowd
+            late = joins > at
+            hit = late & (rng.random(len(joins)) < event.join_fraction)
+            if hit.any():
+                n = int(hit.sum())
+                joins[hit] = at
+                stays = rng.exponential(event.mean_stay_s, size=n)
+                leaves[hit] = np.minimum(at + stays, horizon)
+
+    leaves = np.maximum(leaves, joins)  # clipping can never invert a session
+    sessions = [
+        Session(peer_id=s.peer_id, join=float(j), leave=float(l))
+        for s, j, l in zip(churn.sessions, joins, leaves)
+    ]
+    return ChurnProcess(sessions, horizon)

@@ -1,0 +1,112 @@
+"""Bursty request loss: a Gilbert–Elliott two-state channel.
+
+The engine's ``request_loss_prob`` knob models memoryless loss; real
+access links lose packets in *bursts* (congestion episodes, WiFi fades).
+The classic Gilbert–Elliott model captures that with a two-state Markov
+chain — a mostly-clean GOOD state and a lossy BAD state — whose sojourn
+times are exponential.  :func:`materialize_loss_schedule` draws the whole
+state trajectory up-front from a named RNG stream, so an impaired run
+stays a pure function of its seeds; the engine then reads the effective
+loss probability off the materialised :class:`LossSchedule` at request
+time (no further randomness in the schedule itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+
+
+@dataclass(frozen=True, slots=True)
+class GilbertElliottConfig:
+    """Two-state bursty loss parameters.
+
+    Parameters
+    ----------
+    mean_good_s / mean_bad_s:
+        Mean sojourn times of the clean and lossy states (exponential).
+    loss_good / loss_bad:
+        Request-loss probability while in each state.  ``loss_good`` is
+        typically the engine's baseline ``request_loss_prob``; the
+        impairment layers the BAD bursts on top of it.
+    """
+
+    mean_good_s: float = 60.0
+    mean_bad_s: float = 8.0
+    loss_good: float = 0.0
+    loss_bad: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mean_good_s <= 0 or self.mean_bad_s <= 0:
+            raise FaultInjectionError("Gilbert-Elliott sojourn means must be positive")
+        for name in ("loss_good", "loss_bad"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise FaultInjectionError(f"{name} must be a probability, got {p}")
+
+
+@dataclass(frozen=True)
+class LossSchedule:
+    """A materialised loss-probability step function over the experiment.
+
+    ``boundaries[i]`` is the start of segment ``i``; ``probs[i]`` is the
+    loss probability holding until ``boundaries[i + 1]`` (or the horizon).
+    """
+
+    boundaries: np.ndarray  # f8, starts at 0.0, strictly increasing
+    probs: np.ndarray       # f8, aligned with boundaries
+    horizon_s: float
+
+    def __post_init__(self) -> None:
+        if len(self.boundaries) != len(self.probs) or len(self.boundaries) == 0:
+            raise FaultInjectionError("loss schedule segments misaligned")
+        if self.boundaries[0] != 0.0:
+            raise FaultInjectionError("loss schedule must start at t = 0")
+
+    def prob_at(self, t: float) -> float:
+        """Effective request-loss probability at time ``t``."""
+        idx = int(np.searchsorted(self.boundaries, t, side="right")) - 1
+        if idx < 0:
+            idx = 0
+        return float(self.probs[idx])
+
+    @property
+    def bad_time_fraction(self) -> float:
+        """Share of the horizon spent above the minimum loss level."""
+        ends = np.append(self.boundaries[1:], self.horizon_s)
+        lengths = np.clip(ends - self.boundaries, 0.0, None)
+        floor = float(self.probs.min())
+        bad = lengths[self.probs > floor].sum()
+        total = lengths.sum()
+        return float(bad / total) if total > 0 else 0.0
+
+
+def materialize_loss_schedule(
+    duration_s: float,
+    config: GilbertElliottConfig,
+    rng: np.random.Generator,
+) -> LossSchedule:
+    """Draw one GOOD/BAD trajectory over ``[0, duration_s]``.
+
+    The chain starts in GOOD (captures begin in steady conditions); each
+    sojourn is exponential with the configured mean.
+    """
+    if duration_s <= 0:
+        raise FaultInjectionError("duration must be positive")
+    boundaries = [0.0]
+    probs = [config.loss_good]
+    t = float(rng.exponential(config.mean_good_s))
+    good = False  # state entered at the first boundary after t=0
+    while t < duration_s:
+        boundaries.append(t)
+        probs.append(config.loss_good if good else config.loss_bad)
+        t += float(rng.exponential(config.mean_good_s if good else config.mean_bad_s))
+        good = not good
+    return LossSchedule(
+        boundaries=np.asarray(boundaries, dtype=np.float64),
+        probs=np.asarray(probs, dtype=np.float64),
+        horizon_s=float(duration_s),
+    )

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.config import RngBundle
 from repro.errors import ConfigurationError, SimulationError
-from repro.population.churn import ChurnConfig, ChurnProcess
+from repro.population.churn import ChurnProcess
 from repro.population.demographics import Demographics, cctv1_audience
 from repro.population.generator import PopulationConfig, RemotePeer, generate_population
 from repro.streaming.availability import RemoteAvailability
@@ -100,6 +100,17 @@ class EngineConfig:
     #: Probability that a *firewalled* probe drops an unsolicited remote
     #: downloader attachment (Table I's FW column given teeth).
     firewall_attach_drop_prob: float = 0.8
+    #: Optional time-varying request loss: any object with a
+    #: ``prob_at(t) -> float`` method (see
+    #: :class:`repro.faults.loss.LossSchedule`).  When set it *replaces*
+    #: ``request_loss_prob`` — impairment plans fold the scalar in as the
+    #: schedule's GOOD-state floor.
+    request_loss_schedule: object | None = None
+    #: Optional churn post-transform ``(ChurnProcess, rng) -> ChurnProcess``
+    #: applied to the generated remote-peer sessions, drawing from the
+    #: engine's ``fault_churn`` RNG stream (churn storms / flash crowds —
+    #: see :mod:`repro.faults.churn`).
+    churn_transform: object | None = None
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -215,6 +226,8 @@ class Engine:
             self.profile.churn,
             self._rngs["churn"],
         )
+        if self.config.churn_transform is not None:
+            churn = self.config.churn_transform(churn, self._rngs["fault_churn"])
         self._join = np.full(n, 0.0)
         self._leave = np.full(n, self.config.duration_s)
         for s in churn.sessions:
@@ -431,10 +444,11 @@ class Engine:
         """Issue a chunk request; returns True when a transfer was queued."""
         lat = self._latency(probe.gidx, provider)
         self._record(t, probe.gidx, provider, REQUEST_BYTES, PacketKind.CONTROL)
-        if (
-            self.config.request_loss_prob > 0
-            and self._rngs["engine"].random() < self.config.request_loss_prob
-        ):
+        if self.config.request_loss_schedule is not None:
+            loss_prob = self.config.request_loss_schedule.prob_at(t)
+        else:
+            loss_prob = self.config.request_loss_prob
+        if loss_prob > 0 and self._rngs["engine"].random() < loss_prob:
             # The request datagram was lost; nothing comes back and the
             # chunk ages until the next tick retries it.
             return False

@@ -19,8 +19,7 @@ ranges from 18 to 20").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from functools import lru_cache
+from dataclasses import dataclass
 
 import networkx as nx
 import numpy as np

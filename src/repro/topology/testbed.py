@@ -14,7 +14,7 @@ reported metric, which are all ratios.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.topology.access import AccessLink, catv, dsl, lan
 from repro.topology.host import NetworkEndpoint

@@ -17,7 +17,7 @@ Every allocation is deterministic given the configured seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

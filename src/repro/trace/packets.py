@@ -38,7 +38,7 @@ def transfer_gaps(transfers: np.ndarray, hosts: HostTable) -> np.ndarray:
     """Per-transfer packet spacing in seconds (inf for single-packet ones).
 
     The train is paced by the *sender's uplink* serialisation time.  This
-    is a deliberate modelling choice (DESIGN.md §6): the paper's estimator
+    is a deliberate modelling choice (DESIGN.md §7): the paper's estimator
     classifies the peer's capacity from min IPG, and over long flows the
     minimum gap reflects the sender-side pacing — last-mile queues compress
     bursts as often as they stretch them, so the observed minimum converges

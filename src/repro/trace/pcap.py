@@ -18,11 +18,12 @@ interchange format for *our* traces, not a general pcap parser.
 from __future__ import annotations
 
 import struct
+import warnings
 from pathlib import Path
 
 import numpy as np
 
-from repro.errors import TraceError
+from repro.errors import TraceError, TraceWarning
 from repro.trace.records import PACKET_DTYPE, PacketKind
 
 #: Classic pcap magic (little-endian, microsecond resolution).
@@ -68,6 +69,13 @@ def write_pcap(path: str | Path, packets: np.ndarray) -> Path:
     """
     if packets.dtype != PACKET_DTYPE:
         raise TraceError("write_pcap() wants a PACKET_DTYPE array")
+    known = np.isin(packets["kind"], [int(k) for k in KIND_TO_PORT])
+    if not known.all():
+        bad = sorted(set(packets["kind"][~known].tolist()))
+        raise TraceError(
+            f"cannot export packets with unknown kind codes {bad}; "
+            f"known kinds: {sorted(int(k) for k in KIND_TO_PORT)}"
+        )
     path = Path(path)
     if path.suffix != ".pcap":
         path = path.with_suffix(path.suffix + ".pcap")
@@ -87,13 +95,14 @@ def write_pcap(path: str | Path, packets: np.ndarray) -> Path:
         for pkt in packets:
             payload_len = int(pkt["size"])
             ip_total = _IP_HEADER_LEN + _UDP_HEADER_LEN + payload_len
+            kind_port = KIND_TO_PORT[PacketKind(int(pkt["kind"]))]
             frame = (
                 _ETH_HEADER
                 + _ipv4_header(ip_total, int(pkt["ttl"]), int(pkt["src"]), int(pkt["dst"]))
                 + struct.pack(
                     ">HHHH",
                     _SRC_PORT,
-                    KIND_TO_PORT[PacketKind(int(pkt["kind"]))],
+                    kind_port,
                     _UDP_HEADER_LEN + payload_len,
                     0,
                 )
@@ -109,10 +118,19 @@ def write_pcap(path: str | Path, packets: np.ndarray) -> Path:
     return path
 
 
-def read_pcap(path: str | Path) -> np.ndarray:
-    """Read a pcap file written by :func:`write_pcap` back into packets."""
+def read_pcap(path: str | Path, *, strict: bool = True) -> np.ndarray:
+    """Read a pcap file written by :func:`write_pcap` back into packets.
+
+    With ``strict=False`` a malformed tail (a capture cut off mid-record,
+    the classic artifact of a sniffer killed mid-experiment) salvages the
+    complete record prefix and emits a :class:`TraceWarning` instead of
+    raising; a damaged *global* header is unrecoverable either way.
+    """
     path = Path(path)
-    data = path.read_bytes()
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise TraceError(f"cannot read pcap {path}: {exc}") from exc
     if len(data) < 24:
         raise TraceError(f"{path}: truncated pcap header")
     magic, vmaj, vmin, _tz, _sig, _snap, linktype = struct.unpack(
@@ -123,31 +141,46 @@ def read_pcap(path: str | Path) -> np.ndarray:
     if linktype != LINKTYPE_ETHERNET:
         raise TraceError(f"{path}: unsupported linktype {linktype}")
 
+    def bail(message: str) -> bool:
+        """Raise in strict mode; warn and stop the scan otherwise."""
+        if strict:
+            raise TraceError(message)
+        warnings.warn(
+            f"{message}; salvaged the complete record prefix", TraceWarning,
+            stacklevel=2,
+        )
+        return True
+
     records = []
     offset = 24
     while offset < len(data):
         if offset + 16 > len(data):
-            raise TraceError(f"{path}: truncated record header at {offset}")
+            if bail(f"{path}: truncated record header at {offset}"):
+                break
         sec, usec, incl, orig = struct.unpack("<IIII", data[offset : offset + 16])
         offset += 16
         if incl != orig or offset + incl > len(data):
-            raise TraceError(f"{path}: truncated record body at {offset}")
+            if bail(f"{path}: truncated record body at {offset}"):
+                break
         frame = data[offset : offset + incl]
         offset += incl
 
         if len(frame) < 14 + _IP_HEADER_LEN + _UDP_HEADER_LEN:
-            raise TraceError(f"{path}: frame too short")
+            if bail(f"{path}: frame too short"):
+                break
         ip = frame[14 : 14 + _IP_HEADER_LEN]
         _vihl, _tos, _total, _ident, _frag, ttl, proto, _ck, src, dst = struct.unpack(
             ">BBHHHBBHII", ip
         )
         if proto != 17:
-            raise TraceError(f"{path}: non-UDP frame")
+            if bail(f"{path}: non-UDP frame"):
+                break
         udp = frame[14 + _IP_HEADER_LEN : 14 + _IP_HEADER_LEN + _UDP_HEADER_LEN]
         _sport, dport, udp_len, _ = struct.unpack(">HHHH", udp)
         kind = PORT_TO_KIND.get(dport)
         if kind is None:
-            raise TraceError(f"{path}: unknown kind port {dport}")
+            if bail(f"{path}: unknown kind port {dport}"):
+                break
         records.append(
             (sec + usec / 1e6, src, dst, udp_len - _UDP_HEADER_LEN, ttl, int(kind))
         )

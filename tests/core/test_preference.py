@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.preference import PreferenceCounts, per_probe_counts, preference_counts
+from repro.core.preference import per_probe_counts, preference_counts
 from repro.core.views import Direction, DirectionalView
 from repro.errors import AnalysisError
 

@@ -1,0 +1,74 @@
+"""Quality flags: graceful analyzer degradation on damaged input."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import AwarenessAnalyzer
+from repro.core.quality import QualityFlag
+from repro.errors import AnalysisError
+from repro.trace.flows import FlowTable, build_flow_table
+from repro.trace.hosts import HostTable
+from repro.trace.records import SIGNALING_DTYPE, empty_transfers
+
+
+def degenerate_table(sim_small) -> FlowTable:
+    """A flow table built from an empty capture on a tiny host set."""
+    hosts = HostTable(sim_small.hosts.rows[:4].copy())
+    return build_flow_table(
+        empty_transfers(),
+        np.empty(0, dtype=SIGNALING_DTYPE),
+        hosts,
+        sim_small.world.paths,
+    )
+
+
+class TestQualityFlag:
+    def test_str_plain(self):
+        assert str(QualityFlag("no-contributors")) == "[no-contributors]"
+
+    def test_str_scoped(self):
+        f = QualityFlag("single-class", "all preferred", metric="BW", direction="download")
+        assert str(f) == "[single-class @ BW/download] all preferred"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            QualityFlag("x").code = "y"
+
+
+class TestDegradedAnalysis:
+    def test_empty_capture_flags_not_raises(self, sim_small, registry_small):
+        table = degenerate_table(sim_small)
+        report = AwarenessAnalyzer(registry_small).analyze(table)
+        assert report.degraded
+        codes = {f.code for f in report.flags}
+        assert "no-contributors" in codes
+        # Indices come back NaN, not garbage.
+        assert np.isnan(report["BW"].download.B)
+        assert np.isnan(report["AS"].download.B_prime)
+
+    def test_flags_for_scopes_to_metric(self, sim_small, registry_small):
+        table = degenerate_table(sim_small)
+        report = AwarenessAnalyzer(registry_small).analyze(table)
+        # Direction-level flags (metric=None) are report-wide: visible
+        # from any metric's perspective.
+        assert report.flags_for("BW")
+        assert all(
+            f.metric in (None, "BW") for f in report.flags_for("BW")
+        )
+
+    def test_healthy_run_unflagged(self, report_small):
+        assert not report_small.degraded
+        assert report_small.flags == []
+
+    def test_min_contributors_threshold(self, flows_small, registry_small):
+        # An absurdly high threshold flags even the healthy run, and the
+        # indices still compute.
+        analyzer = AwarenessAnalyzer(registry_small, min_contributors=10_000)
+        report = analyzer.analyze(flows_small)
+        codes = {f.code for f in report.flags}
+        assert "few-contributors" in codes
+        assert np.isfinite(report["BW"].download.B)
+
+    def test_min_contributors_validated(self, registry_small):
+        with pytest.raises(AnalysisError):
+            AwarenessAnalyzer(registry_small, min_contributors=0)

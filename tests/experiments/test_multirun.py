@@ -7,7 +7,6 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.experiments.campaign import CampaignConfig
 from repro.experiments.multirun import (
-    ReplicatedCampaign,
     render_replicated_table4,
     run_replicated_campaign,
 )

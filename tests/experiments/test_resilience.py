@@ -1,0 +1,194 @@
+"""Resilient campaign execution: ledger, retry, checkpoint, validation."""
+
+import numpy as np
+
+import repro.experiments.campaign as campaign_mod
+from repro.errors import SimulationError
+from repro.experiments.campaign import CampaignConfig, run_campaign
+from repro.faults.plan import ImpairmentPlan
+
+SMALL = dict(duration_s=20.0, seed=3, scale=0.4)
+
+
+def failing_simulate(fail_app: str, fail_times: int = 10**9):
+    """A simulate() stand-in raising for one app a bounded number of times."""
+    real = campaign_mod.simulate
+    counter = {"n": 0}
+
+    def wrapper(profile, **kwargs):
+        if profile.name == fail_app:
+            counter["n"] += 1
+            if counter["n"] <= fail_times:
+                raise SimulationError("injected fault")
+        return real(profile, **kwargs)
+
+    return wrapper
+
+
+class TestFailureIsolation:
+    def test_one_bad_app_does_not_sink_the_campaign(self, monkeypatch):
+        monkeypatch.setattr(campaign_mod, "simulate", failing_simulate("pplive"))
+        campaign = run_campaign(
+            CampaignConfig(apps=("pplive", "tvants"), **SMALL)
+        )
+        assert campaign.failed_apps == ["pplive"]
+        assert "tvants" in campaign.runs
+        assert not campaign.ok
+        [failure] = campaign.failures
+        assert (failure.app, failure.stage) == ("pplive", "simulate")
+        assert "injected fault" in failure.error
+        assert campaign.failures_for("tvants") == []
+
+    def test_retry_with_reseed_recovers(self, monkeypatch):
+        monkeypatch.setattr(
+            campaign_mod, "simulate", failing_simulate("pplive", fail_times=2)
+        )
+        campaign = run_campaign(
+            CampaignConfig(apps=("pplive",), max_retries=2, **SMALL)
+        )
+        assert campaign.failed_apps == []
+        attempts = [(f.attempt, f.seed) for f in campaign.failures]
+        assert [a for a, _ in attempts] == [0, 1]
+        # Each retry runs under a distinct seed.
+        assert len({s for _, s in attempts}) == 2
+
+    def test_retries_exhausted_lands_in_ledger(self, monkeypatch):
+        monkeypatch.setattr(campaign_mod, "simulate", failing_simulate("tvants"))
+        campaign = run_campaign(
+            CampaignConfig(apps=("tvants",), max_retries=1, **SMALL)
+        )
+        assert campaign.failed_apps == ["tvants"]
+        assert len(campaign.failures) == 2  # initial + one retry
+
+
+class TestCheckpointResume:
+    def test_resume_skips_resimulation(self, tmp_path, monkeypatch):
+        cfg = CampaignConfig(
+            apps=("tvants",), checkpoint_dir=str(tmp_path), **SMALL
+        )
+        first = run_campaign(cfg)
+        assert first.ok and not first["tvants"].from_checkpoint
+        assert (tmp_path / "tvants.npz").exists()
+
+        calls = []
+        real = campaign_mod.simulate
+
+        def counting(profile, **kwargs):
+            calls.append(profile.name)
+            return real(profile, **kwargs)
+
+        monkeypatch.setattr(campaign_mod, "simulate", counting)
+        second = run_campaign(cfg)
+        assert calls == []
+        assert second.ok and second["tvants"].from_checkpoint
+        assert np.array_equal(
+            first["tvants"].result.transfers, second["tvants"].result.transfers
+        )
+        assert (
+            first["tvants"].report["BW"].download.B
+            == second["tvants"].report["BW"].download.B
+        )
+
+    def test_failed_app_resumes_only_the_missing_run(self, tmp_path, monkeypatch):
+        cfg = CampaignConfig(
+            apps=("pplive", "tvants"), checkpoint_dir=str(tmp_path), **SMALL
+        )
+        real_sim = campaign_mod.simulate
+        monkeypatch.setattr(campaign_mod, "simulate", failing_simulate("pplive"))
+        partial = run_campaign(cfg)
+        assert partial.failed_apps == ["pplive"]
+        assert (tmp_path / "tvants.npz").exists()
+        assert not (tmp_path / "pplive.npz").exists()
+
+        # Next attempt (healthy simulate): tvants comes from its
+        # checkpoint, only pplive is simulated.
+        calls = []
+
+        def counting(profile, **kwargs):
+            calls.append(profile.name)
+            return real_sim(profile, **kwargs)
+
+        monkeypatch.setattr(campaign_mod, "simulate", counting)
+        resumed = run_campaign(cfg)
+        assert resumed.ok
+        assert calls == ["pplive"]
+        assert resumed["tvants"].from_checkpoint
+        assert not resumed["pplive"].from_checkpoint
+
+    def test_stale_checkpoint_falls_back_to_simulation(self, tmp_path):
+        base = CampaignConfig(apps=("tvants",), checkpoint_dir=str(tmp_path), **SMALL)
+        run_campaign(base)
+        altered = CampaignConfig(
+            apps=("tvants",),
+            duration_s=30.0,
+            seed=3,
+            scale=0.4,
+            checkpoint_dir=str(tmp_path),
+        )
+        campaign = run_campaign(altered)
+        assert "tvants" in campaign.runs
+        assert not campaign["tvants"].from_checkpoint
+        assert [f.stage for f in campaign.failures] == ["checkpoint"]
+
+
+class TestValidationGate:
+    def test_healthy_run_passes_gate(self):
+        campaign = run_campaign(
+            CampaignConfig(apps=("tvants",), validate=True, **SMALL)
+        )
+        assert campaign.ok
+
+    def test_violations_land_in_ledger(self, monkeypatch):
+        import repro.validation as validation_mod
+        from repro.validation import Violation
+
+        monkeypatch.setattr(
+            validation_mod,
+            "validate_result",
+            lambda result, **kw: [Violation("test", "synthetic violation")],
+        )
+        campaign = run_campaign(
+            CampaignConfig(apps=("tvants",), validate=True, **SMALL)
+        )
+        assert campaign.failed_apps == ["tvants"]
+        [failure] = campaign.failures
+        assert failure.stage == "validate"
+        assert "synthetic violation" in failure.error
+
+
+class TestImpairedCampaign:
+    def test_impairment_applies_per_app(self):
+        plan = ImpairmentPlan.preset(0.6, seed=5, duration_s=20.0)
+        campaign = run_campaign(
+            CampaignConfig(apps=("tvants",), impairment=plan, **SMALL)
+        )
+        assert campaign.ok
+        log = campaign.impairment_logs["tvants"]
+        assert log.bad_time_fraction > 0.0
+        assert log.records_after <= log.records_before
+
+    def test_noop_impairment_matches_plain_run(self):
+        plain = run_campaign(CampaignConfig(apps=("tvants",), **SMALL))
+        noop = run_campaign(
+            CampaignConfig(apps=("tvants",), impairment=ImpairmentPlan(), **SMALL)
+        )
+        assert np.array_equal(
+            plain["tvants"].result.transfers, noop["tvants"].result.transfers
+        )
+        assert noop.impairment_logs == {}
+
+
+class TestRobustnessSweep:
+    def test_sweep_shapes_and_baseline(self):
+        from repro.experiments.robustness import render_robustness, sweep_robustness
+
+        report = sweep_robustness(
+            "tvants", severities=(0.0, 1.0), duration_s=20.0, seed=3, scale=0.4
+        )
+        assert [p.severity for p in report.points] == [0.0, 1.0]
+        base = report.baseline
+        assert base.severity == 0.0
+        assert base.dropped_fraction == 0.0 and base.bad_time_fraction == 0.0
+        assert report.points[1].bad_time_fraction > 0.0
+        text = render_robustness(report)
+        assert "ROBUSTNESS" in text and "max drift" in text

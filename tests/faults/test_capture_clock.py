@@ -1,0 +1,121 @@
+"""Measurement faults: sniffer outages and clock skew on transfer logs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults.capture import (
+    CaptureGap,
+    CaptureOutageConfig,
+    apply_capture_gaps,
+    draw_capture_gaps,
+)
+from repro.faults.clock import ClockSkewConfig, apply_clock_skew, draw_clock_skew
+from repro.trace.records import TRANSFER_DTYPE
+
+PROBE_A, PROBE_B, PEER = 100, 200, 300
+
+
+def make_records(ts, src, dst) -> np.ndarray:
+    records = np.zeros(len(ts), dtype=TRANSFER_DTYPE)
+    records["ts"] = ts
+    records["src"] = src
+    records["dst"] = dst
+    records["bytes"] = 1000
+    return records
+
+
+class TestCaptureGaps:
+    def test_gap_validation(self):
+        with pytest.raises(FaultInjectionError):
+            CaptureGap(probe_ip=PROBE_A, start_s=10.0, stop_s=10.0)
+
+    def test_config_validation(self):
+        with pytest.raises(FaultInjectionError):
+            CaptureOutageConfig(outage_prob=1.5)
+
+    def test_records_in_gap_dropped(self):
+        records = make_records(
+            ts=[5.0, 15.0, 25.0],
+            src=[PEER, PEER, PEER],
+            dst=[PROBE_A, PROBE_A, PROBE_A],
+        )
+        gaps = (CaptureGap(probe_ip=PROBE_A, start_s=10.0, stop_s=20.0),)
+        out = apply_capture_gaps(records, np.array([PROBE_A, PROBE_B]), gaps)
+        assert out["ts"].tolist() == [5.0, 25.0]
+
+    def test_other_probe_keeps_record(self):
+        # Probe A's sniffer is down, but probe B captured the same
+        # transfer: the merged dataset still has it.
+        records = make_records(ts=[15.0], src=[PROBE_B], dst=[PROBE_A])
+        gaps = (CaptureGap(probe_ip=PROBE_A, start_s=10.0, stop_s=20.0),)
+        out = apply_capture_gaps(records, np.array([PROBE_A, PROBE_B]), gaps)
+        assert len(out) == 1
+
+    def test_no_gaps_is_copy(self):
+        records = make_records(ts=[1.0], src=[PEER], dst=[PROBE_A])
+        out = apply_capture_gaps(records, np.array([PROBE_A]), ())
+        assert out is not records
+        assert np.array_equal(out, records)
+
+    def test_draw_is_bounded_and_deterministic(self):
+        probes = np.arange(100, 140, dtype=np.uint32)
+        cfg = CaptureOutageConfig(outage_prob=0.5, mean_outage_s=20.0)
+        a = draw_capture_gaps(probes, 300.0, cfg, np.random.default_rng(2))
+        b = draw_capture_gaps(probes, 300.0, cfg, np.random.default_rng(2))
+        assert a == b
+        assert 0 < len(a) < len(probes)
+        for gap in a:
+            assert 0.0 <= gap.start_s < gap.stop_s <= 300.0
+
+
+class TestClockSkew:
+    def test_config_validation(self):
+        with pytest.raises(FaultInjectionError):
+            ClockSkewConfig(max_offset_s=-1.0)
+
+    def test_offset_applied_to_capturing_probe(self):
+        records = make_records(ts=[10.0, 10.0], src=[PEER, PEER], dst=[PROBE_A, PROBE_B])
+        skew = draw_clock_skew(
+            np.array([PROBE_A, PROBE_B]),
+            ClockSkewConfig(max_offset_s=0.5, max_drift_ppm=0.0, jitter_std_s=0.0),
+            np.random.default_rng(4),
+        )
+        out = apply_clock_skew(records, skew, np.random.default_rng(5))
+        # Both records moved by their probe's offset; offsets differ.
+        deltas = sorted(out["ts"] - 10.0)
+        expected = sorted(skew.offsets_s)
+        assert deltas == pytest.approx(expected)
+
+    def test_non_probe_records_untouched(self):
+        records = make_records(ts=[10.0], src=[PEER], dst=[PEER + 1])
+        skew = draw_clock_skew(
+            np.array([PROBE_A]),
+            ClockSkewConfig(max_offset_s=0.5, jitter_std_s=0.0),
+            np.random.default_rng(4),
+        )
+        out = apply_clock_skew(records, skew, np.random.default_rng(5))
+        assert out["ts"][0] == 10.0
+
+    def test_output_sorted_and_non_negative(self):
+        records = make_records(
+            ts=[0.01, 0.02, 50.0],
+            src=[PEER, PEER, PEER],
+            dst=[PROBE_A, PROBE_B, PROBE_A],
+        )
+        skew = draw_clock_skew(
+            np.array([PROBE_A, PROBE_B]),
+            ClockSkewConfig(max_offset_s=1.0, max_drift_ppm=500.0, jitter_std_s=0.01),
+            np.random.default_rng(6),
+        )
+        out = apply_clock_skew(records, skew, np.random.default_rng(7))
+        assert np.all(out["ts"] >= 0.0)
+        assert np.all(np.diff(out["ts"]) >= 0.0)
+
+    def test_byte_columns_untouched(self):
+        records = make_records(ts=[1.0, 2.0], src=[PEER, PEER], dst=[PROBE_A, PROBE_A])
+        skew = draw_clock_skew(
+            np.array([PROBE_A]), ClockSkewConfig(), np.random.default_rng(8)
+        )
+        out = apply_clock_skew(records, skew, np.random.default_rng(9))
+        assert np.array_equal(out["bytes"], records["bytes"])

@@ -1,0 +1,92 @@
+"""Churn storms and flash crowds over a materialised churn process."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults.churn import ChurnStorm, FlashCrowd, apply_churn_events
+from repro.population.churn import ChurnProcess, Session
+
+
+def make_churn(horizon: float = 100.0) -> ChurnProcess:
+    """Ten peers: five online from the start, five joining late."""
+    sessions = [Session(peer_id=i, join=0.0, leave=horizon) for i in range(5)]
+    sessions += [
+        Session(peer_id=5 + i, join=80.0, leave=horizon) for i in range(5)
+    ]
+    return ChurnProcess(sessions, horizon)
+
+
+class TestValidation:
+    def test_bad_storm_window(self):
+        with pytest.raises(FaultInjectionError):
+            ChurnStorm(at_s=10.0, duration_s=0.0)
+
+    def test_bad_leave_fraction(self):
+        with pytest.raises(FaultInjectionError):
+            ChurnStorm(at_s=10.0, leave_fraction=2.0)
+
+    def test_bad_crowd_stay(self):
+        with pytest.raises(FaultInjectionError):
+            FlashCrowd(at_s=10.0, mean_stay_s=-1.0)
+
+
+class TestStorm:
+    def test_full_storm_empties_online_set(self, rng):
+        churn = make_churn()
+        storm = ChurnStorm(at_s=20.0, duration_s=10.0, leave_fraction=1.0)
+        out = apply_churn_events(churn, (storm,), (), rng)
+        # Every peer online at t=20 leaves inside [20, 30).
+        hit = [s for s in out.sessions if s.join <= 20.0]
+        assert all(20.0 <= s.leave < 30.0 for s in hit)
+        # Late joiners (join=80) are untouched.
+        late = [s for s in out.sessions if s.join > 20.0]
+        assert all(s.leave == churn.horizon for s in late)
+
+    def test_storm_never_lengthens_sessions(self, rng):
+        churn = make_churn()
+        storm = ChurnStorm(at_s=20.0, duration_s=10.0, leave_fraction=0.7)
+        out = apply_churn_events(churn, (storm,), (), rng)
+        for before, after in zip(churn.sessions, out.sessions):
+            assert after.leave <= before.leave
+            assert after.join == before.join
+
+
+class TestFlashCrowd:
+    def test_crowd_pulls_joins_forward(self, rng):
+        churn = make_churn()
+        crowd = FlashCrowd(at_s=40.0, join_fraction=1.0, mean_stay_s=30.0)
+        out = apply_churn_events(churn, (), (crowd,), rng)
+        late = [s for s in out.sessions if s.peer_id >= 5]
+        assert all(s.join == 40.0 for s in late)
+        assert all(s.leave >= s.join for s in out.sessions)
+
+    def test_noop_plan_returns_same_object(self, rng):
+        churn = make_churn()
+        assert apply_churn_events(churn, (), (), rng) is churn
+
+
+class TestInvariants:
+    def test_sessions_never_inverted(self, rng):
+        churn = make_churn()
+        out = apply_churn_events(
+            churn,
+            (ChurnStorm(at_s=10.0, duration_s=20.0, leave_fraction=0.9),),
+            (FlashCrowd(at_s=50.0, join_fraction=0.9, mean_stay_s=10.0),),
+            rng,
+        )
+        assert len(out.sessions) == len(churn.sessions)
+        for s in out.sessions:
+            assert s.join <= s.leave <= churn.horizon
+
+    def test_deterministic(self):
+        churn = make_churn()
+        events = (
+            (ChurnStorm(at_s=10.0, leave_fraction=0.5),),
+            (FlashCrowd(at_s=50.0, join_fraction=0.5),),
+        )
+        a = apply_churn_events(churn, *events, np.random.default_rng(3))
+        b = apply_churn_events(churn, *events, np.random.default_rng(3))
+        assert [(s.join, s.leave) for s in a.sessions] == [
+            (s.join, s.leave) for s in b.sessions
+        ]

@@ -1,0 +1,83 @@
+"""Gilbert–Elliott bursty-loss schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults.loss import (
+    GilbertElliottConfig,
+    LossSchedule,
+    materialize_loss_schedule,
+)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = GilbertElliottConfig()
+        assert cfg.loss_bad > cfg.loss_good
+
+    def test_bad_sojourn_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            GilbertElliottConfig(mean_good_s=0)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            GilbertElliottConfig(loss_bad=1.5)
+
+
+class TestSchedule:
+    def test_starts_good(self, rng):
+        sched = materialize_loss_schedule(600.0, GilbertElliottConfig(), rng)
+        assert sched.prob_at(0.0) == 0.0
+
+    def test_alternates_states(self, rng):
+        cfg = GilbertElliottConfig(mean_good_s=20.0, mean_bad_s=5.0, loss_bad=0.4)
+        sched = materialize_loss_schedule(600.0, cfg, rng)
+        # Segments strictly alternate between the two loss levels.
+        assert len(sched.probs) > 2
+        assert set(np.unique(sched.probs)) == {0.0, 0.4}
+        assert not np.any(sched.probs[1:] == sched.probs[:-1])
+
+    def test_prob_at_steps(self):
+        sched = LossSchedule(
+            boundaries=np.array([0.0, 10.0, 30.0]),
+            probs=np.array([0.0, 0.5, 0.0]),
+            horizon_s=60.0,
+        )
+        assert sched.prob_at(5.0) == 0.0
+        assert sched.prob_at(10.0) == 0.5
+        assert sched.prob_at(29.9) == 0.5
+        assert sched.prob_at(45.0) == 0.0
+
+    def test_bad_time_fraction(self):
+        sched = LossSchedule(
+            boundaries=np.array([0.0, 10.0, 30.0]),
+            probs=np.array([0.0, 0.5, 0.0]),
+            horizon_s=100.0,
+        )
+        assert sched.bad_time_fraction == pytest.approx(0.2)
+
+    def test_deterministic(self):
+        cfg = GilbertElliottConfig()
+        a = materialize_loss_schedule(300.0, cfg, np.random.default_rng(9))
+        b = materialize_loss_schedule(300.0, cfg, np.random.default_rng(9))
+        assert np.array_equal(a.boundaries, b.boundaries)
+        assert np.array_equal(a.probs, b.probs)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            LossSchedule(
+                boundaries=np.array([0.0, 1.0]),
+                probs=np.array([0.1]),
+                horizon_s=5.0,
+            )
+
+    def test_nonzero_start_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            LossSchedule(
+                boundaries=np.array([1.0]), probs=np.array([0.1]), horizon_s=5.0
+            )
+
+    def test_zero_duration_rejected(self, rng):
+        with pytest.raises(FaultInjectionError):
+            materialize_loss_schedule(0.0, GilbertElliottConfig(), rng)

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.partitions import ASPartition, BWPartition
 from repro.core.views import build_views
-from repro.errors import AnalysisError
 from repro.report.per_probe import (
     per_probe_breakdown,
     render_probe_breakdown,

@@ -23,6 +23,21 @@ class TestParser:
         args = build_parser().parse_args(["campaign", "--apps", "tvants", "sopcast"])
         assert args.apps == ["tvants", "sopcast"]
 
+    def test_campaign_resilience_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "--max-retries", "2", "--validate",
+             "--checkpoint-dir", "ck", "--impair", "0.5"]
+        )
+        assert args.max_retries == 2
+        assert args.validate
+        assert args.checkpoint_dir == "ck"
+        assert args.impair == 0.5
+
+    def test_robustness_defaults(self):
+        args = build_parser().parse_args(["robustness"])
+        assert args.app == "tvants"
+        assert args.severities == [0.0, 0.25, 0.5, 0.75, 1.0]
+
 
 class TestEndToEnd:
     def test_simulate_then_analyze(self, tmp_path, capsys):
@@ -69,3 +84,29 @@ class TestEndToEnd:
         assert "FIGURE 2" in out
         # Shape checks need all three apps; skipped for one.
         assert "shape checks" not in out
+
+    def test_robustness_command(self, capsys):
+        rc = main(
+            ["robustness", "--duration", "20", "--scale", "0.4",
+             "--severities", "0.0", "1.0"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ROBUSTNESS" in out
+        assert "max drift" in out
+
+
+class TestErrorExit:
+    def test_repro_error_exits_2_with_message(self, capsys):
+        rc = main(["analyze", "no-such-trace.npz"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-p2ptv: error:")
+        assert "\n" == err[err.index("\n") :]  # exactly one line
+
+    def test_corrupt_trace_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"not an archive")
+        rc = main(["analyze", str(bad)])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.errors import AnalysisError
-from repro.friendliness.cost import TrafficCost, cost_comparison_rows, traffic_cost
+from repro.friendliness.cost import cost_comparison_rows, traffic_cost
 
 
 class TestTrafficCost:

@@ -3,7 +3,6 @@
 import copy
 
 import numpy as np
-import pytest
 
 from repro.validation import Violation, validate_result
 

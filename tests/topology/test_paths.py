@@ -2,12 +2,11 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.errors import TopologyError
 from repro.topology.access import dsl, lan
-from repro.topology.host import INITIAL_TTL_UNIX, NetworkEndpoint
-from repro.topology.paths import ACCESS_DEPTH, PathModel, PathModelConfig, access_depth
+from repro.topology.host import INITIAL_TTL_UNIX
+from repro.topology.paths import ACCESS_DEPTH, access_depth
 from repro.topology.testbed import build_napa_wine_testbed
 from repro.topology.world import World
 

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.topology.testbed import SITE_COUNTRIES, build_napa_wine_testbed
-from repro.topology.world import HOME_AS_BASE, World
+from repro.topology.testbed import SITE_COUNTRIES
+from repro.topology.world import HOME_AS_BASE
 
 
 class TestStructure:

@@ -7,7 +7,7 @@ from repro.errors import TraceError
 from repro.trace.capture import captured_by
 from repro.trace.flows import FlowTable, build_flow_table
 from repro.trace.packets import PacketSynthesizer, expand_signaling
-from repro.trace.records import FLOW_DTYPE, PacketKind
+from repro.trace.records import FLOW_DTYPE
 
 
 class TestBuildFlowTable:

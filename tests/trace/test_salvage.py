@@ -1,0 +1,110 @@
+"""Degraded-trace recovery: salvaging truncated pcap files and bundles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError, TraceWarning
+from repro.trace.packets import PacketSynthesizer
+from repro.trace.pcap import read_pcap, write_pcap
+from repro.trace.records import PACKET_DTYPE
+from repro.trace.store import TraceBundle, load_trace_bundle, save_trace_bundle
+
+
+@pytest.fixture(scope="module")
+def packets(sim_small):
+    probe = int(sim_small.probe_ips[0])
+    mask = (sim_small.transfers["src"] == probe) | (
+        sim_small.transfers["dst"] == probe
+    )
+    synth = PacketSynthesizer(sim_small.hosts, sim_small.world.paths)
+    return synth.expand(sim_small.transfers[mask][:200])
+
+
+@pytest.fixture(scope="module")
+def bundle(sim_small):
+    return TraceBundle.from_result(sim_small)
+
+
+class TestPcapSalvage:
+    def test_strict_still_raises(self, packets, tmp_path):
+        path = write_pcap(tmp_path / "t.pcap", packets)
+        cut = tmp_path / "cut.pcap"
+        cut.write_bytes(path.read_bytes()[:-25])
+        with pytest.raises(TraceError):
+            read_pcap(cut)
+
+    def test_salvage_recovers_intact_prefix(self, packets, tmp_path):
+        path = write_pcap(tmp_path / "t.pcap", packets)
+        cut = tmp_path / "cut.pcap"
+        cut.write_bytes(path.read_bytes()[:-25])
+        with pytest.warns(TraceWarning):
+            back = read_pcap(cut, strict=False)
+        assert 0 < len(back) < len(packets)
+        full = read_pcap(path)
+        assert np.array_equal(back, full[: len(back)])
+
+    def test_salvage_of_intact_file_is_silent(self, packets, tmp_path):
+        path = write_pcap(tmp_path / "t.pcap", packets)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            back = read_pcap(path, strict=False)
+        assert len(back) == len(packets)
+
+    def test_global_header_damage_always_raises(self, tmp_path):
+        bad = tmp_path / "bad.pcap"
+        bad.write_bytes(b"\x00" * 24)
+        with pytest.raises(TraceError):
+            read_pcap(bad, strict=False)
+
+    def test_write_unknown_kind_raises_descriptive(self, tmp_path):
+        packets = np.zeros(3, dtype=PACKET_DTYPE)
+        packets["kind"] = 250  # not a known traffic kind
+        with pytest.raises(TraceError, match="kind"):
+            write_pcap(tmp_path / "x.pcap", packets)
+        assert not (tmp_path / "x.pcap").exists()  # nothing half-written
+
+
+class TestBundleSalvage:
+    def test_strict_still_raises(self, bundle, tmp_path):
+        path = save_trace_bundle(tmp_path / "b.npz", bundle)
+        cut = tmp_path / "cut.npz"
+        data = path.read_bytes()
+        cut.write_bytes(data[: int(len(data) * 0.6)])
+        with pytest.raises(TraceError):
+            load_trace_bundle(cut)
+
+    def test_salvage_recovers_row_prefix(self, bundle, tmp_path):
+        path = save_trace_bundle(tmp_path / "b.npz", bundle)
+        cut = tmp_path / "cut.npz"
+        data = path.read_bytes()
+        cut.write_bytes(data[: int(len(data) * 0.6)])
+        with pytest.warns(TraceWarning):
+            back = load_trace_bundle(cut, strict=False)
+        assert 0 < len(back.transfers) < len(bundle.transfers)
+        assert np.array_equal(
+            back.transfers, bundle.transfers[: len(back.transfers)]
+        )
+
+    def test_salvage_of_intact_bundle_is_silent(self, bundle, tmp_path):
+        path = save_trace_bundle(tmp_path / "b.npz", bundle)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            back = load_trace_bundle(path, strict=False)
+        assert np.array_equal(back.transfers, bundle.transfers)
+        assert back.meta["profile"] == bundle.meta["profile"]
+
+    def test_missing_file_raises_even_lenient(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace_bundle(tmp_path / "absent.npz", strict=False)
+
+    def test_garbage_salvages_to_empty(self, tmp_path):
+        junk = tmp_path / "junk.npz"
+        junk.write_bytes(b"this is not a zip archive at all")
+        with pytest.warns(TraceWarning):
+            back = load_trace_bundle(junk, strict=False)
+        assert len(back.transfers) == 0
+        assert len(back.hosts.rows) == 0
