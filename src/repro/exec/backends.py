@@ -1,0 +1,130 @@
+"""Executor backends: where shards actually run.
+
+Two implementations of one protocol:
+
+* :class:`SerialExecutor` — in-process, in spec order; zero overhead,
+  full fidelity (live result objects, monkeypatch-friendly);
+* :class:`ProcessExecutor` — a :class:`concurrent.futures.
+  ProcessPoolExecutor` fan-out.  Futures complete in whatever order the
+  OS schedules, but results are slotted back by spec index, so the
+  reduction downstream is order-independent by construction.
+
+Backend selection honours (in precedence order) explicit arguments, the
+``REPRO_EXEC_BACKEND`` / ``REPRO_EXEC_WORKERS`` environment variables
+(how CI runs the whole tier-1 suite through the process pool), then the
+serial default.  Passing ``workers > 1`` without naming a backend implies
+``process``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence, TypeVar, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+S = TypeVar("S")
+R = TypeVar("R")
+
+#: Recognised backend names.
+EXECUTOR_BACKENDS = ("serial", "process")
+
+#: Environment overrides consulted when no explicit choice is made.
+ENV_BACKEND = "REPRO_EXEC_BACKEND"
+ENV_WORKERS = "REPRO_EXEC_WORKERS"
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Anything that can run shards through a worker function."""
+
+    name: str
+
+    def map_shards(self, fn: Callable[[S], R], specs: Sequence[S]) -> list[R]:
+        """Run ``fn`` over ``specs``; results in spec order."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class SerialExecutor:
+    """Run every shard inline, in order — the reference backend."""
+
+    name: str = "serial"
+
+    def map_shards(self, fn: Callable[[S], R], specs: Sequence[S]) -> list[R]:
+        return [fn(spec) for spec in specs]
+
+
+@dataclass(frozen=True)
+class ProcessExecutor:
+    """Fan shards out over a process pool.
+
+    Workers pay the world construction once (the pristine-context cache
+    is per process) and amortise it over every shard they execute.  A
+    worker crash or unpicklable payload raises — those are bugs, not
+    per-shard experiment failures, which :func:`~repro.exec.worker.
+    run_shard` already traps into the outcome.
+    """
+
+    workers: int = 2
+    name: str = "process"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError("process backend needs at least one worker")
+
+    def map_shards(self, fn: Callable[[S], R], specs: Sequence[S]) -> list[R]:
+        if not specs:
+            return []
+        results: list[R | None] = [None] * len(specs)
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(specs))) as pool:
+            by_future = {pool.submit(fn, spec): i for i, spec in enumerate(specs)}
+            done, _ = wait(by_future, return_when=FIRST_EXCEPTION)
+            for future in done:
+                results[by_future[future]] = future.result()
+            # FIRST_EXCEPTION returned early only if a future raised, and
+            # then future.result() above re-raised it; reaching here means
+            # every future completed.
+        return list(results)  # type: ignore[arg-type]
+
+
+def _env_workers() -> int | None:
+    raw = os.environ.get(ENV_WORKERS, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ConfigurationError(f"{ENV_WORKERS} must be an integer, got {raw!r}") from exc
+
+
+def resolve_executor(
+    backend: str | None = None, workers: int | None = None
+) -> Executor:
+    """Pick an executor from explicit choices, the environment, or defaults.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"``, ``"process"``, or None to consult
+        ``REPRO_EXEC_BACKEND`` and fall back to serial.
+    workers:
+        Process-pool size; None consults ``REPRO_EXEC_WORKERS`` then
+        defaults to the CPU count.  ``workers > 1`` with no backend named
+        implies the process backend.
+    """
+    if backend is None:
+        backend = os.environ.get(ENV_BACKEND, "").strip() or None
+    if workers is None:
+        workers = _env_workers()
+    if backend is None:
+        backend = "process" if workers is not None and workers > 1 else "serial"
+    if backend not in EXECUTOR_BACKENDS:
+        raise ConfigurationError(
+            f"unknown executor backend {backend!r}; choose from {EXECUTOR_BACKENDS}"
+        )
+    if backend == "serial":
+        return SerialExecutor()
+    return ProcessExecutor(workers=workers if workers is not None else (os.cpu_count() or 2))

@@ -1,0 +1,113 @@
+"""Shard vocabulary: picklable work units and their results.
+
+A *shard* is the unit of parallel campaign work: one application
+experiment under one campaign configuration (and, for replicated
+campaigns, one seed replica).  Specs travel parent → worker and outcomes
+travel worker → parent across process boundaries, so both carry only
+picklable state; in particular a process-backend outcome ships the
+simulation as a :class:`~repro.trace.store.TraceBundle` (plain arrays +
+metadata) rather than the live :class:`~repro.streaming.engine.
+SimulationResult`, whose impaired engine configs hold closures.
+
+RNG discipline: every stochastic draw of a shard derives from its
+:class:`ShardKey`.  ``seed_for(attempt)`` reproduces the serial runner's
+seed spacing exactly — ``campaign seed + app index + attempt ×
+RESEED_STRIDE`` — so a shard executed in a worker process is
+byte-identical to the same shard executed inline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (campaign imports exec)
+    from repro.experiments.campaign import CampaignConfig, CampaignFailure
+    from repro.core.framework import AwarenessReport
+    from repro.faults.plan import ImpairmentLog
+    from repro.streaming.engine import SimulationResult
+    from repro.trace.flows import FlowTable
+    from repro.trace.store import TraceBundle
+
+#: Seed stride between retry attempts (a prime, to dodge accidental
+#: collisions with the ``seed + app_index`` spacing of the base seeds).
+RESEED_STRIDE = 7919
+
+
+@dataclass(frozen=True, slots=True)
+class ShardKey:
+    """Identity of one shard — and the root of its RNG streams.
+
+    Parameters
+    ----------
+    campaign_seed:
+        The (per-replica) campaign master seed.
+    app:
+        Application profile name.
+    app_index:
+        Position of ``app`` in the campaign's app tuple; spaces the
+        per-app engine seeds exactly like the serial runner.
+    replica:
+        Seed-replica index for replicated campaigns (0 for single runs).
+    """
+
+    campaign_seed: int
+    app: str
+    app_index: int
+    replica: int = 0
+
+    @property
+    def base_seed(self) -> int:
+        """The attempt-0 engine seed — also the seed recorded for
+        checkpoint-stage ledger entries (retry-independent)."""
+        return self.campaign_seed + self.app_index
+
+    def seed_for(self, attempt: int) -> int:
+        """Engine seed of retry ``attempt`` (0 = first try)."""
+        return self.base_seed + attempt * RESEED_STRIDE
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"s{self.campaign_seed}/r{self.replica}/{self.app}#{self.app_index}"
+
+
+@dataclass(frozen=True, slots=True)
+class ShardSpec:
+    """One unit of campaign work, ready to ship to a worker.
+
+    ``keep_result`` is set by the serial backend only: in-process
+    execution can hand the live :class:`SimulationResult` straight back,
+    while process workers bundle it (see :class:`ShardOutcome`).
+    """
+
+    key: ShardKey
+    config: "CampaignConfig"
+    keep_result: bool = False
+
+
+@dataclass
+class ShardOutcome:
+    """Everything one shard produced, in picklable form.
+
+    Exactly one of ``result`` (serial backend) and ``bundle`` (process
+    backend) is set on a successful shard; a failed shard sets neither
+    and carries the explanation in ``failures``.  ``impairment_log`` is
+    populated whenever an impairment plan ran, even if the run was later
+    excluded by the validation gate (matching the serial ledger
+    semantics).
+    """
+
+    key: ShardKey
+    failures: "tuple[CampaignFailure, ...]" = ()
+    result: "SimulationResult | None" = None
+    bundle: "TraceBundle | None" = None
+    flows: "FlowTable | None" = None
+    report: "AwarenessReport | None" = None
+    impairment_log: "ImpairmentLog | None" = None
+    from_checkpoint: bool = False
+    engine_seed: int | None = None
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the shard produced a usable analysed run."""
+        return self.report is not None

@@ -1,0 +1,156 @@
+"""The shard worker: one application experiment, end to end.
+
+:func:`run_shard` is the whole per-app pipeline the serial campaign
+runner used to inline — checkpoint resume, simulate with
+retry-with-reseed, impairment, the validation gate, flow aggregation,
+analysis, checkpoint save — expressed as a pure-ish function
+``ShardSpec → ShardOutcome`` so any executor backend can run it
+anywhere.  All campaign imports are deferred to call time:
+:mod:`repro.experiments.campaign` imports this package, and the worker
+deliberately resolves ``simulate``/checkpoint helpers *through* the
+campaign module so test doubles installed there keep working (under the
+process backend they propagate to fork-started workers).
+
+Failure semantics match the serial runner exactly: every trapped error
+becomes a :class:`CampaignFailure` on the outcome, in pipeline order
+(checkpoint → simulate attempts → validate → analyze → checkpoint save).
+Checkpoint-stage entries always record the shard's *base* seed
+(``key.base_seed``) — never a retry-reseeded or checkpoint-recovered
+engine seed — so the ledger identifies the shard deterministically
+regardless of how many attempts it took (the seed-unification fix).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.exec.context import shard_context
+from repro.exec.shards import ShardOutcome, ShardSpec
+from repro.streaming.engine import EngineConfig
+from repro.streaming.profiles import get_profile
+from repro.trace.store import TraceBundle
+
+
+def _shard_profile(spec: ShardSpec):
+    profile = get_profile(spec.key.app)
+    if spec.config.scale != 1.0:
+        profile = profile.scaled(spec.config.scale)
+    return profile
+
+
+def _simulate_shard(spec: ShardSpec, world, testbed, outcome, failures) -> object | None:
+    """Simulate with retry-with-reseed, impairment and the validation gate."""
+    import repro.experiments.campaign as campaign_mod
+    from repro.faults.plan import impair_result
+    from repro.validation import validate_result
+
+    cfg = spec.config
+    key = spec.key
+    profile = _shard_profile(spec)
+
+    plan = None
+    if cfg.impairment is not None and not cfg.impairment.is_noop:
+        plan = cfg.impairment.with_seed(cfg.impairment.seed + key.app_index)
+
+    for attempt in range(cfg.max_retries + 1):
+        seed = key.seed_for(attempt)
+        engine_config = EngineConfig(duration_s=cfg.duration_s, seed=seed)
+        if plan is not None:
+            engine_config = plan.engine_config(engine_config)
+        try:
+            result = campaign_mod.simulate(
+                profile, world=world, testbed=testbed, engine_config=engine_config
+            )
+        except ReproError as exc:
+            failures.append(
+                campaign_mod.CampaignFailure(key.app, "simulate", attempt, seed, str(exc))
+            )
+            continue
+        if plan is not None:
+            result, log = impair_result(result, plan)
+            outcome.impairment_log = log
+        if cfg.validate:
+            violations = validate_result(result)
+            if violations:
+                failures.append(
+                    campaign_mod.CampaignFailure(
+                        key.app,
+                        "validate",
+                        attempt,
+                        seed,
+                        "; ".join(str(v) for v in violations),
+                    )
+                )
+                return None  # deterministic — retrying cannot help
+        return result
+    return None
+
+
+def run_shard(spec: ShardSpec) -> ShardOutcome:
+    """Execute one shard and return its picklable outcome.
+
+    Never raises on a per-shard :class:`ReproError`; everything trapped
+    lands in ``outcome.failures`` for the parent's ledger merge.
+    """
+    import repro.experiments.campaign as campaign_mod
+
+    cfg = spec.config
+    key = spec.key
+    outcome = ShardOutcome(key=key)
+    failures: list = []
+    world, testbed, registry = shard_context()
+    profile = _shard_profile(spec)
+
+    result = None
+    if cfg.checkpoint_dir and campaign_mod._checkpoint_path(cfg, key.app).exists():
+        try:
+            result = campaign_mod._load_checkpoint(cfg, key.app, world, testbed, profile)
+        except ReproError as exc:
+            failures.append(
+                campaign_mod.CampaignFailure(
+                    key.app, "checkpoint", 0, key.base_seed, str(exc)
+                )
+            )
+    from_checkpoint = result is not None
+    if result is None:
+        result = _simulate_shard(spec, world, testbed, outcome, failures)
+    if result is None:
+        outcome.failures = tuple(failures)
+        return outcome
+
+    try:
+        flows = campaign_mod.build_flow_table(
+            result.transfers, result.signaling, result.hosts, world.paths
+        )
+        report = campaign_mod.AwarenessAnalyzer(registry).analyze(flows)
+    except ReproError as exc:
+        failures.append(
+            campaign_mod.CampaignFailure(
+                key.app, "analyze", 0, int(result.config.seed), str(exc)
+            )
+        )
+        outcome.failures = tuple(failures)
+        return outcome
+
+    if cfg.checkpoint_dir and not from_checkpoint:
+        try:
+            campaign_mod._save_checkpoint(cfg, key.app, result)
+        except (ReproError, OSError) as exc:
+            failures.append(
+                campaign_mod.CampaignFailure(
+                    key.app, "checkpoint", 0, key.base_seed, str(exc)
+                )
+            )
+
+    outcome.flows = flows
+    outcome.report = report
+    outcome.from_checkpoint = from_checkpoint
+    outcome.engine_seed = int(result.config.seed)
+    if spec.keep_result:
+        outcome.result = result
+    else:
+        # Process boundary: ship plain arrays + metadata.  Impaired engine
+        # configs hold closures (churn transforms), so the live result
+        # cannot cross; the parent rebuilds an equivalent one.
+        outcome.bundle = TraceBundle.from_result(result)
+    outcome.failures = tuple(failures)
+    return outcome

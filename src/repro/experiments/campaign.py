@@ -2,8 +2,15 @@
 
 The paper's campaign ran PPLive, SopCast and TVAnts on the *same* testbed
 watching the *same* channel.  :func:`run_campaign` mirrors that: one
-:class:`World` and Table I testbed shared across applications, one
-simulation per application, analysis applied uniformly.
+:class:`World` and Table I testbed configuration shared across
+applications, one simulation per application, analysis applied uniformly.
+
+Execution is *sharded* (see :mod:`repro.exec`): each application is an
+independent shard — its own pristine copy of the world, its own
+RNG streams derived from the shard key — so shards can run inline
+(``backend="serial"``) or fan out over a process pool
+(``backend="process"``, ``workers=N``) and merge back into an identical
+:class:`Campaign` either way.
 
 The runner is *resilient* the way the real campaign had to be: a failing
 experiment does not abort the campaign.  Per-application failures land in
@@ -20,23 +27,35 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.core.framework import AwarenessAnalyzer, AwarenessReport
-from repro.errors import ConfigurationError, ReproError, TraceError
-from repro.faults.plan import ImpairmentLog, ImpairmentPlan, impair_result
-from repro.heuristics.registry import IpRegistry
-from repro.streaming.engine import EngineConfig, SimulationResult, simulate
+# The shard worker (repro.exec.worker) resolves simulate/build_flow_table/
+# AwarenessAnalyzer *through this module* so test doubles installed here
+# (monkeypatching campaign.simulate etc.) govern shard execution too.
+from repro.core.framework import AwarenessAnalyzer, AwarenessReport  # noqa: F401
+from repro.errors import ConfigurationError, TraceError
+from repro.exec.backends import SerialExecutor, resolve_executor
+from repro.exec.context import campaign_context
+from repro.exec.shards import RESEED_STRIDE, ShardKey, ShardOutcome, ShardSpec
+from repro.exec.worker import run_shard
+from repro.faults.plan import ImpairmentLog, ImpairmentPlan
+from repro.streaming.engine import EngineConfig, SimulationResult, simulate  # noqa: F401
 from repro.streaming.profiles import get_profile
-from repro.topology.testbed import Testbed, build_napa_wine_testbed
+from repro.topology.testbed import Testbed
 from repro.topology.world import World
-from repro.trace.flows import FlowTable, build_flow_table
+from repro.trace.flows import FlowTable, build_flow_table  # noqa: F401
 from repro.trace.store import TraceBundle, load_trace_bundle, save_trace_bundle
 
 #: The applications of the paper, in its reporting order.
 PAPER_APPS = ("pplive", "sopcast", "tvants")
 
-#: Seed stride between retry attempts (a prime, to dodge accidental
-#: collisions with the ``seed + app_index`` spacing of the base seeds).
-RESEED_STRIDE = 7919
+__all__ = [
+    "PAPER_APPS",
+    "RESEED_STRIDE",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignFailure",
+    "ExperimentRun",
+    "run_campaign",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -91,7 +110,12 @@ class CampaignConfig:
 
 @dataclass(frozen=True, slots=True)
 class CampaignFailure:
-    """One ledger entry: what failed, where, under which seed."""
+    """One ledger entry: what failed, where, under which seed.
+
+    Checkpoint-stage entries record the shard's *base* seed (``campaign
+    seed + app index``) regardless of retries or checkpoint contents, so
+    the ledger identifies the failing shard deterministically.
+    """
 
     app: str
     stage: str  # "checkpoint" | "simulate" | "validate" | "analyze"
@@ -204,115 +228,107 @@ def _load_checkpoint(
     )
 
 
-# --------------------------------------------------------------------- runner
-def _simulate_app(
-    campaign: Campaign,
-    app: str,
-    app_index: int,
-    profile,
-) -> SimulationResult | None:
-    """One app's simulation with retry-with-reseed and validation gate."""
-    from repro.validation import validate_result
+# ----------------------------------------------------------------- sharding
+def campaign_shards(
+    cfg: CampaignConfig, *, replica: int = 0, keep_result: bool = False
+) -> list[ShardSpec]:
+    """One shard per configured application, in reporting order."""
+    return [
+        ShardSpec(
+            key=ShardKey(cfg.seed, app, i, replica=replica),
+            config=cfg,
+            keep_result=keep_result,
+        )
+        for i, app in enumerate(cfg.apps)
+    ]
 
+
+def _result_from_bundle(
+    bundle: TraceBundle, campaign: Campaign, app: str
+) -> SimulationResult:
+    """Rehydrate a worker's bundled simulation against the campaign world.
+
+    The campaign world/testbed are byte-identical replicas of the ones
+    the worker simulated on (both are copies of the same pristine
+    construction), so paths and registries resolve identically.
+    """
     cfg = campaign.config
-    plan = None
-    if cfg.impairment is not None and not cfg.impairment.is_noop:
-        plan = cfg.impairment.with_seed(cfg.impairment.seed + app_index)
-
-    for attempt in range(cfg.max_retries + 1):
-        seed = cfg.seed + app_index + attempt * RESEED_STRIDE
-        engine_config = EngineConfig(duration_s=cfg.duration_s, seed=seed)
-        if plan is not None:
-            engine_config = plan.engine_config(engine_config)
-        try:
-            result = simulate(
-                profile,
-                world=campaign.world,
-                testbed=campaign.testbed,
-                engine_config=engine_config,
-            )
-        except ReproError as exc:
-            campaign.failures.append(
-                CampaignFailure(app, "simulate", attempt, seed, str(exc))
-            )
-            continue
-        if plan is not None:
-            result, log = impair_result(result, plan)
-            campaign.impairment_logs[app] = log
-        if cfg.validate:
-            violations = validate_result(result)
-            if violations:
-                campaign.failures.append(
-                    CampaignFailure(
-                        app,
-                        "validate",
-                        attempt,
-                        seed,
-                        "; ".join(str(v) for v in violations),
-                    )
-                )
-                return None  # deterministic — retrying cannot help
-        return result
-    return None
+    profile = get_profile(app)
+    if cfg.scale != 1.0:
+        profile = profile.scaled(cfg.scale)
+    return SimulationResult(
+        transfers=bundle.transfers,
+        signaling=bundle.signaling,
+        hosts=bundle.hosts,
+        testbed=campaign.testbed,
+        world=campaign.world,
+        profile=profile,
+        config=EngineConfig(
+            duration_s=cfg.duration_s, seed=int(bundle.meta.get("seed", 0))
+        ),
+        events_processed=int(bundle.meta.get("events", 0)),
+    )
 
 
-def run_campaign(config: CampaignConfig | None = None) -> Campaign:
+def merge_outcome(campaign: Campaign, outcome: ShardOutcome) -> None:
+    """Fold one shard outcome into a campaign.
+
+    Pure bookkeeping — no RNG, no recomputation — so the reduction is
+    deterministic as long as outcomes are merged in shard (= reporting)
+    order, which :func:`run_campaign` guarantees regardless of the order
+    workers finished in.
+    """
+    app = outcome.key.app
+    campaign.failures.extend(outcome.failures)
+    if outcome.impairment_log is not None:
+        campaign.impairment_logs[app] = outcome.impairment_log
+    if not outcome.ok:
+        return
+    result = outcome.result
+    if result is None:
+        result = _result_from_bundle(outcome.bundle, campaign, app)
+    campaign.runs[app] = ExperimentRun(
+        app=app,
+        result=result,
+        flows=outcome.flows,
+        report=outcome.report,
+        from_checkpoint=outcome.from_checkpoint,
+    )
+
+
+# --------------------------------------------------------------------- runner
+def run_campaign(
+    config: CampaignConfig | None = None,
+    *,
+    workers: int | None = None,
+    backend: str | None = None,
+) -> Campaign:
     """Run and analyse every experiment of a campaign.
+
+    Parameters
+    ----------
+    config:
+        The campaign configuration (default: the paper's three apps).
+    workers:
+        Process-pool size for the ``process`` backend; ``workers > 1``
+        alone implies ``backend="process"``.
+    backend:
+        ``"serial"`` (default) runs shards inline; ``"process"`` fans
+        them out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+        Both produce identical campaigns — same transfer logs, reports,
+        ledgers and impairment logs (the determinism tests assert it).
+        Unset values fall back to ``REPRO_EXEC_BACKEND`` /
+        ``REPRO_EXEC_WORKERS``.
 
     Never raises on a per-application failure: inspect
     ``campaign.failures`` (and ``campaign.failed_apps``) for anything the
     runner had to swallow.
     """
     cfg = config or CampaignConfig()
-    world = World()
-    testbed = build_napa_wine_testbed(world)
-    registry = IpRegistry.from_world(world)
+    executor = resolve_executor(backend, workers)
+    world, testbed, _ = campaign_context()
     campaign = Campaign(config=cfg, world=world, testbed=testbed)
-
-    for i, app in enumerate(cfg.apps):
-        profile = get_profile(app)
-        if cfg.scale != 1.0:
-            profile = profile.scaled(cfg.scale)
-
-        result: SimulationResult | None = None
-        if cfg.checkpoint_dir and _checkpoint_path(cfg, app).exists():
-            try:
-                result = _load_checkpoint(cfg, app, world, testbed, profile)
-            except ReproError as exc:
-                campaign.failures.append(
-                    CampaignFailure(app, "checkpoint", 0, cfg.seed + i, str(exc))
-                )
-        from_checkpoint = result is not None
-        if result is None:
-            result = _simulate_app(campaign, app, i, profile)
-        if result is None:
-            continue
-
-        try:
-            flows = build_flow_table(
-                result.transfers, result.signaling, result.hosts, world.paths
-            )
-            report = AwarenessAnalyzer(registry).analyze(flows)
-        except ReproError as exc:
-            campaign.failures.append(
-                CampaignFailure(app, "analyze", 0, int(result.config.seed), str(exc))
-            )
-            continue
-
-        campaign.runs[app] = ExperimentRun(
-            app=app,
-            result=result,
-            flows=flows,
-            report=report,
-            from_checkpoint=from_checkpoint,
-        )
-        if cfg.checkpoint_dir and not from_checkpoint:
-            try:
-                _save_checkpoint(cfg, app, result)
-            except (ReproError, OSError) as exc:
-                campaign.failures.append(
-                    CampaignFailure(
-                        app, "checkpoint", 0, int(result.config.seed), str(exc)
-                    )
-                )
+    specs = campaign_shards(cfg, keep_result=isinstance(executor, SerialExecutor))
+    for outcome in executor.map_shards(run_shard, specs):
+        merge_outcome(campaign, outcome)
     return campaign

@@ -15,7 +15,15 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.experiments.campaign import CampaignConfig, run_campaign
+from repro.exec.backends import SerialExecutor, resolve_executor
+from repro.exec.context import campaign_context
+from repro.exec.worker import run_shard
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignConfig,
+    campaign_shards,
+    merge_outcome,
+)
 from repro.experiments.table4 import Table4, build_table4
 from repro.report.compare import ShapeCheck, check_campaign_shape
 
@@ -97,8 +105,16 @@ def run_replicated_campaign(
     seeds: list[int] | None = None,
     *,
     with_checks: bool = True,
+    workers: int | None = None,
+    backend: str | None = None,
 ) -> ReplicatedCampaign:
     """Run one campaign per seed and aggregate.
+
+    Replication is the natural fan-out axis: every (app × seed-replica)
+    pair is an independent shard, so all ``len(apps) × len(seeds)``
+    experiments go through one executor together and the per-seed
+    campaigns are reassembled afterwards — identical to running the
+    replications back to back (the determinism tests assert it).
 
     Parameters
     ----------
@@ -108,14 +124,30 @@ def run_replicated_campaign(
         Replication seeds (default: three).
     with_checks:
         Also evaluate the qualitative shape checks per replication.
+    workers / backend:
+        Executor selection — see :func:`~repro.experiments.campaign.
+        run_campaign`.
     """
     base = base_config or CampaignConfig()
     seeds = list(seeds) if seeds is not None else [101, 202, 303]
     if not seeds:
         raise ConfigurationError("need at least one replication seed")
+    executor = resolve_executor(backend, workers)
+    keep = isinstance(executor, SerialExecutor)
+
+    configs = [replace(base, seed=seed) for seed in seeds]
+    specs = []
+    for r, cfg in enumerate(configs):
+        specs.extend(campaign_shards(cfg, replica=r, keep_result=keep))
+    outcomes = executor.map_shards(run_shard, specs)
+
     out = ReplicatedCampaign(base_config=base, seeds=seeds)
-    for seed in seeds:
-        campaign = run_campaign(replace(base, seed=seed))
+    for r, cfg in enumerate(configs):
+        world, testbed, _ = campaign_context()
+        campaign = Campaign(config=cfg, world=world, testbed=testbed)
+        for spec, outcome in zip(specs, outcomes):
+            if spec.key.replica == r:
+                merge_outcome(campaign, outcome)
         out.tables.append(build_table4(campaign))
         if with_checks and set(base.apps) >= {"pplive", "sopcast", "tvants"}:
             out.check_runs.append(check_campaign_shape(campaign))

@@ -22,11 +22,10 @@ import numpy as np
 from repro.core.framework import AwarenessAnalyzer
 from repro.core.quality import QualityFlag
 from repro.errors import AnalysisError
+from repro.exec.backends import resolve_executor
+from repro.exec.context import shard_context
 from repro.faults.plan import ImpairmentPlan, simulate_impaired
-from repro.heuristics.registry import IpRegistry
 from repro.streaming.profiles import get_profile
-from repro.topology.testbed import build_napa_wine_testbed
-from repro.topology.world import World
 from repro.trace.flows import build_flow_table
 
 #: Default severity sweep: pristine → heavily impaired.
@@ -86,6 +85,58 @@ def _headline(report) -> tuple[float, float, float]:
     )
 
 
+@dataclass(frozen=True, slots=True)
+class SeverityShard:
+    """One severity point of a sweep, as a picklable unit of work."""
+
+    app: str
+    severity: float
+    duration_s: float
+    seed: int
+    fault_seed: int
+    scale: float
+
+
+def run_severity_shard(shard: SeverityShard) -> RobustnessPoint:
+    """Measure one severity point on a pristine copy of the world.
+
+    Every shard simulates on its own fresh world copy under the same
+    engine seed, so the only thing varying between points is the
+    impairment — the drift in the indices is attributable to damage, not
+    to seed noise or to allocator state left behind by earlier points.
+    """
+    world, testbed, registry = shard_context()
+    profile = get_profile(shard.app)
+    if shard.scale != 1.0:
+        profile = profile.scaled(shard.scale)
+    plan = ImpairmentPlan.preset(
+        shard.severity, seed=shard.fault_seed, duration_s=shard.duration_s
+    )
+    result, log = simulate_impaired(
+        profile,
+        plan,
+        duration_s=shard.duration_s,
+        seed=shard.seed,
+        world=world,
+        testbed=testbed,
+    )
+    flows = build_flow_table(
+        result.transfers, result.signaling, result.hosts, world.paths
+    )
+    analysis = AwarenessAnalyzer(registry).analyze(flows)
+    bw, as_np, hop_np = _headline(analysis)
+    return RobustnessPoint(
+        severity=shard.severity,
+        bw_byte_pct=bw,
+        as_byte_pct_nonprobe=as_np,
+        hop_byte_pct_nonprobe=hop_np,
+        records=len(result.transfers),
+        dropped_fraction=log.dropped_fraction,
+        bad_time_fraction=log.bad_time_fraction,
+        flags=tuple(analysis.flags),
+    )
+
+
 def sweep_robustness(
     app: str = "tvants",
     *,
@@ -94,49 +145,30 @@ def sweep_robustness(
     seed: int = 7,
     fault_seed: int = 1,
     scale: float = 1.0,
+    workers: int | None = None,
+    backend: str | None = None,
 ) -> RobustnessReport:
     """Sweep impairment severity over one application.
 
-    Every point runs on the *same* world/testbed under the *same* engine
-    seed, so the only thing varying between points is the impairment —
-    the drift in the indices is attributable to damage, not to seed
-    noise.
+    Severity points are independent shards (each on its own pristine
+    world copy, same engine seed) and fan out over the selected executor
+    backend; the report lists them in the requested severity order
+    regardless of completion order.
     """
-    world = World()
-    testbed = build_napa_wine_testbed(world)
-    registry = IpRegistry.from_world(world)
-    profile = get_profile(app)
-    if scale != 1.0:
-        profile = profile.scaled(scale)
-
-    report = RobustnessReport(app=app)
-    for severity in severities:
-        plan = ImpairmentPlan.preset(severity, seed=fault_seed, duration_s=duration_s)
-        result, log = simulate_impaired(
-            profile,
-            plan,
+    executor = resolve_executor(backend, workers)
+    shards = [
+        SeverityShard(
+            app=app,
+            severity=severity,
             duration_s=duration_s,
             seed=seed,
-            world=world,
-            testbed=testbed,
+            fault_seed=fault_seed,
+            scale=scale,
         )
-        flows = build_flow_table(
-            result.transfers, result.signaling, result.hosts, world.paths
-        )
-        analysis = AwarenessAnalyzer(registry).analyze(flows)
-        bw, as_np, hop_np = _headline(analysis)
-        report.points.append(
-            RobustnessPoint(
-                severity=severity,
-                bw_byte_pct=bw,
-                as_byte_pct_nonprobe=as_np,
-                hop_byte_pct_nonprobe=hop_np,
-                records=len(result.transfers),
-                dropped_fraction=log.dropped_fraction,
-                bad_time_fraction=log.bad_time_fraction,
-                flags=tuple(analysis.flags),
-            )
-        )
+        for severity in severities
+    ]
+    report = RobustnessReport(app=app)
+    report.points.extend(executor.map_shards(run_severity_shard, shards))
     return report
 
 

@@ -1,0 +1,208 @@
+"""Property-based tests for the metric core (eqs. 1-8 of the paper).
+
+Invariants that must hold for *any* contributor view, not just the ones
+the simulator happens to produce:
+
+* P, B, P', B' are percentages — in [0, 100] or NaN (empty partition);
+* the indices do not depend on row order (flow-table permutation);
+* the indices do not depend on peer identity, only on which partition a
+  peer falls into (bijective IP relabeling);
+* B' is computed on the NAPA-deprived contributor set P' = P \\ W,
+  exactly the rows whose peer is not a probe.
+
+Runs under hypothesis when available, otherwise over a seeded random
+corpus — same properties either way.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bias import exclude_probe_peers, self_bias
+from repro.core.preference import per_probe_counts, preference_counts
+from repro.core.views import Direction, DirectionalView
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+def make_view(rng: np.random.Generator, n: int) -> DirectionalView:
+    """A random but well-formed directional view with n rows."""
+    return DirectionalView(
+        direction=Direction.DOWNLOAD,
+        probe_ip=rng.integers(1, 50, size=n).astype(np.uint32),
+        peer_ip=rng.integers(1, 200, size=n).astype(np.uint32),
+        bytes=rng.integers(0, 10**7, size=n).astype(np.uint64),
+        min_ipg=rng.uniform(1e-6, 1.0, size=n),
+        ttl=rng.integers(1, 64, size=n).astype(np.float64),
+    )
+
+
+def assert_percent_or_nan(value: float) -> None:
+    assert math.isnan(value) or 0.0 <= value <= 100.0
+
+
+def check_bounds(view: DirectionalView, indicator: np.ndarray) -> None:
+    counts = preference_counts(view, indicator)
+    assert_percent_or_nan(counts.peer_percent)
+    assert_percent_or_nan(counts.byte_percent)
+    # Complement partitions sum to 100 (when measurable).
+    flipped = preference_counts(view, ~indicator)
+    if not math.isnan(counts.peer_percent):
+        assert counts.peer_percent + flipped.peer_percent == pytest.approx(100.0)
+    if not math.isnan(counts.byte_percent):
+        assert counts.byte_percent + flipped.byte_percent == pytest.approx(100.0)
+
+
+def check_permutation_invariance(
+    view: DirectionalView, indicator: np.ndarray, rng: np.random.Generator
+) -> None:
+    perm = rng.permutation(len(view))
+    shuffled = view.select(perm)
+    assert preference_counts(view, indicator) == preference_counts(
+        shuffled, indicator[perm]
+    )
+
+
+def check_relabel_invariance(
+    view: DirectionalView, indicator: np.ndarray, rng: np.random.Generator
+) -> None:
+    """A bijective renaming of peer addresses changes nothing: the
+    indices see only the partition indicator and the byte column."""
+    old = np.unique(view.peer_ip)
+    new = (rng.permutation(len(old)).astype(np.uint32) + np.uint32(1_000_000))
+    mapping = dict(zip(old.tolist(), new.tolist()))
+    relabeled = DirectionalView(
+        direction=view.direction,
+        probe_ip=view.probe_ip,
+        peer_ip=np.array(
+            [mapping[p] for p in view.peer_ip.tolist()], dtype=np.uint32
+        ),
+        bytes=view.bytes,
+        min_ipg=view.min_ipg,
+        ttl=view.ttl,
+    )
+    assert preference_counts(view, indicator) == preference_counts(
+        relabeled, indicator
+    )
+
+
+def check_primed_on_deprived_set(
+    view: DirectionalView, indicator: np.ndarray, probe_ips: np.ndarray
+) -> None:
+    """B'/P' equal the plain indices over exactly the non-probe rows."""
+    keep = ~np.isin(view.peer_ip, probe_ips)
+    pruned = exclude_probe_peers(view, probe_ips)
+    assert len(pruned) == int(keep.sum())
+    assert not np.isin(pruned.peer_ip, probe_ips).any()
+    primed = preference_counts(pruned, indicator[keep])
+    manual = preference_counts(view.select(keep), indicator[keep])
+    assert primed == manual
+    assert_percent_or_nan(primed.peer_percent)
+    assert_percent_or_nan(primed.byte_percent)
+    # Byte conservation: the pruned view dropped exactly the probe bytes.
+    probe_bytes = int(view.bytes[~keep].sum())
+    assert pruned.total_bytes == view.total_bytes - probe_bytes
+
+
+def check_per_probe_aggregation(
+    view: DirectionalView, indicator: np.ndarray
+) -> None:
+    """Summing eqs. (1)-(4) across probes gives eqs. (5)-(6)."""
+    total = preference_counts(view, indicator)
+    parts = per_probe_counts(view, indicator).values()
+    assert sum(c.peers_preferred for c in parts) == total.peers_preferred
+    assert sum(c.peers_other for c in parts) == total.peers_other
+    assert sum(c.bytes_preferred for c in parts) == total.bytes_preferred
+    assert sum(c.bytes_other for c in parts) == total.bytes_other
+
+
+def check_self_bias_bounds(
+    view: DirectionalView, probe_ips: np.ndarray
+) -> None:
+    bias = self_bias(view, probe_ips)
+    assert_percent_or_nan(bias.peer_percent)
+    assert_percent_or_nan(bias.byte_percent)
+
+
+def run_all_properties(seed: int, n: int) -> None:
+    rng = np.random.default_rng(seed)
+    view = make_view(rng, n)
+    indicator = rng.random(n) < rng.uniform(0.0, 1.0)
+    probe_ips = np.unique(
+        rng.choice(view.peer_ip, size=max(1, n // 4))
+        if n
+        else np.array([1], dtype=np.uint32)
+    ).astype(np.uint32)
+    check_bounds(view, indicator)
+    check_per_probe_aggregation(view, indicator)
+    check_self_bias_bounds(view, probe_ips)
+    check_primed_on_deprived_set(view, indicator, probe_ips)
+    if n:
+        check_permutation_invariance(view, indicator, rng)
+        check_relabel_invariance(view, indicator, rng)
+
+
+if HAVE_HYPOTHESIS:
+
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(0, 400))
+    @settings(max_examples=60, deadline=None)
+    def test_metric_core_properties(seed, n):
+        run_all_properties(seed, n)
+
+else:  # pragma: no cover - seeded fallback without hypothesis
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_metric_core_properties(seed):
+        run_all_properties(seed, n=int(np.random.default_rng(seed).integers(0, 400)))
+
+
+class TestEdgeCases:
+    def test_empty_view_is_nan(self):
+        view = make_view(np.random.default_rng(0), 0)
+        counts = preference_counts(view, np.zeros(0, dtype=bool))
+        assert math.isnan(counts.peer_percent)
+        assert math.isnan(counts.byte_percent)
+
+    def test_zero_bytes_is_nan_bytes_but_finite_peers(self):
+        rng = np.random.default_rng(1)
+        view = make_view(rng, 5)
+        view = DirectionalView(
+            direction=view.direction,
+            probe_ip=view.probe_ip,
+            peer_ip=view.peer_ip,
+            bytes=np.zeros(5, dtype=np.uint64),
+            min_ipg=view.min_ipg,
+            ttl=view.ttl,
+        )
+        counts = preference_counts(view, np.ones(5, dtype=bool))
+        assert counts.peer_percent == 100.0
+        assert math.isnan(counts.byte_percent)
+
+    def test_all_probe_peers_leaves_empty_deprived_set(self):
+        rng = np.random.default_rng(2)
+        view = make_view(rng, 8)
+        pruned = exclude_probe_peers(view, np.unique(view.peer_ip))
+        assert len(pruned) == 0
+        counts = preference_counts(pruned, np.zeros(0, dtype=bool))
+        assert math.isnan(counts.peer_percent)
+
+    def test_large_bytes_do_not_overflow(self):
+        # Two rows near the uint64 ceiling: sums go through Python ints.
+        big = np.uint64(2**62)
+        view = DirectionalView(
+            direction=Direction.DOWNLOAD,
+            probe_ip=np.array([1, 1], dtype=np.uint32),
+            peer_ip=np.array([2, 3], dtype=np.uint32),
+            bytes=np.array([big, big], dtype=np.uint64),
+            min_ipg=np.array([0.1, 0.2]),
+            ttl=np.array([10.0, 12.0]),
+        )
+        counts = preference_counts(view, np.array([True, False]))
+        assert counts.byte_percent == pytest.approx(50.0)

@@ -109,11 +109,61 @@ class TestCheckpointResume:
             return real_sim(profile, **kwargs)
 
         monkeypatch.setattr(campaign_mod, "simulate", counting)
-        resumed = run_campaign(cfg)
+        # Serial backend: the assertion observes the parent-process call
+        # list, which process-pool workers cannot append to.
+        resumed = run_campaign(cfg, backend="serial")
         assert resumed.ok
         assert calls == ["pplive"]
         assert resumed["tvants"].from_checkpoint
         assert not resumed["pplive"].from_checkpoint
+
+    def test_checkpoint_failure_seeds_are_base_seeds(self, tmp_path, monkeypatch):
+        """Checkpoint-stage ledger entries record the shard's base seed
+        (campaign seed + app index) — never a retry-reseeded engine seed —
+        for both the load and the save path (the unification fix)."""
+        cfg = CampaignConfig(
+            apps=("pplive", "tvants"),
+            checkpoint_dir=str(tmp_path),
+            max_retries=2,
+            **SMALL,
+        )
+        base_seed = {"pplive": cfg.seed, "tvants": cfg.seed + 1}
+
+        # Save path: tvants needs one reseeded retry (result seed ≠ base
+        # seed), then every checkpoint write fails.
+        monkeypatch.setattr(
+            campaign_mod, "simulate", failing_simulate("tvants", fail_times=1)
+        )
+
+        def refuse_save(path, bundle):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(campaign_mod, "save_trace_bundle", refuse_save)
+        campaign = run_campaign(cfg, backend="serial")
+        assert campaign.failed_apps == []
+        saves = [f for f in campaign.failures if f.stage == "checkpoint"]
+        assert {f.app for f in saves} == {"pplive", "tvants"}
+        for f in saves:
+            assert f.seed == base_seed[f.app]
+        # The retried app's actual engine seed differs from what the
+        # ledger records for the checkpoint stage — that is the point.
+        assert campaign["tvants"].result.config.seed != base_seed["tvants"]
+
+        # Load path: a stale checkpoint records the same convention.
+        monkeypatch.undo()
+        run_campaign(cfg)
+        stale = CampaignConfig(
+            apps=("pplive", "tvants"),
+            duration_s=SMALL["duration_s"] + 5.0,
+            seed=SMALL["seed"],
+            scale=SMALL["scale"],
+            checkpoint_dir=str(tmp_path),
+        )
+        resumed = run_campaign(stale)
+        loads = [f for f in resumed.failures if f.stage == "checkpoint"]
+        assert {f.app for f in loads} == {"pplive", "tvants"}
+        for f in loads:
+            assert f.seed == base_seed[f.app]
 
     def test_stale_checkpoint_falls_back_to_simulation(self, tmp_path):
         base = CampaignConfig(apps=("tvants",), checkpoint_dir=str(tmp_path), **SMALL)

@@ -1,0 +1,69 @@
+"""Regenerate the golden fixtures.
+
+The golden suite pins the *rendered* output of every paper artifact
+(Tables I-IV, Figures 1-2) for one fixed campaign.  Any change to the
+simulator, the analysis framework, the partitions, or the renderers that
+shifts a single character fails the diff test — by design.  If the change
+is intentional, regenerate and commit the diff:
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+The configuration matches the session-scoped ``campaign_small`` fixture
+(``tests/conftest.py``) so the diff test adds no extra campaign run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
+
+#: Must stay in lockstep with ``campaign_small`` in tests/conftest.py.
+GOLDEN_CONFIG_KWARGS = dict(duration_s=90.0, seed=42, scale=0.5)
+
+
+def render_artifacts(campaign) -> dict[str, str]:
+    """Every golden artifact name -> rendered text, for one campaign."""
+    from repro.experiments import (
+        build_figure1,
+        build_figure2,
+        build_table1,
+        build_table2,
+        build_table3,
+        build_table4,
+    )
+    from repro.report.figures import render_figure1, render_figure2
+    from repro.report.tables import (
+        render_table1,
+        render_table2,
+        render_table3,
+        render_table4,
+    )
+
+    return {
+        "table1": render_table1(build_table1(campaign.testbed)),
+        "table2": render_table2(build_table2(campaign)),
+        "table3": render_table3(build_table3(campaign)),
+        "table4": render_table4(build_table4(campaign)),
+        "figure1": render_figure1(build_figure1(campaign)),
+        "figure2": render_figure2(build_figure2(campaign)),
+    }
+
+
+def regenerate() -> list[pathlib.Path]:
+    from repro.experiments.campaign import CampaignConfig, run_campaign
+
+    campaign = run_campaign(CampaignConfig(**GOLDEN_CONFIG_KWARGS))
+    if not campaign.ok:
+        raise RuntimeError(f"golden campaign failed: {campaign.failures}")
+    written = []
+    for name, text in render_artifacts(campaign).items():
+        path = GOLDEN_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        written.append(path)
+    return written
+
+
+if __name__ == "__main__":
+    for path in regenerate():
+        print(f"wrote {path}")

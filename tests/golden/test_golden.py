@@ -1,0 +1,52 @@
+"""Golden regression diff: rendered artifacts vs. committed fixtures.
+
+Reuses the session-scoped ``campaign_small`` fixture — its configuration
+is asserted identical to the regeneration helper's, so the pinned text
+always corresponds to what this test renders.
+"""
+
+import difflib
+
+import pytest
+
+from repro.experiments.campaign import CampaignConfig
+
+from tests.golden.regen import GOLDEN_CONFIG_KWARGS, GOLDEN_DIR, render_artifacts
+
+ARTIFACTS = ("table1", "table2", "table3", "table4", "figure1", "figure2")
+
+
+def test_golden_config_matches_shared_fixture():
+    """regen.py and conftest.campaign_small must describe the same run."""
+    assert CampaignConfig(**GOLDEN_CONFIG_KWARGS) == CampaignConfig(
+        duration_s=90.0, seed=42, scale=0.5
+    )
+
+
+def test_all_fixtures_committed():
+    missing = [n for n in ARTIFACTS if not (GOLDEN_DIR / f"{n}.txt").exists()]
+    assert not missing, (
+        f"golden fixtures missing: {missing} — run "
+        f"`PYTHONPATH=src python tests/golden/regen.py`"
+    )
+
+
+@pytest.mark.parametrize("name", ARTIFACTS)
+def test_rendered_output_matches_golden(name, campaign_small):
+    expected = (GOLDEN_DIR / f"{name}.txt").read_text()
+    actual = render_artifacts(campaign_small)[name] + "\n"
+    if actual != expected:
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected.splitlines(),
+                actual.splitlines(),
+                fromfile=f"golden/{name}.txt",
+                tofile="rendered",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            f"{name} drifted from its golden fixture.\n{diff}\n\n"
+            f"If this change is intentional, regenerate with "
+            f"`PYTHONPATH=src python tests/golden/regen.py` and commit."
+        )
