@@ -28,10 +28,25 @@ def _run(backend: str, workers: int | None = None):
     return run_campaign(PARALLEL_BENCH_CONFIG, backend=backend, workers=workers)
 
 
+def _record_telemetry(benchmark, campaign) -> None:
+    """Surface the campaign's own stage timers as benchmark extra_info.
+
+    The same :class:`~repro.obs.telemetry.Telemetry` the run manifest
+    reports — no ad-hoc clocks around the benchmark body.
+    """
+    tel = campaign.telemetry
+    benchmark.extra_info["stage_wall_s"] = {
+        path: round(stats.wall_s, 4) for path, stats in sorted(tel.timers.items())
+    }
+    benchmark.extra_info["engine_events"] = tel.counter("engine/events")
+    benchmark.extra_info["peak_queue_depth"] = tel.peak("engine/peak_queue_depth")
+
+
 def test_campaign_serial(benchmark):
     campaign = benchmark.pedantic(_run, args=("serial",), rounds=2, iterations=1)
     assert campaign.ok
     benchmark.extra_info["backend"] = "serial"
+    _record_telemetry(benchmark, campaign)
 
 
 def test_campaign_process_pool(benchmark):
@@ -42,6 +57,7 @@ def test_campaign_process_pool(benchmark):
     benchmark.extra_info["backend"] = "process"
     benchmark.extra_info["workers"] = 4
     benchmark.extra_info["cpu_count"] = os.cpu_count()
+    _record_telemetry(benchmark, campaign)
 
     # The speedup claim is only meaningful when results are identical:
     # assert parity against a serial run before reporting numbers.

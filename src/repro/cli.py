@@ -10,12 +10,18 @@ Three subcommands mirror the measurement workflow:
   cost plus the aware-client what-if comparison;
 * ``replicate`` — Table IV with mean ± std across seed replications;
 * ``robustness`` — headline indices under increasing fault-injection
-  severity (bursty loss, churn storms, sniffer outages, clock skew).
+  severity (bursty loss, churn storms, sniffer outages, clock skew);
+* ``stats``     — summarise a run manifest (stage timers, shard
+  outcomes, engine/capture counters) written by ``campaign``.
 
 Invoke as ``repro-p2ptv`` (console script) or ``python -m repro``.
 The ``campaign``, ``replicate`` and ``robustness`` subcommands accept
 ``--workers N`` / ``--backend {serial,process}`` to fan independent
 experiment shards out over a process pool (see :mod:`repro.exec`).
+Global ``--log-level`` / ``--log-format`` control the structured logger
+(:mod:`repro.obs`; env: ``REPRO_LOG_LEVEL`` / ``REPRO_LOG_FORMAT``), and
+``campaign`` writes a JSON run manifest next to its outputs
+(``--manifest PATH``, ``--no-manifest`` to disable).
 Errors from the reproduction stack (:class:`~repro.errors.ReproError`)
 exit with status 2 and a one-line message instead of a traceback.
 """
@@ -26,6 +32,7 @@ import argparse
 import sys
 
 from repro.errors import ReproError
+from repro.obs.log import LEVELS, configure
 from repro.streaming.profiles import PROFILES
 
 
@@ -110,6 +117,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         impairment=impairment,
     )
     campaign = run_campaign(config, workers=args.workers, backend=args.backend)
+    if args.manifest is not None:
+        from repro.obs.manifest import manifest_from_campaign, write_manifest
+
+        command = getattr(args, "_argv", None) or ["campaign"]
+        manifest = manifest_from_campaign(campaign, command=command)
+        manifest_path = write_manifest(args.manifest, manifest)
+        print(f"run manifest written to {manifest_path}", file=sys.stderr)
     print(render_table1(build_table1(campaign.testbed)))
     print()
     print(render_table2(build_table2(campaign)))
@@ -187,6 +201,14 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.manifest import read_manifest, render_manifest_summary
+
+    manifest = read_manifest(args.manifest)
+    print(render_manifest_summary(manifest))
+    return 0 if manifest.ok else 1
+
+
 def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
     """Shared parallel-execution flags (campaign / replicate / robustness)."""
     parser.add_argument(
@@ -204,6 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-p2ptv",
         description="Network awareness of P2P live streaming — IPDPS'09 reproduction",
+    )
+    parser.add_argument(
+        "--log-level", choices=sorted(LEVELS, key=LEVELS.get), default=None,
+        help="structured-log verbosity (default: warning, or $REPRO_LOG_LEVEL)",
+    )
+    parser.add_argument(
+        "--log-format", choices=("human", "json"), default=None,
+        help="structured-log output format (default: human, or $REPRO_LOG_FORMAT)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -243,6 +273,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under an impairment plan of this severity (0..1)",
     )
     camp.add_argument("--fault-seed", type=int, default=1)
+    camp.add_argument(
+        "--manifest", default="run_manifest.json", metavar="PATH",
+        help="write the JSON run manifest here (stage timings, shard "
+        "outcomes, engine counters)",
+    )
+    camp.add_argument(
+        "--no-manifest", dest="manifest", action="store_const", const=None,
+        help="skip writing the run manifest",
+    )
     _add_executor_flags(camp)
     camp.set_defaults(func=_cmd_campaign)
 
@@ -278,6 +317,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_executor_flags(rob)
     rob.set_defaults(func=_cmd_robustness)
 
+    stats = sub.add_parser("stats", help="summarise a campaign run manifest")
+    stats.add_argument("manifest", help="path to a run_manifest.json")
+    stats.set_defaults(func=_cmd_stats)
+
     return parser
 
 
@@ -290,11 +333,22 @@ def main(argv: list[str] | None = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level is not None or args.log_format is not None:
+        configure(level=args.log_level, fmt=args.log_format)
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
     try:
         return args.func(args)
     except ReproError as exc:
         print(f"repro-p2ptv: error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like a
+        # well-behaved Unix filter.  Detach stdout so the interpreter's
+        # shutdown flush doesn't raise a second time.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -39,7 +39,24 @@ class SelfBias:
 
 def self_bias(view: DirectionalView, probe_ips: np.ndarray) -> SelfBias:
     """Percentage of (probe, peer) pairs and bytes where the peer is
-    itself a probe — one cell of Table III."""
+    itself a probe — one cell of Table III.
+
+    >>> import numpy as np
+    >>> from repro.core.views import Direction, DirectionalView
+    >>> view = DirectionalView(
+    ...     direction=Direction.DOWNLOAD,
+    ...     probe_ip=np.array([1, 1], dtype=np.uint32),
+    ...     peer_ip=np.array([2, 9], dtype=np.uint32),
+    ...     bytes=np.array([900, 100], dtype=np.uint64),
+    ...     min_ipg=np.full(2, np.inf),
+    ...     ttl=np.full(2, np.nan),
+    ... )
+    >>> bias = self_bias(view, probe_ips=np.array([1, 2], dtype=np.uint32))
+    >>> print(f"{bias.peer_percent:.1f} {bias.byte_percent:.1f}")
+    50.0 90.0
+    >>> len(exclude_probe_peers(view, np.array([1, 2], dtype=np.uint32)))
+    1
+    """
     n = len(view)
     if n == 0:
         return SelfBias(float("nan"), float("nan"))

@@ -139,7 +139,7 @@ class AwarenessAnalyzer:
             raise AnalysisError("min_contributors must be at least 1")
         self.min_contributors = min_contributors
 
-    def analyze(self, table: FlowTable) -> AwarenessReport:
+    def analyze(self, table: FlowTable, *, telemetry=None) -> AwarenessReport:
         """Run the full methodology on one experiment.
 
         Degenerate inputs — an empty contributor set, a partition that
@@ -147,9 +147,17 @@ class AwarenessAnalyzer:
         affected cells come back NaN and the report carries
         :class:`~repro.core.quality.QualityFlag` entries describing why,
         instead of the analysis raising.
+
+        ``telemetry`` (an optional
+        :class:`~repro.obs.telemetry.Telemetry`) collects contributor
+        tallies from the view builder plus per-partition indicator sums
+        (``analysis/<metric>/<direction>_preferred``) — pure accounting;
+        the report is identical with or without it.
         """
         probe_ips = np.asarray(table.probe_ips, dtype=np.uint32)
-        views = build_views(table, self.criteria, contributors_only=True)
+        views = build_views(
+            table, self.criteria, contributors_only=True, telemetry=telemetry
+        )
         all_views = build_views(table, self.criteria, contributors_only=False)
         flags: list[QualityFlag] = []
 
@@ -212,6 +220,15 @@ class AwarenessAnalyzer:
                             metric=partition.name,
                             direction=direction.value,
                         )
+                    )
+                if telemetry is not None:
+                    telemetry.count(
+                        f"analysis/{partition.name}/{direction.value}_pairs",
+                        int(indicator.size),
+                    )
+                    telemetry.count(
+                        f"analysis/{partition.name}/{direction.value}_preferred",
+                        int(indicator.sum()),
                     )
                 full = preference_counts(view, indicator)
                 pruned_view = exclude_probe_peers(view, probe_ips)

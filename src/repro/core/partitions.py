@@ -49,7 +49,24 @@ class PreferentialPartition(ABC):
 
 
 class BWPartition(PreferentialPartition):
-    """High-bandwidth peers, inferred from minimum inter-packet gaps."""
+    """High-bandwidth peers, inferred from minimum inter-packet gaps.
+
+    A 0.5 ms gap beats the 1 ms threshold (path > 10 Mb/s); a 2 ms gap
+    does not:
+
+    >>> import numpy as np
+    >>> from repro.core.views import Direction, DirectionalView
+    >>> view = DirectionalView(
+    ...     direction=Direction.DOWNLOAD,
+    ...     probe_ip=np.array([1, 1], dtype=np.uint32),
+    ...     peer_ip=np.array([2, 3], dtype=np.uint32),
+    ...     bytes=np.array([100, 100], dtype=np.uint64),
+    ...     min_ipg=np.array([0.0005, 0.002]),
+    ...     ttl=np.array([60.0, 50.0]),
+    ... )
+    >>> BWPartition().indicator(view)
+    array([ True, False])
+    """
 
     name = "BW"
 

@@ -25,7 +25,17 @@ from repro.core.views import DirectionalView
 
 @dataclass(frozen=True, slots=True)
 class PreferenceCounts:
-    """Raw sums of eqs. (5)–(6) plus the derived indices of (7)–(8)."""
+    """Raw sums of eqs. (5)–(6) plus the derived indices of (7)–(8).
+
+    >>> counts = PreferenceCounts(
+    ...     peers_preferred=2, peers_other=1,
+    ...     bytes_preferred=700, bytes_other=300,
+    ... )
+    >>> round(counts.peer_percent, 2)   # P, eq. (7)
+    66.67
+    >>> counts.byte_percent             # B, eq. (8)
+    70.0
+    """
 
     peers_preferred: int
     peers_other: int
@@ -56,7 +66,27 @@ class PreferenceCounts:
 
 
 def preference_counts(view: DirectionalView, indicator: np.ndarray) -> PreferenceCounts:
-    """Aggregate eqs. (1)–(8) over a view given a partition indicator."""
+    """Aggregate eqs. (1)–(8) over a view given a partition indicator.
+
+    ``indicator`` is 1_P(p, e) row-by-row; peer sums are eqs. (1)/(3)/(5)
+    and byte sums eqs. (2)/(4)/(6).
+
+    >>> import numpy as np
+    >>> from repro.core.views import Direction, DirectionalView
+    >>> view = DirectionalView(
+    ...     direction=Direction.DOWNLOAD,
+    ...     probe_ip=np.array([1, 1, 1], dtype=np.uint32),
+    ...     peer_ip=np.array([10, 11, 12], dtype=np.uint32),
+    ...     bytes=np.array([600, 300, 100], dtype=np.uint64),
+    ...     min_ipg=np.full(3, np.inf),
+    ...     ttl=np.full(3, np.nan),
+    ... )
+    >>> counts = preference_counts(view, np.array([True, False, True]))
+    >>> counts.peers_preferred, counts.bytes_preferred
+    (2, 700)
+    >>> counts.byte_percent
+    70.0
+    """
     if len(indicator) != len(view):
         raise AnalysisError("indicator misaligned with view")
     ind = np.asarray(indicator, dtype=bool)

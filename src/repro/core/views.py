@@ -110,17 +110,20 @@ def build_views(
     criteria: ContributorCriteria | None = None,
     *,
     contributors_only: bool = True,
+    telemetry=None,
 ) -> ViewPair:
     """Build download/upload contributor views from a flow table.
 
     With ``contributors_only=False`` the views cover *all* contacted peers
     (used by Table II's "all peers" statistics and Table III's all-peer
-    bias column).
+    bias column).  ``telemetry`` (an optional
+    :class:`~repro.obs.telemetry.Telemetry`) is forwarded to the
+    contributor heuristic for classification tallies.
     """
     flows = table.flows
     probe_ips = np.asarray(table.probe_ips, dtype=np.uint32)
     if contributors_only:
-        keep = contributor_mask(flows, criteria)
+        keep = contributor_mask(flows, criteria, telemetry=telemetry)
     else:
         keep = np.ones(len(flows), dtype=bool)
 

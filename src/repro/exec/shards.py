@@ -25,6 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (campaign imports exe
     from repro.experiments.campaign import CampaignConfig, CampaignFailure
     from repro.core.framework import AwarenessReport
     from repro.faults.plan import ImpairmentLog
+    from repro.obs.telemetry import Telemetry
     from repro.streaming.engine import SimulationResult
     from repro.trace.flows import FlowTable
     from repro.trace.store import TraceBundle
@@ -106,6 +107,9 @@ class ShardOutcome:
     from_checkpoint: bool = False
     engine_seed: int | None = None
     notes: list[str] = field(default_factory=list)
+    #: Per-shard stage timers / counters (plain data, pickles with the
+    #: outcome; the parent merges them order-independently).
+    telemetry: "Telemetry | None" = None
 
     @property
     def ok(self) -> bool:

@@ -25,9 +25,38 @@ from __future__ import annotations
 from repro.errors import ReproError
 from repro.exec.context import shard_context
 from repro.exec.shards import ShardOutcome, ShardSpec
+from repro.obs.log import get_logger
+from repro.obs.telemetry import Telemetry
 from repro.streaming.engine import EngineConfig
 from repro.streaming.profiles import get_profile
 from repro.trace.store import TraceBundle
+
+_log = get_logger("exec.worker")
+
+#: engine_stats keys copied into shard telemetry counters (additive
+#: across shards) vs. gauges (merged by peak).
+_ENGINE_COUNTERS = (
+    "events",
+    "transfer_records",
+    "signaling_intervals",
+    "bytes_recorded",
+    "video_records",
+    "video_bytes",
+)
+_ENGINE_GAUGES = ("peak_queue_depth",)
+
+
+def _absorb_engine_stats(telemetry: Telemetry, result) -> None:
+    """Copy the engine's post-run stats into a shard's telemetry."""
+    stats = (getattr(result, "extras", None) or {}).get("engine_stats")
+    if not stats:
+        return
+    for name in _ENGINE_COUNTERS:
+        if name in stats:
+            telemetry.count(f"engine/{name}", int(stats[name]))
+    for name in _ENGINE_GAUGES:
+        if name in stats:
+            telemetry.gauge(f"engine/{name}", float(stats[name]))
 
 
 def _shard_profile(spec: ShardSpec):
@@ -37,7 +66,9 @@ def _shard_profile(spec: ShardSpec):
     return profile
 
 
-def _simulate_shard(spec: ShardSpec, world, testbed, outcome, failures) -> object | None:
+def _simulate_shard(
+    spec: ShardSpec, world, testbed, outcome, failures, *, telemetry=None
+) -> object | None:
     """Simulate with retry-with-reseed, impairment and the validation gate."""
     import repro.experiments.campaign as campaign_mod
     from repro.faults.plan import impair_result
@@ -56,11 +87,22 @@ def _simulate_shard(spec: ShardSpec, world, testbed, outcome, failures) -> objec
         engine_config = EngineConfig(duration_s=cfg.duration_s, seed=seed)
         if plan is not None:
             engine_config = plan.engine_config(engine_config)
+        if telemetry is not None:
+            telemetry.count("shard/simulate_attempts")
+            if attempt:
+                telemetry.count("shard/retries")
         try:
             result = campaign_mod.simulate(
                 profile, world=world, testbed=testbed, engine_config=engine_config
             )
         except ReproError as exc:
+            _log.warning(
+                "simulate-failed",
+                shard=str(key),
+                attempt=attempt,
+                seed=seed,
+                error=str(exc),
+            )
             failures.append(
                 campaign_mod.CampaignFailure(key.app, "simulate", attempt, seed, str(exc))
             )
@@ -95,62 +137,89 @@ def run_shard(spec: ShardSpec) -> ShardOutcome:
 
     cfg = spec.config
     key = spec.key
-    outcome = ShardOutcome(key=key)
+    tel = Telemetry()
+    outcome = ShardOutcome(key=key, telemetry=tel)
     failures: list = []
-    world, testbed, registry = shard_context()
-    profile = _shard_profile(spec)
+    _log.debug("shard-start", shard=str(key))
+    with tel.timer("shard"):
+        world, testbed, registry = shard_context()
+        profile = _shard_profile(spec)
 
-    result = None
-    if cfg.checkpoint_dir and campaign_mod._checkpoint_path(cfg, key.app).exists():
+        result = None
+        if cfg.checkpoint_dir and campaign_mod._checkpoint_path(cfg, key.app).exists():
+            try:
+                with tel.timer("checkpoint_load"):
+                    result = campaign_mod._load_checkpoint(
+                        cfg, key.app, world, testbed, profile
+                    )
+            except ReproError as exc:
+                failures.append(
+                    campaign_mod.CampaignFailure(
+                        key.app, "checkpoint", 0, key.base_seed, str(exc)
+                    )
+                )
+        from_checkpoint = result is not None
+        if result is None:
+            with tel.timer("simulate"):
+                result = _simulate_shard(
+                    spec, world, testbed, outcome, failures, telemetry=tel
+                )
+        if result is None:
+            outcome.failures = tuple(failures)
+            _log.warning("shard-failed", shard=str(key), failures=len(failures))
+            return outcome
+        _absorb_engine_stats(tel, result)
+
         try:
-            result = campaign_mod._load_checkpoint(cfg, key.app, world, testbed, profile)
+            with tel.timer("analyze"):
+                flows = campaign_mod.build_flow_table(
+                    result.transfers,
+                    result.signaling,
+                    result.hosts,
+                    world.paths,
+                    telemetry=tel,
+                )
+                report = campaign_mod.AwarenessAnalyzer(registry).analyze(
+                    flows, telemetry=tel
+                )
         except ReproError as exc:
             failures.append(
                 campaign_mod.CampaignFailure(
-                    key.app, "checkpoint", 0, key.base_seed, str(exc)
+                    key.app, "analyze", 0, int(result.config.seed), str(exc)
                 )
             )
-    from_checkpoint = result is not None
-    if result is None:
-        result = _simulate_shard(spec, world, testbed, outcome, failures)
-    if result is None:
-        outcome.failures = tuple(failures)
-        return outcome
+            outcome.failures = tuple(failures)
+            _log.warning("shard-failed", shard=str(key), failures=len(failures))
+            return outcome
 
-    try:
-        flows = campaign_mod.build_flow_table(
-            result.transfers, result.signaling, result.hosts, world.paths
-        )
-        report = campaign_mod.AwarenessAnalyzer(registry).analyze(flows)
-    except ReproError as exc:
-        failures.append(
-            campaign_mod.CampaignFailure(
-                key.app, "analyze", 0, int(result.config.seed), str(exc)
-            )
-        )
-        outcome.failures = tuple(failures)
-        return outcome
-
-    if cfg.checkpoint_dir and not from_checkpoint:
-        try:
-            campaign_mod._save_checkpoint(cfg, key.app, result)
-        except (ReproError, OSError) as exc:
-            failures.append(
-                campaign_mod.CampaignFailure(
-                    key.app, "checkpoint", 0, key.base_seed, str(exc)
+        if cfg.checkpoint_dir and not from_checkpoint:
+            try:
+                with tel.timer("checkpoint_save"):
+                    campaign_mod._save_checkpoint(cfg, key.app, result)
+            except (ReproError, OSError) as exc:
+                failures.append(
+                    campaign_mod.CampaignFailure(
+                        key.app, "checkpoint", 0, key.base_seed, str(exc)
+                    )
                 )
-            )
 
-    outcome.flows = flows
-    outcome.report = report
-    outcome.from_checkpoint = from_checkpoint
-    outcome.engine_seed = int(result.config.seed)
-    if spec.keep_result:
-        outcome.result = result
-    else:
-        # Process boundary: ship plain arrays + metadata.  Impaired engine
-        # configs hold closures (churn transforms), so the live result
-        # cannot cross; the parent rebuilds an equivalent one.
-        outcome.bundle = TraceBundle.from_result(result)
-    outcome.failures = tuple(failures)
+        outcome.flows = flows
+        outcome.report = report
+        outcome.from_checkpoint = from_checkpoint
+        outcome.engine_seed = int(result.config.seed)
+        if spec.keep_result:
+            outcome.result = result
+        else:
+            # Process boundary: ship plain arrays + metadata.  Impaired engine
+            # configs hold closures (churn transforms), so the live result
+            # cannot cross; the parent rebuilds an equivalent one.
+            outcome.bundle = TraceBundle.from_result(result)
+        outcome.failures = tuple(failures)
+    _log.info(
+        "shard-done",
+        shard=str(key),
+        ok=outcome.ok,
+        from_checkpoint=outcome.from_checkpoint,
+        wall_s=round(tel.stage("shard").wall_s, 6),
+    )
     return outcome

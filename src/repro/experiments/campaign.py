@@ -37,6 +37,8 @@ from repro.exec.context import campaign_context
 from repro.exec.shards import RESEED_STRIDE, ShardKey, ShardOutcome, ShardSpec
 from repro.exec.worker import run_shard
 from repro.faults.plan import ImpairmentLog, ImpairmentPlan
+from repro.obs.log import get_logger
+from repro.obs.telemetry import Telemetry
 from repro.streaming.engine import EngineConfig, SimulationResult, simulate  # noqa: F401
 from repro.streaming.profiles import get_profile
 from repro.topology.testbed import Testbed
@@ -46,6 +48,8 @@ from repro.trace.store import TraceBundle, load_trace_bundle, save_trace_bundle
 
 #: The applications of the paper, in its reporting order.
 PAPER_APPS = ("pplive", "sopcast", "tvants")
+
+_log = get_logger("experiments.campaign")
 
 __all__ = [
     "PAPER_APPS",
@@ -153,6 +157,13 @@ class Campaign:
     runs: dict[str, ExperimentRun] = field(default_factory=dict)
     failures: list[CampaignFailure] = field(default_factory=list)
     impairment_logs: dict[str, ImpairmentLog] = field(default_factory=dict)
+    #: Campaign-level timers plus the order-independent merge of every
+    #: shard's counters/gauges (pure accounting; never compared by the
+    #: determinism suite).
+    telemetry: Telemetry = field(default_factory=Telemetry)
+    #: Raw per-shard telemetry, keyed by application (kept for the run
+    #: manifest's per-shard stage timings).
+    shard_telemetry: dict[str, Telemetry] = field(default_factory=dict)
 
     def __getitem__(self, app: str) -> ExperimentRun:
         return self.runs[app]
@@ -280,6 +291,9 @@ def merge_outcome(campaign: Campaign, outcome: ShardOutcome) -> None:
     """
     app = outcome.key.app
     campaign.failures.extend(outcome.failures)
+    if outcome.telemetry is not None:
+        campaign.shard_telemetry[app] = outcome.telemetry
+        campaign.telemetry.merge(outcome.telemetry)
     if outcome.impairment_log is not None:
         campaign.impairment_logs[app] = outcome.impairment_log
     if not outcome.ok:
@@ -326,9 +340,29 @@ def run_campaign(
     """
     cfg = config or CampaignConfig()
     executor = resolve_executor(backend, workers)
-    world, testbed, _ = campaign_context()
-    campaign = Campaign(config=cfg, world=world, testbed=testbed)
-    specs = campaign_shards(cfg, keep_result=isinstance(executor, SerialExecutor))
-    for outcome in executor.map_shards(run_shard, specs):
-        merge_outcome(campaign, outcome)
+    tel = Telemetry()
+    _log.info(
+        "campaign-start",
+        apps=list(cfg.apps),
+        seed=cfg.seed,
+        duration_s=cfg.duration_s,
+        backend=type(executor).__name__,
+    )
+    with tel.timer("campaign"):
+        with tel.timer("context"):
+            world, testbed, _ = campaign_context()
+        campaign = Campaign(
+            config=cfg, world=world, testbed=testbed, telemetry=tel
+        )
+        specs = campaign_shards(cfg, keep_result=isinstance(executor, SerialExecutor))
+        with tel.timer("shards"):
+            for outcome in executor.map_shards(run_shard, specs):
+                merge_outcome(campaign, outcome)
+    _log.info(
+        "campaign-done",
+        ok=campaign.ok,
+        runs=len(campaign.runs),
+        failures=len(campaign.failures),
+        wall_s=round(tel.stage("campaign").wall_s, 6),
+    )
     return campaign

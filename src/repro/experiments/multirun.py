@@ -25,6 +25,7 @@ from repro.experiments.campaign import (
     merge_outcome,
 )
 from repro.experiments.table4 import Table4, build_table4
+from repro.obs.telemetry import Telemetry
 from repro.report.compare import ShapeCheck, check_campaign_shape
 
 
@@ -54,6 +55,8 @@ class ReplicatedCampaign:
     seeds: list[int]
     tables: list[Table4] = field(default_factory=list)
     check_runs: list[list[ShapeCheck]] = field(default_factory=list)
+    #: Order-independent merge of shard telemetry across all replications.
+    telemetry: Telemetry = field(default_factory=Telemetry)
 
     # ------------------------------------------------------------ aggregates
     def cell_stats(
@@ -149,6 +152,7 @@ def run_replicated_campaign(
             if spec.key.replica == r:
                 merge_outcome(campaign, outcome)
         out.tables.append(build_table4(campaign))
+        out.telemetry.merge(campaign.telemetry)
         if with_checks and set(base.apps) >= {"pplive", "sopcast", "tvants"}:
             out.check_runs.append(check_campaign_shape(campaign))
     return out

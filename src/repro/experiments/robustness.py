@@ -25,6 +25,7 @@ from repro.errors import AnalysisError
 from repro.exec.backends import resolve_executor
 from repro.exec.context import shard_context
 from repro.faults.plan import ImpairmentPlan, simulate_impaired
+from repro.obs.telemetry import Telemetry
 from repro.streaming.profiles import get_profile
 from repro.trace.flows import build_flow_table
 
@@ -44,6 +45,10 @@ class RobustnessPoint:
     dropped_fraction: float
     bad_time_fraction: float
     flags: tuple[QualityFlag, ...] = ()
+    #: Per-point stage timers/counters.  Excluded from equality so the
+    #: serial ≡ process parity suite compares scientific content only
+    #: (wall-clock necessarily differs between backends).
+    telemetry: Telemetry | None = field(default=None, compare=False)
 
     @property
     def flag_count(self) -> int:
@@ -56,6 +61,8 @@ class RobustnessReport:
 
     app: str
     points: list[RobustnessPoint] = field(default_factory=list)
+    #: Order-independent merge of every point's telemetry.
+    telemetry: Telemetry = field(default_factory=Telemetry)
 
     @property
     def baseline(self) -> RobustnessPoint:
@@ -105,25 +112,33 @@ def run_severity_shard(shard: SeverityShard) -> RobustnessPoint:
     impairment — the drift in the indices is attributable to damage, not
     to seed noise or to allocator state left behind by earlier points.
     """
-    world, testbed, registry = shard_context()
-    profile = get_profile(shard.app)
-    if shard.scale != 1.0:
-        profile = profile.scaled(shard.scale)
-    plan = ImpairmentPlan.preset(
-        shard.severity, seed=shard.fault_seed, duration_s=shard.duration_s
-    )
-    result, log = simulate_impaired(
-        profile,
-        plan,
-        duration_s=shard.duration_s,
-        seed=shard.seed,
-        world=world,
-        testbed=testbed,
-    )
-    flows = build_flow_table(
-        result.transfers, result.signaling, result.hosts, world.paths
-    )
-    analysis = AwarenessAnalyzer(registry).analyze(flows)
+    tel = Telemetry()
+    with tel.timer("severity_shard"):
+        world, testbed, registry = shard_context()
+        profile = get_profile(shard.app)
+        if shard.scale != 1.0:
+            profile = profile.scaled(shard.scale)
+        plan = ImpairmentPlan.preset(
+            shard.severity, seed=shard.fault_seed, duration_s=shard.duration_s
+        )
+        with tel.timer("simulate"):
+            result, log = simulate_impaired(
+                profile,
+                plan,
+                duration_s=shard.duration_s,
+                seed=shard.seed,
+                world=world,
+                testbed=testbed,
+            )
+        with tel.timer("analyze"):
+            flows = build_flow_table(
+                result.transfers,
+                result.signaling,
+                result.hosts,
+                world.paths,
+                telemetry=tel,
+            )
+            analysis = AwarenessAnalyzer(registry).analyze(flows, telemetry=tel)
     bw, as_np, hop_np = _headline(analysis)
     return RobustnessPoint(
         severity=shard.severity,
@@ -134,6 +149,7 @@ def run_severity_shard(shard: SeverityShard) -> RobustnessPoint:
         dropped_fraction=log.dropped_fraction,
         bad_time_fraction=log.bad_time_fraction,
         flags=tuple(analysis.flags),
+        telemetry=tel,
     )
 
 
@@ -169,6 +185,9 @@ def sweep_robustness(
     ]
     report = RobustnessReport(app=app)
     report.points.extend(executor.map_shards(run_severity_shard, shards))
+    for point in report.points:
+        if point.telemetry is not None:
+            report.telemetry.merge(point.telemetry)
     return report
 
 

@@ -25,15 +25,23 @@ HIGH_BW_IPG_THRESHOLD_S = REFERENCE_PACKET_BYTES * BITS_PER_BYTE / HIGH_BW_CAPAC
 
 
 def classify_high_bandwidth(
-    min_ipg_s: np.ndarray, threshold_s: float = HIGH_BW_IPG_THRESHOLD_S
+    min_ipg_s: np.ndarray,
+    threshold_s: float = HIGH_BW_IPG_THRESHOLD_S,
+    *,
+    telemetry=None,
 ) -> np.ndarray:
     """High-bandwidth indicator per flow from min inter-packet gaps.
 
     Flows that never carried a multi-packet train have ``min_ipg = +inf``
     and classify as low-bandwidth — the conservative choice (no evidence
-    of a fast path is treated as absence).
+    of a fast path is treated as absence).  ``telemetry`` (optional
+    :class:`~repro.obs.telemetry.Telemetry`) tallies high/low verdicts.
     """
-    return np.asarray(min_ipg_s) < threshold_s
+    mask = np.asarray(min_ipg_s) < threshold_s
+    if telemetry is not None:
+        telemetry.count("heuristics/bw_classified", int(mask.size))
+        telemetry.count("heuristics/bw_high", int(mask.sum()))
+    return mask
 
 
 def estimate_capacity_bps(

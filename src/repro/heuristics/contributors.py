@@ -51,12 +51,17 @@ class ContributorCriteria:
 
 
 def contributor_mask(
-    flows: np.ndarray, criteria: ContributorCriteria | None = None
+    flows: np.ndarray,
+    criteria: ContributorCriteria | None = None,
+    *,
+    telemetry=None,
 ) -> np.ndarray:
     """Contributing-flow indicator over a flow table (fast path).
 
     Uses only analyst-observable columns (bytes, pkts) — *not* the
-    simulator's ground-truth ``video_bytes``.
+    simulator's ground-truth ``video_bytes``.  ``telemetry`` (optional
+    :class:`~repro.obs.telemetry.Telemetry`) tallies flows classified
+    and contributors found.
     """
     if flows.dtype != FLOW_DTYPE:
         raise AnalysisError("contributor_mask() wants a FLOW_DTYPE array")
@@ -65,9 +70,13 @@ def contributor_mask(
         return np.zeros(0, dtype=bool)
     pkts = np.maximum(flows["pkts"], 1)
     mean_size = flows["bytes"] / pkts
-    return (mean_size >= crit.min_mean_packet_bytes) & (
+    mask = (mean_size >= crit.min_mean_packet_bytes) & (
         flows["bytes"] >= crit.min_payload_bytes
     )
+    if telemetry is not None:
+        telemetry.count("heuristics/flows_classified", len(flows))
+        telemetry.count("heuristics/contributors", int(mask.sum()))
+    return mask
 
 
 def contributor_mask_packets(

@@ -1,0 +1,53 @@
+"""repro.obs — observability: structured logging, telemetry, run manifests.
+
+A campaign that fails or crawls should never be a black box.  This
+package is the self-instrumentation layer of the reproduction — the same
+per-stage accounting a passive measurement study keeps for its captures,
+applied to our own pipeline:
+
+* :mod:`repro.obs.log` — structured, dependency-free logging (human or
+  JSON lines; ``REPRO_LOG_LEVEL`` / ``--log-level``);
+* :mod:`repro.obs.telemetry` — :class:`StageTimer`-style nested timers,
+  counters and peak gauges collected into one picklable
+  :class:`Telemetry` per unit of work;
+* :mod:`repro.obs.manifest` — the JSON :class:`RunManifest` written next
+  to campaign outputs (config hash, seeds, shard outcomes, stage
+  timings, engine/capture counters).
+
+Invariant: observability must never perturb results.  Nothing in here
+draws RNG or mutates scientific state, and the serial ≡ process
+determinism suite runs with telemetry enabled.
+"""
+
+from repro.obs.log import configure, get_logger
+from repro.obs.manifest import (
+    RunManifest,
+    manifest_from_campaign,
+    read_manifest,
+    render_manifest_summary,
+    write_manifest,
+)
+from repro.obs.telemetry import (
+    Counter,
+    Gauge,
+    GaugeStats,
+    StageStats,
+    StageTimer,
+    Telemetry,
+)
+
+__all__ = [
+    "configure",
+    "get_logger",
+    "RunManifest",
+    "manifest_from_campaign",
+    "read_manifest",
+    "render_manifest_summary",
+    "write_manifest",
+    "Counter",
+    "Gauge",
+    "GaugeStats",
+    "StageStats",
+    "StageTimer",
+    "Telemetry",
+]

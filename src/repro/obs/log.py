@@ -1,0 +1,159 @@
+"""Structured, dependency-free logging for the reproduction stack.
+
+Every subsystem gets a named logger (``get_logger("streaming.engine")``)
+and emits *events with fields* rather than prose::
+
+    log.info("run-complete", events=152_031, wall_s=4.2)
+
+Two output formats, selected by :func:`configure` or the
+``REPRO_LOG_FORMAT`` environment variable:
+
+* ``human`` (default) — ``repro INFO  streaming.engine run-complete
+  events=152031 wall_s=4.2`` on stderr;
+* ``json`` — one JSON object per line (machine-ingestable; the same
+  key/value fields the manifest carries).
+
+The threshold comes from :func:`configure`, the ``--log-level`` CLI flag
+(which calls it), or the ``REPRO_LOG_LEVEL`` environment variable;
+default ``warning``, so library use is silent unless something is wrong.
+Level ``off`` disables everything.
+
+Loggers hold no state beyond their name: level and format are resolved
+per call, so tests can flip ``REPRO_LOG_LEVEL`` with ``monkeypatch``
+without touching logger objects.  Logging never changes simulation
+state — it draws no RNG and only ever formats values it is handed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Any, TextIO
+
+#: Recognised level names, in increasing severity.  ``off`` silences all.
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40, "off": 100}
+
+#: Environment variables consulted when nothing was configured explicitly.
+ENV_LEVEL = "REPRO_LOG_LEVEL"
+ENV_FORMAT = "REPRO_LOG_FORMAT"
+
+DEFAULT_LEVEL = "warning"
+DEFAULT_FORMAT = "human"
+
+#: Explicit overrides installed by :func:`configure`; None falls through
+#: to the environment, then the defaults.
+_config: dict[str, Any] = {"level": None, "format": None, "stream": None}
+
+_loggers: dict[str, "Logger"] = {}
+
+
+def configure(
+    level: str | None = None,
+    fmt: str | None = None,
+    stream: TextIO | None = None,
+) -> None:
+    """Install process-wide logging overrides (the CLI flags land here).
+
+    Any argument left ``None`` keeps its current override; pass
+    :func:`reset` to drop everything back to environment resolution.
+    """
+    if level is not None:
+        _validate_level(level)
+        _config["level"] = level.lower()
+    if fmt is not None:
+        _validate_format(fmt)
+        _config["format"] = fmt.lower()
+    if stream is not None:
+        _config["stream"] = stream
+
+
+def reset() -> None:
+    """Drop all explicit overrides (tests use this)."""
+    _config.update({"level": None, "format": None, "stream": None})
+
+
+def _validate_level(name: str) -> None:
+    if name.lower() not in LEVELS:
+        raise ValueError(f"unknown log level {name!r}; choose from {sorted(LEVELS)}")
+
+
+def _validate_format(name: str) -> None:
+    if name.lower() not in ("human", "json"):
+        raise ValueError(f"unknown log format {name!r}; choose 'human' or 'json'")
+
+
+def resolve_level() -> int:
+    """The numeric threshold currently in effect."""
+    name = _config["level"] or os.environ.get(ENV_LEVEL, "").strip().lower()
+    return LEVELS.get(name, LEVELS[DEFAULT_LEVEL])
+
+
+def resolve_format() -> str:
+    """The output format currently in effect ('human' or 'json')."""
+    name = _config["format"] or os.environ.get(ENV_FORMAT, "").strip().lower()
+    return name if name in ("human", "json") else DEFAULT_FORMAT
+
+
+def _stream() -> TextIO:
+    return _config["stream"] or sys.stderr
+
+
+class Logger:
+    """A named emitter of structured log events."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def enabled_for(self, level: str) -> bool:
+        """Whether events at ``level`` currently pass the threshold."""
+        return LEVELS[level] >= resolve_level()
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        """Emit one event if ``level`` passes the current threshold."""
+        if not self.enabled_for(level):
+            return
+        stream = _stream()
+        if resolve_format() == "json":
+            record = {
+                "ts": round(time.time(), 3),
+                "level": level,
+                "logger": self.name,
+                "event": event,
+            }
+            record.update(fields)
+            line = json.dumps(record, default=str, separators=(",", ":"))
+        else:
+            parts = [f"repro {level.upper():7s} {self.name} {event}"]
+            parts.extend(f"{k}={_fmt(v)}" for k, v in fields.items())
+            line = " ".join(parts)
+        print(line, file=stream)
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def get_logger(name: str) -> Logger:
+    """The (cached) logger for one dotted subsystem name."""
+    logger = _loggers.get(name)
+    if logger is None:
+        logger = _loggers[name] = Logger(name)
+    return logger

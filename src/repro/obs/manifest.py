@@ -1,0 +1,242 @@
+"""Run manifests: the provenance record written next to campaign outputs.
+
+A manifest answers, after the fact, every question a failed or slow
+campaign raises: what configuration ran (and its hash), under which
+seeds, how each shard fared (checkpoint resume? retries? which stage
+failed?), how long each pipeline stage took in wall and CPU time, and
+what the engine/capture counters measured (events processed, peak
+event-queue depth, records and bytes synthesized).  It is the
+reproduction's equivalent of the per-capture accounting a passive
+measurement study keeps for its traces.
+
+Manifests are plain JSON with a schema version; :func:`write_manifest` /
+:func:`read_manifest` round-trip losslessly (asserted by
+``tests/obs/test_manifest.py``) and the ``repro-p2ptv stats`` subcommand
+renders one as a summary table.  See ``docs/observability.md`` for the
+full schema.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import TraceError
+from repro.obs.telemetry import Telemetry
+
+#: Manifest layout version; bump on incompatible changes.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def config_digest(config: dict) -> str:
+    """Stable short hash of a JSON-able configuration dict.
+
+    Canonical-JSON SHA-256, truncated to 12 hex chars — enough to tell
+    two campaign configurations apart at a glance in a directory of
+    manifests.
+    """
+    canonical = json.dumps(config, sort_keys=True, default=str, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class RunManifest:
+    """Everything recorded about one campaign run."""
+
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+    kind: str = "campaign"
+    created_unix: float = 0.0
+    command: str | list | None = None
+    config: dict = field(default_factory=dict)
+    config_hash: str = ""
+    seeds: dict = field(default_factory=dict)
+    impairment: dict | None = None
+    shards: list = field(default_factory=list)
+    failures: list = field(default_factory=list)
+    telemetry: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------ transport
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunManifest":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in known})
+
+    @property
+    def ok(self) -> bool:
+        """Every shard completed and nothing hit the failure ledger."""
+        return not self.failures and all(s.get("ok") for s in self.shards)
+
+
+def _impairment_summary(plan) -> dict | None:
+    """JSON summary of an :class:`~repro.faults.plan.ImpairmentPlan`."""
+    if plan is None:
+        return None
+    return {
+        "seed": plan.seed,
+        "is_noop": plan.is_noop,
+        "loss": dataclasses.asdict(plan.loss) if plan.loss else None,
+        "storms": len(plan.storms),
+        "flash_crowds": len(plan.flash_crowds),
+        "capture_outages": dataclasses.asdict(plan.capture) if plan.capture else None,
+        "clock_skew": dataclasses.asdict(plan.clock) if plan.clock else None,
+    }
+
+
+def manifest_from_campaign(
+    campaign, *, command: str | list | None = None
+) -> RunManifest:
+    """Build a manifest from a finished :class:`~repro.experiments.
+    campaign.Campaign` (duck-typed to avoid an import cycle).
+
+    Pure read-only accounting: walking a campaign twice produces the same
+    manifest (modulo the ``created_unix`` stamp).
+    """
+    cfg = campaign.config
+    config_dict = dataclasses.asdict(cfg)
+    impairment = config_dict.pop("impairment", None)
+    # The nested plan is summarised separately; hash covers the full dict.
+    config_hash = config_digest({**config_dict, "impairment": impairment})
+    # Normalise to JSON-native types (tuples → lists) so a manifest
+    # written to disk reads back equal to the in-memory original.
+    config_dict = json.loads(json.dumps(config_dict, default=str))
+
+    shards = []
+    for i, app in enumerate(cfg.apps):
+        run = campaign.runs.get(app)
+        app_failures = [f for f in campaign.failures if f.app == app]
+        tel = campaign.shard_telemetry.get(app)
+        shards.append(
+            {
+                "app": app,
+                "index": i,
+                "base_seed": cfg.seed + i,
+                "ok": run is not None,
+                "from_checkpoint": bool(run.from_checkpoint) if run else False,
+                "engine_seed": int(run.result.config.seed) if run else None,
+                "retries": sum(1 for f in app_failures if f.stage == "simulate"),
+                "failed_stages": sorted({f.stage for f in app_failures}),
+                "telemetry": tel.as_dict() if tel else {},
+            }
+        )
+
+    return RunManifest(
+        created_unix=round(time.time(), 3),
+        command=command,
+        config=config_dict,
+        config_hash=config_hash,
+        seeds={
+            "campaign": cfg.seed,
+            "world": int(campaign.world.config.seed),
+            "engine": {s["app"]: s["engine_seed"] for s in shards},
+        },
+        impairment=_impairment_summary(cfg.impairment),
+        shards=shards,
+        failures=[
+            {
+                "app": f.app,
+                "stage": f.stage,
+                "attempt": f.attempt,
+                "seed": f.seed,
+                "error": f.error,
+            }
+            for f in campaign.failures
+        ],
+        telemetry=campaign.telemetry.as_dict(),
+    )
+
+
+def write_manifest(path: str | Path, manifest: RunManifest) -> Path:
+    """Write a manifest as pretty-printed JSON; returns the final path."""
+    path = Path(path)
+    if path.suffix != ".json":
+        path = path.with_suffix(path.suffix + ".json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_manifest(path: str | Path) -> RunManifest:
+    """Read a manifest written by :func:`write_manifest`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"manifest not found: {path}")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"{path}: not a JSON manifest: {exc}") from exc
+    if not isinstance(data, dict):
+        raise TraceError(f"{path}: manifest must be a JSON object")
+    version = data.get("schema_version")
+    if version != MANIFEST_SCHEMA_VERSION:
+        raise TraceError(
+            f"{path}: unsupported manifest schema {version!r} "
+            f"(expected {MANIFEST_SCHEMA_VERSION})"
+        )
+    return RunManifest.from_dict(data)
+
+
+def render_manifest_summary(manifest: RunManifest) -> str:
+    """Human-readable summary (the ``repro-p2ptv stats`` output)."""
+    from repro.report.tables import render_table
+
+    tel = Telemetry.from_dict(manifest.telemetry)
+    lines = [
+        f"run manifest — {manifest.kind}, config {manifest.config_hash or '?'}"
+        f", {'ok' if manifest.ok else 'FAILURES'}",
+    ]
+
+    shard_rows = []
+    for s in manifest.shards:
+        shard_tel = Telemetry.from_dict(s.get("telemetry", {}))
+        wall = shard_tel.stage("shard").wall_s
+        shard_rows.append(
+            [
+                s.get("app", "?"),
+                "ok" if s.get("ok") else "FAILED",
+                "yes" if s.get("from_checkpoint") else "no",
+                str(s.get("engine_seed")),
+                str(s.get("retries", 0)),
+                f"{wall:.2f}" if wall else "-",
+            ]
+        )
+    if shard_rows:
+        lines.append(
+            render_table(
+                ["app", "status", "ckpt", "seed", "retries", "wall s"],
+                shard_rows,
+                title="SHARDS",
+            )
+        )
+
+    timer_rows = [
+        [path, str(st.calls), f"{st.wall_s:.3f}", f"{st.cpu_s:.3f}"]
+        for path, st in sorted(tel.timers.items())
+    ]
+    if timer_rows:
+        lines.append(
+            render_table(
+                ["stage", "calls", "wall s", "cpu s"], timer_rows, title="STAGE TIMERS"
+            )
+        )
+
+    counter_rows = [[name, str(v)] for name, v in sorted(tel.counters.items())]
+    for name, g in sorted(tel.gauges.items()):
+        counter_rows.append([f"{name} (peak)", f"{g.peak:g}"])
+    if counter_rows:
+        lines.append(render_table(["counter", "value"], counter_rows, title="COUNTERS"))
+
+    if manifest.failures:
+        lines.append("failures:")
+        lines.extend(
+            f"  {f.get('app')}/{f.get('stage')} (attempt {f.get('attempt')}, "
+            f"seed {f.get('seed')}): {f.get('error')}"
+            for f in manifest.failures
+        )
+    return "\n\n".join(lines)

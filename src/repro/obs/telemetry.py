@@ -1,0 +1,239 @@
+"""Telemetry primitives: stage timers, counters and gauges.
+
+One :class:`Telemetry` object accompanies one unit of work (a shard, a
+campaign, an analysis pass) and collects three kinds of measurements:
+
+* **stage timers** — wall-clock and CPU time per named pipeline stage,
+  with automatic nesting (``with tel.timer("shard"): with
+  tel.timer("simulate")`` records under ``shard`` and ``shard/simulate``);
+* **counters** — monotonically increasing integer tallies (events
+  processed, records captured, contributors classified);
+* **gauges** — sampled magnitudes where the *peak* matters (event-queue
+  depth, uplink backlog).
+
+Everything is plain-data and picklable: a worker process fills a
+Telemetry during :func:`~repro.exec.worker.run_shard` and ships it back
+inside the :class:`~repro.exec.shards.ShardOutcome`; the parent merges
+shard telemetries in shard order with :meth:`Telemetry.merge`.  Counter
+and timer merging is a plain sum, so merged *totals* are associative and
+commutative — the reduction cannot depend on executor scheduling.
+
+The cardinal rule, enforced by ``tests/obs/test_parity.py``: telemetry
+observes, never perturbs.  No RNG draws, no mutation of scientific state,
+no behavioural branches on collected values.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class StageStats:
+    """Accumulated timings of one pipeline stage."""
+
+    calls: int = 0
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+
+    def add(self, wall_s: float, cpu_s: float) -> None:
+        self.calls += 1
+        self.wall_s += wall_s
+        self.cpu_s += cpu_s
+
+    def as_dict(self) -> dict:
+        return {"calls": self.calls, "wall_s": self.wall_s, "cpu_s": self.cpu_s}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "StageStats":
+        return cls(
+            calls=int(d.get("calls", 0)),
+            wall_s=float(d.get("wall_s", 0.0)),
+            cpu_s=float(d.get("cpu_s", 0.0)),
+        )
+
+
+@dataclass
+class GaugeStats:
+    """Peak-tracking gauge: the maximum (and count) of sampled values."""
+
+    peak: float = float("-inf")
+    samples: int = 0
+
+    def sample(self, value: float) -> None:
+        self.samples += 1
+        if value > self.peak:
+            self.peak = value
+
+    def as_dict(self) -> dict:
+        return {"peak": self.peak, "samples": self.samples}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "GaugeStats":
+        return cls(peak=float(d.get("peak", float("-inf"))), samples=int(d.get("samples", 0)))
+
+
+@dataclass
+class Counter:
+    """A named monotone tally, usable standalone or via :class:`Telemetry`."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> int:
+        self.value += int(n)
+        return self.value
+
+
+@dataclass
+class Gauge:
+    """A named sampled magnitude; tracks its peak."""
+
+    name: str
+    stats: GaugeStats = field(default_factory=GaugeStats)
+
+    def set(self, value: float) -> None:
+        self.stats.sample(value)
+
+    @property
+    def peak(self) -> float:
+        return self.stats.peak
+
+
+class StageTimer:
+    """Standalone wall + CPU stage timer (context manager).
+
+    ``Telemetry.timer`` is the accumulating form; this one measures a
+    single stretch and exposes ``wall_s`` / ``cpu_s`` afterwards —
+    benchmarks use it in place of ad-hoc ``perf_counter()`` pairs.
+    """
+
+    __slots__ = ("name", "wall_s", "cpu_s", "_wall0", "_cpu0")
+
+    def __init__(self, name: str = "stage") -> None:
+        self.name = name
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+
+    def __enter__(self) -> "StageTimer":
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.wall_s = time.perf_counter() - self._wall0
+        self.cpu_s = time.process_time() - self._cpu0
+
+
+@dataclass
+class Telemetry:
+    """Per-run collection of timers, counters and gauges.
+
+    Stage names use ``/`` as a hierarchy separator; the :meth:`timer`
+    context manager prefixes nested stages automatically.
+    """
+
+    timers: dict[str, StageStats] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, GaugeStats] = field(default_factory=dict)
+    _stack: list[str] = field(default_factory=list, repr=False, compare=False)
+
+    # ------------------------------------------------------------- counters
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + int(n)
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never touched)."""
+        return self.counters.get(name, 0)
+
+    # --------------------------------------------------------------- gauges
+    def gauge(self, name: str, value: float) -> None:
+        """Sample ``value`` into gauge ``name`` (tracks the peak)."""
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = GaugeStats()
+        g.sample(float(value))
+
+    def peak(self, name: str) -> float:
+        """Peak of gauge ``name`` (``-inf`` if never sampled)."""
+        g = self.gauges.get(name)
+        return g.peak if g is not None else float("-inf")
+
+    # --------------------------------------------------------------- timers
+    @contextmanager
+    def timer(self, stage: str) -> Iterator[None]:
+        """Time a pipeline stage (wall + CPU); nests under open timers."""
+        path = "/".join(self._stack + [stage])
+        self._stack.append(stage)
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield
+        finally:
+            wall = time.perf_counter() - wall0
+            cpu = time.process_time() - cpu0
+            self._stack.pop()
+            stats = self.timers.get(path)
+            if stats is None:
+                stats = self.timers[path] = StageStats()
+            stats.add(wall, cpu)
+
+    def stage(self, path: str) -> StageStats:
+        """Stats of one stage path (zeros if never timed)."""
+        return self.timers.get(path, StageStats())
+
+    # ---------------------------------------------------------------- merge
+    def merge(self, other: "Telemetry", prefix: str = "") -> "Telemetry":
+        """Fold ``other`` into this telemetry (in place) and return self.
+
+        Counters and timer totals add; gauges keep the maximum peak and
+        add sample counts.  Addition and max are associative and
+        commutative, so merged totals are independent of merge order —
+        the property that lets a parallel campaign merge shard telemetry
+        without caring how the executor scheduled the shards.
+        """
+        for name, value in other.counters.items():
+            self.count(prefix + name, value)
+        for path, stats in other.timers.items():
+            mine = self.timers.get(prefix + path)
+            if mine is None:
+                mine = self.timers[prefix + path] = StageStats()
+            mine.calls += stats.calls
+            mine.wall_s += stats.wall_s
+            mine.cpu_s += stats.cpu_s
+        for name, g in other.gauges.items():
+            mine_g = self.gauges.get(prefix + name)
+            if mine_g is None:
+                mine_g = self.gauges[prefix + name] = GaugeStats()
+            mine_g.samples += g.samples
+            if g.peak > mine_g.peak:
+                mine_g.peak = g.peak
+        return self
+
+    # ------------------------------------------------------------ transport
+    def as_dict(self) -> dict:
+        """JSON-ready plain-dict form (used by the run manifest)."""
+        return {
+            "timers": {k: v.as_dict() for k, v in sorted(self.timers.items())},
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": {k: v.as_dict() for k, v in sorted(self.gauges.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Telemetry":
+        tel = cls()
+        tel.timers = {
+            k: StageStats.from_dict(v) for k, v in d.get("timers", {}).items()
+        }
+        tel.counters = {k: int(v) for k, v in d.get("counters", {}).items()}
+        tel.gauges = {
+            k: GaugeStats.from_dict(v) for k, v in d.get("gauges", {}).items()
+        }
+        return tel
+
+    def __bool__(self) -> bool:
+        return bool(self.timers or self.counters or self.gauges)

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.config import RngBundle
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs.log import get_logger
 from repro.population.churn import ChurnProcess
 from repro.population.demographics import Demographics, cctv1_audience
 from repro.population.generator import PopulationConfig, RemotePeer, generate_population
@@ -42,6 +43,8 @@ from repro.topology.world import World
 from repro.trace.hosts import HostTable
 from repro.trace.records import PacketKind
 from repro.units import BITS_PER_BYTE
+
+_log = get_logger("streaming.engine")
 
 #: Size of a chunk-request / poll datagram.
 REQUEST_BYTES = 80
@@ -578,6 +581,8 @@ class Engine:
         self._queue.schedule(0.0, self._on_demand_rebalance)
 
         events = self._queue.run_until(self.config.duration_s)
+        transfers = self._recorder.finalize()
+        signaling = self._signaling.finalize(self.config.duration_s)
 
         hosts = HostTable.from_columns(
             ip=self._ip,
@@ -591,15 +596,37 @@ class Engine:
             initial_ttl=self._initial_ttl,
             access_depth=self._access_depth,
         )
+        # Event-loop statistics: vectorised accounting over the finished
+        # log, so the hot path pays nothing and determinism is untouched.
+        video = transfers["kind"] == int(PacketKind.VIDEO)
+        stats = {
+            "events": int(events),
+            "peak_queue_depth": int(self._queue.peak_depth),
+            "transfer_records": int(len(transfers)),
+            "signaling_intervals": int(len(signaling)),
+            "bytes_recorded": int(transfers["bytes"].sum()),
+            "video_records": int(video.sum()),
+            "video_bytes": int(transfers["bytes"][video].sum()),
+            "remote_peers": int(self.n_remote),
+            "probes": int(self.n_probe),
+        }
+        _log.info(
+            "run-complete",
+            profile=self.profile.name,
+            duration_s=self.config.duration_s,
+            seed=self.config.seed,
+            **stats,
+        )
         return SimulationResult(
-            transfers=self._recorder.finalize(),
-            signaling=self._signaling.finalize(self.config.duration_s),
+            transfers=transfers,
+            signaling=signaling,
             hosts=hosts,
             testbed=self.testbed,
             world=self.world,
             profile=self.profile,
             config=self.config,
             events_processed=events,
+            extras={"engine_stats": stats},
         )
 
 

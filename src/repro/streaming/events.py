@@ -20,11 +20,22 @@ class EventQueue:
         self._heap: list[tuple[float, int, Callable[..., None], tuple[Any, ...]]] = []
         self._seq = 0
         self._now = 0.0
+        self._peak = 0
 
     @property
     def now(self) -> float:
         """Current simulation time (time of the last popped event)."""
         return self._now
+
+    @property
+    def peak_depth(self) -> int:
+        """Deepest the queue has ever been (pending events high-water mark).
+
+        Pure accounting over the existing heap length — the engine's
+        telemetry reads it after the run; tracking it cannot perturb
+        event order.
+        """
+        return self._peak
 
     def schedule(self, t: float, callback: Callable[..., None], *args: Any) -> None:
         """Enqueue ``callback(*args)`` to fire at time ``t``.
@@ -38,6 +49,8 @@ class EventQueue:
             )
         heapq.heappush(self._heap, (t, self._seq, callback, args))
         self._seq += 1
+        if len(self._heap) > self._peak:
+            self._peak = len(self._heap)
 
     def run_until(self, t_end: float) -> int:
         """Drain events with time ≤ ``t_end``; returns events processed."""

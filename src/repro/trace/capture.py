@@ -4,11 +4,19 @@ The paper's dataset is packet-level captures taken *at the probes*; traffic
 between two remote peers never appears in it.  These helpers filter record
 arrays (transfers or packets — anything with ``src``/``dst`` columns) down
 to the probe-visible subset, or to a single probe's view.
+
+Each filter accepts an optional :class:`~repro.obs.telemetry.Telemetry`
+and tallies records seen vs. kept (``capture/records_in`` /
+``capture/records_kept``) — the per-stage accounting of what the capture
+dropped that the run manifest reports.  Counting never alters the
+returned arrays.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.obs.telemetry import Telemetry
 
 
 def _touch_mask(records: np.ndarray, ips: np.ndarray) -> np.ndarray:
@@ -16,19 +24,37 @@ def _touch_mask(records: np.ndarray, ips: np.ndarray) -> np.ndarray:
     return np.isin(records["src"], ips) | np.isin(records["dst"], ips)
 
 
-def captured_by(records: np.ndarray, probe_ips: np.ndarray) -> np.ndarray:
+def captured_by(
+    records: np.ndarray,
+    probe_ips: np.ndarray,
+    *,
+    telemetry: Telemetry | None = None,
+) -> np.ndarray:
     """Records visible to *any* probe (the merged campaign dataset)."""
     if len(records) == 0:
         return records
-    return records[_touch_mask(records, probe_ips)]
+    kept = records[_touch_mask(records, probe_ips)]
+    if telemetry is not None:
+        telemetry.count("capture/records_in", len(records))
+        telemetry.count("capture/records_kept", len(kept))
+    return kept
 
 
-def probe_transfers(records: np.ndarray, probe_ip: int) -> np.ndarray:
+def probe_transfers(
+    records: np.ndarray,
+    probe_ip: int,
+    *,
+    telemetry: Telemetry | None = None,
+) -> np.ndarray:
     """Records visible to one probe: everything it sent or received."""
     if len(records) == 0:
         return records
     ip = np.uint32(probe_ip)
-    return records[(records["src"] == ip) | (records["dst"] == ip)]
+    kept = records[(records["src"] == ip) | (records["dst"] == ip)]
+    if telemetry is not None:
+        telemetry.count("capture/records_in", len(records))
+        telemetry.count("capture/records_kept", len(kept))
+    return kept
 
 
 def split_directions(records: np.ndarray, probe_ip: int) -> tuple[np.ndarray, np.ndarray]:

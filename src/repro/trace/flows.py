@@ -114,6 +114,7 @@ def build_flow_table(
     paths,
     *,
     probes_only: bool = True,
+    telemetry=None,
 ) -> FlowTable:
     """Aggregate an engine transfer log (+ signaling intervals) into flows.
 
@@ -127,6 +128,10 @@ def build_flow_table(
         Keep only probe-visible traffic (what the capture contains).  The
         engine only generates probe-touching traffic anyway, so this is a
         safety filter.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry`; tallies the
+        records aggregated, signaling expansions, packets materialised
+        and flows produced (``trace/*`` counters of the run manifest).
     """
     if transfers.dtype != TRANSFER_DTYPE:
         raise TraceError("build_flow_table() wants a TRANSFER_DTYPE array")
@@ -134,8 +139,11 @@ def build_flow_table(
     if signaling is not None and len(signaling):
         parts.append(expand_signaling(signaling))
     log = np.concatenate(parts) if len(parts) > 1 else parts[0]
+    if telemetry is not None:
+        telemetry.count("trace/transfer_records", len(transfers))
+        telemetry.count("trace/signaling_records", len(log) - len(transfers))
     if probes_only and len(log):
-        log = captured_by(log, hosts.probe_ips)
+        log = captured_by(log, hosts.probe_ips, telemetry=telemetry)
     if len(log) == 0:
         return FlowTable(np.empty(0, dtype=FLOW_DTYPE), hosts)
 

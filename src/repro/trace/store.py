@@ -20,8 +20,11 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import TraceError, TraceWarning
+from repro.obs.log import get_logger
 from repro.trace.hosts import HOST_DTYPE, HostTable
 from repro.trace.records import SIGNALING_DTYPE, TRANSFER_DTYPE, empty_transfers
+
+_log = get_logger("trace.store")
 
 #: Format marker; bump on incompatible layout changes.
 FORMAT_VERSION = 1
@@ -81,7 +84,9 @@ def save_trace_bundle(path: str | Path, bundle: TraceBundle) -> Path:
     return path
 
 
-def load_trace_bundle(path: str | Path, *, strict: bool = True) -> TraceBundle:
+def load_trace_bundle(
+    path: str | Path, *, strict: bool = True, telemetry=None
+) -> TraceBundle:
     """Read a bundle written by :func:`save_trace_bundle`.
 
     With ``strict=False`` a damaged archive (truncated download, disk
@@ -89,6 +94,10 @@ def load_trace_bundle(path: str | Path, *, strict: bool = True) -> TraceBundle:
     member files, each member's complete row prefix is recovered, missing
     members fall back to empty arrays, and every degradation emits a
     :class:`TraceWarning` instead of raising :class:`TraceError`.
+
+    ``telemetry`` (an optional :class:`~repro.obs.telemetry.Telemetry`)
+    tallies ``trace/bundles_loaded``, ``trace/salvaged_bundles`` and a
+    ``trace/salvage_warnings`` count of individual degradations.
     """
     path = Path(path)
     if not path.exists():
@@ -108,11 +117,18 @@ def load_trace_bundle(path: str | Path, *, strict: bool = True) -> TraceBundle:
             TraceWarning,
             stacklevel=2,
         )
+        _log.warning("bundle-salvage", path=str(path), error=str(exc))
+        if telemetry is not None:
+            telemetry.count("trace/salvaged_bundles")
+            telemetry.count("trace/salvage_warnings")
         raw = _salvage_npz_members(path.read_bytes())
 
     def degraded(message: str) -> None:
         if strict:
             raise TraceError(f"{path}: {message}")
+        if telemetry is not None:
+            telemetry.count("trace/salvage_warnings")
+        _log.warning("bundle-degraded", path=str(path), detail=message)
         warnings.warn(f"{path}: {message}", TraceWarning, stacklevel=3)
 
     def member(name: str, dtype: np.dtype, fallback: np.ndarray) -> np.ndarray:
@@ -138,6 +154,15 @@ def load_trace_bundle(path: str | Path, *, strict: bool = True) -> TraceBundle:
         degraded(
             f"unsupported bundle format {version!r} (expected {FORMAT_VERSION})"
         )
+    if telemetry is not None:
+        telemetry.count("trace/bundles_loaded")
+    _log.debug(
+        "bundle-loaded",
+        path=str(path),
+        transfers=len(transfers),
+        signaling=len(signaling),
+        hosts=len(hosts.rows),
+    )
     return TraceBundle(transfers=transfers, signaling=signaling, hosts=hosts, meta=meta)
 
 

@@ -1,0 +1,71 @@
+"""Documentation link checker.
+
+Every relative markdown link in ``docs/``, ``README.md`` and
+``DESIGN.md`` must resolve to a real file, and anchor fragments must
+match a heading in the target document.  Runs in the normal test suite
+(and in the CI docs job) so the tree can't merge broken links.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+DOC_FILES = sorted(
+    [REPO / "README.md", REPO / "DESIGN.md", *(REPO / "docs").glob("*.md")]
+)
+
+#: Inline markdown links: [text](target).  Reference-style links and
+#: autolinks are not used in this tree.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _links(path: Path) -> list[str]:
+    return LINK_RE.findall(path.read_text())
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+    text = heading.strip().lower()
+    # Drop inline-code backticks and markdown emphasis markers.
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    return {
+        _slugify(m.group(1))
+        for m in re.finditer(r"^#{1,6}\s+(.*)$", path.read_text(), re.MULTILINE)
+    }
+
+
+def test_doc_pages_exist():
+    for page in ("index", "quickstart", "architecture", "observability", "cli"):
+        assert (REPO / "docs" / f"{page}.md").exists(), f"docs/{page}.md missing"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO)))
+def test_relative_links_resolve(doc):
+    broken = []
+    for target in _links(doc):
+        if target.startswith(EXTERNAL):
+            continue
+        target, _, fragment = target.partition("#")
+        resolved = (doc.parent / target).resolve() if target else doc
+        if target and not resolved.exists():
+            broken.append(f"{target}: file not found")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in _anchors(resolved):
+                broken.append(f"{target}#{fragment}: no such heading")
+    assert not broken, f"{doc.name}: " + "; ".join(broken)
+
+
+def test_docs_linked_from_readme():
+    readme_links = _links(REPO / "README.md")
+    assert any("docs/" in t for t in readme_links), (
+        "README.md must link into the docs/ tree"
+    )

@@ -1,0 +1,107 @@
+"""Structured logger: level filtering, env resolution, both formats."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import log as obslog
+from repro.obs.log import ENV_FORMAT, ENV_LEVEL, configure, get_logger, reset
+
+
+@pytest.fixture(autouse=True)
+def clean_config(monkeypatch):
+    monkeypatch.delenv(ENV_LEVEL, raising=False)
+    monkeypatch.delenv(ENV_FORMAT, raising=False)
+    reset()
+    yield
+    reset()
+
+
+def capture(level=None, fmt=None):
+    stream = io.StringIO()
+    configure(level=level, fmt=fmt, stream=stream)
+    return stream
+
+
+class TestLevels:
+    def test_default_threshold_is_warning(self):
+        stream = capture()
+        log = get_logger("t")
+        log.info("quiet")
+        log.warning("loud")
+        out = stream.getvalue()
+        assert "quiet" not in out
+        assert "loud" in out
+
+    def test_debug_level_opens_everything(self):
+        stream = capture(level="debug")
+        get_logger("t").debug("noise", n=1)
+        assert "noise" in stream.getvalue()
+
+    def test_off_silences_errors_too(self):
+        stream = capture(level="off")
+        get_logger("t").error("fatal")
+        assert stream.getvalue() == ""
+
+    def test_env_var_sets_level(self, monkeypatch):
+        stream = capture()
+        monkeypatch.setenv(ENV_LEVEL, "info")
+        get_logger("t").info("via-env")
+        assert "via-env" in stream.getvalue()
+
+    def test_configure_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_LEVEL, "debug")
+        stream = capture(level="error")
+        get_logger("t").warning("suppressed")
+        assert stream.getvalue() == ""
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure(level="verbose")
+
+    def test_enabled_for(self):
+        configure(level="info")
+        log = get_logger("t")
+        assert log.enabled_for("info")
+        assert not log.enabled_for("debug")
+
+
+class TestFormats:
+    def test_human_format(self):
+        stream = capture(level="info")
+        get_logger("streaming.engine").info("run-complete", events=5, wall_s=1.25)
+        line = stream.getvalue().strip()
+        assert line.startswith("repro INFO")
+        assert "streaming.engine" in line
+        assert "events=5" in line
+        assert "wall_s=1.25" in line
+
+    def test_json_format_is_parseable(self):
+        stream = capture(level="info", fmt="json")
+        get_logger("t").info("evt", n=3, name="x")
+        record = json.loads(stream.getvalue())
+        assert record["level"] == "info"
+        assert record["logger"] == "t"
+        assert record["event"] == "evt"
+        assert record["n"] == 3
+        assert "ts" in record
+
+    def test_env_var_sets_format(self, monkeypatch):
+        stream = capture(level="info")
+        monkeypatch.setenv(ENV_FORMAT, "json")
+        get_logger("t").info("evt")
+        json.loads(stream.getvalue())
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            configure(fmt="xml")
+
+
+class TestLoggers:
+    def test_get_logger_is_cached(self):
+        assert get_logger("same") is get_logger("same")
+
+    def test_bad_env_level_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_LEVEL, "nonsense")
+        assert obslog.resolve_level() == obslog.LEVELS["warning"]

@@ -1,0 +1,155 @@
+"""Run manifests: digests, round-trips, campaign extraction."""
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.experiments.campaign import CampaignConfig, run_campaign
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    config_digest,
+    manifest_from_campaign,
+    read_manifest,
+    render_manifest_summary,
+    write_manifest,
+)
+
+SMALL = dict(duration_s=25.0, scale=0.3)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(CampaignConfig(apps=("tvants",), **SMALL))
+
+
+@pytest.fixture(scope="module")
+def manifest(campaign):
+    return manifest_from_campaign(campaign, command=["campaign", "--apps", "tvants"])
+
+
+class TestConfigDigest:
+    def test_stable_across_key_order(self):
+        assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert config_digest({"seed": 1}) != config_digest({"seed": 2})
+
+    def test_short_hex(self):
+        digest = config_digest({"x": 1})
+        assert len(digest) == 12
+        int(digest, 16)
+
+
+class TestRoundTrip:
+    def test_write_read_identity(self, manifest, tmp_path):
+        path = write_manifest(tmp_path / "m", manifest)
+        assert path.suffix == ".json"
+        back = read_manifest(path)
+        assert back.to_dict() == manifest.to_dict()
+
+    def test_file_is_plain_json(self, manifest, tmp_path):
+        path = write_manifest(tmp_path / "m.json", manifest)
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert data["kind"] == "campaign"
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TraceError):
+            read_manifest(tmp_path / "absent.json")
+
+    def test_bad_json_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(TraceError):
+            read_manifest(bad)
+
+    def test_wrong_schema_version_raises(self, manifest, tmp_path):
+        path = write_manifest(tmp_path / "m.json", manifest)
+        data = json.loads(path.read_text())
+        data["schema_version"] = 999
+        path.write_text(json.dumps(data))
+        with pytest.raises(TraceError):
+            read_manifest(path)
+
+    def test_unknown_keys_ignored(self):
+        m = RunManifest.from_dict({"kind": "campaign", "future_field": 1})
+        assert m.kind == "campaign"
+
+
+class TestCampaignManifest:
+    def test_config_and_seeds_recorded(self, campaign, manifest):
+        cfg = campaign.config
+        assert tuple(manifest.config["apps"]) == cfg.apps
+        assert manifest.config["duration_s"] == cfg.duration_s
+        assert manifest.config_hash
+        assert manifest.seeds["campaign"] == cfg.seed
+        assert manifest.seeds["world"] == campaign.world.config.seed
+        assert manifest.seeds["engine"]["tvants"] == cfg.seed
+
+    def test_shard_outcomes_recorded(self, manifest):
+        (shard,) = manifest.shards
+        assert shard["app"] == "tvants"
+        assert shard["ok"] is True
+        assert shard["retries"] == 0
+        assert shard["failed_stages"] == []
+        # Per-shard stage timings came through the telemetry pipe.
+        assert "shard/simulate" in shard["telemetry"]["timers"]
+
+    def test_engine_and_capture_counters_present(self, manifest):
+        counters = manifest.telemetry["counters"]
+        assert counters["engine/events"] > 0
+        assert counters["engine/transfer_records"] > 0
+        assert counters["engine/bytes_recorded"] > 0
+        assert counters["capture/records_in"] >= counters["capture/records_kept"] > 0
+        assert manifest.telemetry["gauges"]["engine/peak_queue_depth"]["peak"] > 0
+
+    def test_per_stage_timings_present(self, manifest):
+        timers = manifest.telemetry["timers"]
+        for stage in ("campaign", "campaign/shards", "shard", "shard/simulate"):
+            assert timers[stage]["wall_s"] >= 0.0
+            assert timers[stage]["calls"] >= 1
+
+    def test_ok_property(self, manifest):
+        assert manifest.ok
+
+    def test_command_recorded(self, manifest):
+        assert manifest.command == ["campaign", "--apps", "tvants"]
+
+    def test_failed_campaign_manifest(self, monkeypatch):
+        import repro.experiments.campaign as campaign_mod
+        from repro.errors import SimulationError
+
+        def explode(profile, **kwargs):
+            raise SimulationError("boom")
+
+        monkeypatch.setattr(campaign_mod, "simulate", explode)
+        failed = run_campaign(CampaignConfig(apps=("tvants",), **SMALL))
+        m = manifest_from_campaign(failed)
+        assert not m.ok
+        (shard,) = m.shards
+        assert shard["ok"] is False
+        assert shard["failed_stages"] == ["simulate"]
+        assert m.failures[0]["stage"] == "simulate"
+        assert "boom" in m.failures[0]["error"]
+
+
+class TestSummary:
+    def test_summary_renders_tables(self, manifest):
+        out = render_manifest_summary(manifest)
+        assert "SHARDS" in out
+        assert "STAGE TIMERS" in out
+        assert "COUNTERS" in out
+        assert "tvants" in out
+        assert "engine/events" in out
+
+    def test_summary_lists_failures(self, manifest):
+        broken = RunManifest.from_dict(manifest.to_dict())
+        broken.failures = [
+            {"app": "tvants", "stage": "simulate", "attempt": 0, "seed": 42,
+             "error": "synthetic"}
+        ]
+        out = render_manifest_summary(broken)
+        assert "FAILURES" in out
+        assert "synthetic" in out

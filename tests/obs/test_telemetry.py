@@ -1,0 +1,154 @@
+"""Telemetry primitives: timers, counters, gauges, merge algebra."""
+
+import pickle
+
+import pytest
+
+from repro.obs.telemetry import (
+    Counter,
+    Gauge,
+    GaugeStats,
+    StageStats,
+    StageTimer,
+    Telemetry,
+)
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        tel = Telemetry()
+        tel.count("records")
+        tel.count("records", 41)
+        assert tel.counter("records") == 42
+
+    def test_untouched_counter_is_zero(self):
+        assert Telemetry().counter("never") == 0
+
+    def test_standalone_counter(self):
+        c = Counter("events")
+        assert c.inc() == 1
+        assert c.inc(9) == 10
+        assert c.value == 10
+
+
+class TestGauges:
+    def test_gauge_tracks_peak(self):
+        tel = Telemetry()
+        for v in (3.0, 7.0, 5.0):
+            tel.gauge("depth", v)
+        assert tel.peak("depth") == 7.0
+        assert tel.gauges["depth"].samples == 3
+
+    def test_unsampled_gauge_peak_is_minus_inf(self):
+        assert Telemetry().peak("never") == float("-inf")
+
+    def test_standalone_gauge(self):
+        g = Gauge("queue")
+        g.set(4)
+        g.set(2)
+        assert g.peak == 4.0
+
+
+class TestTimers:
+    def test_timer_records_wall_and_cpu(self):
+        tel = Telemetry()
+        with tel.timer("stage"):
+            sum(range(1000))
+        stats = tel.stage("stage")
+        assert stats.calls == 1
+        assert stats.wall_s >= 0.0
+        assert stats.cpu_s >= 0.0
+
+    def test_timer_nesting_builds_paths(self):
+        tel = Telemetry()
+        with tel.timer("outer"):
+            with tel.timer("inner"):
+                pass
+            with tel.timer("inner"):
+                pass
+        assert set(tel.timers) == {"outer", "outer/inner"}
+        assert tel.stage("outer/inner").calls == 2
+        assert tel.stage("outer").calls == 1
+
+    def test_timer_recorded_on_exception(self):
+        tel = Telemetry()
+        with pytest.raises(RuntimeError):
+            with tel.timer("boom"):
+                raise RuntimeError("x")
+        assert tel.stage("boom").calls == 1
+        # The stack unwound, so a later timer is not nested under "boom".
+        with tel.timer("after"):
+            pass
+        assert "after" in tel.timers
+
+    def test_standalone_stage_timer(self):
+        with StageTimer("bench") as t:
+            sum(range(1000))
+        assert t.wall_s >= 0.0
+        assert t.cpu_s >= 0.0
+
+
+class TestMerge:
+    def _sample(self, n):
+        tel = Telemetry()
+        tel.count("records", n)
+        tel.gauge("depth", float(n))
+        tel.timers["stage"] = StageStats(calls=1, wall_s=float(n), cpu_s=0.5)
+        return tel
+
+    def test_merge_sums_counters_and_timers(self):
+        a, b = self._sample(10), self._sample(32)
+        a.merge(b)
+        assert a.counter("records") == 42
+        assert a.stage("stage").calls == 2
+        assert a.stage("stage").wall_s == 42.0
+        assert a.peak("depth") == 32.0
+
+    def test_merge_order_independent(self):
+        """sum/max are commutative+associative: shard completion order
+        cannot change merged totals."""
+        parts = [self._sample(n) for n in (3, 1, 2)]
+        fwd = Telemetry()
+        for p in parts:
+            fwd.merge(p)
+        rev = Telemetry()
+        for p in reversed([self._sample(n) for n in (3, 1, 2)]):
+            rev.merge(p)
+        assert fwd.as_dict() == rev.as_dict()
+
+    def test_merge_prefix(self):
+        a = Telemetry()
+        a.merge(self._sample(5), prefix="shard0/")
+        assert a.counter("shard0/records") == 5
+        assert "shard0/stage" in a.timers
+
+
+class TestTransport:
+    def test_dict_round_trip(self):
+        tel = Telemetry()
+        tel.count("c", 3)
+        tel.gauge("g", 9.5)
+        with tel.timer("t"):
+            pass
+        back = Telemetry.from_dict(tel.as_dict())
+        assert back.as_dict() == tel.as_dict()
+
+    def test_pickle_round_trip(self):
+        tel = Telemetry()
+        tel.count("c", 7)
+        tel.gauge("g", 1.0)
+        with tel.timer("t"):
+            pass
+        back = pickle.loads(pickle.dumps(tel))
+        assert back.as_dict() == tel.as_dict()
+
+    def test_bool(self):
+        assert not Telemetry()
+        tel = Telemetry()
+        tel.count("x")
+        assert tel
+
+    def test_gauge_stats_round_trip(self):
+        g = GaugeStats()
+        g.sample(3.0)
+        assert GaugeStats.from_dict(g.as_dict()) == g

@@ -73,7 +73,8 @@ class TestEndToEnd:
         out = capsys.readouterr().out
         assert "LOCALIZATION" in out
 
-    def test_single_app_campaign(self, capsys):
+    def test_single_app_campaign(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)  # default --manifest writes to cwd
         rc = main(
             ["campaign", "--apps", "tvants", "--duration", "20", "--scale", "0.5"]
         )
@@ -84,6 +85,33 @@ class TestEndToEnd:
         assert "FIGURE 2" in out
         # Shape checks need all three apps; skipped for one.
         assert "shape checks" not in out
+        assert (tmp_path / "run_manifest.json").exists()
+
+    def test_campaign_manifest_and_stats(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        rc = main(
+            ["campaign", "--apps", "tvants", "--duration", "20", "--scale", "0.5",
+             "--manifest", str(manifest)]
+        )
+        assert rc == 0
+        assert manifest.exists()
+        capsys.readouterr()
+
+        rc = main(["stats", str(manifest)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SHARDS" in out
+        assert "STAGE TIMERS" in out
+        assert "tvants" in out
+
+    def test_campaign_no_manifest(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        rc = main(
+            ["campaign", "--apps", "tvants", "--duration", "20", "--scale", "0.5",
+             "--no-manifest"]
+        )
+        assert rc == 0
+        assert not (tmp_path / "run_manifest.json").exists()
 
     def test_robustness_command(self, capsys):
         rc = main(
