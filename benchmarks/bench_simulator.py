@@ -23,6 +23,7 @@ def test_engine_one_minute(benchmark, app):
     result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
     benchmark.extra_info["events"] = result.events_processed
     benchmark.extra_info["transfers"] = len(result.transfers)
+    benchmark.extra_info["simulated_s"] = 60.0
 
 
 def test_engine_scaling_with_swarm(benchmark):
@@ -36,3 +37,5 @@ def test_engine_scaling_with_swarm(benchmark):
     result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
     benchmark.extra_info["swarm"] = profile.swarm_size
     benchmark.extra_info["events"] = result.events_processed
+    benchmark.extra_info["transfers"] = len(result.transfers)
+    benchmark.extra_info["simulated_s"] = 30.0

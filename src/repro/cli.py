@@ -202,9 +202,27 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    from repro.obs.manifest import read_manifest, render_manifest_summary
+    from repro.obs.manifest import (
+        read_manifest,
+        render_manifest_diff,
+        render_manifest_summary,
+    )
 
-    manifest = read_manifest(args.manifest)
+    if args.diff:
+        if len(args.manifest) != 2:
+            print("stats --diff takes exactly two manifests", file=sys.stderr)
+            return 2
+        a = read_manifest(args.manifest[0])
+        b = read_manifest(args.manifest[1])
+        print(render_manifest_diff(a, b))
+        # Comparing runs of different configurations is almost always a
+        # mistake (or the answer the caller scripted for) — signal it.
+        return 0 if a.config_hash == b.config_hash else 1
+
+    if len(args.manifest) != 1:
+        print("stats takes one manifest (or two with --diff)", file=sys.stderr)
+        return 2
+    manifest = read_manifest(args.manifest[0])
     print(render_manifest_summary(manifest))
     return 0 if manifest.ok else 1
 
@@ -317,8 +335,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_executor_flags(rob)
     rob.set_defaults(func=_cmd_robustness)
 
-    stats = sub.add_parser("stats", help="summarise a campaign run manifest")
-    stats.add_argument("manifest", help="path to a run_manifest.json")
+    stats = sub.add_parser("stats", help="summarise or diff campaign run manifests")
+    stats.add_argument(
+        "manifest", nargs="+", help="path to a run_manifest.json (two with --diff)"
+    )
+    stats.add_argument(
+        "--diff",
+        action="store_true",
+        help="compare two manifests (config hash, stage timings, counters); "
+        "exits nonzero when the config hashes differ",
+    )
     stats.set_defaults(func=_cmd_stats)
 
     return parser

@@ -1,0 +1,139 @@
+"""Machine-readable benchmark summaries (``BENCH_engine.json``).
+
+``pytest-benchmark`` writes a verbose raw JSON (per-round timings, full
+machine info).  This module distils it into the few numbers the project
+actually tracks over time — wall time, events/s, transfers/s, wall time
+per simulated minute — optionally annotated with a speedup against a
+baseline raw file.  CI runs the engine benchmarks, writes the summary
+with :func:`write_bench_summary`, and uploads it as an artifact so the
+performance trajectory of the engine is recorded per commit; the repo
+root carries the before/after snapshot of the last optimisation pass.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_simulator.py \
+        --benchmark-only --benchmark-json=bench_raw.json
+    PYTHONPATH=src python -m repro.obs.bench bench_raw.json -o BENCH_engine.json
+
+The summary derives throughput from the ``extra_info`` counters the
+benchmarks attach (``events``, ``transfers``, ``simulated_s``); entries
+without a counter simply omit the derived metric.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.errors import TraceError
+
+#: Summary layout version; bump on incompatible changes.
+BENCH_SCHEMA_VERSION = 1
+
+
+def _load_raw(path: str | Path) -> dict:
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"benchmark results not found: {path}")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"{path}: not a pytest-benchmark JSON: {exc}") from exc
+    if not isinstance(data, dict) or "benchmarks" not in data:
+        raise TraceError(f"{path}: missing 'benchmarks' key")
+    return data
+
+
+def summarize_benchmark(bench: dict, baseline: dict | None = None) -> dict:
+    """Summary entry for one pytest-benchmark record.
+
+    ``baseline`` is the matching record from an earlier run; when given,
+    the entry carries the baseline wall time and the speedup ratio.
+    """
+    stats = bench["stats"]
+    extra = bench.get("extra_info", {})
+    wall = float(stats["min"])
+    entry: dict = {
+        "name": bench["name"],
+        "wall_s_min": wall,
+        "wall_s_mean": float(stats["mean"]),
+        "rounds": stats.get("rounds"),
+    }
+    events = extra.get("events")
+    if events:
+        entry["events"] = int(events)
+        entry["events_per_s"] = events / wall
+    transfers = extra.get("transfers")
+    if transfers:
+        entry["transfers"] = int(transfers)
+        entry["transfers_per_s"] = transfers / wall
+    simulated_s = extra.get("simulated_s")
+    if simulated_s:
+        entry["simulated_s"] = float(simulated_s)
+        entry["wall_s_per_simulated_minute"] = wall * 60.0 / simulated_s
+    if baseline is not None:
+        base_wall = float(baseline["stats"]["min"])
+        entry["baseline_wall_s_min"] = base_wall
+        entry["speedup_vs_baseline"] = base_wall / wall
+    return entry
+
+
+def summarize(raw: dict, baseline: dict | None = None) -> dict:
+    """Summary document for a raw pytest-benchmark JSON."""
+    base_index = (
+        {b["name"]: b for b in baseline.get("benchmarks", [])} if baseline else {}
+    )
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "datetime": raw.get("datetime"),
+        "benchmarks": [
+            summarize_benchmark(b, base_index.get(b["name"]))
+            for b in raw["benchmarks"]
+        ],
+    }
+
+
+def write_bench_summary(
+    results_path: str | Path,
+    out_path: str | Path = "BENCH_engine.json",
+    baseline_path: str | Path | None = None,
+) -> Path:
+    """Summarise ``results_path`` into ``out_path``; returns the path."""
+    raw = _load_raw(results_path)
+    baseline = _load_raw(baseline_path) if baseline_path else None
+    out = Path(out_path)
+    out.write_text(json.dumps(summarize(raw, baseline), indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="Distil a pytest-benchmark JSON into BENCH_engine.json",
+    )
+    parser.add_argument("results", help="raw pytest-benchmark JSON")
+    parser.add_argument(
+        "-o", "--output", default="BENCH_engine.json", help="summary output path"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="earlier raw pytest-benchmark JSON to compute speedups against",
+    )
+    args = parser.parse_args(argv)
+    path = write_bench_summary(args.results, args.output, args.baseline)
+    summary = json.loads(path.read_text())
+    for entry in summary["benchmarks"]:
+        line = f"{entry['name']}: {entry['wall_s_min']:.3f}s"
+        if "events_per_s" in entry:
+            line += f", {entry['events_per_s']:,.0f} events/s"
+        if "speedup_vs_baseline" in entry:
+            line += f", {entry['speedup_vs_baseline']:.2f}x vs baseline"
+        print(line)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -240,3 +240,112 @@ def render_manifest_summary(manifest: RunManifest) -> str:
             for f in manifest.failures
         )
     return "\n\n".join(lines)
+
+
+def _flatten_config(config: dict, prefix: str = "") -> dict:
+    """Flatten a nested config dict to dotted-path → value."""
+    out: dict = {}
+    for key, value in config.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            out.update(_flatten_config(value, path))
+        else:
+            out[path] = value
+    return out
+
+
+def render_manifest_diff(a: RunManifest, b: RunManifest) -> str:
+    """Side-by-side comparison of two run manifests.
+
+    Reports whether the configurations hash identically (callers that
+    gate on comparability — e.g. ``repro-p2ptv stats --diff`` — exit
+    nonzero on a mismatch), which config keys diverge, and how stage
+    timings and engine counters moved between the runs.  A/B here means
+    first/second argument order, typically baseline/candidate.
+    """
+    from repro.report.tables import render_table
+
+    match = a.config_hash == b.config_hash
+    lines = [
+        f"manifest diff — A {a.config_hash or '?'} vs B {b.config_hash or '?'}: "
+        f"{'configs match' if match else 'CONFIG MISMATCH'}"
+    ]
+
+    if not match:
+        flat_a = _flatten_config(a.config)
+        flat_b = _flatten_config(b.config)
+        rows = [
+            [key, repr(flat_a.get(key, "<absent>")), repr(flat_b.get(key, "<absent>"))]
+            for key in sorted(set(flat_a) | set(flat_b))
+            if flat_a.get(key, "<absent>") != flat_b.get(key, "<absent>")
+        ]
+        if rows:
+            lines.append(render_table(["key", "A", "B"], rows, title="CONFIG CHANGES"))
+
+    tel_a = Telemetry.from_dict(a.telemetry)
+    tel_b = Telemetry.from_dict(b.telemetry)
+
+    timer_rows = []
+    for stage in sorted(set(tel_a.timers) | set(tel_b.timers)):
+        wa = tel_a.timers[stage].wall_s if stage in tel_a.timers else None
+        wb = tel_b.timers[stage].wall_s if stage in tel_b.timers else None
+        if wa is not None and wb is not None and wb > 0:
+            delta, speedup = f"{wb - wa:+.3f}", f"{wa / wb:.2f}x"
+        else:
+            delta, speedup = "-", "-"
+        timer_rows.append(
+            [
+                stage,
+                f"{wa:.3f}" if wa is not None else "-",
+                f"{wb:.3f}" if wb is not None else "-",
+                delta,
+                speedup,
+            ]
+        )
+    if timer_rows:
+        lines.append(
+            render_table(
+                ["stage", "A wall s", "B wall s", "Δ", "A/B"],
+                timer_rows,
+                title="STAGE TIMERS",
+            )
+        )
+
+    counter_rows = []
+    names = sorted(set(tel_a.counters) | set(tel_b.counters))
+    for name in names:
+        ca, cb = tel_a.counters.get(name), tel_b.counters.get(name)
+        delta = f"{cb - ca:+d}" if ca is not None and cb is not None else "-"
+        counter_rows.append(
+            [
+                name,
+                str(ca) if ca is not None else "-",
+                str(cb) if cb is not None else "-",
+                delta,
+            ]
+        )
+    for name in sorted(set(tel_a.gauges) | set(tel_b.gauges)):
+        pa = tel_a.gauges[name].peak if name in tel_a.gauges else None
+        pb = tel_b.gauges[name].peak if name in tel_b.gauges else None
+        delta = f"{pb - pa:+g}" if pa is not None and pb is not None else "-"
+        counter_rows.append(
+            [
+                f"{name} (peak)",
+                f"{pa:g}" if pa is not None else "-",
+                f"{pb:g}" if pb is not None else "-",
+                delta,
+            ]
+        )
+    if counter_rows:
+        lines.append(
+            render_table(["counter", "A", "B", "Δ"], counter_rows, title="COUNTERS")
+        )
+
+    status_rows = [
+        ["kind", a.kind, b.kind],
+        ["status", "ok" if a.ok else "FAILURES", "ok" if b.ok else "FAILURES"],
+        ["shards", str(len(a.shards)), str(len(b.shards))],
+        ["failures", str(len(a.failures)), str(len(b.failures))],
+    ]
+    lines.append(render_table(["", "A", "B"], status_rows, title="RUN STATUS"))
+    return "\n\n".join(lines)

@@ -82,16 +82,47 @@ class RemoteAvailability:
         scale = np.where(highbw, config.highbw_scale_s, config.lowbw_scale_s)
         self.delays = base + rng.exponential(1.0, size=n) * scale
         self.ready_from = np.maximum(0.0, np.asarray(joins, dtype=float)) + config.startup_s
+        # Scalar-path mirrors of the arrays above.  Indexing a numpy array
+        # with a Python int boxes a numpy scalar each call (~10× the cost of
+        # a list lookup); the per-event oracle queries in the engine hot
+        # path use these plain-float copies instead.  The values are the
+        # exact same IEEE doubles, so both paths agree bit-for-bit.
+        self._delays_list: list[float] = self.delays.tolist()
+        self._ready_list: list[float] = self.ready_from.tolist()
+        self._chunk_interval = clock.chunk_interval
+        self._retention_s = config.retention_s
 
     def __len__(self) -> int:
         return len(self.delays)
 
+    @property
+    def chunk_interval(self) -> float:
+        """Chunk generation interval (s) — the clock constant the oracle uses."""
+        return self._chunk_interval
+
+    @property
+    def retention_s(self) -> float:
+        """How long a remote retains a chunk after its generation time."""
+        return self._retention_s
+
+    def scalar_view(self, peer_idx: int) -> tuple[float, float]:
+        """``(diffusion delay, ready_from)`` of one peer as plain floats.
+
+        Callers that probe one remote across several chunks (the engine's
+        serve-a-remote scan) hoist the two lookups and inline the
+        :meth:`has_chunk` arithmetic — same doubles, same compares.
+        """
+        return self._delays_list[peer_idx], self._ready_list[peer_idx]
+
     def has_chunk(self, peer_idx: int, chunk_id: int, t: float) -> bool:
         """Whether remote ``peer_idx`` holds ``chunk_id`` at time ``t``."""
-        gen = self._clock.generation_time(chunk_id)
-        if t >= gen + self._config.retention_s:
+        gen = chunk_id * self._chunk_interval
+        if t >= gen + self._retention_s:
             return False
-        arrival = max(gen + self.delays[peer_idx], self.ready_from[peer_idx])
+        arrival = gen + self._delays_list[peer_idx]
+        ready = self._ready_list[peer_idx]
+        if ready > arrival:
+            arrival = ready
         return t >= arrival
 
     def have_chunk(self, peer_idx: np.ndarray, chunk_id: int, t: float) -> np.ndarray:
@@ -103,6 +134,62 @@ class RemoteAvailability:
         arrival = np.maximum(gen + self.delays[idx], self.ready_from[idx])
         return t >= arrival
 
+    def have_chunks(
+        self, peer_idx: np.ndarray, chunk_ids: np.ndarray, t: float
+    ) -> np.ndarray:
+        """Batched oracle: a ``(len(chunk_ids), len(peer_idx))`` bool matrix.
+
+        ``out[c, p]`` answers :meth:`has_chunk` for ``chunk_ids[c]`` and
+        ``peer_idx[p]`` — one broadcast over the probe's whole request
+        window instead of a scalar probe per (chunk, partner) pair.  Agrees
+        element-wise with the scalar method (same doubles, same compares).
+        """
+        idx = np.asarray(peer_idx, dtype=np.int64)
+        gen = np.asarray(chunk_ids, dtype=np.int64) * self._chunk_interval
+        arrival = np.maximum(
+            gen[:, None] + self.delays[idx][None, :], self.ready_from[idx][None, :]
+        )
+        fresh = t < gen + self._retention_s
+        return (t >= arrival) & fresh[:, None]
+
+    def subset(self, peer_idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(delays, ready_from)`` restricted to ``peer_idx``.
+
+        Callers that query the same peer subset repeatedly (the engine's
+        per-tick partner sets) fancy-index once and feed the pair to
+        :meth:`have_chunk_subset` per chunk.
+        """
+        idx = np.asarray(peer_idx, dtype=np.int64)
+        return self.delays[idx], self.ready_from[idx]
+
+    def have_chunk_subset(
+        self, delays: np.ndarray, ready: np.ndarray, chunk_id: int, t: float
+    ) -> np.ndarray | None:
+        """:meth:`have_chunk` against a :meth:`subset` pair.
+
+        Returns None when the chunk has aged out of every retention window
+        (the all-False row, without allocating it).  Same doubles and same
+        compares as the scalar oracle, so results agree element-wise.
+        """
+        gen = chunk_id * self._chunk_interval
+        if t >= gen + self._retention_s:
+            return None
+        return t >= np.maximum(gen + delays, ready)
+
+    def subset_thresholds(
+        self, delays: np.ndarray, ready: np.ndarray, chunk_id: int
+    ) -> tuple[np.ndarray, float]:
+        """``(arrival thresholds, freshness deadline)`` for one chunk.
+
+        Everything in :meth:`have_chunk_subset` except ``t`` is a pure
+        function of (subset, chunk), so callers that rescan the same chunk
+        across ticks cache this pair and reduce the oracle to
+        ``t >= thresholds`` gated by ``t < deadline`` — the identical
+        doubles and compares, just hoisted out of the per-tick loop.
+        """
+        gen = chunk_id * self._chunk_interval
+        return np.maximum(gen + delays, ready), gen + self._retention_s
+
     def newest_missing(self, peer_idx: int, t: float) -> int | None:
         """The newest chunk ``peer_idx`` does *not* yet hold at ``t``.
 
@@ -110,10 +197,10 @@ class RemoteAvailability:
         deficit at the live edge.  Returns None while the peer is still in
         startup (it wants everything; callers treat that as the live edge).
         """
-        live = self._clock.latest_chunk(t)
+        live = int(t / self._chunk_interval)
         # Peer holds chunk c iff gen(c) + delay <= t, i.e. c <= (t-delay)/dt.
-        have_up_to = self._clock.latest_chunk(max(0.0, t - self.delays[peer_idx]))
-        if t < self.ready_from[peer_idx]:
+        have_up_to = int(max(0.0, t - self._delays_list[peer_idx]) / self._chunk_interval)
+        if t < self._ready_list[peer_idx]:
             return live
         missing = have_up_to + 1
         return missing if missing <= live else None

@@ -23,11 +23,26 @@ class PlayoutBuffer:
         self._join_time = join_time
         self._chunks: set[int] = set()
         self._received_bytes = 0
+        # Eviction frontier: every chunk below this floor has been evicted,
+        # except late arrivals parked in _low_adds (see add/evict_below).
+        self._evicted_to = 0
+        self._low_adds: set[int] = set()
+        # Constants of the clock/window, precomputed: window_range runs on
+        # every engine tick and the dataclass-property recomputation cost
+        # dwarfs the arithmetic.  Same doubles, so identical results.
+        self._interval = clock.chunk_interval
+        self._window_chunks = max(1, int(window_s / self._interval))
+        self._join_floor = clock.latest_chunk(join_time)
+        # Known holes: ids ≤ _holes_top that are not held.  missing_in
+        # extends the frontier by the few ids the window advanced by and
+        # reads the (small) hole set instead of rescanning the window.
+        self._holes: set[int] = set()
+        self._holes_top = self._join_floor - 1
 
     @property
     def window_chunks(self) -> int:
         """Window width in chunks."""
-        return max(1, int(self._window_s / self._clock.chunk_interval))
+        return self._window_chunks
 
     def window_range(self, t: float) -> range:
         """Chunk ids inside the window at time ``t`` (oldest → live edge).
@@ -35,8 +50,8 @@ class PlayoutBuffer:
         The lower edge never precedes the peer's join time: a live viewer
         has no use for content streamed before it tuned in.
         """
-        live = self._clock.latest_chunk(t)
-        oldest = max(live - self.window_chunks + 1, self._clock.latest_chunk(self._join_time), 0)
+        live = int(t / self._interval)
+        oldest = max(live - self._window_chunks + 1, self._join_floor, 0)
         return range(oldest, live + 1)
 
     def add(self, chunk_id: int) -> bool:
@@ -44,22 +59,75 @@ class PlayoutBuffer:
         if chunk_id in self._chunks:
             return False
         self._chunks.add(chunk_id)
+        self._holes.discard(chunk_id)
+        if chunk_id < self._evicted_to:
+            # Arrived after its window position was already swept; remember
+            # it so the incremental eviction scan still finds it.
+            self._low_adds.add(chunk_id)
         self._received_bytes += self._clock.chunk_bytes
         return True
 
     def evict_before(self, t: float) -> int:
         """Drop chunks that slid out of the window; returns count dropped."""
-        floor = self.window_range(t).start
-        stale = [c for c in self._chunks if c < floor]
-        for c in stale:
-            self._chunks.remove(c)
-        return len(stale)
+        return self.evict_below(self.window_range(t).start)
+
+    def evict_below(self, floor: int) -> int:
+        """:meth:`evict_before` with the window floor already computed.
+
+        The engine tick computes the window once and drives eviction,
+        in-flight pruning, and the missing scan from the same range.
+        Incremental: only the ids between the previous floor and the new
+        one (plus any late re-adds below the frontier) can be stale, so the
+        scan is O(floor advance), not O(buffer size) — evicting the exact
+        same chunks a full scan would.
+        """
+        prev = self._evicted_to
+        if floor <= prev:
+            return 0
+        chunks = self._chunks
+        dropped = 0
+        for c in range(prev, floor):
+            if c in chunks:
+                chunks.remove(c)
+                dropped += 1
+        if self._low_adds:
+            stale = [c for c in self._low_adds if c < floor]
+            for c in stale:
+                self._low_adds.remove(c)
+                if c in chunks:
+                    chunks.remove(c)
+                    dropped += 1
+        if self._holes:
+            holes = self._holes
+            for c in [c for c in holes if c < floor]:
+                holes.remove(c)
+        self._evicted_to = floor
+        return dropped
 
     def has(self, chunk_id: int) -> bool:
         return chunk_id in self._chunks
 
+    @property
+    def chunk_set(self) -> set[int]:
+        """The live set of held chunk ids (read-only by convention).
+
+        Hot-path callers test membership directly against this set; it is
+        mutated in place by add/evict, never reassigned, so a borrowed
+        reference always reflects the current buffer state.
+        """
+        return self._chunks
+
+    def has_many(self, chunk_ids: list[int]) -> list[bool]:
+        """:meth:`has` for a batch (hot-path helper for the engine)."""
+        held = self._chunks
+        return [c in held for c in chunk_ids]
+
     def missing(
-        self, t: float, exclude: set[int] | None = None, live_lag: int = 0
+        self,
+        t: float,
+        exclude: set[int] | None = None,
+        live_lag: int = 0,
+        limit: int | None = None,
     ) -> list[int]:
         """Window chunks not held (and not in ``exclude``), newest first.
 
@@ -68,15 +136,41 @@ class PlayoutBuffer:
         and most available at partners.  ``live_lag`` skips the newest few
         chunks — real players keep a small offset from the live edge so
         that requested chunks have had time to diffuse to some providers.
+        ``limit`` truncates the scan once that many missing chunks are
+        found (the request scheduler never looks further than its per-tick
+        attempt budget).
         """
-        exclude = exclude or set()
         window = self.window_range(t)
-        newest = window.stop - 1 - max(0, live_lag)
-        return [
-            c
-            for c in range(newest, window.start - 1, -1)
-            if c not in self._chunks and c not in exclude
-        ]
+        return self.missing_in(
+            window.stop - 1 - max(0, live_lag), window.start, exclude or set(), limit
+        )
+
+    def missing_in(
+        self, newest: int, floor: int, exclude: set[int], limit: int | None
+    ) -> list[int]:
+        """:meth:`missing` over an explicit ``[floor, newest]`` chunk range
+        (the engine tick passes its already-computed window).
+
+        Backed by the incremental hole set: only ids the window gained
+        since the last call are tested against the buffer; the descending
+        sweep then walks the holes, which yields exactly the chunks the
+        full range scan would (holes ∩ [floor, newest], descending).
+        """
+        holes = self._holes
+        if newest > self._holes_top:
+            held = self._chunks
+            for c in range(self._holes_top + 1, newest + 1):
+                if c not in held:
+                    holes.add(c)
+            self._holes_top = newest
+        out = []
+        for c in sorted(holes, reverse=True):
+            if c > newest or c < floor or c in exclude:
+                continue
+            out.append(c)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
 
     def continuity(self, t: float) -> float:
         """Fraction of the current window held — a playback-quality proxy."""

@@ -35,7 +35,6 @@ from repro.streaming.transport import (
     SignalingBook,
     TransferRecorder,
     UplinkScheduler,
-    bottleneck_bps,
 )
 from repro.topology.paths import ACCESS_DEPTH
 from repro.topology.testbed import Testbed, build_napa_wine_testbed
@@ -123,18 +122,78 @@ class EngineConfig:
 
 
 class _ProbeState:
-    """Mutable protocol state of one full-protocol (probe) peer."""
+    """Mutable protocol state of one full-protocol (probe) peer.
 
-    __slots__ = ("gidx", "known", "partners", "buffer", "inflight", "busy")
+    ``known`` and ``partners`` stay Python sets — set iteration order is
+    part of the deterministic trace (it decides candidate ordering and the
+    per-partner RNG draw sequence) — but the hot path reads them through
+    cached ``np.fromiter`` materialisations refreshed only at mutation
+    points, where the original code rebuilt the arrays on every event.
+    Since an unmutated set iterates in a stable order, the cached arrays
+    are element-for-element identical to per-event rebuilds.
+    """
 
-    def __init__(self, gidx: int, buffer: PlayoutBuffer) -> None:
+    __slots__ = (
+        "gidx",
+        "known",
+        "known_mask",
+        "partners",
+        "partners_arr",
+        "buffer",
+        "inflight",
+        "busy",
+        "_known_arr",
+        "_known_len",
+        "_filt",
+        "_filt_key",
+        "_filt_src",
+    )
+
+    def __init__(self, gidx: int, buffer: PlayoutBuffer, n_peers: int) -> None:
         self.gidx = gidx
         self.known: set[int] = set()
+        #: Dense mirror of ``known`` (discovery filters against it without
+        #: the O(pool × known) set-probing of np.isin).
+        self.known_mask: np.ndarray = np.zeros(n_peers, dtype=bool)
         self.partners: set[int] = set()
+        self.partners_arr: np.ndarray = np.zeros(0, dtype=np.int64)
         self.buffer = buffer
         self.inflight: set[int] = set()
-        #: provider gidx → outstanding chunk requests (per-peer pipelining cap).
-        self.busy: dict[int, int] = {}
+        #: Outstanding chunk requests per provider gidx (pipelining cap).
+        self.busy: list[int] = [0] * n_peers
+        self._known_arr: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._known_len = 0
+        # Online-filtered partners_arr, valid for one (mask epoch, partner
+        # array) combination — see Engine._on_tick.
+        self._filt: np.ndarray = self.partners_arr
+        self._filt_key = -1
+        self._filt_src: np.ndarray | None = None
+
+    def add_known(self, g: int) -> None:
+        """Record peer ``g`` as discovered."""
+        self.known.add(g)
+        self.known_mask[g] = True
+
+    def known_array(self) -> np.ndarray:
+        """``known`` as an int64 array (cached; ``known`` is grow-only)."""
+        if self._known_len != len(self.known):
+            self._known_arr = np.fromiter(self.known, dtype=np.int64, count=len(self.known))
+            self._known_len = len(self.known)
+        return self._known_arr
+
+    def set_partners(self, partners: set[int]) -> None:
+        """Replace the partner set and refresh its array materialisation."""
+        self.partners = partners
+        self.partners_arr = np.fromiter(partners, dtype=np.int64, count=len(partners))
+
+    def online_partners(self, online: np.ndarray, mask_key: int) -> np.ndarray:
+        """``partners_arr`` filtered to online peers, memoised per epoch."""
+        if self._filt_key != mask_key or self._filt_src is not self.partners_arr:
+            arr = self.partners_arr
+            self._filt = arr[online[arr]]
+            self._filt_key = mask_key
+            self._filt_src = arr
+        return self._filt
 
 
 @dataclass
@@ -182,8 +241,11 @@ class Engine:
         self.config = config
         self.clock = profile.video.clock
         self._rngs = RngBundle(config.seed)
+        #: The protocol-event stream, bound once (hot-path draws).
+        self._rng_engine = self._rngs["engine"]
         self._queue = EventQueue()
         self._recorder = TransferRecorder()
+        self._rec_append = self._recorder.append_row
         self._signaling = SignalingBook()
 
         self._build_directory(population)
@@ -246,13 +308,32 @@ class Engine:
         )
         self.uplink = UplinkScheduler(n, self._up, self.config.max_backlog_s)
 
+        # Plain-list mirrors for scalar hot-path reads (numpy int indexing
+        # boxes a fresh scalar per access; these are the same values).
+        self._ip_list: list[int] = self._ip.tolist()
+        self._up_list: list[float] = self._up.tolist()
+        self._down_list: list[float] = self._down.tolist()
+        self._leave_list: list[float] = self._leave.tolist()
+        # Online-mask memoisation: the mask is constant between consecutive
+        # join/leave boundaries, and event time is non-decreasing, so a
+        # single-interval cache answers almost every query.
+        self._mask_bounds = np.unique(np.concatenate([self._join, self._leave]))
+        self._mask_key = -1
+        # Validity interval of the cached mask: while t stays inside
+        # [_mask_t0, _mask_t1) no boundary was crossed and even the
+        # searchsorted key lookup can be skipped.
+        self._mask_t0 = np.inf
+        self._mask_t1 = -np.inf
+        self._mask: np.ndarray = np.zeros(0, dtype=bool)
+
     def _build_protocol_state(self) -> None:
         video = self.profile.video
+        n = self.n_remote + self.n_probe
         self._probes: list[_ProbeState] = []
         for k in range(self.n_probe):
             gidx = self.n_remote + k
             buffer = PlayoutBuffer(self.clock, video.buffer_window_s, join_time=0.0)
-            self._probes.append(_ProbeState(gidx, buffer))
+            self._probes.append(_ProbeState(gidx, buffer, n))
         rng_sel = self._rngs["selection"]
         self._partner_policy = SelectionPolicy(
             self.profile.partner_weights, rng_sel, self.profile.selection_temperature
@@ -266,14 +347,65 @@ class Engine:
         #: (remote gidx, probe gidx) pairs currently attached as downloaders.
         self._attached: set[tuple[int, int]] = set()
 
+        # Whether any policy consults the hop feature — static per profile.
+        self._need_hop = any(
+            policy.weights.hop
+            for policy in (self._partner_policy, self._provider_policy, self._remote_policy)
+        )
+        # Awareness scores are a pure function of the (chooser, candidate)
+        # endpoint pair — every input is fixed at build time — so the score
+        # of each pair is precomputed once per policy.  Rows go through the
+        # exact same _features → scores pipeline the per-event path used,
+        # and softmax is element-independent, so indexing a cached row by a
+        # candidate subset yields bit-identical probabilities (and hence an
+        # identical RNG draw sequence) to rescoring that subset from scratch.
+        all_peers = np.arange(n, dtype=np.int64)
+        partner_rows, provider_rows, remote_rows = [], [], []
+        for probe in self._probes:
+            feats = self._features(probe.gidx, all_peers)
+            partner_rows.append(self._partner_policy.scores(feats))
+            provider_rows.append(self._provider_policy.scores(feats))
+            remote_rows.append(self._remote_policy.scores(feats))
+        self._partner_scores = np.vstack(partner_rows)
+        self._provider_scores = np.vstack(provider_rows)
+        self._remote_scores = np.vstack(remote_rows)
+        # Tick-loop constants hoisted out of their dataclasses: _on_tick
+        # fires tens of thousands of times and these attribute chains are
+        # measurable there.
+        self._tick_interval = self.profile.tick_interval_s
+        self._live_lag = max(0, self.profile.live_lag_chunks)
+        self._max_parallel = self.profile.max_parallel_requests
+        self._explore_prob = self.profile.explore_prob
+        self._max_attempts = self.config.max_probe_attempts
+        self._cap_out = self.config.max_outstanding_per_provider
+        self._chunk_bytes = self.clock.chunk_bytes
+        self._loss_schedule = self.config.request_loss_schedule
+        self._loss_prob = self.config.request_loss_prob
+        self._stale_prob = self.config.stale_buffermap_prob
+        #: Per-probe memo of provider-selection CDFs keyed by the holder
+        #: tuple (see _on_tick).
+        self._cdf_cache: list[dict[tuple, np.ndarray]] = [{} for _ in self._probes]
+        #: Per-probe memo of partner-array splits (see _partner_context).
+        self._partner_ctx: list[dict[bytes, tuple]] = [{} for _ in self._probes]
+        # Per-probe one-way latency rows (the latency model only depends on
+        # subnet/AS/CC equality, all static); nested lists for scalar reads.
+        self._lat_rows: list[list[float]] = [
+            np.where(
+                self._subnet == self._subnet[p.gidx],
+                0.001,
+                np.where(
+                    self._asn == self._asn[p.gidx],
+                    0.005,
+                    np.where(self._cc == self._cc[p.gidx], 0.02, 0.08),
+                ),
+            ).tolist()
+            for p in self._probes
+        ]
+
     # ------------------------------------------------------------- features
     def _features(self, chooser: int, cands: np.ndarray) -> CandidateFeatures:
         """Awareness features of ``cands`` from ``chooser``'s viewpoint."""
-        need_hop = False
-        for policy in (self._partner_policy, self._provider_policy, self._remote_policy):
-            if policy.weights.hop:
-                need_hop = True
-        if need_hop:
+        if self._need_hop:
             hops = self.world.paths.hops_many(
                 np.full(len(cands), self._ip[chooser]),
                 np.full(len(cands), self._asn[chooser]),
@@ -296,24 +428,41 @@ class Engine:
         )
 
     def _online_mask(self, t: float) -> np.ndarray:
-        return (self._join <= t) & (t < self._leave)
+        """Who is online at ``t`` (shared cache — callers must not mutate).
+
+        The mask only changes when ``t`` crosses a join/leave boundary, so
+        it is recomputed once per boundary interval instead of per event.
+        """
+        if not self._mask_t0 <= t < self._mask_t1:
+            key = int(self._mask_bounds.searchsorted(t, side="right"))
+            if key != self._mask_key:
+                self._mask = (self._join <= t) & (t < self._leave)
+                self._mask_key = key
+            bounds = self._mask_bounds
+            self._mask_t0 = bounds[key - 1] if key > 0 else -np.inf
+            self._mask_t1 = bounds[key] if key < len(bounds) else np.inf
+        return self._mask
 
     def _latency(self, a: int, b: int) -> float:
-        return _approx_latency(
-            bool(self._subnet[a] == self._subnet[b]),
-            bool(self._asn[a] == self._asn[b]),
-            bool(self._cc[a] == self._cc[b]),
-        )
+        # Every latency query involves at least one probe endpoint; the
+        # model is symmetric in (a, b), so one probe-indexed row suffices.
+        if a >= self.n_remote:
+            return self._lat_rows[a - self.n_remote][b]
+        return self._lat_rows[b - self.n_remote][a]
 
     # ------------------------------------------------------------- recording
     def _record(self, t: float, src: int, dst: int, nbytes: int, kind: PacketKind) -> None:
-        self._recorder.record(
-            t,
-            int(self._ip[src]),
-            int(self._ip[dst]),
-            nbytes,
-            kind,
-            bottleneck_bps(float(self._up[src]), float(self._down[dst])),
+        up = self._up_list[src]
+        dn = self._down_list[dst]
+        self._rec_append(
+            (
+                t,
+                self._ip_list[src],
+                self._ip_list[dst],
+                nbytes,
+                int(kind),
+                up if up < dn else dn,  # bottleneck_bps, inlined
+            )
         )
 
     # ------------------------------------------------------------- discovery
@@ -323,14 +472,15 @@ class Engine:
         TVAnts-style AS-biased discovery oversamples same-AS peers by
         ``discovery_as_bias``; firewalled candidates often drop the contact.
         """
-        online = self._online_mask(t)
-        online[probe.gidx] = False
-        pool = np.flatnonzero(online)
-        if len(probe.known):
-            pool = pool[~np.isin(pool, np.fromiter(probe.known, dtype=np.int64))]
+        # online ∧ ¬known ∧ ¬self, via dense masks: same ascending-index
+        # pool (flatnonzero order) the isin-filtered version produced, but
+        # without np.isin's per-call sort of the known set.
+        avail = self._online_mask(t) & ~probe.known_mask
+        avail[probe.gidx] = False  # avail is a fresh array; the shared mask is untouched
+        pool = np.flatnonzero(avail)
         if len(pool) == 0:
             return pool
-        rng = self._rngs["engine"]
+        rng = self._rng_engine
         bias = self.profile.discovery_as_bias
         if bias > 0:
             weights = 1.0 + bias * (self._asn[pool] == self._asn[probe.gidx])
@@ -349,7 +499,7 @@ class Engine:
         hs = self.profile.handshake_bytes
         for cand in found:
             c = int(cand)
-            probe.known.add(c)
+            probe.add_known(c)
             self._record(t, probe.gidx, c, hs, PacketKind.SIGNALING)
             self._record(t + 2 * self._latency(probe.gidx, c), c, probe.gidx, hs, PacketKind.SIGNALING)
         self._queue.schedule(t + self.profile.contact_interval_s, self._on_discovery, probe)
@@ -357,7 +507,7 @@ class Engine:
     # -------------------------------------------------------------- partners
     def _on_partner_refresh(self, probe: _ProbeState) -> None:
         t = self._queue.now
-        rng = self._rngs["engine"]
+        rng = self._rng_engine
         online = self._online_mask(t)
         # Sticky partnerships: keep most current (online) partners, refill
         # the remaining slots from the known set with the awareness policy.
@@ -366,14 +516,14 @@ class Engine:
             for g in probe.partners
             if online[g] and rng.random() < self.profile.partner_stickiness
         }
-        known = np.fromiter(probe.known, dtype=np.int64, count=len(probe.known))
+        known = probe.known_array()
         cands = known[online[known]] if len(known) else known
         if len(kept):
             cands = cands[~np.isin(cands, np.fromiter(kept, dtype=np.int64))]
         slots = self.profile.max_partners - len(kept)
         if len(cands) and slots > 0:
-            feats = self._features(probe.gidx, cands)
-            picked = self._partner_policy.choose(feats, slots)
+            row = self._partner_scores[probe.gidx - self.n_remote]
+            picked = self._partner_policy.choose_scored(row[cands], slots)
             new_partners = kept | {int(cands[i]) for i in picked}
         else:
             new_partners = kept
@@ -392,7 +542,7 @@ class Engine:
             other = int(self._ip[g])
             self._signaling.close(me, other, t)
             self._signaling.close(other, me, t)
-        probe.partners = new_partners
+        probe.set_partners(new_partners)
         self._queue.schedule(t + p.partner_refresh_s, self._on_partner_refresh, probe)
 
     # ------------------------------------------------------------- streaming
@@ -403,85 +553,159 @@ class Engine:
             return self._probes[g - self.n_remote].buffer.has(chunk)
         return self.availability.has_chunk(g, chunk, t)
 
+    def _partner_context(self, pi: int, partners: np.ndarray) -> tuple:
+        """Split a partner array into oracle inputs, memoised per set.
+
+        Partner sets only change at refresh/churn boundaries, so the
+        remote/probe split, the fancy-indexed diffusion arrays, and the
+        per-column scan plan are reused across the many ticks in between.
+        The plan entry for column ``j`` is ``(gidx, remote_index, chunks)``
+        where ``chunks`` is the live buffer set for probe partners (None
+        for remotes, whose availability comes from the oracle row).
+        """
+        key = partners.tobytes()
+        ctx = self._partner_ctx[pi].get(key)
+        if ctx is None:
+            is_remote = partners < self.n_remote
+            delays, ready = self.availability.subset(partners[is_remote])
+            plan = []
+            k = 0
+            for g in partners.tolist():
+                if g < self.n_remote:
+                    plan.append((g, k, None))
+                    k += 1
+                else:
+                    plan.append((g, -1, self._probes[g - self.n_remote].buffer.chunk_set))
+            # Last slot: per-chunk availability-threshold memo (see _on_tick).
+            ctx = (k > 0, delays, ready, plan, {})
+            self._partner_ctx[pi][key] = ctx
+        return ctx
+
     def _on_tick(self, probe: _ProbeState) -> None:
         t = self._queue.now
-        probe.buffer.evict_before(t)
-        window_floor = probe.buffer.window_range(t).start
-        probe.inflight = {c for c in probe.inflight if c >= window_floor}
-        missing = probe.buffer.missing(
-            t, exclude=probe.inflight, live_lag=self.profile.live_lag_chunks
+        # One window computation drives eviction, in-flight pruning, and
+        # the missing scan (identical range arithmetic either way).
+        window = probe.buffer.window_range(t)
+        probe.buffer.evict_below(window.start)
+        # Prune in-flight requests that slid out of the window (rebuild
+        # only when something actually fell below the floor).
+        if probe.inflight and min(probe.inflight) < window.start:
+            probe.inflight = {c for c in probe.inflight if c >= window.start}
+        # The scheduler never looks past its per-tick attempt budget.
+        lookahead = probe.buffer.missing_in(
+            window.stop - 1 - self._live_lag,
+            window.start,
+            probe.inflight,
+            self._max_attempts,
         )
-        if missing and probe.partners:
-            partners = np.fromiter(probe.partners, dtype=np.int64, count=len(probe.partners))
+        if lookahead and probe.partners:
             online = self._online_mask(t)
-            partners = partners[online[partners]]
-            slots = self.profile.max_parallel_requests - len(probe.inflight)
-            attempts = self.config.max_probe_attempts
-            for chunk in missing:
-                if slots <= 0 or attempts <= 0:
-                    break
-                attempts -= 1
-                if len(partners) == 0:
-                    break
-                cap = self.config.max_outstanding_per_provider
-                holders = partners[
-                    [
-                        probe.busy.get(int(g), 0) < cap
-                        and self._provider_has(int(g), chunk, t)
-                        for g in partners
-                    ]
-                ]
-                if len(holders) == 0:
-                    continue
-                if self._rngs["engine"].random() < self.profile.explore_prob:
-                    pick = int(self._rngs["engine"].integers(len(holders)))
-                else:
-                    feats = self._features(probe.gidx, holders)
-                    pick = self._provider_policy.choose_one(feats)
-                provider = int(holders[pick])
-                if self._request_chunk(probe, provider, chunk, t):
-                    slots -= 1
-        self._queue.schedule(t + self.profile.tick_interval_s, self._on_tick, probe)
+            partners = probe.online_partners(online, self._mask_key)
+            slots = self._max_parallel - len(probe.inflight)
+            if slots > 0 and len(partners):
+                pi = probe.gidx - self.n_remote
+                has_remotes, delays, ready, plan, thr_cache = self._partner_context(
+                    pi, partners
+                )
+                # Outstanding-request counts per candidate, kept in sync
+                # locally as this tick issues requests.
+                busy = probe.busy
+                busy_row = [busy[g] for g, _k, _c in plan]
+                cap = self._cap_out
+                score_row = self._provider_scores[pi]
+                cdf_cache = self._cdf_cache[pi]
+                rng = self._rng_engine
+                availability = self.availability
+                explore_prob = self._explore_prob
+                # Availability rows are built lazily per chunk: most ticks
+                # exhaust their request slots within the first few rows, so
+                # eagerly batching the whole lookahead window wastes work.
+                for chunk in lookahead:
+                    if slots <= 0:
+                        break
+                    sub = None
+                    if has_remotes:
+                        # Thresholds are chunk constants; only the compare
+                        # against t happens per tick.
+                        ent = thr_cache.get(chunk)
+                        if ent is None:
+                            thr_cache[chunk] = ent = availability.subset_thresholds(
+                                delays, ready, chunk
+                            )
+                        thr, fresh_until = ent
+                        sub = (t >= thr).tolist() if t < fresh_until else None
+                    # Candidate scan in ascending column order — the same
+                    # holder ordering the vectorised mask produced.
+                    holders: list[int] = []
+                    positions: list[int] = []
+                    for j, (g, k, chunks) in enumerate(plan):
+                        if busy_row[j] >= cap:
+                            continue
+                        if chunks is None:
+                            if sub is None or not sub[k]:
+                                continue
+                        elif chunk not in chunks:
+                            continue
+                        holders.append(g)
+                        positions.append(j)
+                    if not holders:
+                        continue
+                    if rng.random() < explore_prob:
+                        pick = int(rng.integers(len(holders)))
+                    else:
+                        # Holder sets repeat heavily tick-to-tick, so the
+                        # (score-determined) selection CDF is memoised per
+                        # candidate set; the draw itself still happens per
+                        # decision, so the RNG sequence is unchanged.
+                        key = tuple(holders)
+                        cdf = cdf_cache.get(key)
+                        if cdf is None:
+                            cdf = self._provider_policy.cdf_from_scores(score_row[holders])
+                            cdf_cache[key] = cdf
+                        pick = self._provider_policy.sample_index(cdf)
+                    if self._request_chunk(probe, holders[pick], chunk, t):
+                        slots -= 1
+                        busy_row[positions[pick]] += 1
+        self._queue.schedule(t + self._tick_interval, self._on_tick, probe)
 
     def _request_chunk(self, probe: _ProbeState, provider: int, chunk: int, t: float) -> bool:
         """Issue a chunk request; returns True when a transfer was queued."""
         lat = self._latency(probe.gidx, provider)
         self._record(t, probe.gidx, provider, REQUEST_BYTES, PacketKind.CONTROL)
-        if self.config.request_loss_schedule is not None:
-            loss_prob = self.config.request_loss_schedule.prob_at(t)
+        if self._loss_schedule is not None:
+            loss_prob = self._loss_schedule.prob_at(t)
         else:
-            loss_prob = self.config.request_loss_prob
-        if loss_prob > 0 and self._rngs["engine"].random() < loss_prob:
+            loss_prob = self._loss_prob
+        if loss_prob > 0 and self._rng_engine.random() < loss_prob:
             # The request datagram was lost; nothing comes back and the
             # chunk ages until the next tick retries it.
             return False
-        if self._rngs["engine"].random() < self.config.stale_buffermap_prob:
+        if self._rng_engine.random() < self._stale_prob:
             # Stale buffer map: the provider no longer has (or never had)
             # the chunk and answers with a short decline.
             self._record(
                 t + 2 * lat, provider, probe.gidx, REQUEST_BYTES, PacketKind.CONTROL
             )
             return False
-        nbytes = self.clock.chunk_bytes
+        nbytes = self._chunk_bytes
         start = self.uplink.admit(provider, t + lat, nbytes)
         if start is None:
             return False
-        bn = bottleneck_bps(float(self._up[provider]), float(self._down[probe.gidx]))
+        up = self._up_list[provider]
+        dn = self._down_list[probe.gidx]
+        bn = up if up < dn else dn  # bottleneck_bps, inlined
         arrival = start + nbytes * BITS_PER_BYTE / bn + lat
         self._record(start, provider, probe.gidx, nbytes, PacketKind.VIDEO)
         probe.inflight.add(chunk)
-        probe.busy[provider] = probe.busy.get(provider, 0) + 1
+        probe.busy[provider] += 1
         self._queue.schedule(arrival, self._on_chunk_arrival, probe, chunk, provider)
         return True
 
     def _on_chunk_arrival(self, probe: _ProbeState, chunk: int, provider: int) -> None:
         probe.inflight.discard(chunk)
         probe.buffer.add(chunk)
-        left = probe.busy.get(provider, 0) - 1
-        if left > 0:
-            probe.busy[provider] = left
-        else:
-            probe.busy.pop(provider, None)
+        if probe.busy[provider] > 0:
+            probe.busy[provider] -= 1
 
     # ------------------------------------------------------ remote demand
     def _demand_target(self, probe_gidx: int) -> float:
@@ -497,7 +721,7 @@ class Engine:
         mechanism behind the paper's *upload*-direction metrics).
         """
         t = self._queue.now
-        rng = self._rngs["engine"]
+        rng = self._rng_engine
         online = self._online_mask(t)
         remotes = np.flatnonzero(online[: self.n_remote])
         self._attached.clear()
@@ -511,13 +735,13 @@ class Engine:
                 k = min(int(rng.poisson(target)), len(remotes))
                 if k == 0:
                     continue
-                feats = self._features(probe.gidx, remotes)
-                picked = self._remote_policy.choose(feats, k)
+                row = self._remote_scores[probe.gidx - self.n_remote]
+                picked = self._remote_policy.choose_scored(row[remotes], k)
                 window_end = min(t + self.config.demand_rebalance_s, self.config.duration_s)
                 for i in picked:
                     r = int(remotes[i])
                     self._attached.add((r, probe.gidx))
-                    probe.known.add(r)
+                    probe.add_known(r)
                     self._record(t, r, probe.gidx, self.profile.handshake_bytes, PacketKind.SIGNALING)
                     self._schedule_pulls(r, probe, t, window_end)
         self._queue.schedule(
@@ -525,7 +749,7 @@ class Engine:
         )
 
     def _schedule_pulls(self, remote: int, probe: _ProbeState, t0: float, t1: float) -> None:
-        rng = self._rngs["engine"]
+        rng = self._rng_engine
         rate = self.profile.remote_pull_rate
         if rate <= 0:
             return
@@ -538,27 +762,39 @@ class Engine:
 
     def _on_remote_pull(self, remote: int, probe: _ProbeState) -> None:
         t = self._queue.now
-        if (remote, probe.gidx) not in self._attached or t >= self._leave[remote]:
+        if (remote, probe.gidx) not in self._attached or t >= self._leave_list[remote]:
             return
         self._record(t, remote, probe.gidx, REQUEST_BYTES, PacketKind.CONTROL)
         chunk = self._serveable_chunk(remote, probe, t)
         if chunk is None:
             return
-        nbytes = self.clock.chunk_bytes
+        nbytes = self._chunk_bytes
         lat = self._latency(remote, probe.gidx)
         start = self.uplink.admit(probe.gidx, t + lat, nbytes)
         if start is None:
             return
-        bn = bottleneck_bps(float(self._up[probe.gidx]), float(self._down[remote]))
         self._record(start, probe.gidx, remote, nbytes, PacketKind.VIDEO)
 
     def _serveable_chunk(self, remote: int, probe: _ProbeState, t: float) -> int | None:
         """The newest chunk ``probe`` holds that ``remote`` still lacks."""
-        want = self.availability.newest_missing(remote, t)
+        av = self.availability
+        want = av.newest_missing(remote, t)
         if want is None:
             return None
+        held = probe.buffer.chunk_set
+        # Inlined av.has_chunk with the per-remote constants hoisted out of
+        # the scan loop (identical arithmetic and compares).
+        delay, ready = av.scalar_view(remote)
+        ci = av.chunk_interval
+        ret = av.retention_s
         for chunk in range(want, max(want - 6, 0) - 1, -1):
-            if probe.buffer.has(chunk) and not self.availability.has_chunk(remote, chunk, t):
+            if chunk not in held:
+                continue
+            gen = chunk * ci
+            arrival = gen + delay
+            if ready > arrival:
+                arrival = ready
+            if t < arrival or t >= gen + ret:  # the remote lacks it → serveable
                 return chunk
         return None
 
@@ -568,7 +804,8 @@ class Engine:
         t_stagger = self.profile.tick_interval_s / max(1, self.n_probe)
         for i, probe in enumerate(self._probes):
             found = self._tracker_sample(probe, self.profile.tracker_initial, 0.0)
-            probe.known.update(int(g) for g in found)
+            for g in found.tolist():
+                probe.add_known(g)
             hs = self.profile.handshake_bytes
             for cand in found:
                 self._record(0.0, probe.gidx, int(cand), hs, PacketKind.SIGNALING)

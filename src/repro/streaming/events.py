@@ -55,8 +55,10 @@ class EventQueue:
     def run_until(self, t_end: float) -> int:
         """Drain events with time ≤ ``t_end``; returns events processed."""
         processed = 0
-        while self._heap and self._heap[0][0] <= t_end:
-            t, _seq, callback, args = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and heap[0][0] <= t_end:
+            t, _seq, callback, args = pop(heap)
             self._now = t
             callback(*args)
             processed += 1

@@ -93,14 +93,69 @@ class SelectionPolicy:
             score += w.hop * feats.near
         return score
 
+    def probabilities_from_scores(self, scores: np.ndarray) -> np.ndarray:
+        """Softmax selection probabilities for precomputed raw scores.
+
+        This is the cache-friendly entry point: the engine precomputes the
+        (static) awareness score of every (chooser, candidate) pair once
+        and feeds score *rows* here, skipping feature construction and
+        rescoring entirely.  The arithmetic is identical to
+        :meth:`probabilities`, so cached and uncached paths produce
+        bit-equal probabilities — and therefore identical RNG draws.
+        """
+        if len(scores) == 0:
+            return np.zeros(0)
+        logits = scores / self.temperature
+        logits -= logits.max()  # numerical stability (logits is a fresh array)
+        p = np.exp(logits)
+        return p / p.sum()
+
     def probabilities(self, feats: CandidateFeatures) -> np.ndarray:
         """Softmax selection probabilities for a candidate batch."""
         if len(feats) == 0:
             return np.zeros(0)
-        logits = self.scores(feats) / self.temperature
-        logits -= logits.max()  # numerical stability
-        p = np.exp(logits)
-        return p / p.sum()
+        return self.probabilities_from_scores(self.scores(feats))
+
+    def cdf_from_scores(self, scores: np.ndarray) -> np.ndarray:
+        """Normalised selection CDF for a score row (memoisation target).
+
+        The CDF is a pure function of the scores, so the engine caches it
+        per recurring candidate set; :meth:`sample_index` then consumes one
+        uniform against it.  Computed through the exact probability
+        pipeline the uncached path uses, hence bit-identical.
+        """
+        cdf = self.probabilities_from_scores(scores).cumsum()
+        cdf /= cdf[-1]
+        return cdf
+
+    def sample_index(self, cdf: np.ndarray) -> int:
+        """Draw one candidate index by inverting a precomputed CDF.
+
+        Consumes exactly one uniform from the policy RNG — the same draw,
+        against the same CDF values, as :meth:`choose_one_scored` — so
+        cached-CDF sampling reproduces the uncached draw sequence exactly
+        (``Generator.random()`` and ``Generator.random(1)[0]`` yield the
+        same double and the same post-call state).
+        """
+        return int(cdf.searchsorted(self._rng.random(), side="right"))
+
+    def _sample(self, n: int, k: int, p: np.ndarray) -> np.ndarray:
+        """``rng.choice(n, size=k, replace=False, p=p)``, minus the overhead.
+
+        For ``k == 1`` numpy's ``Generator.choice`` consumes exactly one
+        uniform and inverts the CDF of ``p`` — but spends ~35 µs/call on
+        argument validation.  This replays the same computation directly
+        (one ``rng.random(1)`` draw, cumsum, renormalise, right-bisect),
+        which is bit-identical in both the returned index and the
+        post-call generator state; ``tests/streaming/test_selection.py``
+        asserts that equivalence against ``Generator.choice`` itself.
+        """
+        if k == 1:
+            cdf = p.cumsum()
+            cdf /= cdf[-1]
+            x = self._rng.random()
+            return np.array([cdf.searchsorted(x, side="right")], dtype=np.int64)
+        return self._rng.choice(n, size=k, replace=False, p=p)
 
     def choose(self, feats: CandidateFeatures, k: int = 1) -> np.ndarray:
         """Sample ``k`` distinct candidate indices (≤ batch size)."""
@@ -108,10 +163,22 @@ class SelectionPolicy:
         if n == 0 or k <= 0:
             return np.zeros(0, dtype=np.int64)
         k = min(k, n)
-        p = self.probabilities(feats)
-        return self._rng.choice(n, size=k, replace=False, p=p)
+        return self._sample(n, k, self.probabilities(feats))
+
+    def choose_scored(self, scores: np.ndarray, k: int = 1) -> np.ndarray:
+        """:meth:`choose` over a precomputed score row (cache hot path)."""
+        n = len(scores)
+        if n == 0 or k <= 0:
+            return np.zeros(0, dtype=np.int64)
+        k = min(k, n)
+        return self._sample(n, k, self.probabilities_from_scores(scores))
 
     def choose_one(self, feats: CandidateFeatures) -> int:
         """Sample a single candidate index; -1 when the batch is empty."""
         picked = self.choose(feats, 1)
+        return int(picked[0]) if len(picked) else -1
+
+    def choose_one_scored(self, scores: np.ndarray) -> int:
+        """:meth:`choose_one` over a precomputed score row (cache hot path)."""
+        picked = self.choose_scored(scores, 1)
         return int(picked[0]) if len(picked) else -1

@@ -13,8 +13,6 @@ The transport layer is where access capacities become *observable*:
 
 from __future__ import annotations
 
-from array import array
-
 import numpy as np
 
 from repro.errors import SimulationError
@@ -41,15 +39,19 @@ def bottleneck_bps(src_up_bps: float, dst_down_bps: float) -> float:
 
 
 class TransferRecorder:
-    """Columnar accumulator for the engine's transfer log."""
+    """Row accumulator for the engine's transfer log.
+
+    Rows are buffered as plain tuples — one list append per logged packet,
+    the cheapest thing the hot path can do — and pivoted into the columnar
+    structured array once, at :meth:`finalize`.  ``append_row`` is the
+    bound list-append itself; the engine calls it directly with a
+    ``(ts, src_ip, dst_ip, nbytes, kind, bottleneck)`` tuple.
+    """
 
     def __init__(self) -> None:
-        self._ts = array("d")
-        self._src = array("L")
-        self._dst = array("L")
-        self._bytes = array("L")
-        self._kind = array("B")
-        self._bottleneck = array("d")
+        self._rows: list[tuple[float, int, int, int, int, float]] = []
+        #: Hot-path entry point (the bound ``list.append``).
+        self.append_row = self._rows.append
 
     def record(
         self,
@@ -61,26 +63,23 @@ class TransferRecorder:
         bottleneck: float,
     ) -> None:
         """Append one exchange."""
-        self._ts.append(ts)
-        self._src.append(src_ip)
-        self._dst.append(dst_ip)
-        self._bytes.append(nbytes)
-        self._kind.append(int(kind))
-        self._bottleneck.append(bottleneck)
+        self._rows.append((ts, src_ip, dst_ip, nbytes, int(kind), bottleneck))
 
     def __len__(self) -> int:
-        return len(self._ts)
+        return len(self._rows)
 
     def finalize(self) -> np.ndarray:
         """Materialise the log as a time-sorted structured array."""
-        n = len(self._ts)
+        n = len(self._rows)
         out = np.empty(n, dtype=TRANSFER_DTYPE)
-        out["ts"] = np.frombuffer(self._ts, dtype=np.float64, count=n)
-        out["src"] = np.frombuffer(self._src, dtype=f"u{self._src.itemsize}", count=n)
-        out["dst"] = np.frombuffer(self._dst, dtype=f"u{self._dst.itemsize}", count=n)
-        out["bytes"] = np.frombuffer(self._bytes, dtype=f"u{self._bytes.itemsize}", count=n)
-        out["kind"] = np.frombuffer(self._kind, dtype=np.uint8, count=n)
-        out["bottleneck"] = np.frombuffer(self._bottleneck, dtype=np.float64, count=n)
+        if n:
+            ts, src, dst, nbytes, kind, bottleneck = zip(*self._rows)
+            out["ts"] = ts
+            out["src"] = src
+            out["dst"] = dst
+            out["bytes"] = nbytes
+            out["kind"] = kind
+            out["bottleneck"] = bottleneck
         return out[np.argsort(out["ts"], kind="stable")]
 
 
@@ -96,6 +95,10 @@ class SignalingBook:
     def __init__(self) -> None:
         self._open: dict[tuple[int, int, float, int], float] = {}
         self._closed: list[tuple[int, int, float, float, float, int]] = []
+        #: (src, dst) → open keys of that pair, in first-open order — the
+        #: same order a scan of ``_open`` (insertion-ordered) would yield,
+        #: so close() emits identical interval sequences without the scan.
+        self._pair_keys: dict[tuple[int, int], list[tuple[int, int, float, int]]] = {}
 
     def open(self, src_ip: int, dst_ip: int, t: float, interval: float, nbytes: int) -> None:
         """Start a periodic exchange ``src → dst`` at time ``t``."""
@@ -103,13 +106,15 @@ class SignalingBook:
             raise SimulationError("signaling interval must be positive")
         key = (src_ip, dst_ip, interval, nbytes)
         # Re-opening an already-open relationship keeps the earlier start.
-        self._open.setdefault(key, t)
+        if key not in self._open:
+            self._open[key] = t
+            self._pair_keys.setdefault((src_ip, dst_ip), []).append(key)
 
     def close(self, src_ip: int, dst_ip: int, t: float) -> None:
         """Stop every periodic exchange ``src → dst`` at time ``t``."""
-        for key in [k for k in self._open if k[0] == src_ip and k[1] == dst_ip]:
-            start = self._open.pop(key)
-            if t > start:
+        for key in self._pair_keys.pop((src_ip, dst_ip), ()):
+            start = self._open.pop(key, None)
+            if start is not None and t > start:
                 self._closed.append((key[0], key[1], start, t, key[2], key[3]))
 
     def finalize(self, t_end: float) -> np.ndarray:
@@ -118,6 +123,7 @@ class SignalingBook:
             if t_end > start:
                 self._closed.append((key[0], key[1], start, t_end, key[2], key[3]))
         self._open.clear()
+        self._pair_keys.clear()
         out = np.empty(len(self._closed), dtype=SIGNALING_DTYPE)
         for i, (src, dst, start, stop, interval, nbytes) in enumerate(self._closed):
             out[i] = (src, dst, start, stop, interval, nbytes)
@@ -135,8 +141,12 @@ class UplinkScheduler:
     def __init__(self, n_peers: int, up_bps: np.ndarray, max_backlog_s: float = 4.0) -> None:
         if len(up_bps) != n_peers:
             raise SimulationError("up_bps must have one entry per peer")
-        self._free_at = np.zeros(n_peers, dtype=np.float64)
-        self._up_bps = np.asarray(up_bps, dtype=np.float64)
+        # Plain Python floats: admit() runs once per queued transfer, and
+        # scalar indexing of numpy arrays would box a fresh numpy scalar
+        # per call.  Same IEEE doubles either way — arithmetic is
+        # bit-identical to the previous array-backed implementation.
+        self._free_at: list[float] = [0.0] * n_peers
+        self._up_bps: list[float] = np.asarray(up_bps, dtype=np.float64).tolist()
         self._max_backlog_s = max_backlog_s
 
     def admit(self, peer_idx: int, t: float, nbytes: int) -> float | None:
@@ -151,8 +161,8 @@ class UplinkScheduler:
             return None
         duration = nbytes * BITS_PER_BYTE / self._up_bps[peer_idx]
         self._free_at[peer_idx] = start + duration
-        return float(start)
+        return start
 
     def backlog(self, peer_idx: int, t: float) -> float:
         """Seconds of queued serialisation work at ``t``."""
-        return max(0.0, float(self._free_at[peer_idx]) - t)
+        return max(0.0, self._free_at[peer_idx] - t)

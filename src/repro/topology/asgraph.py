@@ -63,6 +63,15 @@ class ASGraph:
         self._graph = graph
         self._registry = registry
         self._hop_cache: dict[int, dict[int, float]] = {}
+        #: Entry cost (1 inter-AS hop + internal hops) per node, memoised —
+        #: the Dijkstra weight callback fires once per edge relaxation and
+        #: a registry lookup there dominates the whole search.
+        self._entry_cost: dict[int, int] = {}
+        #: Bumped by :meth:`invalidate_routes` whenever the graph gains
+        #: nodes/edges after construction; :class:`~repro.topology.paths.
+        #: PathModel` compares it to decide when its dense transit-hop
+        #: matrix must be rebuilt.
+        self.routes_version = 0
 
     # ------------------------------------------------------------------ build
     @classmethod
@@ -150,6 +159,26 @@ class ASGraph:
         """Router hops spent crossing AS ``asn`` internally."""
         return INTERNAL_HOPS[self._registry.get(asn).tier]
 
+    def invalidate_routes(self) -> None:
+        """Drop every cached distance after a post-build graph mutation.
+
+        Late-attached ASes (the per-home-probe ISPs of Table I) can create
+        regional shortcuts, so previously computed pair distances are not
+        guaranteed to survive; callers that mutate :attr:`graph` must call
+        this so the next query recomputes from the current topology.
+        """
+        self._hop_cache.clear()
+        self._entry_cost.clear()
+        self.routes_version += 1
+
+    def _edge_weight(self, u: int, v: int, d: dict) -> int:
+        """Dijkstra weight: cost of entering ``v`` (link + internal hops)."""
+        cost = self._entry_cost.get(v)
+        if cost is None:
+            cost = 1 + self.internal_hops(v)
+            self._entry_cost[v] = cost
+        return cost
+
     def as_path(self, src_asn: int, dst_asn: int) -> list[int]:
         """The AS-level path between two ASes (weighted shortest path).
 
@@ -162,10 +191,7 @@ class ASGraph:
             return [src_asn]
         try:
             return nx.shortest_path(
-                self._graph,
-                src_asn,
-                dst_asn,
-                weight=lambda u, v, d: 1 + self.internal_hops(v),
+                self._graph, src_asn, dst_asn, weight=self._edge_weight
             )
         except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
             raise TopologyError(f"no AS path AS{src_asn} → AS{dst_asn}") from exc
@@ -193,9 +219,7 @@ class ASGraph:
             if src_asn not in self._graph:
                 raise TopologyError(f"AS{src_asn} not in graph")
             cached = nx.single_source_dijkstra_path_length(
-                self._graph,
-                src_asn,
-                weight=lambda u, v, d: 1 + self.internal_hops(v),
+                self._graph, src_asn, weight=self._edge_weight
             )
             self._hop_cache[src_asn] = cached
         return cached

@@ -63,9 +63,17 @@ class PathModel:
     def __init__(self, asgraph: ASGraph, config: PathModelConfig | None = None) -> None:
         self._asgraph = asgraph
         self._config = config or PathModelConfig()
-        # Dense transit-hop matrix over the ASNs seen so far (lazily grown).
+        # Dense transit-hop matrix over the registered ASNs.  Registration
+        # (ensure_asns) is cheap and eager; the matrix itself materialises
+        # lazily at the first hop query, so a world assembled through many
+        # ``add_home_as`` calls pays for *one* all-pairs computation instead
+        # of a full rebuild (and a full Dijkstra sweep) per attachment.
         self._asn_index: dict[int, int] = {}
         self._transit: np.ndarray = np.zeros((0, 0), dtype=np.int16)
+        #: Dense ASN → matrix-row lookup (−1 = unregistered); rebuilt with
+        #: the matrix so vectorised queries avoid per-element dict lookups.
+        self._asn_lut: np.ndarray = np.full(1, -1, dtype=np.int64)
+        self._built_version = asgraph.routes_version
 
     @property
     def config(self) -> PathModelConfig:
@@ -73,28 +81,44 @@ class PathModel:
 
     # ----------------------------------------------------------- ASN indexing
     def ensure_asns(self, asns: list[int] | np.ndarray) -> None:
-        """Precompute the transit-hop matrix rows/columns for ``asns``.
+        """Register ``asns`` for the transit-hop matrix.
 
-        Call this once with every ASN that will appear in an experiment;
-        afterwards all hop queries are array lookups.
+        Unknown ASes fail fast here; the (expensive) matrix rows are
+        computed lazily by the next hop query, over the graph as it stands
+        *then* — which is what makes repeated late-AS attachment cheap.
         """
-        new = [int(a) for a in asns if int(a) not in self._asn_index]
-        if not new:
-            return
-        for asn in new:
+        for a in asns:
+            asn = int(a)
+            if asn in self._asn_index:
+                continue
             if asn not in self._asgraph:
                 raise TopologyError(f"AS{asn} absent from the AS graph")
             self._asn_index[asn] = len(self._asn_index)
+
+    def _materialise(self) -> None:
+        """Bring the dense matrix in sync with registrations and topology."""
+        version = self._asgraph.routes_version
+        n = len(self._asn_index)
+        if self._transit.shape[0] == n and self._built_version == version:
+            return
         all_asns = sorted(self._asn_index, key=self._asn_index.__getitem__)
-        n = len(all_asns)
+        # A topology mutation (late-attached AS) can shorten existing pair
+        # distances, so cached rows survive only while the version matches.
+        old = self._transit.shape[0] if self._built_version == version else 0
         matrix = np.zeros((n, n), dtype=np.int16)
-        for i, a in enumerate(all_asns):
-            for j, b in enumerate(all_asns):
-                if j < i:
-                    matrix[i, j] = matrix[j, i]
-                else:
-                    matrix[i, j] = self._asgraph.transit_hops(a, b)
+        if old:
+            matrix[:old, :old] = self._transit
+        for i in range(old, n):
+            a = all_asns[i]
+            for j in range(i + 1):
+                v = self._asgraph.transit_hops(a, all_asns[j])
+                matrix[i, j] = v
+                matrix[j, i] = v
         self._transit = matrix
+        self._built_version = version
+        lut = np.full(max(all_asns, default=0) + 1, -1, dtype=np.int64)
+        lut[all_asns] = np.arange(n)
+        self._asn_lut = lut
 
     def _index_of(self, asn: int) -> int:
         idx = self._asn_index.get(asn)
@@ -110,7 +134,10 @@ class PathModel:
             return 0
         if src.same_subnet(dst):
             return 0
-        transit = int(self._transit[self._index_of(src.asn), self._index_of(dst.asn)])
+        si = self._index_of(src.asn)
+        di = self._index_of(dst.asn)
+        self._materialise()
+        transit = int(self._transit[si, di])
         jitter = int(
             pair_randint(src.ip, dst.ip, self._config.jitter_span, self._config.seed)
         )
@@ -146,9 +173,9 @@ class PathModel:
         src_asns = np.asarray(src_asns, dtype=np.int64)
         dst_asns = np.asarray(dst_asns, dtype=np.int64)
         self.ensure_asns(np.unique(np.concatenate([src_asns, dst_asns])).tolist())
-        lut = np.vectorize(self._asn_index.__getitem__, otypes=[np.int64])
-        si = lut(src_asns)
-        di = lut(dst_asns)
+        self._materialise()
+        si = self._asn_lut[src_asns]
+        di = self._asn_lut[dst_asns]
         transit = self._transit[si, di].astype(np.int64)
         jitter = pair_randint(
             np.asarray(src_ips), np.asarray(dst_ips), self._config.jitter_span, self._config.seed

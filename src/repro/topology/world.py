@@ -186,8 +186,8 @@ class World:
         graph.add_node(asn, tier=ASTier.ACCESS)
         for up in picks:
             graph.add_edge(asn, int(up))
-        # New node invalidates cached single-source distances.
-        self.asgraph._hop_cache.clear()
+        # New node invalidates cached distances and the dense transit matrix.
+        self.asgraph.invalidate_routes()
 
     # -------------------------------------------------------------- endpoints
     def new_subnet(self, asn: int, site: str | None = None) -> Subnet:

@@ -9,6 +9,7 @@ exchange format.
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import warnings
@@ -65,6 +66,25 @@ class TraceBundle:
             hosts=result.hosts,
             meta=meta,
         )
+
+
+def trace_digest(*arrays: np.ndarray) -> str:
+    """SHA-256 over the exact bytes of one or more numpy arrays.
+
+    Dtype and shape are folded into the hash so a reinterpretation of the
+    same buffer cannot collide.  The engine's structured dtypes are packed
+    (no padding bytes), which makes ``tobytes()`` — and therefore this
+    digest — a byte-exact fingerprint of a simulation's output; the golden
+    determinism suite pins :func:`repro.streaming.engine.simulate` output
+    per application with it.
+    """
+    h = hashlib.sha256()
+    for a in arrays:
+        a = np.ascontiguousarray(a)
+        h.update(str(a.dtype).encode("utf-8"))
+        h.update(str(a.shape).encode("utf-8"))
+        h.update(a.tobytes())
+    return h.hexdigest()
 
 
 def save_trace_bundle(path: str | Path, bundle: TraceBundle) -> Path:

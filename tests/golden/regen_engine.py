@@ -1,0 +1,56 @@
+"""Regenerate the golden engine trace hashes.
+
+``engine_trace_hashes.json`` pins the byte-exact output of
+:func:`repro.streaming.engine.simulate` (transfers, signaling intervals,
+host table) per application at one fixed seed.  Any change to the engine,
+topology, population or transport layers that shifts a single byte — an
+extra RNG draw, a reordered set iteration, a float computed differently —
+fails the determinism test, by design.
+
+**Never regenerate these hashes in the same PR as an engine refactor**:
+the whole point is that the fixture is produced by the code *before* the
+refactor, so passing the test proves the refactor is byte-identical.  Only
+regenerate when the behaviour change is intentional:
+
+    PYTHONPATH=src python tests/golden/regen_engine.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
+HASHES_PATH = GOLDEN_DIR / "engine_trace_hashes.json"
+
+#: One run per application, full profile scale, fixed seed.
+ENGINE_GOLDEN_APPS = ("tvants", "sopcast")
+ENGINE_GOLDEN_KWARGS = dict(duration_s=30.0, seed=1234)
+
+
+def compute_hashes() -> dict:
+    from repro.streaming.engine import EngineConfig, simulate
+    from repro.streaming.profiles import get_profile
+    from repro.trace.store import trace_digest
+
+    hashes = {}
+    for app in ENGINE_GOLDEN_APPS:
+        result = simulate(
+            get_profile(app), engine_config=EngineConfig(**ENGINE_GOLDEN_KWARGS)
+        )
+        hashes[app] = {
+            "transfers": trace_digest(result.transfers),
+            "signaling": trace_digest(result.signaling),
+            "hosts": trace_digest(result.hosts.rows),
+            "events": result.events_processed,
+        }
+    return {"config": dict(ENGINE_GOLDEN_KWARGS), "hashes": hashes}
+
+
+def regenerate() -> pathlib.Path:
+    HASHES_PATH.write_text(json.dumps(compute_hashes(), indent=2, sort_keys=True) + "\n")
+    return HASHES_PATH
+
+
+if __name__ == "__main__":
+    print(f"wrote {regenerate()}")

@@ -1,0 +1,100 @@
+"""Benchmark summaries: BENCH_engine.json derivation from raw results."""
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    main,
+    summarize,
+    summarize_benchmark,
+    write_bench_summary,
+)
+
+
+def _raw(name="test_engine_one_minute[tvants]", wall=0.5, events=25000,
+         transfers=40000, simulated_s=60.0):
+    extra = {"events": events, "transfers": transfers}
+    if simulated_s is not None:
+        extra["simulated_s"] = simulated_s
+    return {
+        "datetime": "2026-08-06T00:00:00",
+        "benchmarks": [
+            {
+                "name": name,
+                "stats": {"min": wall, "mean": wall * 1.1, "rounds": 2},
+                "extra_info": extra,
+            }
+        ],
+    }
+
+
+class TestSummarize:
+    def test_throughput_metrics_derived(self):
+        entry = summarize_benchmark(_raw()["benchmarks"][0])
+        assert entry["wall_s_min"] == 0.5
+        assert entry["events_per_s"] == pytest.approx(25000 / 0.5)
+        assert entry["transfers_per_s"] == pytest.approx(40000 / 0.5)
+        assert entry["wall_s_per_simulated_minute"] == pytest.approx(0.5)
+
+    def test_scaling_bench_normalised_to_a_minute(self):
+        entry = summarize_benchmark(
+            _raw(wall=0.4, simulated_s=30.0)["benchmarks"][0]
+        )
+        assert entry["wall_s_per_simulated_minute"] == pytest.approx(0.8)
+
+    def test_missing_extra_info_omits_derived_metrics(self):
+        bench = _raw()["benchmarks"][0]
+        bench["extra_info"] = {}
+        entry = summarize_benchmark(bench)
+        assert "events_per_s" not in entry
+        assert "wall_s_per_simulated_minute" not in entry
+
+    def test_baseline_speedup(self):
+        base = _raw(wall=1.5)["benchmarks"][0]
+        entry = summarize_benchmark(_raw(wall=0.5)["benchmarks"][0], base)
+        assert entry["baseline_wall_s_min"] == 1.5
+        assert entry["speedup_vs_baseline"] == pytest.approx(3.0)
+
+    def test_document_shape(self):
+        doc = summarize(_raw(), baseline=_raw(wall=1.0))
+        assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+        (entry,) = doc["benchmarks"]
+        assert entry["speedup_vs_baseline"] == pytest.approx(2.0)
+
+    def test_unmatched_baseline_name_ignored(self):
+        doc = summarize(_raw(), baseline=_raw(name="other_bench"))
+        assert "speedup_vs_baseline" not in doc["benchmarks"][0]
+
+
+class TestWriteSummary:
+    def test_round_trip(self, tmp_path):
+        raw = tmp_path / "raw.json"
+        raw.write_text(json.dumps(_raw()))
+        out = write_bench_summary(raw, tmp_path / "BENCH_engine.json")
+        doc = json.loads(out.read_text())
+        assert doc["benchmarks"][0]["name"] == "test_engine_one_minute[tvants]"
+
+    def test_missing_input_raises(self, tmp_path):
+        with pytest.raises(TraceError):
+            write_bench_summary(tmp_path / "absent.json")
+
+    def test_not_benchmark_json_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(TraceError):
+            write_bench_summary(bad)
+
+    def test_cli_main(self, tmp_path, capsys):
+        raw = tmp_path / "raw.json"
+        base = tmp_path / "base.json"
+        raw.write_text(json.dumps(_raw(wall=0.5)))
+        base.write_text(json.dumps(_raw(wall=1.5)))
+        out = tmp_path / "BENCH_engine.json"
+        rc = main([str(raw), "-o", str(out), "--baseline", str(base)])
+        assert rc == 0
+        assert out.exists()
+        printed = capsys.readouterr().out
+        assert "3.00x vs baseline" in printed

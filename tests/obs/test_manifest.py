@@ -12,6 +12,7 @@ from repro.obs.manifest import (
     config_digest,
     manifest_from_campaign,
     read_manifest,
+    render_manifest_diff,
     render_manifest_summary,
     write_manifest,
 )
@@ -153,3 +154,56 @@ class TestSummary:
         out = render_manifest_summary(broken)
         assert "FAILURES" in out
         assert "synthetic" in out
+
+
+def _synthetic_manifest(seed=1, wall=2.0, events=1000):
+    """A minimal hand-built manifest (no campaign run needed)."""
+    config = {"seed": seed, "duration_s": 30.0, "apps": ["tvants"]}
+    return RunManifest(
+        kind="campaign",
+        config=config,
+        config_hash=config_digest(config),
+        telemetry={
+            "timers": {"shard.tvants.simulate": {"calls": 1, "wall_s": wall,
+                                                 "cpu_s": wall * 0.9}},
+            "counters": {"engine/events": events},
+            "gauges": {"engine/queue_depth": {"peak": 64.0, "samples": 1}},
+        },
+    )
+
+
+class TestManifestDiff:
+    def test_same_config_reports_match(self):
+        out = render_manifest_diff(_synthetic_manifest(), _synthetic_manifest())
+        assert "configs match" in out
+        assert "CONFIG MISMATCH" not in out
+
+    def test_differing_config_lists_changed_keys(self):
+        out = render_manifest_diff(
+            _synthetic_manifest(seed=1), _synthetic_manifest(seed=2)
+        )
+        assert "CONFIG MISMATCH" in out
+        assert "CONFIG CHANGES" in out
+        assert "seed" in out
+
+    def test_timings_and_counters_compared(self):
+        out = render_manifest_diff(
+            _synthetic_manifest(wall=4.0, events=1000),
+            _synthetic_manifest(wall=2.0, events=1100),
+        )
+        assert "STAGE TIMERS" in out
+        assert "2.00x" in out  # 4.0s → 2.0s speedup
+        assert "+100" in out  # event-count delta
+        assert "engine/queue_depth (peak)" in out
+
+    def test_stage_missing_on_one_side(self):
+        a = _synthetic_manifest()
+        b = _synthetic_manifest()
+        b.telemetry = {}
+        out = render_manifest_diff(a, b)
+        assert "shard.tvants.simulate" in out
+
+    def test_real_manifest_diffs_against_itself(self, manifest):
+        out = render_manifest_diff(manifest, manifest)
+        assert "configs match" in out
+        assert "STAGE TIMERS" in out

@@ -104,6 +104,32 @@ class TestEndToEnd:
         assert "STAGE TIMERS" in out
         assert "tvants" in out
 
+    def test_stats_diff(self, tmp_path, capsys):
+        from repro.obs.manifest import RunManifest, config_digest, write_manifest
+
+        def make(seed):
+            cfg = {"seed": seed, "apps": ["tvants"]}
+            return RunManifest(config=cfg, config_hash=config_digest(cfg))
+
+        a = write_manifest(tmp_path / "a.json", make(1))
+        b = write_manifest(tmp_path / "b.json", make(1))
+        c = write_manifest(tmp_path / "c.json", make(2))
+
+        assert main(["stats", "--diff", str(a), str(b)]) == 0
+        assert "configs match" in capsys.readouterr().out
+
+        # Different configurations: report the changed keys, exit nonzero.
+        assert main(["stats", "--diff", str(a), str(c)]) == 1
+        out = capsys.readouterr().out
+        assert "CONFIG MISMATCH" in out
+        assert "seed" in out
+
+    def test_stats_diff_needs_two_manifests(self, tmp_path, capsys):
+        from repro.obs.manifest import RunManifest, write_manifest
+
+        a = write_manifest(tmp_path / "a.json", RunManifest())
+        assert main(["stats", "--diff", str(a)]) == 2
+
     def test_campaign_no_manifest(self, tmp_path, monkeypatch, capsys):
         monkeypatch.chdir(tmp_path)
         rc = main(
