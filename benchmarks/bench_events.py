@@ -1,0 +1,59 @@
+"""Performance benchmarks: the event-queue schedulers in isolation.
+
+Schedule/dispatch throughput of the calendar queue (:class:`EventQueue`)
+against the binary-heap reference (:class:`HeapEventQueue`) it replaced,
+on a workload shaped like the engine's: a steady population of periodic
+ticks interleaved with short-horizon one-shot events (chunk arrivals,
+remote pulls).  The summary in ``BENCH_engine.json`` tracks both, so the
+calendar queue's advantage — and any future regression of it — is
+visible without running the full engine.
+"""
+
+import pytest
+
+from repro.streaming.events import EventQueue, HeapEventQueue
+
+#: Workload shape, roughly the tvants engine mix: ~100 periodic sources
+#: ticking at 0.3 s, each tick scheduling ~1.5 one-shot follow-ups that
+#: fire within a second.
+N_SOURCES = 100
+TICK_INTERVAL_S = 0.3
+HORIZON_S = 120.0
+
+
+def _drive(queue) -> int:
+    """Run the synthetic tick/follow-up workload to the horizon."""
+    fired = [0, 0]
+
+    def on_arrival(i: int) -> None:
+        fired[1] += 1
+
+    def on_tick(i: int) -> None:
+        fired[0] += 1
+        t = queue.now
+        # Deterministic pseudo-jitter (no RNG in the inner loop): two
+        # follow-ups on most ticks, one on every third.
+        queue.schedule(t + 0.05 + 0.001 * (i % 7), on_arrival, i)
+        if i % 3:
+            queue.schedule(t + 0.4 + 0.002 * (i % 11), on_arrival, i)
+        queue.schedule(t + TICK_INTERVAL_S, on_tick, i)
+
+    for i in range(N_SOURCES):
+        queue.schedule(0.001 * i, on_tick, i)
+    events = queue.run_until(HORIZON_S)
+    assert events == fired[0] + fired[1]
+    return events
+
+
+@pytest.mark.parametrize(
+    "impl", [EventQueue, HeapEventQueue], ids=["calendar", "heap"]
+)
+def test_event_queue_throughput(benchmark, impl):
+    """Events dispatched per second through each scheduler."""
+
+    def run():
+        return _drive(impl())
+
+    events = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["events"] = events
+    benchmark.extra_info["simulated_s"] = HORIZON_S

@@ -36,11 +36,46 @@ from repro.obs.log import LEVELS, configure
 from repro.streaming.profiles import PROFILES
 
 
+def _start_profiler(args: argparse.Namespace):
+    """Start a cProfile session when ``--profile`` was given (else None)."""
+    if getattr(args, "profile", None) is None:
+        return None
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    return profiler
+
+
+def _dump_profiler(profiler, args: argparse.Namespace, default_path: str) -> str | None:
+    """Stop ``profiler`` and dump pstats; returns the dump path."""
+    if profiler is None:
+        return None
+    profiler.disable()
+    path = args.profile if args.profile != "auto" else default_path
+    profiler.dump_stats(path)
+    print(
+        f"cProfile stats written to {path} "
+        f"(inspect: python -m pstats {path})",
+        file=sys.stderr,
+    )
+    return path
+
+
+def _add_profile_flag(parser: argparse.ArgumentParser, where: str) -> None:
+    parser.add_argument(
+        "--profile", nargs="?", const="auto", default=None, metavar="PATH",
+        help=f"profile the run under cProfile and dump pstats {where}",
+    )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro import run_experiment
     from repro.trace.store import TraceBundle, save_trace_bundle
 
+    profiler = _start_profiler(args)
     result = run_experiment(args.app, duration_s=args.duration, seed=args.seed)
+    _dump_profiler(profiler, args, args.out + ".pstats")
     bundle = TraceBundle.from_result(result)
     path = save_trace_bundle(args.out, bundle)
     print(
@@ -116,12 +151,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         impairment=impairment,
     )
+    profiler = _start_profiler(args)
     campaign = run_campaign(config, workers=args.workers, backend=args.backend)
+    # The profile dump lands next to the run manifest so the provenance
+    # record and the performance evidence travel together.
+    default_profile = "run_profile.pstats"
+    if args.manifest is not None:
+        from pathlib import Path
+
+        default_profile = str(Path(args.manifest).with_suffix(".pstats"))
+    profile_path = _dump_profiler(profiler, args, default_profile)
     if args.manifest is not None:
         from repro.obs.manifest import manifest_from_campaign, write_manifest
 
         command = getattr(args, "_argv", None) or ["campaign"]
         manifest = manifest_from_campaign(campaign, command=command)
+        if profile_path is not None:
+            manifest.artifacts["profile"] = str(profile_path)
         manifest_path = write_manifest(args.manifest, manifest)
         print(f"run manifest written to {manifest_path}", file=sys.stderr)
     print(render_table1(build_table1(campaign.testbed)))
@@ -260,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--duration", type=float, default=300.0, help="seconds")
     sim.add_argument("--seed", type=int, default=7)
     sim.add_argument("--out", default="trace.npz", help="output bundle path")
+    _add_profile_flag(sim, "next to the trace bundle")
     sim.set_defaults(func=_cmd_simulate)
 
     ana = sub.add_parser("analyze", help="analyse a saved trace bundle")
@@ -300,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-manifest", dest="manifest", action="store_const", const=None,
         help="skip writing the run manifest",
     )
+    _add_profile_flag(camp, "next to the run manifest")
     _add_executor_flags(camp)
     camp.set_defaults(func=_cmd_campaign)
 

@@ -37,12 +37,16 @@ _log = get_logger("exec.worker")
 #: across shards) vs. gauges (merged by peak).
 _ENGINE_COUNTERS = (
     "events",
+    "events_scheduled",
     "transfer_records",
     "signaling_intervals",
     "bytes_recorded",
     "video_records",
     "video_bytes",
 )
+#: engine_stats sub-dicts of per-event-kind counts, absorbed as one
+#: counter per kind (``engine/dispatch/tick`` etc.).
+_ENGINE_KIND_DICTS = ("dispatch_by_kind", "schedule_by_kind")
 _ENGINE_GAUGES = ("peak_queue_depth",)
 
 
@@ -54,6 +58,10 @@ def _absorb_engine_stats(telemetry: Telemetry, result) -> None:
     for name in _ENGINE_COUNTERS:
         if name in stats:
             telemetry.count(f"engine/{name}", int(stats[name]))
+    for name in _ENGINE_KIND_DICTS:
+        prefix = f"engine/{name.removesuffix('_by_kind')}"
+        for kind, count in (stats.get(name) or {}).items():
+            telemetry.count(f"{prefix}/{kind}", int(count))
     for name in _ENGINE_GAUGES:
         if name in stats:
             telemetry.gauge(f"engine/{name}", float(stats[name]))

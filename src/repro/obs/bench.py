@@ -7,13 +7,27 @@ per simulated minute — optionally annotated with a speedup against a
 baseline raw file.  CI runs the engine benchmarks, writes the summary
 with :func:`write_bench_summary`, and uploads it as an artifact so the
 performance trajectory of the engine is recorded per commit; the repo
-root carries the before/after snapshot of the last optimisation pass.
+root carries the running history of optimisation passes.
+
+Schema v2 makes the summary an *append-only log*: every entry carries the
+``recorded`` timestamp of its run, ``--append`` keeps earlier entries and
+adds the new run's, and appended entries report ``speedup_vs_previous``
+against the most recent earlier entry of the same benchmark.  v1 files
+(one run, file-level timestamp only) migrate transparently — each legacy
+entry inherits the file-level ``datetime`` as its ``recorded`` stamp.
+
+``--check-against`` turns the tool into a regression gate: the new run's
+events/s are compared per benchmark with the *latest* entry of a
+committed summary, and any drop beyond ``--max-regression`` (default
+20 %) fails with exit status 2 — the CI guard against performance
+backsliding that plain unit tests cannot see.
 
 Usage::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_simulator.py \
         --benchmark-only --benchmark-json=bench_raw.json
-    PYTHONPATH=src python -m repro.obs.bench bench_raw.json -o BENCH_engine.json
+    PYTHONPATH=src python -m repro.obs.bench bench_raw.json -o BENCH_engine.json \
+        --append --check-against BENCH_engine.json
 
 The summary derives throughput from the ``extra_info`` counters the
 benchmarks attach (``events``, ``transfers``, ``simulated_s``); entries
@@ -29,7 +43,10 @@ from pathlib import Path
 from repro.errors import TraceError
 
 #: Summary layout version; bump on incompatible changes.
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
+
+#: Default tolerated events/s drop before the regression gate trips.
+DEFAULT_MAX_REGRESSION = 0.20
 
 
 def _load_raw(path: str | Path) -> dict:
@@ -43,6 +60,48 @@ def _load_raw(path: str | Path) -> dict:
     if not isinstance(data, dict) or "benchmarks" not in data:
         raise TraceError(f"{path}: missing 'benchmarks' key")
     return data
+
+
+def load_summary(path: str | Path) -> dict:
+    """Load (and migrate) an existing summary document."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"benchmark summary not found: {path}")
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"{path}: not a benchmark summary: {exc}") from exc
+    if not isinstance(doc, dict) or "benchmarks" not in doc:
+        raise TraceError(f"{path}: missing 'benchmarks' key")
+    return migrate_summary(doc)
+
+
+def migrate_summary(doc: dict) -> dict:
+    """Upgrade a summary document in place to the current schema.
+
+    v1 carried one run with a single file-level ``datetime``; its entries
+    inherit that stamp as their ``recorded`` time, which preserves the
+    information v1 actually had — when that one run happened.
+    """
+    version = doc.get("schema_version", 1)
+    if version == BENCH_SCHEMA_VERSION:
+        return doc
+    if version == 1:
+        stamp = doc.get("datetime")
+        for entry in doc["benchmarks"]:
+            entry.setdefault("recorded", stamp)
+        doc["schema_version"] = BENCH_SCHEMA_VERSION
+        return doc
+    raise TraceError(f"unsupported benchmark summary schema: {version}")
+
+
+def latest_by_name(doc: dict) -> dict[str, dict]:
+    """Most recent entry per benchmark name (last occurrence wins —
+    entries are appended in run order)."""
+    out: dict[str, dict] = {}
+    for entry in doc.get("benchmarks", []):
+        out[entry["name"]] = entry
+    return out
 
 
 def summarize_benchmark(bench: dict, baseline: dict | None = None) -> dict:
@@ -79,31 +138,82 @@ def summarize_benchmark(bench: dict, baseline: dict | None = None) -> dict:
     return entry
 
 
-def summarize(raw: dict, baseline: dict | None = None) -> dict:
-    """Summary document for a raw pytest-benchmark JSON."""
+def summarize(raw: dict, baseline: dict | None = None, previous: dict | None = None) -> dict:
+    """Summary document for a raw pytest-benchmark JSON.
+
+    ``previous`` is an existing (migrated) summary document to append to:
+    its entries are kept verbatim ahead of the new run's, and each new
+    entry that has an earlier same-name entry reports
+    ``speedup_vs_previous`` against it (wall-time ratio — > 1 is faster).
+    """
     base_index = (
         {b["name"]: b for b in baseline.get("benchmarks", [])} if baseline else {}
     )
+    prev_latest = latest_by_name(previous) if previous else {}
+    stamp = raw.get("datetime")
+    entries = []
+    for bench in raw["benchmarks"]:
+        entry = summarize_benchmark(bench, base_index.get(bench["name"]))
+        entry["recorded"] = stamp
+        prev = prev_latest.get(entry["name"])
+        if prev is not None and prev.get("wall_s_min"):
+            entry["speedup_vs_previous"] = prev["wall_s_min"] / entry["wall_s_min"]
+        entries.append(entry)
+    kept = list(previous["benchmarks"]) if previous else []
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
-        "datetime": raw.get("datetime"),
-        "benchmarks": [
-            summarize_benchmark(b, base_index.get(b["name"]))
-            for b in raw["benchmarks"]
-        ],
+        "datetime": stamp,
+        "benchmarks": kept + entries,
     }
+
+
+def check_regressions(
+    doc: dict, against: dict, max_regression: float = DEFAULT_MAX_REGRESSION
+) -> list[str]:
+    """Compare the latest entries of ``doc`` against ``against``.
+
+    Returns one human-readable failure line per benchmark whose events/s
+    dropped by more than ``max_regression`` relative to the committed
+    summary.  Benchmarks present on only one side, or without an events/s
+    figure, are skipped — the gate guards throughput of the benchmarks
+    both summaries track.
+    """
+    failures = []
+    reference = latest_by_name(against)
+    for name, entry in latest_by_name(doc).items():
+        ref = reference.get(name)
+        if ref is None:
+            continue
+        new_eps = entry.get("events_per_s")
+        ref_eps = ref.get("events_per_s")
+        if not new_eps or not ref_eps:
+            continue
+        drop = 1.0 - new_eps / ref_eps
+        if drop > max_regression:
+            failures.append(
+                f"{name}: events/s fell {drop:.1%} "
+                f"({ref_eps:,.0f} -> {new_eps:,.0f}, tolerated {max_regression:.0%})"
+            )
+    return failures
 
 
 def write_bench_summary(
     results_path: str | Path,
     out_path: str | Path = "BENCH_engine.json",
     baseline_path: str | Path | None = None,
+    append: bool = False,
 ) -> Path:
-    """Summarise ``results_path`` into ``out_path``; returns the path."""
+    """Summarise ``results_path`` into ``out_path``; returns the path.
+
+    With ``append``, an existing summary at ``out_path`` is kept (after
+    schema migration) and the new run's entries are added to its log.
+    """
     raw = _load_raw(results_path)
     baseline = _load_raw(baseline_path) if baseline_path else None
     out = Path(out_path)
-    out.write_text(json.dumps(summarize(raw, baseline), indent=2, sort_keys=True) + "\n")
+    previous = load_summary(out) if append and out.exists() else None
+    doc = summarize(raw, baseline, previous)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return out
 
 
@@ -121,17 +231,50 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="earlier raw pytest-benchmark JSON to compute speedups against",
     )
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="keep existing entries in the output summary and append this run",
+    )
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        metavar="SUMMARY",
+        help="committed summary to compare events/s against; regressions beyond "
+        "--max-regression exit with status 2",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="tolerated fractional events/s drop for --check-against "
+        "(default %(default)s)",
+    )
     args = parser.parse_args(argv)
-    path = write_bench_summary(args.results, args.output, args.baseline)
+    # Load the reference before writing: --check-against may name the very
+    # file being (re)written, and the gate must compare against its
+    # pre-run state, not the freshly appended one.
+    against = load_summary(args.check_against) if args.check_against else None
+    path = write_bench_summary(args.results, args.output, args.baseline, args.append)
     summary = json.loads(path.read_text())
-    for entry in summary["benchmarks"]:
+    shown = latest_by_name(summary)
+    for entry in shown.values():
         line = f"{entry['name']}: {entry['wall_s_min']:.3f}s"
         if "events_per_s" in entry:
             line += f", {entry['events_per_s']:,.0f} events/s"
         if "speedup_vs_baseline" in entry:
             line += f", {entry['speedup_vs_baseline']:.2f}x vs baseline"
+        if "speedup_vs_previous" in entry:
+            line += f", {entry['speedup_vs_previous']:.2f}x vs previous"
         print(line)
     print(f"wrote {path}")
+    if against is not None:
+        failures = check_regressions(summary, against, args.max_regression)
+        for line in failures:
+            print(f"REGRESSION {line}")
+        if failures:
+            return 2
+        print("regression gate: ok")
     return 0
 
 

@@ -58,6 +58,10 @@ class RunManifest:
     shards: list = field(default_factory=list)
     failures: list = field(default_factory=list)
     telemetry: dict = field(default_factory=dict)
+    #: Paths of auxiliary files produced alongside the run (e.g. the
+    #: ``--profile`` cProfile dump), keyed by artifact kind.  Optional —
+    #: absent in older manifests, ignored by older readers.
+    artifacts: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------ transport
     def to_dict(self) -> dict:

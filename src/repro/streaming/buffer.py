@@ -8,6 +8,8 @@ and serves as the ground-truth buffer map advertised to partners.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 from repro.errors import SimulationError
 from repro.streaming.chunk import ChunkClock
 
@@ -36,7 +38,13 @@ class PlayoutBuffer:
         # Known holes: ids ≤ _holes_top that are not held.  missing_in
         # extends the frontier by the few ids the window advanced by and
         # reads the (small) hole set instead of rescanning the window.
+        # ``_holes_asc`` mirrors the set as an ascending-sorted list kept
+        # exactly in sync (add() bisects the filled id out — holes are
+        # few and filled ones cluster near the live edge, so the delete
+        # touches a short tail), so the newest-first sweep walks a
+        # ready-sorted run of live holes with no per-entry liveness test.
         self._holes: set[int] = set()
+        self._holes_asc: list[int] = []
         self._holes_top = self._join_floor - 1
 
     @property
@@ -59,7 +67,11 @@ class PlayoutBuffer:
         if chunk_id in self._chunks:
             return False
         self._chunks.add(chunk_id)
-        self._holes.discard(chunk_id)
+        if chunk_id in self._holes:
+            self._holes.remove(chunk_id)
+            asc = self._holes_asc
+            i = bisect_left(asc, chunk_id)
+            del asc[i]
         if chunk_id < self._evicted_to:
             # Arrived after its window position was already swept; remember
             # it so the incremental eviction scan still finds it.
@@ -97,10 +109,13 @@ class PlayoutBuffer:
                 if c in chunks:
                     chunks.remove(c)
                     dropped += 1
-        if self._holes:
+        asc = self._holes_asc
+        if asc and asc[0] < floor:
             holes = self._holes
-            for c in [c for c in holes if c < floor]:
+            cut = bisect_left(asc, floor)
+            for c in asc[:cut]:
                 holes.remove(c)
+            del asc[:cut]
         self._evicted_to = floor
         return dropped
 
@@ -145,6 +160,65 @@ class PlayoutBuffer:
             window.stop - 1 - max(0, live_lag), window.start, exclude or set(), limit
         )
 
+    def tick_scan(
+        self, t: float, live_lag: int, exclude: set[int], limit: int | None
+    ) -> tuple[int, list[int]]:
+        """One combined per-tick buffer pass: evict, then missing scan.
+
+        Returns ``(window floor, missing chunks newest-first)``.  The
+        engine tick calls this instead of ``window_range`` + ``evict_below``
+        + ``missing_in`` — the same window arithmetic drives both halves,
+        inlined into a single call into the buffer (this runs once per
+        engine tick; the bodies match :meth:`evict_below` and
+        :meth:`missing_in` exactly).
+        """
+        live = int(t / self._interval)
+        floor = live - self._window_chunks + 1
+        if floor < self._join_floor:
+            floor = self._join_floor
+        if floor < 0:
+            floor = 0
+        holes = self._holes
+        asc = self._holes_asc
+        chunks = self._chunks
+        # --- evict_below, inlined -------------------------------------
+        prev = self._evicted_to
+        if floor > prev:
+            for c in range(prev, floor):
+                if c in chunks:
+                    chunks.remove(c)
+            if self._low_adds:
+                stale = [c for c in self._low_adds if c < floor]
+                for c in stale:
+                    self._low_adds.remove(c)
+                    chunks.discard(c)
+            if asc and asc[0] < floor:
+                cut = bisect_left(asc, floor)
+                for c in asc[:cut]:
+                    holes.remove(c)
+                del asc[:cut]
+            self._evicted_to = floor
+        # --- missing_in, inlined --------------------------------------
+        newest = live - live_lag
+        if newest > self._holes_top:
+            add = holes.add
+            append = asc.append
+            for c in range(self._holes_top + 1, newest + 1):
+                if c not in chunks:
+                    add(c)
+                    append(c)
+            self._holes_top = newest
+        out: list[int] = []
+        for c in reversed(asc):
+            if c < floor:
+                break  # ascending mirror: everything further is older
+            if c > newest or c in exclude:
+                continue
+            out.append(c)
+            if limit is not None and len(out) >= limit:
+                break
+        return floor, out
+
     def missing_in(
         self, newest: int, floor: int, exclude: set[int], limit: int | None
     ) -> list[int]:
@@ -153,19 +227,27 @@ class PlayoutBuffer:
 
         Backed by the incremental hole set: only ids the window gained
         since the last call are tested against the buffer; the descending
-        sweep then walks the holes, which yields exactly the chunks the
-        full range scan would (holes ∩ [floor, newest], descending).
+        sweep then walks the sorted hole mirror in reverse — stopping at
+        the window floor — which yields exactly the chunks the full range
+        scan would (holes ∩ [floor, newest] minus ``exclude``,
+        descending).
         """
         holes = self._holes
+        asc = self._holes_asc
         if newest > self._holes_top:
             held = self._chunks
+            add = holes.add
+            append = asc.append
             for c in range(self._holes_top + 1, newest + 1):
                 if c not in held:
-                    holes.add(c)
+                    add(c)
+                    append(c)
             self._holes_top = newest
-        out = []
-        for c in sorted(holes, reverse=True):
-            if c > newest or c < floor or c in exclude:
+        out: list[int] = []
+        for c in reversed(asc):
+            if c < floor:
+                break  # ascending mirror: everything further is older
+            if c > newest or c in exclude:
                 continue
             out.append(c)
             if limit is not None and len(out) >= limit:

@@ -16,6 +16,7 @@ Everything stochastic draws from named, seeded RNG streams
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -47,6 +48,11 @@ _log = get_logger("streaming.engine")
 
 #: Size of a chunk-request / poll datagram.
 REQUEST_BYTES = 80
+
+#: Packet-kind codes pre-cast to int for the inlined hot-path recording
+#: (``int(PacketKind.X)`` per logged packet is measurable at trace scale).
+_KIND_CONTROL = int(PacketKind.CONTROL)
+_KIND_VIDEO = int(PacketKind.VIDEO)
 
 #: Demand multiplier for probes below the high-bandwidth threshold (remotes
 #: rarely pick them as parents — their uplink cannot sustain the stream).
@@ -140,6 +146,8 @@ class _ProbeState:
         "partners",
         "partners_arr",
         "buffer",
+        "chunks",
+        "lat_row",
         "inflight",
         "busy",
         "_known_arr",
@@ -158,6 +166,12 @@ class _ProbeState:
         self.partners: set[int] = set()
         self.partners_arr: np.ndarray = np.zeros(0, dtype=np.int64)
         self.buffer = buffer
+        #: Borrowed reference to the buffer's live chunk set (mutated in
+        #: place, never reassigned) — saves a property hop per remote pull.
+        self.chunks = buffer.chunk_set
+        #: This probe's one-way latency row (filled in by the engine once
+        #: the latency model is built; static thereafter).
+        self.lat_row: list[float] = []
         self.inflight: set[int] = set()
         #: Outstanding chunk requests per provider gidx (pipelining cap).
         self.busy: list[int] = [0] * n_peers
@@ -244,6 +258,11 @@ class Engine:
         #: The protocol-event stream, bound once (hot-path draws).
         self._rng_engine = self._rngs["engine"]
         self._queue = EventQueue()
+        # Pre-bound hot-path callbacks: scheduling via ``self._on_x``
+        # creates a fresh bound method per call; these do it once.
+        self._cb_tick = self._on_tick
+        self._cb_arrival = self._on_chunk_arrival
+        self._cb_pull = self._on_remote_pull
         self._recorder = TransferRecorder()
         self._rec_append = self._recorder.append_row
         self._signaling = SignalingBook()
@@ -307,6 +326,11 @@ class Engine:
             self._rngs["availability"],
         )
         self.uplink = UplinkScheduler(n, self._up, self.config.max_backlog_s)
+        # Borrowed references for the inlined admit() in the request/pull
+        # hot paths (same lists the scheduler mutates, never reassigned).
+        self._ul_free = self.uplink.free_at
+        self._ul_bps = self.uplink.up_bps
+        self._ul_max_backlog = self.uplink.max_backlog_s
 
         # Plain-list mirrors for scalar hot-path reads (numpy int indexing
         # boxes a fresh scalar per access; these are the same values).
@@ -382,9 +406,22 @@ class Engine:
         self._loss_schedule = self.config.request_loss_schedule
         self._loss_prob = self.config.request_loss_prob
         self._stale_prob = self.config.stale_buffermap_prob
-        #: Per-probe memo of provider-selection CDFs keyed by the holder
-        #: tuple (see _on_tick).
-        self._cdf_cache: list[dict[tuple, np.ndarray]] = [{} for _ in self._probes]
+        self._av_chunk_interval = self.availability.chunk_interval
+        self._av_retention = self.availability.retention_s
+        #: The selection policies all draw from this stream; hoisted so the
+        #: tick loop can invert cached CDFs with a direct draw (same
+        #: generator, same single-uniform consumption as sample_index).
+        self._rng_sel = rng_sel
+        #: Provider score rows as plain floats for cheap per-holder reads.
+        self._provider_scores_list: list[list[float]] = self._provider_scores.tolist()
+        #: Per-probe memo of provider-selection CDFs (as sorted float
+        #: lists), keyed by the holders' *score* tuple: the CDF is a pure
+        #: function of the score sequence, so distinct holder sets with
+        #: equal scores share one entry — far fewer softmax evaluations
+        #: than holder-tuple keying, with bit-identical CDF values.  One
+        #: cache for the whole swarm (not per probe): equal score
+        #: sequences yield the same CDF no matter which probe asks.
+        self._cdf_cache: dict[tuple, list[float]] = {}
         #: Per-probe memo of partner-array splits (see _partner_context).
         self._partner_ctx: list[dict[bytes, tuple]] = [{} for _ in self._probes]
         # Per-probe one-way latency rows (the latency model only depends on
@@ -401,6 +438,8 @@ class Engine:
             ).tolist()
             for p in self._probes
         ]
+        for pi, p in enumerate(self._probes):
+            p.lat_row = self._lat_rows[pi]
 
     # ------------------------------------------------------------- features
     def _features(self, chooser: int, cands: np.ndarray) -> CandidateFeatures:
@@ -519,7 +558,11 @@ class Engine:
         known = probe.known_array()
         cands = known[online[known]] if len(known) else known
         if len(kept):
-            cands = cands[~np.isin(cands, np.fromiter(kept, dtype=np.int64))]
+            # Same filter as ~np.isin(cands, kept) in the same order, via
+            # set probes instead of isin's per-call sort of both arrays.
+            cands = np.array(
+                [c for c in cands.tolist() if c not in kept], dtype=np.int64
+            )
         slots = self.profile.max_partners - len(kept)
         if len(cands) and slots > 0:
             row = self._partner_scores[probe.gidx - self.n_remote]
@@ -567,138 +610,196 @@ class Engine:
         ctx = self._partner_ctx[pi].get(key)
         if ctx is None:
             is_remote = partners < self.n_remote
-            delays, ready = self.availability.subset(partners[is_remote])
+            delays_arr, ready_arr = self.availability.subset(partners[is_remote])
+            # Plain float lists: the tick loop derives per-chunk arrival
+            # thresholds from these with scalar arithmetic (same IEEE adds
+            # and compares as the vectorised subset_thresholds).
+            delays = delays_arr.tolist()
+            ready = ready_arr.tolist()
             plan = []
+            probe_plan = []
             k = 0
             for g in partners.tolist():
                 if g < self.n_remote:
                     plan.append((g, k, None))
                     k += 1
                 else:
-                    plan.append((g, -1, self._probes[g - self.n_remote].buffer.chunk_set))
-            # Last slot: per-chunk availability-threshold memo (see _on_tick).
-            ctx = (k > 0, delays, ready, plan, {})
+                    chunks = self._probes[g - self.n_remote].buffer.chunk_set
+                    probe_plan.append((len(plan), g, chunks))
+                    plan.append((g, -1, chunks))
+            # Fifth slot: per-chunk availability-threshold memo (see
+            # _on_tick); ``probe_plan`` mirrors the probe-partner columns
+            # in ascending column order for the no-remote-holder fast path.
+            ctx = (k > 0, delays, ready, plan, {}, probe_plan)
             self._partner_ctx[pi][key] = ctx
         return ctx
 
     def _on_tick(self, probe: _ProbeState) -> None:
         t = self._queue.now
-        # One window computation drives eviction, in-flight pruning, and
-        # the missing scan (identical range arithmetic either way).
-        window = probe.buffer.window_range(t)
-        probe.buffer.evict_below(window.start)
-        # Prune in-flight requests that slid out of the window (rebuild
-        # only when something actually fell below the floor).
-        if probe.inflight and min(probe.inflight) < window.start:
-            probe.inflight = {c for c in probe.inflight if c >= window.start}
-        # The scheduler never looks past its per-tick attempt budget.
-        lookahead = probe.buffer.missing_in(
-            window.stop - 1 - self._live_lag,
-            window.start,
-            probe.inflight,
-            self._max_attempts,
+        # One combined buffer pass drives eviction, the missing scan and
+        # (below) in-flight pruning from the same window arithmetic.
+        floor, lookahead = probe.buffer.tick_scan(
+            t, self._live_lag, probe.inflight, self._max_attempts
         )
+        # Prune in-flight requests that slid out of the window (rebuild
+        # only when something actually fell below the floor; pruned ids
+        # are < floor, which the missing scan excluded by range already).
+        if probe.inflight and min(probe.inflight) < floor:
+            probe.inflight = {c for c in probe.inflight if c >= floor}
         if lookahead and probe.partners:
             online = self._online_mask(t)
             partners = probe.online_partners(online, self._mask_key)
             slots = self._max_parallel - len(probe.inflight)
             if slots > 0 and len(partners):
                 pi = probe.gidx - self.n_remote
-                has_remotes, delays, ready, plan, thr_cache = self._partner_context(
-                    pi, partners
+                has_remotes, delays, ready, plan, thr_cache, probe_plan = (
+                    self._partner_context(pi, partners)
                 )
-                # Outstanding-request counts per candidate, kept in sync
-                # locally as this tick issues requests.
+                # Outstanding-request counts are read straight off
+                # probe.busy: _request_chunk increments it for the picked
+                # provider, so the counts this tick sees are exactly the
+                # snapshot-plus-local-increments the old copied row held.
                 busy = probe.busy
-                busy_row = [busy[g] for g, _k, _c in plan]
                 cap = self._cap_out
-                score_row = self._provider_scores[pi]
-                cdf_cache = self._cdf_cache[pi]
+                score_row = self._provider_scores_list[pi]
+                cdf_cache = self._cdf_cache
                 rng = self._rng_engine
-                availability = self.availability
+                sel_rand = self._rng_sel.random
                 explore_prob = self._explore_prob
-                # Availability rows are built lazily per chunk: most ticks
-                # exhaust their request slots within the first few rows, so
-                # eagerly batching the whole lookahead window wastes work.
+                cache_get = thr_cache.get
+                ci = self._av_chunk_interval
+                retention = self._av_retention
+                # Per-chunk availability thresholds are chunk constants
+                # (``max(gen + delay, ready)`` per remote, the scalar twin
+                # of subset_thresholds); the oracle reduces to direct
+                # ``t >= threshold`` compares, with a min-threshold /
+                # freshness-deadline fast path that skips the whole
+                # candidate scan while no remote can possibly serve.
                 for chunk in lookahead:
                     if slots <= 0:
                         break
-                    sub = None
+                    remotes_live = False
                     if has_remotes:
-                        # Thresholds are chunk constants; only the compare
-                        # against t happens per tick.
-                        ent = thr_cache.get(chunk)
+                        ent = cache_get(chunk)
                         if ent is None:
-                            thr_cache[chunk] = ent = availability.subset_thresholds(
-                                delays, ready, chunk
-                            )
-                        thr, fresh_until = ent
-                        sub = (t >= thr).tolist() if t < fresh_until else None
-                    # Candidate scan in ascending column order — the same
-                    # holder ordering the vectorised mask produced.
+                            gen = chunk * ci
+                            thr_list = [
+                                r if r > (m := gen + d) else m
+                                for d, r in zip(delays, ready)
+                            ]
+                            ent = (thr_list, min(thr_list), gen + retention)
+                            thr_cache[chunk] = ent
+                        thr_list, min_thr, fresh_until = ent
+                        # min over the thresholds: some remote serves the
+                        # chunk iff any threshold ≤ t, i.e. the min is.
+                        remotes_live = min_thr <= t < fresh_until
                     holders: list[int] = []
-                    positions: list[int] = []
-                    for j, (g, k, chunks) in enumerate(plan):
-                        if busy_row[j] >= cap:
+                    if not remotes_live:
+                        # No remote partner has diffused this chunk yet (or
+                        # it aged out everywhere): only probe partners can
+                        # hold it.  Scanning just their columns preserves
+                        # the ascending column order of the full scan.
+                        if not probe_plan:
                             continue
-                        if chunks is None:
-                            if sub is None or not sub[k]:
+                        for _j, g, chunks in probe_plan:
+                            if busy[g] < cap and chunk in chunks:
+                                holders.append(g)
+                    else:
+                        # Candidate scan in ascending column order — the
+                        # same holder ordering the vectorised mask produced.
+                        for g, k, chunks in plan:
+                            if busy[g] >= cap:
                                 continue
-                        elif chunk not in chunks:
-                            continue
-                        holders.append(g)
-                        positions.append(j)
+                            if chunks is None:
+                                if t < thr_list[k]:
+                                    continue
+                            elif chunk not in chunks:
+                                continue
+                            holders.append(g)
                     if not holders:
                         continue
                     if rng.random() < explore_prob:
                         pick = int(rng.integers(len(holders)))
                     else:
-                        # Holder sets repeat heavily tick-to-tick, so the
-                        # (score-determined) selection CDF is memoised per
-                        # candidate set; the draw itself still happens per
-                        # decision, so the RNG sequence is unchanged.
-                        key = tuple(holders)
+                        # The selection CDF is a pure function of the
+                        # holders' score sequence, so it is memoised by
+                        # score tuple (computed through the exact softmax
+                        # pipeline on a miss, stored as a float list); the
+                        # draw itself still happens per decision — one
+                        # uniform from the selection stream inverted with a
+                        # right-bisect, exactly sample_index's consumption.
+                        key = tuple([score_row[g] for g in holders])
                         cdf = cdf_cache.get(key)
                         if cdf is None:
-                            cdf = self._provider_policy.cdf_from_scores(score_row[holders])
+                            cdf = self._provider_policy.cdf_from_scores(
+                                np.array(key, dtype=np.float64)
+                            ).tolist()
                             cdf_cache[key] = cdf
-                        pick = self._provider_policy.sample_index(cdf)
+                        pick = bisect_right(cdf, sel_rand())
                     if self._request_chunk(probe, holders[pick], chunk, t):
                         slots -= 1
-                        busy_row[positions[pick]] += 1
-        self._queue.schedule(t + self._tick_interval, self._on_tick, probe)
+        self._queue.schedule(t + self._tick_interval, self._cb_tick, probe)
 
     def _request_chunk(self, probe: _ProbeState, provider: int, chunk: int, t: float) -> bool:
-        """Issue a chunk request; returns True when a transfer was queued."""
-        lat = self._latency(probe.gidx, provider)
-        self._record(t, probe.gidx, provider, REQUEST_BYTES, PacketKind.CONTROL)
+        """Issue a chunk request; returns True when a transfer was queued.
+
+        Recording and latency lookups are inlined (same rows, same tuples
+        as :meth:`_record` / :meth:`_latency`): this runs once per request
+        attempt and the call overhead is measurable at that rate.
+        """
+        pg = probe.gidx
+        lat = probe.lat_row[provider]
+        ul = self._up_list
+        dl = self._down_list
+        ipl = self._ip_list
+        rng = self._rng_engine
+        up = ul[pg]
+        dn = dl[provider]
+        self._rec_append(
+            (t, ipl[pg], ipl[provider], REQUEST_BYTES, _KIND_CONTROL, up if up < dn else dn)
+        )
         if self._loss_schedule is not None:
             loss_prob = self._loss_schedule.prob_at(t)
         else:
             loss_prob = self._loss_prob
-        if loss_prob > 0 and self._rng_engine.random() < loss_prob:
+        if loss_prob > 0 and rng.random() < loss_prob:
             # The request datagram was lost; nothing comes back and the
             # chunk ages until the next tick retries it.
             return False
-        if self._rng_engine.random() < self._stale_prob:
+        if rng.random() < self._stale_prob:
             # Stale buffer map: the provider no longer has (or never had)
             # the chunk and answers with a short decline.
-            self._record(
-                t + 2 * lat, provider, probe.gidx, REQUEST_BYTES, PacketKind.CONTROL
+            up = ul[provider]
+            dn = dl[pg]
+            self._rec_append(
+                (
+                    t + 2 * lat,
+                    ipl[provider],
+                    ipl[pg],
+                    REQUEST_BYTES,
+                    _KIND_CONTROL,
+                    up if up < dn else dn,
+                )
             )
             return False
         nbytes = self._chunk_bytes
-        start = self.uplink.admit(provider, t + lat, nbytes)
-        if start is None:
+        # Inlined UplinkScheduler.admit (same floats, same compares).
+        t_req = t + lat
+        free = self._ul_free
+        start = free[provider]
+        if start < t_req:
+            start = t_req
+        if start - t_req > self._ul_max_backlog:
             return False
-        up = self._up_list[provider]
-        dn = self._down_list[probe.gidx]
+        free[provider] = start + nbytes * BITS_PER_BYTE / self._ul_bps[provider]
+        up = ul[provider]
+        dn = dl[pg]
         bn = up if up < dn else dn  # bottleneck_bps, inlined
         arrival = start + nbytes * BITS_PER_BYTE / bn + lat
-        self._record(start, provider, probe.gidx, nbytes, PacketKind.VIDEO)
+        self._rec_append((start, ipl[provider], ipl[pg], nbytes, _KIND_VIDEO, bn))
         probe.inflight.add(chunk)
         probe.busy[provider] += 1
-        self._queue.schedule(arrival, self._on_chunk_arrival, probe, chunk, provider)
+        self._queue.schedule(arrival, self._cb_arrival, probe, chunk, provider)
         return True
 
     def _on_chunk_arrival(self, probe: _ProbeState, chunk: int, provider: int) -> None:
@@ -749,6 +850,23 @@ class Engine:
         )
 
     def _schedule_pulls(self, remote: int, probe: _ProbeState, t0: float, t1: float) -> None:
+        """Draw the remote's pull times for one rebalance window, batched.
+
+        The RNG draws (Poisson count, sorted uniform times) are identical
+        to the per-pull scheme this replaced.  Instead of pushing one
+        queue event per pull, the whole window becomes *one* chained
+        array-walking event per (remote, probe) pair: each dispatch
+        serves pull ``i`` and schedules pull ``i + 1``, so the pending
+        event count per window drops from ~rate × window to one per
+        attached pair while the dispatch times — and hence all transport
+        interleavings — stay exactly the per-pull floats.
+
+        The remote's *want* (its newest missing chunk, eq. to
+        :meth:`RemoteAvailability.newest_missing`) is a pure function of
+        the pull time, so the whole window's wants are precomputed here
+        as one vectorised arrival-time pass — same truncating divisions,
+        same IEEE doubles as the scalar per-event computation.
+        """
         rng = self._rng_engine
         rate = self.profile.remote_pull_rate
         if rate <= 0:
@@ -757,46 +875,106 @@ class Engine:
         if n == 0:
             return
         times = np.sort(rng.uniform(t0, t1, size=n))
-        for tp in times:
-            self._queue.schedule(float(tp), self._on_remote_pull, remote, probe)
+        delay, ready = self.availability.scalar_view(remote)
+        ci = self.availability.chunk_interval
+        live = (times / ci).astype(np.int64)
+        have_up_to = (np.maximum(0.0, times - delay) / ci).astype(np.int64)
+        newest_missing = have_up_to + 1
+        wants = np.where(
+            times < ready,
+            live,
+            np.where(newest_missing <= live, newest_missing, -1),
+        )
+        self._queue.schedule(
+            float(times[0]),
+            self._cb_pull,
+            remote,
+            probe,
+            delay,
+            ready,
+            times.tolist(),
+            wants.tolist(),
+            0,
+        )
 
-    def _on_remote_pull(self, remote: int, probe: _ProbeState) -> None:
-        t = self._queue.now
-        if (remote, probe.gidx) not in self._attached or t >= self._leave_list[remote]:
-            return
-        self._record(t, remote, probe.gidx, REQUEST_BYTES, PacketKind.CONTROL)
-        chunk = self._serveable_chunk(remote, probe, t)
-        if chunk is None:
-            return
-        nbytes = self._chunk_bytes
-        lat = self._latency(remote, probe.gidx)
-        start = self.uplink.admit(probe.gidx, t + lat, nbytes)
-        if start is None:
-            return
-        self._record(start, probe.gidx, remote, nbytes, PacketKind.VIDEO)
+    def _on_remote_pull(
+        self,
+        remote: int,
+        probe: _ProbeState,
+        delay: float,
+        ready: float,
+        times: list[float],
+        wants: list[int],
+        i: int,
+    ) -> None:
+        """Serve pull ``i`` of the window, then chain-schedule pull ``i+1``.
 
-    def _serveable_chunk(self, remote: int, probe: _ProbeState, t: float) -> int | None:
-        """The newest chunk ``probe`` holds that ``remote`` still lacks."""
-        av = self.availability
-        want = av.newest_missing(remote, t)
-        if want is None:
-            return None
-        held = probe.buffer.chunk_set
-        # Inlined av.has_chunk with the per-remote constants hoisted out of
-        # the scan loop (identical arithmetic and compares).
-        delay, ready = av.scalar_view(remote)
-        ci = av.chunk_interval
-        ret = av.retention_s
-        for chunk in range(want, max(want - 6, 0) - 1, -1):
-            if chunk not in held:
-                continue
-            gen = chunk * ci
-            arrival = gen + delay
-            if ready > arrival:
-                arrival = ready
-            if t < arrival or t >= gen + ret:  # the remote lacks it → serveable
-                return chunk
-        return None
+        ``delay``/``ready`` are the remote's (static) availability scalars,
+        resolved once per window in :meth:`_schedule_pulls` and carried in
+        the chain arguments.  The newest-serveable scan — the newest of
+        the ≤ 6 chunks below ``want`` that the probe holds and the remote
+        still lacks — is inlined here with the oracle's exact arithmetic
+        (``max(gen + delay, ready) > t`` or aged past retention).
+        """
+        t = times[i]
+        pg = probe.gidx
+        if (remote, pg) in self._attached and t < self._leave_list[remote]:
+            ul = self._up_list
+            dl = self._down_list
+            ipl = self._ip_list
+            up = ul[remote]
+            dn = dl[pg]
+            self._rec_append(
+                (t, ipl[remote], ipl[pg], REQUEST_BYTES, _KIND_CONTROL, up if up < dn else dn)
+            )
+            want = wants[i]
+            if want >= 0:
+                held = probe.chunks
+                ci = self._av_chunk_interval
+                ret = self._av_retention
+                lo = want - 6
+                if lo < 0:
+                    lo = 0
+                chunk = want
+                while chunk >= lo:
+                    if chunk in held:
+                        gen = chunk * ci
+                        arrival = gen + delay
+                        if ready > arrival:
+                            arrival = ready
+                        if t < arrival or t >= gen + ret:
+                            # The remote lacks it → serve this chunk.
+                            nbytes = self._chunk_bytes
+                            lat = probe.lat_row[remote]
+                            # Inlined UplinkScheduler.admit.
+                            t_req = t + lat
+                            free = self._ul_free
+                            start = free[pg]
+                            if start < t_req:
+                                start = t_req
+                            if start - t_req <= self._ul_max_backlog:
+                                free[pg] = (
+                                    start + nbytes * BITS_PER_BYTE / self._ul_bps[pg]
+                                )
+                                up = ul[pg]
+                                dn = dl[remote]
+                                self._rec_append(
+                                    (
+                                        start,
+                                        ipl[pg],
+                                        ipl[remote],
+                                        nbytes,
+                                        _KIND_VIDEO,
+                                        up if up < dn else dn,
+                                    )
+                                )
+                            break
+                    chunk -= 1
+        i += 1
+        if i < len(times):
+            self._queue.schedule(
+                times[i], self._cb_pull, remote, probe, delay, ready, times, wants, i
+            )
 
     # ------------------------------------------------------------------- run
     def run(self) -> SimulationResult:
@@ -836,8 +1014,21 @@ class Engine:
         # Event-loop statistics: vectorised accounting over the finished
         # log, so the hot path pays nothing and determinism is untouched.
         video = transfers["kind"] == int(PacketKind.VIDEO)
+        # Per-kind scheduler accounting, keyed by handler name with the
+        # ``_on_`` prefix stripped (tick, remote_pull, chunk_arrival, …).
+        dispatch_by_kind = {
+            name.removeprefix("_on_"): count
+            for name, count in sorted(self._queue.dispatched_by_kind.items())
+        }
+        schedule_by_kind = {
+            name.removeprefix("_on_"): count
+            for name, count in sorted(self._queue.scheduled_by_kind.items())
+        }
         stats = {
             "events": int(events),
+            "events_scheduled": int(sum(schedule_by_kind.values())),
+            "dispatch_by_kind": dispatch_by_kind,
+            "schedule_by_kind": schedule_by_kind,
             "peak_queue_depth": int(self._queue.peak_depth),
             "transfer_records": int(len(transfers)),
             "signaling_intervals": int(len(signaling)),

@@ -23,8 +23,10 @@ import pathlib
 GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
 HASHES_PATH = GOLDEN_DIR / "engine_trace_hashes.json"
 
-#: One run per application, full profile scale, fixed seed.
-ENGINE_GOLDEN_APPS = ("tvants", "sopcast")
+#: One run per application, full profile scale, fixed seed.  All three
+#: paper applications are pinned so scheduler/engine refactors are
+#: byte-checked against every protocol parameterisation.
+ENGINE_GOLDEN_APPS = ("pplive", "sopcast", "tvants")
 ENGINE_GOLDEN_KWARGS = dict(duration_s=30.0, seed=1234)
 
 

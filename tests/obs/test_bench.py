@@ -7,7 +7,11 @@ import pytest
 from repro.errors import TraceError
 from repro.obs.bench import (
     BENCH_SCHEMA_VERSION,
+    check_regressions,
+    latest_by_name,
+    load_summary,
     main,
+    migrate_summary,
     summarize,
     summarize_benchmark,
     write_bench_summary,
@@ -98,3 +102,146 @@ class TestWriteSummary:
         assert out.exists()
         printed = capsys.readouterr().out
         assert "3.00x vs baseline" in printed
+
+
+class TestAppendLog:
+    def test_append_keeps_earlier_entries(self, tmp_path):
+        out = tmp_path / "BENCH_engine.json"
+        raw1 = tmp_path / "run1.json"
+        raw2 = tmp_path / "run2.json"
+        raw1.write_text(json.dumps(_raw(wall=1.0)))
+        doc2 = _raw(wall=0.5)
+        doc2["datetime"] = "2026-08-07T00:00:00"
+        raw2.write_text(json.dumps(doc2))
+        write_bench_summary(raw1, out)
+        write_bench_summary(raw2, out, append=True)
+        doc = json.loads(out.read_text())
+        assert len(doc["benchmarks"]) == 2
+        assert [e["wall_s_min"] for e in doc["benchmarks"]] == [1.0, 0.5]
+        # Entries carry their own run timestamps.
+        assert [e["recorded"] for e in doc["benchmarks"]] == [
+            "2026-08-06T00:00:00",
+            "2026-08-07T00:00:00",
+        ]
+
+    def test_speedup_vs_previous(self, tmp_path):
+        out = tmp_path / "BENCH_engine.json"
+        raw1 = tmp_path / "run1.json"
+        raw2 = tmp_path / "run2.json"
+        raw1.write_text(json.dumps(_raw(wall=1.0)))
+        raw2.write_text(json.dumps(_raw(wall=0.5)))
+        write_bench_summary(raw1, out)
+        write_bench_summary(raw2, out, append=True)
+        doc = json.loads(out.read_text())
+        assert "speedup_vs_previous" not in doc["benchmarks"][0]
+        assert doc["benchmarks"][1]["speedup_vs_previous"] == pytest.approx(2.0)
+
+    def test_without_append_overwrites(self, tmp_path):
+        out = tmp_path / "BENCH_engine.json"
+        raw = tmp_path / "raw.json"
+        raw.write_text(json.dumps(_raw(wall=1.0)))
+        write_bench_summary(raw, out)
+        write_bench_summary(raw, out)
+        doc = json.loads(out.read_text())
+        assert len(doc["benchmarks"]) == 1
+
+    def test_latest_by_name_last_wins(self):
+        doc = {"benchmarks": [{"name": "a", "wall_s_min": 1.0},
+                              {"name": "b", "wall_s_min": 2.0},
+                              {"name": "a", "wall_s_min": 0.5}]}
+        latest = latest_by_name(doc)
+        assert latest["a"]["wall_s_min"] == 0.5
+        assert latest["b"]["wall_s_min"] == 2.0
+
+
+class TestMigration:
+    def test_v1_entries_inherit_file_datetime(self):
+        v1 = {
+            "datetime": "2026-08-01T12:00:00",
+            "benchmarks": [{"name": "a", "wall_s_min": 1.0}],
+        }
+        doc = migrate_summary(v1)
+        assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+        assert doc["benchmarks"][0]["recorded"] == "2026-08-01T12:00:00"
+
+    def test_v2_untouched(self):
+        v2 = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "benchmarks": [{"name": "a", "recorded": "x"}],
+        }
+        assert migrate_summary(v2) is v2
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(TraceError):
+            migrate_summary({"schema_version": 99, "benchmarks": []})
+
+    def test_load_summary_migrates_v1_file(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({
+            "datetime": "2026-08-01T12:00:00",
+            "benchmarks": [{"name": "a", "wall_s_min": 1.0}],
+        }))
+        doc = load_summary(path)
+        assert doc["benchmarks"][0]["recorded"] == "2026-08-01T12:00:00"
+
+    def test_load_summary_missing_raises(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_summary(tmp_path / "absent.json")
+
+
+class TestRegressionGate:
+    def _summary(self, wall):
+        raw = _raw(wall=wall)
+        return summarize(raw)
+
+    def test_within_tolerance_passes(self):
+        # 25000 events fixed: halving events/s means doubling wall time.
+        new, ref = self._summary(0.55), self._summary(0.5)
+        assert check_regressions(new, ref, max_regression=0.20) == []
+
+    def test_beyond_tolerance_fails(self):
+        new, ref = self._summary(1.0), self._summary(0.5)
+        failures = check_regressions(new, ref, max_regression=0.20)
+        assert len(failures) == 1
+        assert "events/s fell 50.0%" in failures[0]
+
+    def test_unmatched_names_skipped(self):
+        new = summarize(_raw(name="only_new", wall=9.0))
+        ref = summarize(_raw(name="only_ref", wall=0.1))
+        assert check_regressions(new, ref) == []
+
+    def test_compares_latest_entries_only(self):
+        # The reference log holds a slow old entry and a fast latest one;
+        # the gate must use the latest.
+        ref = summarize(_raw(wall=0.5), previous=summarize(_raw(wall=2.0)))
+        new = self._summary(1.0)
+        assert check_regressions(new, ref, max_regression=0.20)
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        raw = tmp_path / "raw.json"
+        raw.write_text(json.dumps(_raw(wall=1.0)))
+        committed = tmp_path / "committed.json"
+        fast = tmp_path / "fast_raw.json"
+        fast.write_text(json.dumps(_raw(wall=0.5)))
+        write_bench_summary(fast, committed)
+        out = tmp_path / "out.json"
+        rc = main([str(raw), "-o", str(out), "--check-against", str(committed)])
+        assert rc == 2
+        assert "REGRESSION" in capsys.readouterr().out
+        rc = main([str(raw), "-o", str(out), "--check-against", str(committed),
+                   "--max-regression", "0.6"])
+        assert rc == 0
+        assert "regression gate: ok" in capsys.readouterr().out
+
+    def test_cli_check_against_output_file_uses_pre_run_state(self, tmp_path):
+        # --check-against naming the output file must gate against the
+        # committed (pre-run) state, not the freshly appended one.
+        out = tmp_path / "BENCH_engine.json"
+        fast = tmp_path / "fast_raw.json"
+        slow = tmp_path / "slow_raw.json"
+        fast.write_text(json.dumps(_raw(wall=0.5)))
+        slow.write_text(json.dumps(_raw(wall=1.0)))
+        write_bench_summary(fast, out)
+        rc = main([str(slow), "-o", str(out), "--append",
+                   "--check-against", str(out)])
+        assert rc == 2

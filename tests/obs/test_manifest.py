@@ -106,6 +106,26 @@ class TestCampaignManifest:
         assert counters["capture/records_in"] >= counters["capture/records_kept"] > 0
         assert manifest.telemetry["gauges"]["engine/peak_queue_depth"]["peak"] > 0
 
+    def test_per_kind_event_counters_present(self, manifest):
+        counters = manifest.telemetry["counters"]
+        dispatch = {k: v for k, v in counters.items() if k.startswith("engine/dispatch/")}
+        schedule = {k: v for k, v in counters.items() if k.startswith("engine/schedule/")}
+        assert dispatch and schedule
+        # Every dispatched kind was scheduled at least as often, and the
+        # per-kind dispatch counts sum to the total event count.
+        for key, count in dispatch.items():
+            kind = key.removeprefix("engine/dispatch/")
+            assert schedule[f"engine/schedule/{kind}"] >= count
+        assert sum(dispatch.values()) == counters["engine/events"]
+        assert counters["engine/events_scheduled"] == sum(schedule.values())
+
+    def test_artifacts_default_empty_and_round_trips(self, manifest, tmp_path):
+        assert manifest.artifacts == {}
+        manifest2 = RunManifest.from_dict(manifest.to_dict())
+        manifest2.artifacts["profile"] = "run.pstats"
+        path = write_manifest(tmp_path / "m.json", manifest2)
+        assert read_manifest(path).artifacts == {"profile": "run.pstats"}
+
     def test_per_stage_timings_present(self, manifest):
         timers = manifest.telemetry["timers"]
         for stage in ("campaign", "campaign/shards", "shard", "shard/simulate"):

@@ -38,6 +38,14 @@ class TestParser:
         assert args.app == "tvants"
         assert args.severities == [0.0, 0.25, 0.5, 0.75, 1.0]
 
+    def test_profile_flag(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.profile is None
+        args = build_parser().parse_args(["campaign", "--profile"])
+        assert args.profile == "auto"
+        args = build_parser().parse_args(["simulate", "--profile", "x.pstats"])
+        assert args.profile == "x.pstats"
+
 
 class TestEndToEnd:
     def test_simulate_then_analyze(self, tmp_path, capsys):
@@ -129,6 +137,34 @@ class TestEndToEnd:
 
         a = write_manifest(tmp_path / "a.json", RunManifest())
         assert main(["stats", "--diff", str(a)]) == 2
+
+    def test_campaign_profile_dump_recorded_in_manifest(self, tmp_path, capsys):
+        import json
+        import pstats
+
+        manifest = tmp_path / "m.json"
+        rc = main(
+            ["campaign", "--apps", "tvants", "--duration", "20", "--scale", "0.5",
+             "--manifest", str(manifest), "--profile"]
+        )
+        assert rc == 0
+        profile_path = tmp_path / "m.pstats"
+        assert profile_path.exists()
+        doc = json.loads(manifest.read_text())
+        assert doc["artifacts"]["profile"] == str(profile_path)
+        # The dump is a loadable pstats file with real samples.
+        stats = pstats.Stats(str(profile_path))
+        assert stats.total_calls > 0
+
+    def test_simulate_profile_explicit_path(self, tmp_path, capsys):
+        out = tmp_path / "t.npz"
+        prof = tmp_path / "sim.pstats"
+        rc = main(
+            ["simulate", "--app", "tvants", "--duration", "20", "--seed", "3",
+             "--out", str(out), "--profile", str(prof)]
+        )
+        assert rc == 0
+        assert prof.exists()
 
     def test_campaign_no_manifest(self, tmp_path, monkeypatch, capsys):
         monkeypatch.chdir(tmp_path)
