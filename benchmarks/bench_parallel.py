@@ -12,12 +12,18 @@ the speedup is recorded rather than gated.
 """
 
 import os
+import time
 
 import numpy as np
 
 from repro.experiments.campaign import CampaignConfig, run_campaign
 from repro.experiments.table4 import build_table4
 from repro.report.tables import render_table4
+
+#: Tolerated supervised-over-raw wall-time overhead on a clean campaign.
+#: Supervision adds an event loop, deadlines and telemetry around the
+#: same worker function; with no faults to handle it must stay cheap.
+MAX_SUPERVISION_OVERHEAD = 0.05
 
 #: Shorter than the shared bench campaign: this file runs the campaign
 #: several times (rounds x backends), not once per session.
@@ -68,4 +74,45 @@ def test_campaign_process_pool(benchmark):
     for app in serial.runs:
         assert np.array_equal(
             serial[app].result.transfers, campaign[app].result.transfers
+        )
+
+
+def test_campaign_supervised_overhead(benchmark):
+    """Supervision tax on a clean campaign: supervised pool vs raw pool.
+
+    With no faults injected, the supervised runtime's extra machinery
+    (hand-rolled pool, deadline bookkeeping, digest validation) must cost
+    less than :data:`MAX_SUPERVISION_OVERHEAD` of the raw process
+    backend's wall time — resilience is not allowed to tax the happy
+    path.  Both minima come from the same number of rounds so the
+    comparison is symmetric.
+    """
+    campaign = benchmark.pedantic(
+        _run, args=("supervised", 4), rounds=2, iterations=1
+    )
+    assert campaign.ok
+    assert not campaign.flags  # clean run: no degradation marks
+    benchmark.extra_info["backend"] = "supervised"
+    benchmark.extra_info["workers"] = 4
+    _record_telemetry(benchmark, campaign)
+
+    raw_walls = []
+    for _ in range(2):
+        start = time.perf_counter()
+        raw = _run("process", 4)
+        raw_walls.append(time.perf_counter() - start)
+    assert raw.ok
+    supervised_wall = benchmark.stats.stats.min
+    overhead = supervised_wall / min(raw_walls) - 1.0
+    benchmark.extra_info["raw_process_wall_s_min"] = round(min(raw_walls), 4)
+    benchmark.extra_info["supervision_overhead"] = round(overhead, 4)
+    assert overhead < MAX_SUPERVISION_OVERHEAD, (
+        f"supervised pool is {overhead:.1%} slower than the raw process "
+        f"pool on a clean campaign (tolerated {MAX_SUPERVISION_OVERHEAD:.0%})"
+    )
+
+    # Supervision must also not *change* anything on the happy path.
+    for app in raw.runs:
+        assert np.array_equal(
+            raw[app].result.transfers, campaign[app].result.transfers
         )

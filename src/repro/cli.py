@@ -16,8 +16,13 @@ Three subcommands mirror the measurement workflow:
 
 Invoke as ``repro-p2ptv`` (console script) or ``python -m repro``.
 The ``campaign``, ``replicate`` and ``robustness`` subcommands accept
-``--workers N`` / ``--backend {serial,process}`` to fan independent
-experiment shards out over a process pool (see :mod:`repro.exec`).
+``--workers N`` / ``--backend {serial,process,supervised}`` to fan
+independent experiment shards out over a process pool (see
+:mod:`repro.exec`), plus the supervision knobs ``--shard-timeout`` /
+``--max-attempts`` / ``--quarantine-dir`` — naming any of them routes
+execution through the supervised runtime
+(:mod:`repro.exec.supervisor`: deadlines, crash isolation, retry with
+backoff, poison-shard quarantine).
 Global ``--log-level`` / ``--log-format`` control the structured logger
 (:mod:`repro.obs`; env: ``REPRO_LOG_LEVEL`` / ``REPRO_LOG_FORMAT``), and
 ``campaign`` writes a JSON run manifest next to its outputs
@@ -152,7 +157,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         impairment=impairment,
     )
     profiler = _start_profiler(args)
-    campaign = run_campaign(config, workers=args.workers, backend=args.backend)
+    campaign = run_campaign(
+        config,
+        workers=args.workers,
+        backend=args.backend,
+        policy=_policy_from_args(args),
+    )
     # The profile dump lands next to the run manifest so the provenance
     # record and the performance evidence travel together.
     default_profile = "run_profile.pstats"
@@ -188,6 +198,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print("\nerror ledger:", file=sys.stderr)
         for failure in campaign.failures:
             print(f"  {failure}", file=sys.stderr)
+    if campaign.flags:
+        print("\nexecution quality flags (campaign degraded):", file=sys.stderr)
+        for flag in campaign.flags:
+            print(f"  {flag}", file=sys.stderr)
     return 0 if not campaign.failed_apps else 1
 
 
@@ -220,6 +234,7 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
         seeds=args.seeds,
         workers=args.workers,
         backend=args.backend,
+        policy=_policy_from_args(args),
     )
     print(render_replicated_table4(rep))
     rates = rep.check_pass_rates()
@@ -242,6 +257,7 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         scale=args.scale,
         workers=args.workers,
         backend=args.backend,
+        policy=_policy_from_args(args),
     )
     print(render_robustness(report))
     return 0
@@ -280,8 +296,48 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
         help="process-pool size (N > 1 implies --backend process)",
     )
     parser.add_argument(
-        "--backend", choices=("serial", "process"), default=None,
+        "--backend", choices=("serial", "process", "supervised"), default=None,
         help="shard executor backend (default: serial, or $REPRO_EXEC_BACKEND)",
+    )
+    parser.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard wall-clock deadline under supervision "
+        "(default: derived from the shard duration)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="supervised executor attempts per shard before quarantine",
+    )
+    parser.add_argument(
+        "--quarantine-dir", default=None, metavar="DIR",
+        help="serialize poison-shard specs here for offline replay "
+        "(python -m repro.exec.supervisor <spec>)",
+    )
+
+
+def _policy_from_args(args: argparse.Namespace):
+    """A SupervisionPolicy when any supervision flag was given, else None.
+
+    None keeps the plain backends; any explicit knob opts the run into
+    the supervised runtime (:func:`repro.exec.backends.resolve_executor`
+    upgrades the backend accordingly).
+    """
+    if (
+        args.shard_timeout is None
+        and args.max_attempts is None
+        and args.quarantine_dir is None
+        and args.backend != "supervised"
+    ):
+        return None
+    from repro.exec.supervisor import SupervisionPolicy
+
+    defaults = SupervisionPolicy()
+    return SupervisionPolicy(
+        shard_timeout_s=args.shard_timeout,
+        max_attempts=(
+            args.max_attempts if args.max_attempts is not None else defaults.max_attempts
+        ),
+        quarantine_dir=args.quarantine_dir,
     )
 
 

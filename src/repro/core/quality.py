@@ -18,7 +18,12 @@ Flag codes in use:
 * ``single-class``         — a partition put every pair in one class, so
   its index is degenerate (trivially 0 or 100);
 * ``metric-error``         — a partition raised on this input; its cells
-  are NaN instead of the analysis aborting.
+  are NaN instead of the analysis aborting;
+* ``exec-quarantined``     — a campaign shard exhausted its supervised
+  execution attempts (crash/hang/corruption) and was quarantined; the
+  campaign's numbers are missing that application;
+* ``exec-interrupted``     — a drain signal (SIGINT/SIGTERM) stopped the
+  shard before it completed.
 """
 
 from __future__ import annotations

@@ -43,6 +43,20 @@ class TraceWarning(UserWarning):
     """
 
 
+class ExecutorError(ReproError):
+    """A shard executor failed at the infrastructure level.
+
+    Raised by the *unsupervised* process backend when a worker dies or a
+    payload cannot cross the process boundary; the supervised runtime
+    (:mod:`repro.exec.supervisor`) traps the same conditions into failed
+    shard outcomes instead.
+    """
+
+
+class ChaosError(ReproError):
+    """A fault injected by the execution-layer chaos harness."""
+
+
 class FaultInjectionError(ReproError):
     """An impairment plan is inconsistent or could not be applied."""
 

@@ -16,7 +16,12 @@ Layout:
 * :mod:`repro.exec.worker`   — ``run_shard``, the per-shard pipeline
   (checkpoint → simulate → impair → validate → analyze → checkpoint);
 * :mod:`repro.exec.backends` — the executor protocol with ``serial`` and
-  ``process`` (:mod:`concurrent.futures`) backends.
+  ``process`` (:mod:`concurrent.futures`) backends;
+* :mod:`repro.exec.supervisor` — the supervised runtime (``supervised``
+  backend): deadlines, crash isolation, retry/backoff, quarantine,
+  graceful drain, worker recycling;
+* :mod:`repro.exec.chaos`     — the deterministic worker-fault harness
+  that proves the supervisor against the real process pool.
 
 The determinism guarantee: for the same configuration, every backend
 produces byte-identical campaigns — same transfer logs, same reports,
@@ -33,14 +38,19 @@ from repro.exec.backends import (
     SerialExecutor,
     resolve_executor,
 )
+from repro.exec.chaos import ENV_CHAOS, ChaosFault, ChaosPlan, chaos_enabled
 from repro.exec.context import campaign_context, shard_context
 from repro.exec.shards import RESEED_STRIDE, ShardKey, ShardOutcome, ShardSpec
+from repro.exec.supervisor import SupervisedExecutor, SupervisionPolicy
 from repro.exec.worker import run_shard
 
 __all__ = [
     "ENV_BACKEND",
+    "ENV_CHAOS",
     "ENV_WORKERS",
     "EXECUTOR_BACKENDS",
+    "ChaosFault",
+    "ChaosPlan",
     "Executor",
     "ProcessExecutor",
     "RESEED_STRIDE",
@@ -48,7 +58,10 @@ __all__ = [
     "ShardKey",
     "ShardOutcome",
     "ShardSpec",
+    "SupervisedExecutor",
+    "SupervisionPolicy",
     "campaign_context",
+    "chaos_enabled",
     "resolve_executor",
     "run_shard",
     "shard_context",

@@ -1,19 +1,27 @@
 """Executor backends: where shards actually run.
 
-Two implementations of one protocol:
+Three implementations of one protocol:
 
 * :class:`SerialExecutor` — in-process, in spec order; zero overhead,
   full fidelity (live result objects, monkeypatch-friendly);
 * :class:`ProcessExecutor` — a :class:`concurrent.futures.
   ProcessPoolExecutor` fan-out.  Futures complete in whatever order the
   OS schedules, but results are slotted back by spec index, so the
-  reduction downstream is order-independent by construction.
+  reduction downstream is order-independent by construction.  This is
+  the *unsupervised* fast path: a worker crash or hang is fatal to the
+  whole map (wrapped as :class:`~repro.errors.ExecutorError`);
+* :class:`~repro.exec.supervisor.SupervisedExecutor` (backend name
+  ``"supervised"``) — the resilient pool: per-shard deadlines, crash
+  isolation, retry with backoff, poison quarantine, graceful drain.
 
 Backend selection honours (in precedence order) explicit arguments, the
 ``REPRO_EXEC_BACKEND`` / ``REPRO_EXEC_WORKERS`` environment variables
 (how CI runs the whole tier-1 suite through the process pool), then the
 serial default.  Passing ``workers > 1`` without naming a backend implies
-``process``.
+``process``.  Two conditions upgrade ``process`` to ``supervised``: a
+:class:`~repro.exec.supervisor.SupervisionPolicy` passed by the caller,
+or a chaos plan in the environment (``REPRO_CHAOS_PLAN``) — an
+unsupervised pool cannot survive the worker faults a plan injects.
 """
 
 from __future__ import annotations
@@ -21,15 +29,18 @@ from __future__ import annotations
 import os
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, Protocol, Sequence, TypeVar, runtime_checkable
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence, TypeVar, runtime_checkable
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ExecutorError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.supervisor import SupervisionPolicy
 
 S = TypeVar("S")
 R = TypeVar("R")
 
 #: Recognised backend names.
-EXECUTOR_BACKENDS = ("serial", "process")
+EXECUTOR_BACKENDS = ("serial", "process", "supervised")
 
 #: Environment overrides consulted when no explicit choice is made.
 ENV_BACKEND = "REPRO_EXEC_BACKEND"
@@ -81,12 +92,23 @@ class ProcessExecutor:
         results: list[R | None] = [None] * len(specs)
         with ProcessPoolExecutor(max_workers=min(self.workers, len(specs))) as pool:
             by_future = {pool.submit(fn, spec): i for i, spec in enumerate(specs)}
-            done, _ = wait(by_future, return_when=FIRST_EXCEPTION)
+            done, not_done = wait(by_future, return_when=FIRST_EXCEPTION)
+            # FIRST_EXCEPTION returns early when a future raised; cancel
+            # what never started (running futures cannot be cancelled —
+            # the pool shutdown below still waits on them) and re-raise
+            # with the failing shard identified.
+            failed = next((f for f in done if f.exception() is not None), None)
+            if failed is not None:
+                for future in not_done:
+                    future.cancel()
+                index = by_future[failed]
+                exc = failed.exception()
+                raise ExecutorError(
+                    f"shard {index} ({specs[index]!s}) failed in the unsupervised "
+                    f"process pool: {type(exc).__name__}: {exc}"
+                ) from exc
             for future in done:
                 results[by_future[future]] = future.result()
-            # FIRST_EXCEPTION returned early only if a future raised, and
-            # then future.result() above re-raised it; reaching here means
-            # every future completed.
         return list(results)  # type: ignore[arg-type]
 
 
@@ -95,30 +117,45 @@ def _env_workers() -> int | None:
     if not raw:
         return None
     try:
-        return int(raw)
+        workers = int(raw)
     except ValueError as exc:
         raise ConfigurationError(f"{ENV_WORKERS} must be an integer, got {raw!r}") from exc
+    if workers <= 0:
+        raise ConfigurationError(
+            f"{ENV_WORKERS} must be a positive worker count, got {workers}"
+        )
+    return workers
 
 
 def resolve_executor(
-    backend: str | None = None, workers: int | None = None
+    backend: str | None = None,
+    workers: int | None = None,
+    policy: "SupervisionPolicy | None" = None,
 ) -> Executor:
     """Pick an executor from explicit choices, the environment, or defaults.
 
     Parameters
     ----------
     backend:
-        ``"serial"``, ``"process"``, or None to consult
+        ``"serial"``, ``"process"``, ``"supervised"``, or None to consult
         ``REPRO_EXEC_BACKEND`` and fall back to serial.
     workers:
         Process-pool size; None consults ``REPRO_EXEC_WORKERS`` then
         defaults to the CPU count.  ``workers > 1`` with no backend named
         implies the process backend.
+    policy:
+        A :class:`~repro.exec.supervisor.SupervisionPolicy`.  Providing
+        one routes pool execution through the supervised runtime (and
+        serial execution through its inline-supervision mode).  A chaos
+        plan in the environment has the same pool-upgrading effect —
+        an unsupervised pool cannot survive injected worker crashes.
     """
     if backend is None:
         backend = os.environ.get(ENV_BACKEND, "").strip() or None
     if workers is None:
         workers = _env_workers()
+    elif workers <= 0:
+        raise ConfigurationError(f"worker count must be positive, got {workers}")
     if backend is None:
         backend = "process" if workers is not None and workers > 1 else "serial"
     if backend not in EXECUTOR_BACKENDS:
@@ -126,5 +163,20 @@ def resolve_executor(
             f"unknown executor backend {backend!r}; choose from {EXECUTOR_BACKENDS}"
         )
     if backend == "serial":
+        if policy is not None:
+            from repro.exec.supervisor import SupervisedExecutor
+
+            return SupervisedExecutor(workers=1, policy=policy, inline=True)
         return SerialExecutor()
-    return ProcessExecutor(workers=workers if workers is not None else (os.cpu_count() or 2))
+    pool_workers = workers if workers is not None else (os.cpu_count() or 2)
+    if backend == "process" and policy is None:
+        from repro.exec.chaos import chaos_enabled
+
+        if not chaos_enabled():
+            return ProcessExecutor(workers=pool_workers)
+    from repro.exec.supervisor import SupervisedExecutor, SupervisionPolicy
+
+    return SupervisedExecutor(
+        workers=pool_workers,
+        policy=policy if policy is not None else SupervisionPolicy(),
+    )

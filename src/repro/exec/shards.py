@@ -78,11 +78,19 @@ class ShardSpec:
     ``keep_result`` is set by the serial backend only: in-process
     execution can hand the live :class:`SimulationResult` straight back,
     while process workers bundle it (see :class:`ShardOutcome`).
+
+    ``attempt_offset`` is set by the supervised runtime when it retries
+    a *payload* failure (raised exception, corrupted transport): the
+    worker folds it into :meth:`ShardKey.seed_for`, shifting every
+    in-shard attempt by the executor attempt number so the retry runs
+    under a fresh-but-deterministic RNG stream.  Infrastructure retries
+    (crash, timeout) keep it at 0 and replay the same seed.
     """
 
     key: ShardKey
     config: "CampaignConfig"
     keep_result: bool = False
+    attempt_offset: int = 0
 
 
 @dataclass
@@ -110,6 +118,14 @@ class ShardOutcome:
     #: Per-shard stage timers / counters (plain data, pickles with the
     #: outcome; the parent merges them order-independently).
     telemetry: "Telemetry | None" = None
+    #: SHA-256 of the shard's transfer + signaling arrays, recorded by
+    #: the worker *before* the payload crosses the process boundary; the
+    #: supervised runtime recomputes it on receipt to detect corruption.
+    content_digest: str | None = None
+    #: Supervision record (attempts, deadline, outcome class) attached
+    #: by :class:`~repro.exec.supervisor.SupervisedExecutor`; lands in
+    #: the run manifest's per-shard ``supervision`` block.
+    supervision: dict | None = None
 
     @property
     def ok(self) -> bool:

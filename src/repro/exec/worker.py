@@ -29,7 +29,7 @@ from repro.obs.log import get_logger
 from repro.obs.telemetry import Telemetry
 from repro.streaming.engine import EngineConfig
 from repro.streaming.profiles import get_profile
-from repro.trace.store import TraceBundle
+from repro.trace.store import TraceBundle, trace_digest
 
 _log = get_logger("exec.worker")
 
@@ -90,8 +90,11 @@ def _simulate_shard(
     if cfg.impairment is not None and not cfg.impairment.is_noop:
         plan = cfg.impairment.with_seed(cfg.impairment.seed + key.app_index)
 
+    # Executor-level payload retries shift the whole stream: attempt N of
+    # a reseeded shard draws the seed attempt (N + offset) would have.
+    offset = spec.attempt_offset
     for attempt in range(cfg.max_retries + 1):
-        seed = key.seed_for(attempt)
+        seed = key.seed_for(attempt + offset)
         engine_config = EngineConfig(duration_s=cfg.duration_s, seed=seed)
         if plan is not None:
             engine_config = plan.engine_config(engine_config)
@@ -215,6 +218,9 @@ def run_shard(spec: ShardSpec) -> ShardOutcome:
         outcome.report = report
         outcome.from_checkpoint = from_checkpoint
         outcome.engine_seed = int(result.config.seed)
+        # Integrity seal: recorded here, recomputed by the supervised
+        # runtime after the payload crosses the process boundary.
+        outcome.content_digest = trace_digest(result.transfers, result.signaling)
         if spec.keep_result:
             outcome.result = result
         else:

@@ -26,11 +26,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.supervisor import SupervisionPolicy
 
 # The shard worker (repro.exec.worker) resolves simulate/build_flow_table/
 # AwarenessAnalyzer *through this module* so test doubles installed here
 # (monkeypatching campaign.simulate etc.) govern shard execution too.
 from repro.core.framework import AwarenessAnalyzer, AwarenessReport  # noqa: F401
+from repro.core.quality import QualityFlag
 from repro.errors import ConfigurationError, TraceError
 from repro.exec.backends import SerialExecutor, resolve_executor
 from repro.exec.context import campaign_context
@@ -164,6 +169,14 @@ class Campaign:
     #: Raw per-shard telemetry, keyed by application (kept for the run
     #: manifest's per-shard stage timings).
     shard_telemetry: dict[str, Telemetry] = field(default_factory=dict)
+    #: Per-shard supervision records (attempts, deadline, outcome class)
+    #: when the campaign ran under the supervised executor; empty on the
+    #: plain serial/process backends.
+    supervision: dict[str, dict] = field(default_factory=dict)
+    #: Degradation markers: a quarantined or drain-interrupted shard
+    #: flags the campaign so downstream reporting knows the numbers are
+    #: partial (codes ``exec-quarantined`` / ``exec-interrupted``).
+    flags: list[QualityFlag] = field(default_factory=list)
 
     def __getitem__(self, app: str) -> ExperimentRun:
         return self.runs[app]
@@ -296,6 +309,26 @@ def merge_outcome(campaign: Campaign, outcome: ShardOutcome) -> None:
         campaign.telemetry.merge(outcome.telemetry)
     if outcome.impairment_log is not None:
         campaign.impairment_logs[app] = outcome.impairment_log
+    record = getattr(outcome, "supervision", None)
+    if record is not None:
+        campaign.supervision[app] = record
+        if record.get("outcome") == "quarantined":
+            campaign.flags.append(
+                QualityFlag(
+                    "exec-quarantined",
+                    detail=(
+                        f"shard {record.get('label', app)} exhausted "
+                        f"{len(record.get('attempts', ()))} attempt(s)"
+                    ),
+                )
+            )
+        elif record.get("outcome") == "interrupted":
+            campaign.flags.append(
+                QualityFlag(
+                    "exec-interrupted",
+                    detail=f"shard {record.get('label', app)} interrupted by drain",
+                )
+            )
     if not outcome.ok:
         return
     result = outcome.result
@@ -316,6 +349,7 @@ def run_campaign(
     *,
     workers: int | None = None,
     backend: str | None = None,
+    policy: "SupervisionPolicy | None" = None,
 ) -> Campaign:
     """Run and analyse every experiment of a campaign.
 
@@ -328,18 +362,27 @@ def run_campaign(
         alone implies ``backend="process"``.
     backend:
         ``"serial"`` (default) runs shards inline; ``"process"`` fans
-        them out over a :class:`concurrent.futures.ProcessPoolExecutor`.
-        Both produce identical campaigns — same transfer logs, reports,
-        ledgers and impairment logs (the determinism tests assert it).
-        Unset values fall back to ``REPRO_EXEC_BACKEND`` /
-        ``REPRO_EXEC_WORKERS``.
+        them out over a :class:`concurrent.futures.ProcessPoolExecutor`;
+        ``"supervised"`` fans them out under the resilient runtime
+        (deadlines, crash isolation, retry, quarantine — see
+        :mod:`repro.exec.supervisor`).  All produce identical campaigns
+        on a clean run — same transfer logs, reports, ledgers and
+        impairment logs (the determinism tests assert it).  Unset values
+        fall back to ``REPRO_EXEC_BACKEND`` / ``REPRO_EXEC_WORKERS``.
+    policy:
+        A :class:`~repro.exec.supervisor.SupervisionPolicy` (shard
+        deadlines, attempt budget, quarantine directory).  Providing one
+        routes execution through the supervised runtime even when
+        ``backend`` names a plain one.
 
     Never raises on a per-application failure: inspect
     ``campaign.failures`` (and ``campaign.failed_apps``) for anything the
-    runner had to swallow.
+    runner had to swallow; a shard the supervised runtime had to
+    quarantine additionally lands in ``campaign.flags`` and
+    ``campaign.supervision``.
     """
     cfg = config or CampaignConfig()
-    executor = resolve_executor(backend, workers)
+    executor = resolve_executor(backend, workers, policy)
     tel = Telemetry()
     _log.info(
         "campaign-start",
@@ -358,6 +401,11 @@ def run_campaign(
         with tel.timer("shards"):
             for outcome in executor.map_shards(run_shard, specs):
                 merge_outcome(campaign, outcome)
+        # Supervised executors account for retries/timeouts/quarantines
+        # in their own telemetry; fold it into the campaign's.
+        exec_tel = getattr(executor, "telemetry", None)
+        if isinstance(exec_tel, Telemetry):
+            campaign.telemetry.merge(exec_tel)
     _log.info(
         "campaign-done",
         ok=campaign.ok,

@@ -11,8 +11,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.supervisor import SupervisionPolicy
 
 from repro.errors import ConfigurationError
 from repro.exec.backends import SerialExecutor, resolve_executor
@@ -110,6 +114,7 @@ def run_replicated_campaign(
     with_checks: bool = True,
     workers: int | None = None,
     backend: str | None = None,
+    policy: "SupervisionPolicy | None" = None,
 ) -> ReplicatedCampaign:
     """Run one campaign per seed and aggregate.
 
@@ -127,15 +132,15 @@ def run_replicated_campaign(
         Replication seeds (default: three).
     with_checks:
         Also evaluate the qualitative shape checks per replication.
-    workers / backend:
-        Executor selection — see :func:`~repro.experiments.campaign.
-        run_campaign`.
+    workers / backend / policy:
+        Executor selection and supervision — see
+        :func:`~repro.experiments.campaign.run_campaign`.
     """
     base = base_config or CampaignConfig()
     seeds = list(seeds) if seeds is not None else [101, 202, 303]
     if not seeds:
         raise ConfigurationError("need at least one replication seed")
-    executor = resolve_executor(backend, workers)
+    executor = resolve_executor(backend, workers, policy)
     keep = isinstance(executor, SerialExecutor)
 
     configs = [replace(base, seed=seed) for seed in seeds]
@@ -145,6 +150,9 @@ def run_replicated_campaign(
     outcomes = executor.map_shards(run_shard, specs)
 
     out = ReplicatedCampaign(base_config=base, seeds=seeds)
+    exec_tel = getattr(executor, "telemetry", None)
+    if isinstance(exec_tel, Telemetry):
+        out.telemetry.merge(exec_tel)
     for r, cfg in enumerate(configs):
         world, testbed, _ = campaign_context()
         campaign = Campaign(config=cfg, world=world, testbed=testbed)

@@ -16,8 +16,12 @@ system this experiment calibrates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.supervisor import SupervisionPolicy
 
 from repro.core.framework import AwarenessAnalyzer
 from repro.core.quality import QualityFlag
@@ -163,15 +167,20 @@ def sweep_robustness(
     scale: float = 1.0,
     workers: int | None = None,
     backend: str | None = None,
+    policy: "SupervisionPolicy | None" = None,
 ) -> RobustnessReport:
     """Sweep impairment severity over one application.
 
     Severity points are independent shards (each on its own pristine
     world copy, same engine seed) and fan out over the selected executor
     backend; the report lists them in the requested severity order
-    regardless of completion order.
+    regardless of completion order.  Under a supervision ``policy`` the
+    points run with deadlines/retries; a point that exhausts every
+    attempt raises :class:`~repro.errors.ExecutorError` (severity sweeps
+    have no degraded-completion mode — a hole in the curve would be
+    misleading).
     """
-    executor = resolve_executor(backend, workers)
+    executor = resolve_executor(backend, workers, policy)
     shards = [
         SeverityShard(
             app=app,
@@ -188,6 +197,9 @@ def sweep_robustness(
     for point in report.points:
         if point.telemetry is not None:
             report.telemetry.merge(point.telemetry)
+    exec_tel = getattr(executor, "telemetry", None)
+    if isinstance(exec_tel, Telemetry):
+        report.telemetry.merge(exec_tel)
     return report
 
 

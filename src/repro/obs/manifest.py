@@ -62,6 +62,10 @@ class RunManifest:
     #: ``--profile`` cProfile dump), keyed by artifact kind.  Optional —
     #: absent in older manifests, ignored by older readers.
     artifacts: dict = field(default_factory=dict)
+    #: Campaign-level quality flags (``exec-quarantined`` etc.) — present
+    #: when the supervised runtime completed the campaign degraded.
+    #: Additive field: absent in older manifests.
+    quality_flags: list = field(default_factory=list)
 
     # ------------------------------------------------------------ transport
     def to_dict(self) -> dict:
@@ -111,6 +115,7 @@ def manifest_from_campaign(
     # written to disk reads back equal to the in-memory original.
     config_dict = json.loads(json.dumps(config_dict, default=str))
 
+    supervision = getattr(campaign, "supervision", {}) or {}
     shards = []
     for i, app in enumerate(cfg.apps):
         run = campaign.runs.get(app)
@@ -127,6 +132,11 @@ def manifest_from_campaign(
                 "retries": sum(1 for f in app_failures if f.stage == "simulate"),
                 "failed_stages": sorted({f.stage for f in app_failures}),
                 "telemetry": tel.as_dict() if tel else {},
+                # Supervised-runtime record: per-attempt status, the
+                # deadline the shard ran under, and the outcome class
+                # (ok / quarantined / interrupted).  None on the plain
+                # serial/process backends.
+                "supervision": supervision.get(app),
             }
         )
 
@@ -153,6 +163,10 @@ def manifest_from_campaign(
             for f in campaign.failures
         ],
         telemetry=campaign.telemetry.as_dict(),
+        quality_flags=[
+            {"code": fl.code, "detail": fl.detail}
+            for fl in getattr(campaign, "flags", ()) or ()
+        ],
     )
 
 
@@ -200,6 +214,7 @@ def render_manifest_summary(manifest: RunManifest) -> str:
     for s in manifest.shards:
         shard_tel = Telemetry.from_dict(s.get("telemetry", {}))
         wall = shard_tel.stage("shard").wall_s
+        sup = s.get("supervision") or {}
         shard_rows.append(
             [
                 s.get("app", "?"),
@@ -207,13 +222,15 @@ def render_manifest_summary(manifest: RunManifest) -> str:
                 "yes" if s.get("from_checkpoint") else "no",
                 str(s.get("engine_seed")),
                 str(s.get("retries", 0)),
+                str(len(sup["attempts"])) if sup.get("attempts") else "-",
+                str(sup.get("outcome") or "-"),
                 f"{wall:.2f}" if wall else "-",
             ]
         )
     if shard_rows:
         lines.append(
             render_table(
-                ["app", "status", "ckpt", "seed", "retries", "wall s"],
+                ["app", "status", "ckpt", "seed", "retries", "exec att", "exec", "wall s"],
                 shard_rows,
                 title="SHARDS",
             )
@@ -242,6 +259,12 @@ def render_manifest_summary(manifest: RunManifest) -> str:
             f"  {f.get('app')}/{f.get('stage')} (attempt {f.get('attempt')}, "
             f"seed {f.get('seed')}): {f.get('error')}"
             for f in manifest.failures
+        )
+    if manifest.quality_flags:
+        lines.append("quality flags:")
+        lines.extend(
+            f"  [{fl.get('code')}] {fl.get('detail', '')}".rstrip()
+            for fl in manifest.quality_flags
         )
     return "\n\n".join(lines)
 

@@ -1,0 +1,20 @@
+"""Execution-layer test fixtures.
+
+These suites drive the supervisor and chaos harness with *explicit*
+plans and backends; ambient environment knobs (the CI chaos job exports
+``REPRO_CHAOS_PLAN`` / ``REPRO_EXEC_BACKEND`` for the campaign-level
+suites) would make their attempt counts nondeterministic, so they are
+cleared here for every test.
+"""
+
+import pytest
+
+from repro.exec.backends import ENV_BACKEND, ENV_WORKERS
+from repro.exec.chaos import ENV_CHAOS
+
+
+@pytest.fixture(autouse=True)
+def _clean_exec_env(monkeypatch):
+    monkeypatch.delenv(ENV_CHAOS, raising=False)
+    monkeypatch.delenv(ENV_BACKEND, raising=False)
+    monkeypatch.delenv(ENV_WORKERS, raising=False)

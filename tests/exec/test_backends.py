@@ -1,0 +1,82 @@
+"""Backend selection and the unsupervised pool's failure reporting."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ExecutorError
+from repro.exec.backends import (
+    ENV_WORKERS,
+    ProcessExecutor,
+    SerialExecutor,
+    resolve_executor,
+)
+from repro.exec.chaos import ENV_CHAOS, ChaosFault, ChaosPlan
+from repro.exec.supervisor import SupervisedExecutor, SupervisionPolicy
+
+
+def spec_must_be_even(spec):
+    if spec % 2:
+        raise RuntimeError(f"odd spec {spec}")
+    return spec * 10
+
+
+class TestProcessExecutorFailures:
+    def test_failure_names_the_shard(self):
+        ex = ProcessExecutor(workers=2)
+        with pytest.raises(ExecutorError) as info:
+            ex.map_shards(spec_must_be_even, [0, 2, 3, 4])
+        message = str(info.value)
+        assert "shard 2 (3)" in message
+        assert "RuntimeError: odd spec 3" in message
+        assert isinstance(info.value.__cause__, RuntimeError)
+
+    def test_clean_map_keeps_spec_order(self):
+        ex = ProcessExecutor(workers=2)
+        assert ex.map_shards(spec_must_be_even, [4, 0, 2]) == [40, 0, 20]
+        assert ex.map_shards(spec_must_be_even, []) == []
+
+
+class TestWorkerCountValidation:
+    @pytest.mark.parametrize("raw", ["0", "-2"])
+    def test_nonpositive_env_workers_rejected(self, raw, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, raw)
+        with pytest.raises(ConfigurationError, match="positive worker count"):
+            resolve_executor("process")
+
+    def test_nonpositive_explicit_workers_rejected(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            resolve_executor("process", workers=-1)
+
+
+class TestSupervisedResolution:
+    def test_supervised_backend_by_name(self):
+        executor = resolve_executor("supervised", workers=3)
+        assert isinstance(executor, SupervisedExecutor)
+        assert executor.workers == 3
+        assert not executor.inline
+
+    def test_policy_upgrades_process_pool(self):
+        policy = SupervisionPolicy(max_attempts=5)
+        executor = resolve_executor("process", workers=2, policy=policy)
+        assert isinstance(executor, SupervisedExecutor)
+        assert executor.policy.max_attempts == 5
+
+    def test_policy_makes_serial_inline_supervised(self):
+        executor = resolve_executor("serial", policy=SupervisionPolicy())
+        assert isinstance(executor, SupervisedExecutor)
+        assert executor.inline
+        assert executor.workers == 1
+
+    def test_chaos_env_upgrades_process_pool(self, monkeypatch):
+        plan = ChaosPlan(faults=(ChaosFault(match="", kind="crash"),))
+        monkeypatch.setenv(ENV_CHAOS, plan.to_json())
+        assert isinstance(resolve_executor("process", workers=2), SupervisedExecutor)
+
+    def test_chaos_env_leaves_serial_alone(self, monkeypatch):
+        # Serial runs in-process: a crash fault would kill the test run
+        # itself, and inline supervision is only opted into via a policy.
+        plan = ChaosPlan(faults=(ChaosFault(match="", kind="crash"),))
+        monkeypatch.setenv(ENV_CHAOS, plan.to_json())
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+
+    def test_plain_process_without_policy_or_chaos(self):
+        assert isinstance(resolve_executor("process", workers=2), ProcessExecutor)

@@ -127,6 +127,49 @@ class TestRobustnessParity:
         assert [p.severity for p in process.points] == [0.0, 0.8]
 
 
+class TestSupervisedParity:
+    """The supervised runtime is parity-bound too: with no faults the
+    supervised pool (and inline supervision) must reproduce the serial
+    campaign byte for byte — supervision may only *observe* clean runs."""
+
+    @pytest.fixture(autouse=True)
+    def _no_ambient_chaos(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS_PLAN", raising=False)
+
+    def test_clean_supervised_pool_matches_serial(self):
+        cfg = CampaignConfig(apps=TWO_APPS, **SMALL)
+        serial = run_campaign(cfg, backend="serial")
+        supervised = run_campaign(cfg, backend="supervised", workers=2)
+        assert serial.ok and supervised.ok
+        assert_campaigns_identical(serial, supervised)
+        # Clean runs leave no degradation marks, only observations.
+        assert supervised.flags == []
+        assert {r["outcome"] for r in supervised.supervision.values()} == {"ok"}
+        assert supervised.telemetry.counter("exec/retries") == 0
+
+    def test_inline_supervision_matches_serial(self):
+        from repro.exec.supervisor import SupervisionPolicy
+
+        cfg = CampaignConfig(apps=("tvants",), **SMALL)
+        serial = run_campaign(cfg, backend="serial")
+        inline = run_campaign(cfg, backend="serial", policy=SupervisionPolicy())
+        assert_campaigns_identical(serial, inline)
+        assert inline.supervision["tvants"]["outcome"] == "ok"
+
+    def test_impaired_supervised_matches_serial(self):
+        plan = ImpairmentPlan.preset(0.6, seed=5, duration_s=SMALL["duration_s"])
+        cfg = CampaignConfig(apps=TWO_APPS, impairment=plan, **SMALL)
+        serial = run_campaign(cfg, backend="serial")
+        supervised = run_campaign(cfg, backend="supervised", workers=2)
+        assert_campaigns_identical(serial, supervised)
+
+    def test_supervised_robustness_sweep_identical(self):
+        kwargs = dict(severities=(0.0, 0.8), duration_s=20.0, seed=3, scale=0.4)
+        serial = sweep_robustness("tvants", backend="serial", **kwargs)
+        supervised = sweep_robustness("tvants", backend="supervised", workers=2, **kwargs)
+        assert serial.points == supervised.points
+
+
 class TestShardKeys:
     def test_seed_discipline_matches_serial_runner(self):
         key = ShardKey(campaign_seed=42, app="sopcast", app_index=1)
@@ -141,6 +184,13 @@ class TestShardKeys:
 
 
 class TestExecutorResolution:
+    @pytest.fixture(autouse=True)
+    def _no_ambient_chaos(self, monkeypatch):
+        # The CI chaos job exports REPRO_CHAOS_PLAN, which deliberately
+        # upgrades process resolution to the supervised pool; these tests
+        # pin down the *unsupervised* resolution rules.
+        monkeypatch.delenv("REPRO_CHAOS_PLAN", raising=False)
+
     def test_default_is_serial(self, monkeypatch):
         monkeypatch.delenv(ENV_BACKEND, raising=False)
         monkeypatch.delenv(ENV_WORKERS, raising=False)

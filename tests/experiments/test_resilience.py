@@ -1,6 +1,7 @@
 """Resilient campaign execution: ledger, retry, checkpoint, validation."""
 
 import numpy as np
+import pytest
 
 import repro.experiments.campaign as campaign_mod
 from repro.errors import SimulationError
@@ -164,6 +165,46 @@ class TestCheckpointResume:
         assert {f.app for f in loads} == {"pplive", "tvants"}
         for f in loads:
             assert f.seed == base_seed[f.app]
+
+    @pytest.mark.parametrize(
+        "key, value, message",
+        [
+            ("profile", "pplive", "checkpoint profile"),
+            ("duration_s", 999.0, "duration mismatch"),
+            ("campaign_scale", 0.9, "scale mismatch"),
+            ("world_seed", 12345, "world mismatch"),
+            ("impairment_seed", 77, "impairment mismatch"),
+        ],
+    )
+    def test_each_mismatch_branch_forces_resimulation(
+        self, tmp_path, monkeypatch, key, value, message
+    ):
+        """Every guard in ``_load_checkpoint`` — profile, duration, scale,
+        world seed, impairment seed — rejects a doctored bundle with a
+        checkpoint-stage ledger entry, and the campaign re-simulates to
+        the same numbers a fresh run produces."""
+        cfg = CampaignConfig(apps=("tvants",), checkpoint_dir=str(tmp_path), **SMALL)
+        fresh = run_campaign(cfg)
+        assert fresh.ok
+
+        real_load = campaign_mod.load_trace_bundle
+
+        def doctored(path):
+            bundle = real_load(path)
+            bundle.meta[key] = value
+            return bundle
+
+        monkeypatch.setattr(campaign_mod, "load_trace_bundle", doctored)
+        # Serial backend so the monkeypatched loader is the one the
+        # shard actually calls.
+        resumed = run_campaign(cfg, backend="serial")
+        assert "tvants" in resumed.runs
+        assert not resumed["tvants"].from_checkpoint
+        [failure] = [f for f in resumed.failures if f.stage == "checkpoint"]
+        assert message in failure.error
+        assert np.array_equal(
+            resumed["tvants"].result.transfers, fresh["tvants"].result.transfers
+        )
 
     def test_stale_checkpoint_falls_back_to_simulation(self, tmp_path):
         base = CampaignConfig(apps=("tvants",), checkpoint_dir=str(tmp_path), **SMALL)
