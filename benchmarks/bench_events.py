@@ -7,11 +7,22 @@ ticks interleaved with short-horizon one-shot events (chunk arrivals,
 remote pulls).  The summary in ``BENCH_engine.json`` tracks both, so the
 calendar queue's advantage — and any future regression of it — is
 visible without running the full engine.
+
+The per-policy engine benchmark below records event throughput under
+each chunk scheduler.  Those entries are *recorded, not gated*: the CI
+regression gate compares only benchmarks present in the committed
+``BENCH_engine.json``, so the alternative policies' numbers accumulate
+in the summary artifact without being held to the mesh-pull baseline.
 """
+
+from dataclasses import replace
 
 import pytest
 
+from repro.streaming.engine import EngineConfig, simulate
 from repro.streaming.events import EventQueue, HeapEventQueue
+from repro.streaming.profiles import get_profile
+from repro.streaming.schedulers import SCHEDULER_NAMES
 
 #: Workload shape, roughly the tvants engine mix: ~100 periodic sources
 #: ticking at 0.3 s, each tick scheduling ~1.5 one-shot follow-ups that
@@ -57,3 +68,32 @@ def test_event_queue_throughput(benchmark, impl):
     events = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
     benchmark.extra_info["events"] = events
     benchmark.extra_info["simulated_s"] = HORIZON_S
+
+
+#: Shared workload for the per-policy engine benchmark: small enough to
+#: afford one run per scheduler, large enough that the policies' extra
+#: work (rarest's counting scan, push's forwarding) actually shows.
+SCHEDULER_BENCH_DURATION_S = 30.0
+SCHEDULER_BENCH_SCALE = 0.5
+
+
+@pytest.mark.parametrize("scheduler", sorted(SCHEDULER_NAMES))
+def test_engine_scheduler_throughput(benchmark, scheduler):
+    """Engine event throughput under each chunk-scheduling policy.
+
+    Recorded for trend-watching only — new policies are not gated
+    against the mesh-pull baseline (see module docstring).
+    """
+    profile = replace(
+        get_profile("tvants").scaled(SCHEDULER_BENCH_SCALE), scheduler=scheduler
+    )
+    config = EngineConfig(duration_s=SCHEDULER_BENCH_DURATION_S, seed=42)
+
+    def run():
+        return simulate(profile, engine_config=config)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["scheduler"] = scheduler
+    benchmark.extra_info["events"] = result.events_processed
+    benchmark.extra_info["transfers"] = len(result.transfers)
+    benchmark.extra_info["simulated_s"] = SCHEDULER_BENCH_DURATION_S

@@ -15,8 +15,10 @@ import os
 import time
 
 import numpy as np
+import pytest
 
 from repro.experiments.campaign import CampaignConfig, run_campaign
+from repro.streaming.schedulers import SCHEDULER_NAMES
 from repro.experiments.table4 import build_table4
 from repro.report.tables import render_table4
 
@@ -28,6 +30,12 @@ MAX_SUPERVISION_OVERHEAD = 0.05
 #: Shorter than the shared bench campaign: this file runs the campaign
 #: several times (rounds x backends), not once per session.
 PARALLEL_BENCH_CONFIG = CampaignConfig(duration_s=60.0, seed=42, scale=0.5)
+
+#: Single-app campaign for the per-policy entries below — one per
+#: scheduler, so kept deliberately small.
+SCHEDULER_BENCH_CONFIG = dict(
+    apps=("tvants",), duration_s=30.0, seed=42, scale=0.5
+)
 
 
 def _run(backend: str, workers: int | None = None):
@@ -75,6 +83,28 @@ def test_campaign_process_pool(benchmark):
         assert np.array_equal(
             serial[app].result.transfers, campaign[app].result.transfers
         )
+
+
+@pytest.mark.parametrize("scheduler", sorted(SCHEDULER_NAMES))
+def test_campaign_scheduler(benchmark, scheduler):
+    """Campaign wall time under each chunk-scheduling policy.
+
+    Recorded, not gated: these entries land in the summary artifact for
+    trend-watching but are absent from the committed baseline, so the
+    regression gate never compares the alternative policies against
+    mesh-pull throughput.
+    """
+    config = CampaignConfig(scheduler=scheduler, **SCHEDULER_BENCH_CONFIG)
+
+    def run():
+        return run_campaign(config, backend="serial")
+
+    campaign = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert campaign.ok
+    assert campaign["tvants"].result.profile.scheduler == scheduler
+    benchmark.extra_info["backend"] = "serial"
+    benchmark.extra_info["scheduler"] = scheduler
+    _record_telemetry(benchmark, campaign)
 
 
 def test_campaign_supervised_overhead(benchmark):

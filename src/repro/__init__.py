@@ -68,9 +68,25 @@ __all__ = [
 ]
 
 
-def run_experiment(profile_name: str, *, duration_s: float = 600.0, seed: int = 7, **kw):
-    """Simulate one application for one capture window (convenience)."""
-    return simulate(get_profile(profile_name), duration_s=duration_s, seed=seed, **kw)
+def run_experiment(
+    profile_name: str,
+    *,
+    duration_s: float = 600.0,
+    seed: int = 7,
+    scheduler: str | None = None,
+    **kw,
+):
+    """Simulate one application for one capture window (convenience).
+
+    ``scheduler`` overrides the profile's chunk-scheduling policy (one of
+    :data:`repro.streaming.schedulers.SCHEDULER_NAMES`).
+    """
+    profile = get_profile(profile_name)
+    if scheduler is not None and scheduler != profile.scheduler:
+        from dataclasses import replace
+
+        profile = replace(profile, scheduler=scheduler)
+    return simulate(profile, duration_s=duration_s, seed=seed, **kw)
 
 
 def flow_table_of(result: SimulationResult) -> FlowTable:

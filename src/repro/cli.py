@@ -23,6 +23,10 @@ independent experiment shards out over a process pool (see
 execution through the supervised runtime
 (:mod:`repro.exec.supervisor`: deadlines, crash isolation, retry with
 backoff, poison-shard quarantine).
+``simulate``, ``campaign``, ``replicate`` and ``robustness`` accept
+``--scheduler {mesh-pull,rarest,edf,push}`` to run under an alternative
+chunk-scheduling policy (see :mod:`repro.streaming.schedulers`; env
+default: ``REPRO_SCHEDULER``).
 Global ``--log-level`` / ``--log-format`` control the structured logger
 (:mod:`repro.obs`; env: ``REPRO_LOG_LEVEL`` / ``REPRO_LOG_FORMAT``), and
 ``campaign`` writes a JSON run manifest next to its outputs
@@ -74,12 +78,36 @@ def _add_profile_flag(parser: argparse.ArgumentParser, where: str) -> None:
     )
 
 
+def _add_scheduler_flag(parser: argparse.ArgumentParser) -> None:
+    # Validated by repro.streaming.schedulers.get_scheduler (not argparse
+    # choices) so an unknown name exits 2 with the same ConfigurationError
+    # message config-level validation produces.
+    from repro.streaming.schedulers import SCHEDULER_NAMES
+
+    parser.add_argument(
+        "--scheduler", default=None, metavar="POLICY",
+        help="chunk-scheduling policy: " + ", ".join(SCHEDULER_NAMES)
+        + " (default: mesh-pull, or $REPRO_SCHEDULER)",
+    )
+
+
+def _scheduler(args: argparse.Namespace) -> str:
+    """Resolve and validate the run's chunk-scheduling policy."""
+    from repro.streaming.schedulers import default_scheduler, get_scheduler
+
+    name = args.scheduler if args.scheduler is not None else default_scheduler()
+    get_scheduler(name)  # unknown names raise ConfigurationError → exit 2
+    return name
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro import run_experiment
     from repro.trace.store import TraceBundle, save_trace_bundle
 
     profiler = _start_profiler(args)
-    result = run_experiment(args.app, duration_s=args.duration, seed=args.seed)
+    result = run_experiment(
+        args.app, duration_s=args.duration, seed=args.seed, scheduler=_scheduler(args)
+    )
     _dump_profiler(profiler, args, args.out + ".pstats")
     bundle = TraceBundle.from_result(result)
     path = save_trace_bundle(args.out, bundle)
@@ -155,6 +183,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         validate=args.validate,
         checkpoint_dir=args.checkpoint_dir,
         impairment=impairment,
+        scheduler=_scheduler(args),
     )
     profiler = _start_profiler(args)
     campaign = run_campaign(
@@ -230,7 +259,9 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
     )
 
     rep = run_replicated_campaign(
-        CampaignConfig(duration_s=args.duration, scale=args.scale),
+        CampaignConfig(
+            duration_s=args.duration, scale=args.scale, scheduler=_scheduler(args)
+        ),
         seeds=args.seeds,
         workers=args.workers,
         backend=args.backend,
@@ -255,6 +286,7 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         seed=args.seed,
         fault_seed=args.fault_seed,
         scale=args.scale,
+        scheduler=_scheduler(args),
         workers=args.workers,
         backend=args.backend,
         policy=_policy_from_args(args),
@@ -362,6 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--duration", type=float, default=300.0, help="seconds")
     sim.add_argument("--seed", type=int, default=7)
     sim.add_argument("--out", default="trace.npz", help="output bundle path")
+    _add_scheduler_flag(sim)
     _add_profile_flag(sim, "next to the trace bundle")
     sim.set_defaults(func=_cmd_simulate)
 
@@ -403,6 +436,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-manifest", dest="manifest", action="store_const", const=None,
         help="skip writing the run manifest",
     )
+    _add_scheduler_flag(camp)
     _add_profile_flag(camp, "next to the run manifest")
     _add_executor_flags(camp)
     camp.set_defaults(func=_cmd_campaign)
@@ -421,6 +455,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--duration", type=float, default=180.0)
     rep.add_argument("--scale", type=float, default=1.0)
     rep.add_argument("--seeds", type=int, nargs="+", default=[101, 202, 303])
+    _add_scheduler_flag(rep)
     _add_executor_flags(rep)
     rep.set_defaults(func=_cmd_replicate)
 
@@ -436,6 +471,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--severities", type=float, nargs="+",
         default=[0.0, 0.25, 0.5, 0.75, 1.0],
     )
+    _add_scheduler_flag(rob)
     _add_executor_flags(rob)
     rob.set_defaults(func=_cmd_robustness)
 

@@ -22,6 +22,8 @@ regardless of how many attempts it took (the seed-unification fix).
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.errors import ReproError
 from repro.exec.context import shard_context
 from repro.exec.shards import ShardOutcome, ShardSpec
@@ -71,6 +73,9 @@ def _shard_profile(spec: ShardSpec):
     profile = get_profile(spec.key.app)
     if spec.config.scale != 1.0:
         profile = profile.scaled(spec.config.scale)
+    scheduler = getattr(spec.config, "scheduler", None)
+    if scheduler and scheduler != profile.scheduler:
+        profile = replace(profile, scheduler=scheduler)
     return profile
 
 

@@ -46,6 +46,7 @@ from repro.obs.log import get_logger
 from repro.obs.telemetry import Telemetry
 from repro.streaming.engine import EngineConfig, SimulationResult, simulate  # noqa: F401
 from repro.streaming.profiles import get_profile
+from repro.streaming.schedulers import default_scheduler, get_scheduler
 from repro.topology.testbed import Testbed
 from repro.topology.world import World
 from repro.trace.flows import FlowTable, build_flow_table  # noqa: F401
@@ -63,6 +64,7 @@ __all__ = [
     "CampaignConfig",
     "CampaignFailure",
     "ExperimentRun",
+    "campaign_profile",
     "run_campaign",
 ]
 
@@ -97,6 +99,12 @@ class CampaignConfig:
     impairment:
         Optional :class:`~repro.faults.plan.ImpairmentPlan`; each app
         runs under the plan reseeded per app (``plan.seed + app index``).
+    scheduler:
+        Chunk-scheduling policy applied to every app in the campaign
+        (see :mod:`repro.streaming.schedulers`).  Defaults to the
+        ``REPRO_SCHEDULER`` environment variable when set, else
+        mesh-pull — so CI can run entire suites under an alternative
+        policy without code changes.
     """
 
     apps: tuple[str, ...] = PAPER_APPS
@@ -107,6 +115,7 @@ class CampaignConfig:
     validate: bool = False
     checkpoint_dir: str | None = None
     impairment: ImpairmentPlan | None = None
+    scheduler: str = field(default_factory=default_scheduler)
 
     def __post_init__(self) -> None:
         if not self.apps:
@@ -115,6 +124,7 @@ class CampaignConfig:
             raise ConfigurationError("duration and scale must be positive")
         if self.max_retries < 0:
             raise ConfigurationError("max_retries must be non-negative")
+        get_scheduler(self.scheduler)  # unknown names raise here
 
 
 @dataclass(frozen=True, slots=True)
@@ -199,6 +209,18 @@ class Campaign:
         return [f for f in self.failures if f.app == app]
 
 
+def campaign_profile(cfg: CampaignConfig, app: str):
+    """The profile one shard simulates: built-in, scaled, policy applied."""
+    from dataclasses import replace
+
+    profile = get_profile(app)
+    if cfg.scale != 1.0:
+        profile = profile.scaled(cfg.scale)
+    if cfg.scheduler != profile.scheduler:
+        profile = replace(profile, scheduler=cfg.scheduler)
+    return profile
+
+
 # --------------------------------------------------------------- checkpoints
 def _checkpoint_path(cfg: CampaignConfig, app: str) -> Path:
     return Path(cfg.checkpoint_dir) / f"{app}.npz"
@@ -235,6 +257,11 @@ def _load_checkpoint(
         raise TraceError("checkpoint duration mismatch")
     if float(meta.get("campaign_scale", -1.0)) != cfg.scale:
         raise TraceError("checkpoint scale mismatch")
+    if meta.get("scheduler", "mesh-pull") != cfg.scheduler:
+        raise TraceError(
+            f"checkpoint scheduler {meta.get('scheduler', 'mesh-pull')!r} "
+            f"!= {cfg.scheduler!r}"
+        )
     if int(meta.get("world_seed", -1)) != world.config.seed:
         raise TraceError("checkpoint world mismatch")
     expected_plan = None if cfg.impairment is None else cfg.impairment.seed
@@ -277,9 +304,7 @@ def _result_from_bundle(
     construction), so paths and registries resolve identically.
     """
     cfg = campaign.config
-    profile = get_profile(app)
-    if cfg.scale != 1.0:
-        profile = profile.scaled(cfg.scale)
+    profile = campaign_profile(cfg, app)
     return SimulationResult(
         transfers=bundle.transfers,
         signaling=bundle.signaling,

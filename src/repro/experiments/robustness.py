@@ -15,7 +15,7 @@ system this experiment calibrates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -31,6 +31,7 @@ from repro.exec.context import shard_context
 from repro.faults.plan import ImpairmentPlan, simulate_impaired
 from repro.obs.telemetry import Telemetry
 from repro.streaming.profiles import get_profile
+from repro.streaming.schedulers import default_scheduler, get_scheduler
 from repro.trace.flows import build_flow_table
 
 #: Default severity sweep: pristine → heavily impaired.
@@ -106,6 +107,7 @@ class SeverityShard:
     seed: int
     fault_seed: int
     scale: float
+    scheduler: str = "mesh-pull"
 
 
 def run_severity_shard(shard: SeverityShard) -> RobustnessPoint:
@@ -122,6 +124,8 @@ def run_severity_shard(shard: SeverityShard) -> RobustnessPoint:
         profile = get_profile(shard.app)
         if shard.scale != 1.0:
             profile = profile.scaled(shard.scale)
+        if shard.scheduler != profile.scheduler:
+            profile = replace(profile, scheduler=shard.scheduler)
         plan = ImpairmentPlan.preset(
             shard.severity, seed=shard.fault_seed, duration_s=shard.duration_s
         )
@@ -165,6 +169,7 @@ def sweep_robustness(
     seed: int = 7,
     fault_seed: int = 1,
     scale: float = 1.0,
+    scheduler: str | None = None,
     workers: int | None = None,
     backend: str | None = None,
     policy: "SupervisionPolicy | None" = None,
@@ -181,6 +186,8 @@ def sweep_robustness(
     misleading).
     """
     executor = resolve_executor(backend, workers, policy)
+    policy_name = scheduler if scheduler is not None else default_scheduler()
+    get_scheduler(policy_name)  # unknown names raise before any work
     shards = [
         SeverityShard(
             app=app,
@@ -189,6 +196,7 @@ def sweep_robustness(
             seed=seed,
             fault_seed=fault_seed,
             scale=scale,
+            scheduler=policy_name,
         )
         for severity in severities
     ]

@@ -16,7 +16,6 @@ Everything stochastic draws from named, seeded RNG streams
 
 from __future__ import annotations
 
-from bisect import bisect_right
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -31,6 +30,7 @@ from repro.streaming.availability import RemoteAvailability
 from repro.streaming.buffer import PlayoutBuffer
 from repro.streaming.events import EventQueue
 from repro.streaming.profiles import AppProfile
+from repro.streaming.schedulers import get_scheduler
 from repro.streaming.selection import CandidateFeatures, SelectionPolicy
 from repro.streaming.transport import (
     SignalingBook,
@@ -269,6 +269,17 @@ class Engine:
 
         self._build_directory(population)
         self._build_protocol_state()
+        # The chunk-scheduling policy: which missing chunks to request, in
+        # what order, from whom (see repro.streaming.schedulers).  The
+        # default mesh-pull strategy is the pre-refactor selection loop
+        # verbatim — golden-hash-pinned byte-identical.
+        self._scheduler = get_scheduler(profile.scheduler)()
+        self._scheduler.bind(self)
+        self._sched_requests = self._scheduler.schedule_requests
+        self._scan_limit = (
+            self.config.max_probe_attempts if self._scheduler.truncate_scan else None
+        )
+        self._sched_push = self._scheduler.pushes
 
     # ----------------------------------------------------------- directory
     def _build_directory(self, population: list[RemotePeer]) -> None:
@@ -637,9 +648,12 @@ class Engine:
     def _on_tick(self, probe: _ProbeState) -> None:
         t = self._queue.now
         # One combined buffer pass drives eviction, the missing scan and
-        # (below) in-flight pruning from the same window arithmetic.
+        # (below) in-flight pruning from the same window arithmetic.  The
+        # scan limit is policy-dependent: mesh-pull takes the newest
+        # ``max_probe_attempts`` holes, ordering policies (rarest, EDF)
+        # need the whole window and budget their attempts themselves.
         floor, lookahead = probe.buffer.tick_scan(
-            t, self._live_lag, probe.inflight, self._max_attempts
+            t, self._live_lag, probe.inflight, self._scan_limit
         )
         # Prune in-flight requests that slid out of the window (rebuild
         # only when something actually fell below the floor; pruned ids
@@ -651,93 +665,7 @@ class Engine:
             partners = probe.online_partners(online, self._mask_key)
             slots = self._max_parallel - len(probe.inflight)
             if slots > 0 and len(partners):
-                pi = probe.gidx - self.n_remote
-                has_remotes, delays, ready, plan, thr_cache, probe_plan = (
-                    self._partner_context(pi, partners)
-                )
-                # Outstanding-request counts are read straight off
-                # probe.busy: _request_chunk increments it for the picked
-                # provider, so the counts this tick sees are exactly the
-                # snapshot-plus-local-increments the old copied row held.
-                busy = probe.busy
-                cap = self._cap_out
-                score_row = self._provider_scores_list[pi]
-                cdf_cache = self._cdf_cache
-                rng = self._rng_engine
-                sel_rand = self._rng_sel.random
-                explore_prob = self._explore_prob
-                cache_get = thr_cache.get
-                ci = self._av_chunk_interval
-                retention = self._av_retention
-                # Per-chunk availability thresholds are chunk constants
-                # (``max(gen + delay, ready)`` per remote, the scalar twin
-                # of subset_thresholds); the oracle reduces to direct
-                # ``t >= threshold`` compares, with a min-threshold /
-                # freshness-deadline fast path that skips the whole
-                # candidate scan while no remote can possibly serve.
-                for chunk in lookahead:
-                    if slots <= 0:
-                        break
-                    remotes_live = False
-                    if has_remotes:
-                        ent = cache_get(chunk)
-                        if ent is None:
-                            gen = chunk * ci
-                            thr_list = [
-                                r if r > (m := gen + d) else m
-                                for d, r in zip(delays, ready)
-                            ]
-                            ent = (thr_list, min(thr_list), gen + retention)
-                            thr_cache[chunk] = ent
-                        thr_list, min_thr, fresh_until = ent
-                        # min over the thresholds: some remote serves the
-                        # chunk iff any threshold ≤ t, i.e. the min is.
-                        remotes_live = min_thr <= t < fresh_until
-                    holders: list[int] = []
-                    if not remotes_live:
-                        # No remote partner has diffused this chunk yet (or
-                        # it aged out everywhere): only probe partners can
-                        # hold it.  Scanning just their columns preserves
-                        # the ascending column order of the full scan.
-                        if not probe_plan:
-                            continue
-                        for _j, g, chunks in probe_plan:
-                            if busy[g] < cap and chunk in chunks:
-                                holders.append(g)
-                    else:
-                        # Candidate scan in ascending column order — the
-                        # same holder ordering the vectorised mask produced.
-                        for g, k, chunks in plan:
-                            if busy[g] >= cap:
-                                continue
-                            if chunks is None:
-                                if t < thr_list[k]:
-                                    continue
-                            elif chunk not in chunks:
-                                continue
-                            holders.append(g)
-                    if not holders:
-                        continue
-                    if rng.random() < explore_prob:
-                        pick = int(rng.integers(len(holders)))
-                    else:
-                        # The selection CDF is a pure function of the
-                        # holders' score sequence, so it is memoised by
-                        # score tuple (computed through the exact softmax
-                        # pipeline on a miss, stored as a float list); the
-                        # draw itself still happens per decision — one
-                        # uniform from the selection stream inverted with a
-                        # right-bisect, exactly sample_index's consumption.
-                        key = tuple([score_row[g] for g in holders])
-                        cdf = cdf_cache.get(key)
-                        if cdf is None:
-                            cdf = self._provider_policy.cdf_from_scores(
-                                np.array(key, dtype=np.float64)
-                            ).tolist()
-                            cdf_cache[key] = cdf
-                        pick = bisect_right(cdf, sel_rand())
-                    if self._request_chunk(probe, holders[pick], chunk, t):
-                        slots -= 1
+                self._sched_requests(probe, t, lookahead, partners, slots)
         self._queue.schedule(t + self._tick_interval, self._cb_tick, probe)
 
     def _request_chunk(self, probe: _ProbeState, provider: int, chunk: int, t: float) -> bool:
@@ -807,6 +735,9 @@ class Engine:
         probe.buffer.add(chunk)
         if probe.busy[provider] > 0:
             probe.busy[provider] -= 1
+        if self._sched_push:
+            # Push-based policies forward the chunk onwards from here.
+            self._scheduler.on_chunk_received(probe, chunk, provider, self._queue.now)
 
     # ------------------------------------------------------ remote demand
     def _demand_target(self, probe_gidx: int) -> float:

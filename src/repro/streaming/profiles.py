@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, replace
 from repro.errors import ConfigurationError
 from repro.population.churn import ChurnConfig
 from repro.streaming.availability import AvailabilityConfig
+from repro.streaming.schedulers import DEFAULT_SCHEDULER, SCHEDULER_NAMES
 from repro.streaming.selection import SelectionWeights
 from repro.streaming.video import VideoConfig
 
@@ -74,6 +75,12 @@ class AppProfile:
     selection_temperature: float = 1.0
     tick_interval_s: float = 0.4
     max_parallel_requests: int = 8
+    #: Chunk-scheduling policy (see :mod:`repro.streaming.schedulers`):
+    #: which missing chunks to request, in what order, from whom.  The
+    #: measured systems are all mesh-pull; the alternatives exist for
+    #: what-if studies and to prove the awareness analysis is
+    #: scheduler-independent.
+    scheduler: str = DEFAULT_SCHEDULER
     #: Chunks of head-room kept behind the live edge when requesting, so
     #: that targets have had time to diffuse to remote providers too.
     live_lag_chunks: int = 3
@@ -106,6 +113,11 @@ class AppProfile:
             raise ConfigurationError("need at least one partner slot")
         if self.remote_pull_rate < 0 or self.remote_demand < 0:
             raise ConfigurationError("remote demand must be non-negative")
+        if self.scheduler not in SCHEDULER_NAMES:
+            raise ConfigurationError(
+                f"unknown chunk scheduler {self.scheduler!r}; "
+                f"valid choices: {list(SCHEDULER_NAMES)}"
+            )
 
     def scaled(self, factor: float) -> "AppProfile":
         """A copy with the swarm (and discovery reach) scaled by ``factor``.

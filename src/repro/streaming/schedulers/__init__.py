@@ -1,0 +1,92 @@
+"""Pluggable chunk-scheduling policies (the ROADMAP's scheduler diversity).
+
+The engine's per-tick chunk-selection decision — *which missing chunks to
+request, in what order, from whom* — is a strategy object, so the same
+transport, availability oracle and awareness-weighted provider choice can
+run under different scheduling disciplines:
+
+* ``mesh-pull`` — the original newest-first pull core (default).  Moved
+  here verbatim from :meth:`Engine._on_tick`; the golden trace hashes pin
+  it byte-identical to the pre-refactor engine.
+* ``rarest``   — rarest-first pull with buffer-map exchange, after the
+  p2pstream ``peer_dbs_rarest`` design: missing chunks are requested in
+  ascending advertised-availability order, ties broken by chunk id.
+* ``edf``      — deadline-driven (earliest-deadline-first) pull, after
+  ``peer_dbs_edf``: chunks are requested in playout-deadline order and
+  never once their deadline has passed.
+* ``push``     — push-based epidemic diffusion after Mathieu & Perino:
+  probes seed infection with a couple of live-edge pulls, then forward
+  every received chunk to a fanout of partner probes that lack it.
+
+Every policy draws only from the engine's named RNG streams, so a run
+remains a pure function of ``(world seed, profile, engine seed)`` under
+any scheduler — the per-policy golden hashes in
+``tests/golden/scheduler_trace_hashes.json`` pin that down.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ConfigurationError
+from repro.streaming.schedulers.base import ChunkScheduler
+from repro.streaming.schedulers.edf import EdfScheduler
+from repro.streaming.schedulers.epidemic import PushEpidemicScheduler
+from repro.streaming.schedulers.mesh_pull import MeshPullScheduler
+from repro.streaming.schedulers.rarest import RarestFirstScheduler
+
+#: Name → scheduler class for every built-in policy.
+SCHEDULERS: dict[str, type[ChunkScheduler]] = {
+    cls.name: cls
+    for cls in (
+        MeshPullScheduler,
+        RarestFirstScheduler,
+        EdfScheduler,
+        PushEpidemicScheduler,
+    )
+}
+
+#: Valid policy names, sorted (CLI choices, error messages).
+SCHEDULER_NAMES: tuple[str, ...] = tuple(sorted(SCHEDULERS))
+
+#: The policy every profile uses unless told otherwise.
+DEFAULT_SCHEDULER = MeshPullScheduler.name
+
+#: Environment override consumed by :class:`CampaignConfig` — lets CI run
+#: whole campaign suites under an alternative policy without code changes.
+ENV_SCHEDULER = "REPRO_SCHEDULER"
+
+
+def get_scheduler(name: str) -> type[ChunkScheduler]:
+    """Resolve a policy name to its scheduler class.
+
+    Raises :class:`~repro.errors.ConfigurationError` naming the valid
+    choices for anything unknown — config and CLI validation both route
+    through here so the error reads the same everywhere.
+    """
+    try:
+        return SCHEDULERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown chunk scheduler {name!r}; valid choices: {list(SCHEDULER_NAMES)}"
+        ) from None
+
+
+def default_scheduler() -> str:
+    """The ambient default policy (``REPRO_SCHEDULER`` env, else mesh-pull)."""
+    return os.environ.get(ENV_SCHEDULER, DEFAULT_SCHEDULER)
+
+
+__all__ = [
+    "ChunkScheduler",
+    "DEFAULT_SCHEDULER",
+    "ENV_SCHEDULER",
+    "EdfScheduler",
+    "MeshPullScheduler",
+    "PushEpidemicScheduler",
+    "RarestFirstScheduler",
+    "SCHEDULERS",
+    "SCHEDULER_NAMES",
+    "default_scheduler",
+    "get_scheduler",
+]

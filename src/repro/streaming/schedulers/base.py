@@ -1,0 +1,115 @@
+"""The chunk-scheduler strategy interface.
+
+A :class:`ChunkScheduler` owns the per-tick request decision of one
+engine run: given a probe's missing chunks (newest first) and its online
+partners, it decides which chunks to request, in what order, from which
+holders.  Everything else — buffer bookkeeping, uplink queuing, transfer
+recording, the availability oracle — stays in the engine and is shared by
+every policy.
+
+Determinism contract
+--------------------
+Policies may draw randomness **only** from the engine's named RNG streams
+(``engine._rng_engine`` for protocol jitter, ``engine._rng_sel`` through
+the selection-policy CDFs for provider choice).  Candidate orderings must
+be pure functions of visible protocol state with deterministic
+tie-breaking, so a run is a pure function of ``(world seed, profile,
+engine seed)`` under any policy.  The per-policy golden hashes enforce
+this; see ``docs/schedulers.md`` for the rules a new policy must follow.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+import numpy as np
+
+
+class ChunkScheduler:
+    """Base strategy: subclasses implement :meth:`schedule_requests`."""
+
+    #: Registry key (also the CLI / profile / campaign-config spelling).
+    name = "abstract"
+
+    #: True when the per-tick hole scan should stop after the engine's
+    #: ``max_probe_attempts`` newest holes (the mesh-pull behaviour).
+    #: Ordering policies that re-sort candidates (rarest, EDF) need the
+    #: whole window and cap their *attempts* instead.
+    truncate_scan = True
+
+    #: True when the policy reacts to chunk arrivals (push diffusion);
+    #: the engine only invokes :meth:`on_chunk_received` when set.
+    pushes = False
+
+    def bind(self, engine) -> None:
+        """Attach to one engine run (called once, before any event)."""
+        self._engine = engine
+
+    # ------------------------------------------------------------- hooks
+    def schedule_requests(self, probe, t: float, lookahead, partners, slots: int) -> None:
+        """Issue up to ``slots`` chunk requests for one probe tick.
+
+        ``lookahead`` is the probe's missing-chunk list, newest first;
+        ``partners`` the online partner array.  Implementations call
+        ``engine._request_chunk`` per decision.
+        """
+        raise NotImplementedError
+
+    def on_chunk_received(self, probe, chunk: int, provider: int, t: float) -> None:
+        """Arrival hook (only called when :attr:`pushes` is True)."""
+
+    # ----------------------------------------------------------- helpers
+    def _advertised(self, probe, t: float, chunk: int, ctx) -> list[int]:
+        """Partners advertising ``chunk`` at ``t`` (buffer-map ground truth).
+
+        Uses the engine's cached partner context: remote partners through
+        the per-chunk diffusion thresholds, probe partners through their
+        live buffer sets.  The scan preserves ascending column order, so
+        the advertiser list is deterministic for a given partner set.
+        """
+        has_remotes, delays, ready, plan, thr_cache, _probe_plan = ctx
+        eng = self._engine
+        thr_list = None
+        if has_remotes:
+            ent = thr_cache.get(chunk)
+            if ent is None:
+                ci = eng._av_chunk_interval
+                gen = chunk * ci
+                thr_list = [
+                    r if r > (m := gen + d) else m for d, r in zip(delays, ready)
+                ]
+                ent = (thr_list, min(thr_list), gen + eng._av_retention)
+                thr_cache[chunk] = ent
+            thr_list, _min_thr, fresh_until = ent
+            if t >= fresh_until:
+                thr_list = None  # aged out of every remote retention window
+        advertisers: list[int] = []
+        for g, k, chunks in plan:
+            if chunks is None:
+                if thr_list is not None and t >= thr_list[k]:
+                    advertisers.append(g)
+            elif chunk in chunks:
+                advertisers.append(g)
+        return advertisers
+
+    def _pick_holder(self, probe, holders: list[int]) -> int:
+        """Awareness-weighted provider choice over ``holders``.
+
+        The exact decision procedure of the mesh-pull core: with the
+        profile's ``explore_prob`` pick uniformly (one engine-stream
+        draw), otherwise invert the memoised softmax CDF of the holders'
+        precomputed awareness scores with one selection-stream uniform.
+        """
+        eng = self._engine
+        rng = eng._rng_engine
+        if rng.random() < eng._explore_prob:
+            return int(rng.integers(len(holders)))
+        score_row = eng._provider_scores_list[probe.gidx - eng.n_remote]
+        key = tuple([score_row[g] for g in holders])
+        cdf = eng._cdf_cache.get(key)
+        if cdf is None:
+            cdf = eng._provider_policy.cdf_from_scores(
+                np.array(key, dtype=np.float64)
+            ).tolist()
+            eng._cdf_cache[key] = cdf
+        return bisect_right(cdf, eng._rng_sel.random())

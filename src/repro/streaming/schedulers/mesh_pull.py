@@ -1,0 +1,123 @@
+"""The original mesh-pull chunk-selection core, as a strategy object.
+
+This is the code that used to live inline in ``Engine._on_tick``, moved
+verbatim: the same operations in the same order on the same state, so the
+RNG draw sequence — and therefore every byte of the trace — is identical
+to the pre-refactor engine.  ``tests/golden/engine_trace_hashes.json``
+(generated *before* the extraction) pins that equivalence.
+
+Policy: walk the missing chunks newest-first, find the partners that can
+serve each (remotes through the cached per-chunk diffusion thresholds,
+probe partners through their live buffers), and pick one provider per
+chunk with the awareness-weighted softmax (or a uniform exploration draw).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+import numpy as np
+
+from repro.streaming.schedulers.base import ChunkScheduler
+
+
+class MeshPullScheduler(ChunkScheduler):
+    """Newest-first mesh-pull selection (the paper's baseline core)."""
+
+    name = "mesh-pull"
+    truncate_scan = True
+
+    @staticmethod
+    def order_candidates(holes: list[int]) -> list[int]:
+        """Request order over a newest-first hole list: unchanged."""
+        return list(holes)
+
+    def schedule_requests(self, probe, t, lookahead, partners, slots) -> None:
+        eng = self._engine
+        pi = probe.gidx - eng.n_remote
+        has_remotes, delays, ready, plan, thr_cache, probe_plan = (
+            eng._partner_context(pi, partners)
+        )
+        # Outstanding-request counts are read straight off probe.busy:
+        # _request_chunk increments it for the picked provider, so the
+        # counts this tick sees are exactly the snapshot-plus-local-
+        # increments the old copied row held.
+        busy = probe.busy
+        cap = eng._cap_out
+        score_row = eng._provider_scores_list[pi]
+        cdf_cache = eng._cdf_cache
+        rng = eng._rng_engine
+        sel_rand = eng._rng_sel.random
+        explore_prob = eng._explore_prob
+        cache_get = thr_cache.get
+        ci = eng._av_chunk_interval
+        retention = eng._av_retention
+        # Per-chunk availability thresholds are chunk constants
+        # (``max(gen + delay, ready)`` per remote, the scalar twin
+        # of subset_thresholds); the oracle reduces to direct
+        # ``t >= threshold`` compares, with a min-threshold /
+        # freshness-deadline fast path that skips the whole
+        # candidate scan while no remote can possibly serve.
+        for chunk in lookahead:
+            if slots <= 0:
+                break
+            remotes_live = False
+            if has_remotes:
+                ent = cache_get(chunk)
+                if ent is None:
+                    gen = chunk * ci
+                    thr_list = [
+                        r if r > (m := gen + d) else m
+                        for d, r in zip(delays, ready)
+                    ]
+                    ent = (thr_list, min(thr_list), gen + retention)
+                    thr_cache[chunk] = ent
+                thr_list, min_thr, fresh_until = ent
+                # min over the thresholds: some remote serves the
+                # chunk iff any threshold ≤ t, i.e. the min is.
+                remotes_live = min_thr <= t < fresh_until
+            holders: list[int] = []
+            if not remotes_live:
+                # No remote partner has diffused this chunk yet (or
+                # it aged out everywhere): only probe partners can
+                # hold it.  Scanning just their columns preserves
+                # the ascending column order of the full scan.
+                if not probe_plan:
+                    continue
+                for _j, g, chunks in probe_plan:
+                    if busy[g] < cap and chunk in chunks:
+                        holders.append(g)
+            else:
+                # Candidate scan in ascending column order — the
+                # same holder ordering the vectorised mask produced.
+                for g, k, chunks in plan:
+                    if busy[g] >= cap:
+                        continue
+                    if chunks is None:
+                        if t < thr_list[k]:
+                            continue
+                    elif chunk not in chunks:
+                        continue
+                    holders.append(g)
+            if not holders:
+                continue
+            if rng.random() < explore_prob:
+                pick = int(rng.integers(len(holders)))
+            else:
+                # The selection CDF is a pure function of the
+                # holders' score sequence, so it is memoised by
+                # score tuple (computed through the exact softmax
+                # pipeline on a miss, stored as a float list); the
+                # draw itself still happens per decision — one
+                # uniform from the selection stream inverted with a
+                # right-bisect, exactly sample_index's consumption.
+                key = tuple([score_row[g] for g in holders])
+                cdf = cdf_cache.get(key)
+                if cdf is None:
+                    cdf = eng._provider_policy.cdf_from_scores(
+                        np.array(key, dtype=np.float64)
+                    ).tolist()
+                    cdf_cache[key] = cdf
+                pick = bisect_right(cdf, sel_rand())
+            if eng._request_chunk(probe, holders[pick], chunk, t):
+                slots -= 1

@@ -1,0 +1,61 @@
+"""Rarest-first pull with buffer-map exchange.
+
+After the p2pstream ``peer_dbs_rarest`` design: each peer tracks which
+chunks its neighbours advertise (here: the engine's ground-truth partner
+context, which *is* the periodically-exchanged buffer map) and requests
+the missing chunk with the **lowest advertised availability** first —
+spreading rare chunks before they age out instead of chasing the live
+edge.  Ties break deterministically by ascending chunk id.
+
+A chunk nobody advertises is never requested (there is no one to serve
+it), which is the invariant the differential suite checks: every
+delivered chunk was advertised by its provider's buffer map at request
+time.
+"""
+
+from __future__ import annotations
+
+from repro.streaming.schedulers.base import ChunkScheduler
+
+
+class RarestFirstScheduler(ChunkScheduler):
+    """Ascending advertised-availability request order."""
+
+    name = "rarest"
+    #: Rarity ordering needs the whole window, not just the newest holes.
+    truncate_scan = False
+
+    @staticmethod
+    def order_candidates(holes: list[int], counts: dict[int, int]) -> list[int]:
+        """Request order: rarest first, ties broken by ascending chunk id.
+
+        ``counts`` maps chunk id → number of advertising partners.
+        Chunks with no advertiser are dropped (nobody can serve them);
+        the sort key ``(count, chunk)`` makes the order a pure function
+        of its inputs — the property suite pins both laws.
+        """
+        return sorted(
+            (c for c in holes if counts.get(c, 0) > 0),
+            key=lambda c: (counts[c], c),
+        )
+
+    def schedule_requests(self, probe, t, lookahead, partners, slots) -> None:
+        eng = self._engine
+        ctx = eng._partner_context(probe.gidx - eng.n_remote, partners)
+        busy = probe.busy
+        cap = eng._cap_out
+        # Buffer-map pass: advertised availability of every missing chunk.
+        advertisers = {c: self._advertised(probe, t, c, ctx) for c in lookahead}
+        counts = {c: len(a) for c, a in advertisers.items()}
+        attempts = 0
+        max_attempts = eng._max_attempts
+        for chunk in self.order_candidates(lookahead, counts):
+            if slots <= 0 or attempts >= max_attempts:
+                break
+            attempts += 1
+            holders = [g for g in advertisers[chunk] if busy[g] < cap]
+            if not holders:
+                continue  # every advertiser is pipeline-capped this tick
+            pick = self._pick_holder(probe, holders)
+            if eng._request_chunk(probe, holders[pick], chunk, t):
+                slots -= 1

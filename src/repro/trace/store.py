@@ -54,6 +54,7 @@ class TraceBundle:
             "duration_s": result.config.duration_s,
             "seed": result.config.seed,
             "swarm_size": result.profile.swarm_size,
+            "scheduler": getattr(result.profile, "scheduler", "mesh-pull"),
             "events": result.events_processed,
             # The synthetic Internet is a pure function of its seed; storing
             # it lets analysis rebuild the exact path model (for TTLs).

@@ -303,9 +303,13 @@ class TestQuarantineReplay:
 
 class TestCampaignUnderChaos:
     """The acceptance scenario: crash + hang + corrupt + poison shards,
-    one campaign on the real process pool, no abort and no hang."""
+    one campaign on the real process pool, no abort and no hang —
+    under every chunk-scheduling policy (the resilient runtime must be
+    policy-agnostic: the chaos faults hit the executor layer, the
+    scheduler only decides what the surviving shards simulate)."""
 
-    def test_campaign_completes_degraded(self, monkeypatch, tmp_path):
+    @pytest.mark.parametrize("scheduler", ("edf", "mesh-pull", "push", "rarest"))
+    def test_campaign_completes_degraded(self, monkeypatch, tmp_path, scheduler):
         from repro.experiments.campaign import CampaignConfig, run_campaign
         from repro.obs.manifest import manifest_from_campaign
 
@@ -326,7 +330,11 @@ class TestCampaignUnderChaos:
         )
         monkeypatch.setenv(ENV_CHAOS, plan.to_json())
         cfg = CampaignConfig(
-            apps=("pplive", "sopcast", "tvants"), duration_s=8.0, seed=3, scale=0.3
+            apps=("pplive", "sopcast", "tvants"),
+            duration_s=8.0,
+            seed=3,
+            scale=0.3,
+            scheduler=scheduler,
         )
         campaign = run_campaign(
             cfg,
@@ -344,6 +352,9 @@ class TestCampaignUnderChaos:
         assert not campaign.ok
         assert sorted(campaign.runs) == ["pplive", "tvants"]
         assert campaign.failed_apps == ["sopcast"]
+        # The policy actually reached the surviving shards.
+        for run in campaign.runs.values():
+            assert run.result.profile.scheduler == scheduler
 
         # The poison shard is in the ledger at stage "executor".
         executor_failures = [f for f in campaign.failures if f.stage == "executor"]

@@ -170,6 +170,63 @@ class TestSupervisedParity:
         assert serial.points == supervised.points
 
 
+class TestSchedulerPolicyParity:
+    """Backend parity is policy-independent: serial ≡ process ≡ supervised
+    for every chunk scheduler, and the policy travels with the config
+    through shard specs, process boundaries and checkpoint bundles."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS_PLAN", raising=False)
+
+    @pytest.mark.parametrize("scheduler", ("edf", "mesh-pull", "push", "rarest"))
+    def test_serial_process_supervised_identical(self, scheduler):
+        cfg = CampaignConfig(apps=("tvants",), scheduler=scheduler, **SMALL)
+        serial = run_campaign(cfg, backend="serial")
+        process = run_campaign(cfg, backend="process", workers=2)
+        supervised = run_campaign(cfg, backend="supervised", workers=2)
+        assert serial.ok and process.ok and supervised.ok
+        assert serial["tvants"].result.profile.scheduler == scheduler
+        assert_campaigns_identical(serial, process)
+        assert_campaigns_identical(serial, supervised)
+
+    def test_policies_actually_differ(self):
+        mesh = run_campaign(
+            CampaignConfig(apps=("tvants",), scheduler="mesh-pull", **SMALL),
+            backend="serial",
+        )
+        rarest = run_campaign(
+            CampaignConfig(apps=("tvants",), scheduler="rarest", **SMALL),
+            backend="serial",
+        )
+        assert not np.array_equal(
+            mesh["tvants"].result.transfers, rarest["tvants"].result.transfers
+        )
+
+    def test_checkpoint_scheduler_mismatch_falls_back_to_simulate(self, tmp_path):
+        """A checkpoint written under one policy must not satisfy another:
+        the stale bundle is rejected, logged, and the run re-simulated."""
+        ck = str(tmp_path / "ck")
+        mesh_cfg = CampaignConfig(
+            apps=("tvants",), scheduler="mesh-pull", checkpoint_dir=ck, **SMALL
+        )
+        run_campaign(mesh_cfg, backend="serial")
+        rarest_cfg = CampaignConfig(
+            apps=("tvants",), scheduler="rarest", checkpoint_dir=ck, **SMALL
+        )
+        resumed = run_campaign(rarest_cfg, backend="serial")
+        assert not resumed["tvants"].from_checkpoint
+        assert [f.stage for f in resumed.failures] == ["checkpoint"]
+        assert "scheduler" in resumed.failures[0].error
+        fresh = run_campaign(
+            CampaignConfig(apps=("tvants",), scheduler="rarest", **SMALL),
+            backend="serial",
+        )
+        assert np.array_equal(
+            resumed["tvants"].result.transfers, fresh["tvants"].result.transfers
+        )
+
+
 class TestShardKeys:
     def test_seed_discipline_matches_serial_runner(self):
         key = ShardKey(campaign_seed=42, app="sopcast", app_index=1)

@@ -19,15 +19,27 @@ from __future__ import annotations
 
 import json
 import pathlib
+import sys
 
 GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
 HASHES_PATH = GOLDEN_DIR / "engine_trace_hashes.json"
+SCHEDULER_HASHES_PATH = GOLDEN_DIR / "scheduler_trace_hashes.json"
 
 #: One run per application, full profile scale, fixed seed.  All three
 #: paper applications are pinned so scheduler/engine refactors are
 #: byte-checked against every protocol parameterisation.
 ENGINE_GOLDEN_APPS = ("pplive", "sopcast", "tvants")
 ENGINE_GOLDEN_KWARGS = dict(duration_s=30.0, seed=1234)
+
+#: One run per chunk-scheduling policy (``--schedulers``): the smallest
+#: paper app at a reduced scale keeps the fixture quick while still
+#: exercising remotes, churn and every request path.  The ``mesh-pull``
+#: entry is redundant with ``engine_trace_hashes.json`` by construction
+#: (same engine, different run length) — it pins the *policy dispatch*
+#: layer the same way the legacy fixture pins the engine underneath.
+SCHEDULER_GOLDEN_APP = "tvants"
+SCHEDULER_GOLDEN_SCALE = 0.4
+SCHEDULER_GOLDEN_KWARGS = dict(duration_s=20.0, seed=1234)
 
 
 def compute_hashes() -> dict:
@@ -49,10 +61,49 @@ def compute_hashes() -> dict:
     return {"config": dict(ENGINE_GOLDEN_KWARGS), "hashes": hashes}
 
 
+def compute_scheduler_hashes() -> dict:
+    from dataclasses import replace
+
+    from repro.streaming.engine import EngineConfig, simulate
+    from repro.streaming.profiles import get_profile
+    from repro.streaming.schedulers import SCHEDULER_NAMES
+    from repro.trace.store import trace_digest
+
+    base = get_profile(SCHEDULER_GOLDEN_APP).scaled(SCHEDULER_GOLDEN_SCALE)
+    hashes = {}
+    for name in SCHEDULER_NAMES:
+        result = simulate(
+            replace(base, scheduler=name),
+            engine_config=EngineConfig(**SCHEDULER_GOLDEN_KWARGS),
+        )
+        hashes[name] = {
+            "transfers": trace_digest(result.transfers),
+            "signaling": trace_digest(result.signaling),
+            "hosts": trace_digest(result.hosts.rows),
+            "events": result.events_processed,
+        }
+    return {
+        "app": SCHEDULER_GOLDEN_APP,
+        "scale": SCHEDULER_GOLDEN_SCALE,
+        "config": dict(SCHEDULER_GOLDEN_KWARGS),
+        "hashes": hashes,
+    }
+
+
 def regenerate() -> pathlib.Path:
     HASHES_PATH.write_text(json.dumps(compute_hashes(), indent=2, sort_keys=True) + "\n")
     return HASHES_PATH
 
 
+def regenerate_schedulers() -> pathlib.Path:
+    SCHEDULER_HASHES_PATH.write_text(
+        json.dumps(compute_scheduler_hashes(), indent=2, sort_keys=True) + "\n"
+    )
+    return SCHEDULER_HASHES_PATH
+
+
 if __name__ == "__main__":
-    print(f"wrote {regenerate()}")
+    if "--schedulers" in sys.argv[1:]:
+        print(f"wrote {regenerate_schedulers()}")
+    else:
+        print(f"wrote {regenerate()}")

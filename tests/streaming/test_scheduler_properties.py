@@ -1,0 +1,155 @@
+"""Property-based tests for the scheduler ordering laws.
+
+Each policy's candidate ordering is a pure function (no RNG, no engine
+state), so its laws can be pinned directly, for arbitrary hole sets —
+not just the ones a simulation happens to produce:
+
+* every policy: the candidate order is a subset of the hole set (the
+  request set ⊆ hole set law, at the function level);
+* mesh-pull: the newest-first input order is preserved verbatim;
+* rarest: ascending advertised-availability, ties broken by ascending
+  chunk id, zero-advertiser chunks excluded — and the order is invariant
+  under input permutation (determinism of the tie-break);
+* edf: ascending playout deadline, expired chunks excluded — EDF *never*
+  orders a chunk past its deadline;
+* push: the seed-pull order is a prefix of the newest-first hole list.
+
+Runs under hypothesis when available, otherwise over a seeded random
+corpus — same properties either way (the pattern of
+``tests/core/test_preference_properties.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.streaming.schedulers import (
+    EdfScheduler,
+    MeshPullScheduler,
+    PushEpidemicScheduler,
+    RarestFirstScheduler,
+)
+from repro.streaming.schedulers.edf import playout_deadline
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+def random_holes(rng: np.random.Generator) -> list[int]:
+    """A plausible hole list: distinct chunk ids, newest first."""
+    n = int(rng.integers(0, 40))
+    ids = rng.choice(2000, size=n, replace=False) if n else np.array([], dtype=int)
+    return sorted((int(c) for c in ids), reverse=True)
+
+
+def random_counts(rng: np.random.Generator, holes: list[int]) -> dict[int, int]:
+    """Advertiser counts: some chunks unadvertised (0), some missing."""
+    counts = {}
+    for c in holes:
+        draw = int(rng.integers(0, 6))
+        if draw == 5:
+            continue  # absent from the map entirely (never advertised)
+        counts[c] = draw
+    return counts
+
+
+# ------------------------------------------------------------ core checks
+def check_mesh(holes: list[int]) -> None:
+    assert MeshPullScheduler.order_candidates(holes) == list(holes)
+
+
+def check_push(holes: list[int], budget: int) -> None:
+    order = PushEpidemicScheduler.order_candidates(holes, budget)
+    assert order == list(holes)[: max(0, budget)]
+    assert set(order) <= set(holes)
+
+
+def check_rarest(holes: list[int], counts: dict[int, int]) -> None:
+    order = RarestFirstScheduler.order_candidates(holes, counts)
+    # subset of the holes, zero/unadvertised chunks excluded
+    assert set(order) <= set(holes)
+    assert all(counts.get(c, 0) > 0 for c in order)
+    assert set(order) == {c for c in holes if counts.get(c, 0) > 0}
+    # ascending availability, deterministic ascending-id tie-break
+    keys = [(counts[c], c) for c in order]
+    assert keys == sorted(keys)
+    # pure function of the *set*: input permutation cannot change it
+    permuted = list(reversed(holes))
+    assert RarestFirstScheduler.order_candidates(permuted, counts) == order
+
+
+def check_edf(
+    holes: list[int], now: float, interval: float, window: int
+) -> None:
+    order = EdfScheduler.order_candidates(holes, now, interval, window)
+    assert set(order) <= set(holes)
+    # never past deadline — the law the differential suite re-checks live
+    deadlines = [playout_deadline(c, interval, window) for c in order]
+    assert all(d > now for d in deadlines)
+    # ascending deadline == ascending id (deadline strictly increasing in c)
+    assert order == sorted(order)
+    assert deadlines == sorted(deadlines)
+    # nothing with a live deadline was dropped
+    assert set(order) == {
+        c for c in holes if playout_deadline(c, interval, window) > now
+    }
+
+
+# ------------------------------------------------------------- hypothesis
+if HAVE_HYPOTHESIS:
+    holes_st = st.lists(
+        st.integers(min_value=0, max_value=5000), unique=True, max_size=60
+    ).map(lambda ids: sorted(ids, reverse=True))
+
+    @given(holes=holes_st)
+    @settings(max_examples=200, deadline=None)
+    def test_mesh_preserves_newest_first_order(holes):
+        check_mesh(holes)
+
+    @given(holes=holes_st, budget=st.integers(min_value=-2, max_value=10))
+    @settings(max_examples=200, deadline=None)
+    def test_push_seed_order_is_a_prefix(holes, budget):
+        check_push(holes, budget)
+
+    @given(
+        holes=holes_st,
+        data=st.data(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_rarest_order_laws(holes, data):
+        counts = {
+            c: data.draw(st.integers(min_value=0, max_value=5))
+            for c in holes
+            if data.draw(st.booleans())
+        }
+        check_rarest(holes, counts)
+
+    @given(
+        holes=holes_st,
+        now=st.floats(min_value=0.0, max_value=2000.0),
+        interval=st.floats(min_value=0.05, max_value=2.0),
+        window=st.integers(min_value=1, max_value=120),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_edf_order_laws(holes, now, interval, window):
+        check_edf(holes, now, interval, window)
+
+else:  # pragma: no cover - seeded-corpus fallback
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_ordering_laws_seeded_corpus(seed):
+        rng = np.random.default_rng(seed)
+        holes = random_holes(rng)
+        check_mesh(holes)
+        check_push(holes, int(rng.integers(-1, 8)))
+        check_rarest(holes, random_counts(rng, holes))
+        check_edf(
+            holes,
+            float(rng.uniform(0.0, 1500.0)),
+            float(rng.uniform(0.05, 2.0)),
+            int(rng.integers(1, 100)),
+        )

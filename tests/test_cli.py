@@ -46,8 +46,63 @@ class TestParser:
         args = build_parser().parse_args(["simulate", "--profile", "x.pstats"])
         assert args.profile == "x.pstats"
 
+    @pytest.mark.parametrize(
+        "command", ["simulate", "campaign", "replicate", "robustness"]
+    )
+    def test_scheduler_flag(self, command):
+        args = build_parser().parse_args([command])
+        assert args.scheduler is None  # resolve at run time (env default)
+        args = build_parser().parse_args([command, "--scheduler", "rarest"])
+        assert args.scheduler == "rarest"
+
+
+class TestSchedulerErrors:
+    """Unknown policy names fail fast with the valid choices listed."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["simulate", "--scheduler", "bittorrent"],
+            ["campaign", "--scheduler", "bittorrent"],
+            ["replicate", "--scheduler", "bittorrent"],
+            ["robustness", "--scheduler", "bittorrent"],
+        ],
+    )
+    def test_unknown_scheduler_exits_2_naming_choices(self, argv, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "unknown chunk scheduler 'bittorrent'" in err
+        for name in ("mesh-pull", "rarest", "edf", "push"):
+            assert name in err
+
+    def test_bad_env_scheduler_exits_2(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SCHEDULER", "carrier-pigeon")
+        assert main(["simulate", "--duration", "1"]) == 2
+        assert "carrier-pigeon" in capsys.readouterr().err
+
+    def test_flag_overrides_bad_env(self, monkeypatch, tmp_path, capsys):
+        # An explicit --scheduler wins before the env default is even read.
+        monkeypatch.setenv("REPRO_SCHEDULER", "carrier-pigeon")
+        out = tmp_path / "t.npz"
+        rc = main(
+            ["simulate", "--scheduler", "mesh-pull", "--duration", "5",
+             "--out", str(out)]
+        )
+        assert rc == 0 and out.exists()
+
 
 class TestEndToEnd:
+    def test_simulate_with_scheduler_records_it(self, tmp_path):
+        from repro.trace.store import load_trace_bundle
+
+        out = tmp_path / "r.npz"
+        rc = main(
+            ["simulate", "--app", "tvants", "--duration", "10", "--seed", "3",
+             "--scheduler", "rarest", "--out", str(out)]
+        )
+        assert rc == 0
+        assert load_trace_bundle(out).meta["scheduler"] == "rarest"
+
     def test_simulate_then_analyze(self, tmp_path, capsys):
         out = tmp_path / "t.npz"
         rc = main(
