@@ -109,7 +109,11 @@ def _simulate_shard(
                 telemetry.count("shard/retries")
         try:
             result = campaign_mod.simulate(
-                profile, world=world, testbed=testbed, engine_config=engine_config
+                profile,
+                world=world,
+                testbed=testbed,
+                engine_config=engine_config,
+                engine=getattr(cfg, "engine", None),
             )
         except ReproError as exc:
             _log.warning(

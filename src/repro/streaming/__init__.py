@@ -29,6 +29,13 @@ from repro.streaming.profiles import (
     tvants,
 )
 from repro.streaming.engine import Engine, EngineConfig, SimulationResult, simulate
+from repro.streaming.soa import (
+    ENGINE_NAMES,
+    SoAEngine,
+    SoAState,
+    default_engine,
+    get_engine,
+)
 
 __all__ = [
     "ChunkClock",
@@ -51,4 +58,9 @@ __all__ = [
     "EngineConfig",
     "SimulationResult",
     "simulate",
+    "ENGINE_NAMES",
+    "SoAEngine",
+    "SoAState",
+    "default_engine",
+    "get_engine",
 ]

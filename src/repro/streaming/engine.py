@@ -61,6 +61,12 @@ LOWBW_DEMAND_FACTOR = 0.15
 #: Probability that a discovery contact towards a firewalled peer fails.
 FIREWALL_DROP_PROB = 0.8
 
+#: Bounds on the pure per-probe memoisations (docs/engine-internals.md,
+#: "cache audit"): evicted entries are recomputed bit-identically on the
+#: next miss, so the bounds affect memory only, never the trace.
+_PARTNER_CTX_MAX = 8
+_THR_CACHE_MAX = 4096
+
 
 def _approx_latency(same_subnet: bool, same_as: bool, same_cc: bool) -> float:
     """One-way latency estimate used for protocol timing.
@@ -127,8 +133,8 @@ class EngineConfig:
             raise ConfigurationError("rebalance interval must be positive")
 
 
-class _ProbeState:
-    """Mutable protocol state of one full-protocol (probe) peer.
+class _PeerState:
+    """Discovery / partner-management state shared by both engine cores.
 
     ``known`` and ``partners`` stay Python sets — set iteration order is
     part of the deterministic trace (it decides candidate ordering and the
@@ -137,6 +143,12 @@ class _ProbeState:
     points, where the original code rebuilt the arrays on every event.
     Since an unmutated set iterates in a stable order, the cached arrays
     are element-for-element identical to per-event rebuilds.
+
+    Buffer / in-flight representation lives in the subclasses: the object
+    engine's :class:`_ProbeState` carries a :class:`PlayoutBuffer` and a
+    Python in-flight set, the struct-of-arrays engine's
+    :class:`repro.streaming.soa.SoAProbe` holds a row index into shared
+    bitmap arrays.
     """
 
     __slots__ = (
@@ -145,10 +157,7 @@ class _ProbeState:
         "known_mask",
         "partners",
         "partners_arr",
-        "buffer",
-        "chunks",
         "lat_row",
-        "inflight",
         "busy",
         "_known_arr",
         "_known_len",
@@ -157,7 +166,7 @@ class _ProbeState:
         "_filt_src",
     )
 
-    def __init__(self, gidx: int, buffer: PlayoutBuffer, n_peers: int) -> None:
+    def __init__(self, gidx: int, n_peers: int) -> None:
         self.gidx = gidx
         self.known: set[int] = set()
         #: Dense mirror of ``known`` (discovery filters against it without
@@ -165,14 +174,9 @@ class _ProbeState:
         self.known_mask: np.ndarray = np.zeros(n_peers, dtype=bool)
         self.partners: set[int] = set()
         self.partners_arr: np.ndarray = np.zeros(0, dtype=np.int64)
-        self.buffer = buffer
-        #: Borrowed reference to the buffer's live chunk set (mutated in
-        #: place, never reassigned) — saves a property hop per remote pull.
-        self.chunks = buffer.chunk_set
         #: This probe's one-way latency row (filled in by the engine once
         #: the latency model is built; static thereafter).
         self.lat_row: list[float] = []
-        self.inflight: set[int] = set()
         #: Outstanding chunk requests per provider gidx (pipelining cap).
         self.busy: list[int] = [0] * n_peers
         self._known_arr: np.ndarray = np.zeros(0, dtype=np.int64)
@@ -210,6 +214,21 @@ class _ProbeState:
         return self._filt
 
 
+class _ProbeState(_PeerState):
+    """Object-engine probe: a per-probe :class:`PlayoutBuffer` plus a
+    Python in-flight set.  The differential reference representation."""
+
+    __slots__ = ("buffer", "chunks", "inflight")
+
+    def __init__(self, gidx: int, buffer: PlayoutBuffer, n_peers: int) -> None:
+        super().__init__(gidx, n_peers)
+        self.buffer = buffer
+        #: Borrowed reference to the buffer's live chunk set (mutated in
+        #: place, never reassigned) — saves a property hop per remote pull.
+        self.chunks = buffer.chunk_set
+        self.inflight: set[int] = set()
+
+
 @dataclass
 class SimulationResult:
     """Everything a run produces.
@@ -240,6 +259,10 @@ class SimulationResult:
 
 class Engine:
     """One experiment: one application profile on one synthetic Internet."""
+
+    #: Engine-mode tag surfaced in result extras / trace metadata; the
+    #: struct-of-arrays subclass overrides it (see repro.streaming.soa).
+    mode = "object"
 
     def __init__(
         self,
@@ -361,14 +384,24 @@ class Engine:
         self._mask_t1 = -np.inf
         self._mask: np.ndarray = np.zeros(0, dtype=bool)
 
-    def _build_protocol_state(self) -> None:
+    def _make_probes(self, n_peers: int) -> list[_PeerState]:
+        """Construct per-probe protocol state — the engine-core seam.
+
+        The object engine builds one :class:`PlayoutBuffer` per probe; the
+        SoA engine overrides this to allocate shared bitmap arrays and
+        return row-indexed :class:`~repro.streaming.soa.SoAProbe` views.
+        """
         video = self.profile.video
-        n = self.n_remote + self.n_probe
-        self._probes: list[_ProbeState] = []
+        probes: list[_PeerState] = []
         for k in range(self.n_probe):
             gidx = self.n_remote + k
             buffer = PlayoutBuffer(self.clock, video.buffer_window_s, join_time=0.0)
-            self._probes.append(_ProbeState(gidx, buffer, n))
+            probes.append(_ProbeState(gidx, buffer, n_peers))
+        return probes
+
+    def _build_protocol_state(self) -> None:
+        n = self.n_remote + self.n_probe
+        self._probes = self._make_probes(n)
         rng_sel = self._rngs["selection"]
         self._partner_policy = SelectionPolicy(
             self.profile.partner_weights, rng_sel, self.profile.selection_temperature
@@ -618,31 +651,47 @@ class Engine:
         for remotes, whose availability comes from the oracle row).
         """
         key = partners.tobytes()
-        ctx = self._partner_ctx[pi].get(key)
-        if ctx is None:
-            is_remote = partners < self.n_remote
-            delays_arr, ready_arr = self.availability.subset(partners[is_remote])
-            # Plain float lists: the tick loop derives per-chunk arrival
-            # thresholds from these with scalar arithmetic (same IEEE adds
-            # and compares as the vectorised subset_thresholds).
-            delays = delays_arr.tolist()
-            ready = ready_arr.tolist()
-            plan = []
-            probe_plan = []
-            k = 0
-            for g in partners.tolist():
-                if g < self.n_remote:
-                    plan.append((g, k, None))
-                    k += 1
-                else:
-                    chunks = self._probes[g - self.n_remote].buffer.chunk_set
-                    probe_plan.append((len(plan), g, chunks))
-                    plan.append((g, -1, chunks))
-            # Fifth slot: per-chunk availability-threshold memo (see
-            # _on_tick); ``probe_plan`` mirrors the probe-partner columns
-            # in ascending column order for the no-remote-holder fast path.
-            ctx = (k > 0, delays, ready, plan, {}, probe_plan)
-            self._partner_ctx[pi][key] = ctx
+        store = self._partner_ctx[pi]
+        ctx = store.get(key)
+        if ctx is not None:
+            thr_cache = ctx[4]
+            if len(thr_cache) > _THR_CACHE_MAX:
+                # Age out the oldest (lowest-id) half: the tick scan only
+                # consults chunks near the live edge, so low ids are dead
+                # weight.  Entries are a pure function of (chunk, ctx) and
+                # are recomputed bit-identically on miss, so pruning cannot
+                # perturb the trace — it only bounds long-run memory.
+                for c in sorted(thr_cache)[: len(thr_cache) // 2]:
+                    del thr_cache[c]
+            return ctx
+        is_remote = partners < self.n_remote
+        delays_arr, ready_arr = self.availability.subset(partners[is_remote])
+        # Plain float lists: the tick loop derives per-chunk arrival
+        # thresholds from these with scalar arithmetic (same IEEE adds
+        # and compares as the vectorised subset_thresholds).
+        delays = delays_arr.tolist()
+        ready = ready_arr.tolist()
+        plan = []
+        probe_plan = []
+        k = 0
+        for g in partners.tolist():
+            if g < self.n_remote:
+                plan.append((g, k, None))
+                k += 1
+            else:
+                chunks = self._probes[g - self.n_remote].buffer.chunk_set
+                probe_plan.append((len(plan), g, chunks))
+                plan.append((g, -1, chunks))
+        # Fifth slot: per-chunk availability-threshold memo (see
+        # _on_tick); ``probe_plan`` mirrors the probe-partner columns
+        # in ascending column order for the no-remote-holder fast path.
+        ctx = (k > 0, delays, ready, plan, {}, probe_plan)
+        if len(store) >= _PARTNER_CTX_MAX:
+            # Oldest partner set first (insertion order): sets displaced
+            # by churn/refresh rarely return, and when one does the ctx is
+            # rebuilt bit-identically from the same static inputs.
+            store.pop(next(iter(store)))
+        store[key] = ctx
         return ctx
 
     def _on_tick(self, probe: _ProbeState) -> None:
@@ -985,7 +1034,7 @@ class Engine:
             profile=self.profile,
             config=self.config,
             events_processed=events,
-            extras={"engine_stats": stats},
+            extras={"engine_stats": stats, "engine_mode": self.mode},
         )
 
 
@@ -998,6 +1047,7 @@ def simulate(
     testbed: Testbed | None = None,
     demographics: Demographics | None = None,
     engine_config: EngineConfig | None = None,
+    engine: str | None = None,
 ) -> SimulationResult:
     """Run one complete experiment for ``profile`` — the main entry point.
 
@@ -1005,6 +1055,11 @@ def simulate(
     generates the profile's audience, runs the engine, and returns the raw
     result.  The audience honours the profile's ``eu_audience_boost`` and
     ``probe_as_fraction`` (channel-popularity effects).
+
+    ``engine`` selects the engine core (``"object"`` or ``"soa"`` — see
+    :mod:`repro.streaming.soa`); ``None`` defers to ``REPRO_ENGINE`` and
+    then the object default.  Both cores are byte-identical for a fixed
+    seed; the SoA core scans all probes with shared-array kernels.
     """
     config = engine_config or EngineConfig(duration_s=duration_s, seed=seed)
     if world is None:
@@ -1031,5 +1086,9 @@ def simulate(
         PopulationConfig(size=profile.swarm_size, demographics=demographics),
         rngs["population"],
     )
-    engine = Engine(world, testbed, profile, population, config)
-    return engine.run()
+    # Late import: repro.streaming.soa imports this module (Engine is its
+    # base class), so the registry cannot be bound at import time.
+    from repro.streaming.soa import get_engine
+
+    cls = get_engine(engine)
+    return cls(world, testbed, profile, population, config).run()

@@ -58,6 +58,19 @@ class ChunkScheduler:
     def on_chunk_received(self, probe, chunk: int, provider: int, t: float) -> None:
         """Arrival hook (only called when :attr:`pushes` is True)."""
 
+    def schedule_requests_soa(self, probe, t: float, lookahead, partners, slots: int) -> None:
+        """Per-tick entry point under the struct-of-arrays engine core.
+
+        Default: run the object-path decision procedure — the SoA probe's
+        compatibility views (``chunks``/``inflight``/``buffer``) make it
+        correct for any policy, just without the array speedup.  The
+        built-in policies override this with vectorised kernels that read
+        the shared bitmaps directly; overrides must obey the same
+        determinism contract (RNG draw points, ascending-column holder
+        order) so both engine cores stay byte-identical.
+        """
+        self.schedule_requests(probe, t, lookahead, partners, slots)
+
     # ----------------------------------------------------------- helpers
     def _advertised(self, probe, t: float, chunk: int, ctx) -> list[int]:
         """Partners advertising ``chunk`` at ``t`` (buffer-map ground truth).

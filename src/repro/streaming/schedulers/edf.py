@@ -19,6 +19,8 @@ checks.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.streaming.schedulers.base import ChunkScheduler
 
 
@@ -70,4 +72,57 @@ class EdfScheduler(ChunkScheduler):
                 continue
             pick = self._pick_holder(probe, holders)
             if eng._request_chunk(probe, holders[pick], chunk, t):
+                slots -= 1
+
+    def schedule_requests_soa(self, probe, t, lookahead, partners, slots) -> None:
+        """Deadline order against the shared arrays.
+
+        ``(chunk + W) * interval`` over an int64 array is the elementwise
+        IEEE twin of the scalar ``playout_deadline``, so the expired-chunk
+        filter is exact; deadlines increase strictly with the chunk id, so
+        the ascending-id sort *is* the deadline order (unique keys — no
+        tie-break ambiguity).  Attempts, busy filtering and the provider
+        draw mirror the object loop.
+        """
+        if not lookahead:
+            return
+        eng = self._engine
+        soa = eng._soa
+        window_chunks = soa.window_chunks
+        interval = eng._av_chunk_interval
+        if lookahead is soa.scan_list:
+            chunks_all = soa.scan_arr
+        else:
+            chunks_all = np.asarray(lookahead, dtype=np.int64)
+        sel = ((chunks_all + window_chunks) * interval > t).nonzero()[0]
+        if sel.size == 0:
+            return
+        sel = sel[np.argsort(chunks_all[sel], kind="stable")]
+        chunks_arr = chunks_all[sel]
+        ctx = eng._soa_partner_ctx(probe.pi, partners)
+        # Bounds from the full hole list (newest-first): any superset of
+        # the filtered subset's range steers coverage correctly.
+        A = eng._soa_availability(
+            ctx, chunks_arr, t, cmin=lookahead[-1], cmax=lookahead[0]
+        )
+        rows = A.tolist()
+        scan = ctx["scan"]
+        chunks_list = chunks_arr.tolist()
+        busy = probe.busy
+        cap = eng._cap_out
+        attempts = 0
+        max_attempts = eng._max_attempts
+        for i in range(len(chunks_list)):
+            if slots <= 0 or attempts >= max_attempts:
+                break
+            attempts += 1
+            row = rows[i]
+            holders = []
+            for j, g in scan:
+                if row[j] and busy[g] < cap:
+                    holders.append(g)
+            if not holders:
+                continue
+            pick = self._pick_holder(probe, holders)
+            if eng._request_chunk(probe, holders[pick], chunks_list[i], t):
                 slots -= 1

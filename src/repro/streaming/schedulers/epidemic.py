@@ -58,6 +58,18 @@ class PushEpidemicScheduler(MeshPullScheduler):
             probe, t, self.order_candidates(lookahead, budget), partners, budget
         )
 
+    def schedule_requests_soa(self, probe, t, lookahead, partners, slots) -> None:
+        # Same live-edge budget slice, routed to the mesh-pull array
+        # kernel.  The push half (on_chunk_received) runs unchanged under
+        # both engine cores: the SoA probe's buffer/in-flight views answer
+        # its membership checks and duplicate suppression exactly.
+        budget = min(slots, self.seed_requests)
+        if budget <= 0:
+            return
+        super().schedule_requests_soa(
+            probe, t, self.order_candidates(lookahead, budget), partners, budget
+        )
+
     def on_chunk_received(self, probe, chunk: int, provider: int, t: float) -> None:
         """Forward a freshly received chunk to partner probes lacking it."""
         eng = self._engine

@@ -121,3 +121,71 @@ class MeshPullScheduler(ChunkScheduler):
                 pick = bisect_right(cdf, sel_rand())
             if eng._request_chunk(probe, holders[pick], chunk, t):
                 slots -= 1
+
+    def schedule_requests_soa(self, probe, t, lookahead, partners, slots) -> None:
+        """The same newest-first selection against the shared arrays.
+
+        One availability-matrix build replaces the per-chunk per-partner
+        threshold scans (the object path's dominant cost); the decision
+        loop then walks precomputed boolean rows.  Holder order stays the
+        ascending partner-column order of the object scan, empty candidate
+        sets are skipped without touching an RNG, and the provider draw is
+        the identical explore/CDF code — byte-identical traces.
+        """
+        if not lookahead:
+            return
+        eng = self._engine
+        soa = eng._soa
+        ctx = eng._soa_partner_ctx(probe.pi, partners)
+        # The tick scan's own array is reused when the engine hands its
+        # hole list straight through (identity ⇒ same scan, same order);
+        # sliced/custom lookaheads (the push seeding path) convert.
+        if lookahead is soa.scan_list:
+            chunks_arr = soa.scan_arr
+        else:
+            chunks_arr = np.asarray(lookahead, dtype=np.int64)
+        # The hole list is newest-first, so its ends bound the range.
+        A = eng._soa_availability(
+            ctx, chunks_arr, t, cmin=lookahead[-1], cmax=lookahead[0]
+        )
+        # Chunks nobody advertises are skipped without a draw in the
+        # object loop, so only the advertised rows need materialising.
+        live = A.any(axis=1).nonzero()[0]
+        if live.size == 0:
+            return
+        # Plain nested lists: the decision loop makes few, scalar reads
+        # per chunk and per-element numpy indexing would dominate it.
+        rows = A[live].tolist()
+        idxs = live.tolist()
+        scan = ctx["scan"]
+        busy = probe.busy
+        cap = eng._cap_out
+        score_row = eng._provider_scores_list[probe.pi]
+        cdf_cache = eng._cdf_cache
+        rng = eng._rng_engine
+        sel_rand = eng._rng_sel.random
+        explore_prob = eng._explore_prob
+        for k in range(len(idxs)):
+            if slots <= 0:
+                break
+            chunk = lookahead[idxs[k]]
+            row = rows[k]
+            holders: list[int] = []
+            for j, g in scan:
+                if row[j] and busy[g] < cap:
+                    holders.append(g)
+            if not holders:
+                continue
+            if rng.random() < explore_prob:
+                pick = int(rng.integers(len(holders)))
+            else:
+                key = tuple([score_row[g] for g in holders])
+                cdf = cdf_cache.get(key)
+                if cdf is None:
+                    cdf = eng._provider_policy.cdf_from_scores(
+                        np.array(key, dtype=np.float64)
+                    ).tolist()
+                    cdf_cache[key] = cdf
+                pick = bisect_right(cdf, sel_rand())
+            if eng._request_chunk(probe, holders[pick], chunk, t):
+                slots -= 1

@@ -15,6 +15,8 @@ time.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.streaming.schedulers.base import ChunkScheduler
 
 
@@ -58,4 +60,54 @@ class RarestFirstScheduler(ChunkScheduler):
                 continue  # every advertiser is pipeline-capped this tick
             pick = self._pick_holder(probe, holders)
             if eng._request_chunk(probe, holders[pick], chunk, t):
+                slots -= 1
+
+    def schedule_requests_soa(self, probe, t, lookahead, partners, slots) -> None:
+        """Rarest-first against the shared arrays.
+
+        The buffer-map pass becomes one availability-matrix build; the
+        advertiser counts are its row sums, and the ``(count, chunk)``
+        rarity order is a lexsort over them — the same unique sort keys as
+        ``order_candidates``, so the same order.  Attempt accounting and
+        the per-turn busy filter match the object loop exactly (advertiser
+        counts ignore pipelining caps; the caps apply when a chunk's turn
+        comes, against the busy state *at that moment*).
+        """
+        if not lookahead:
+            return
+        eng = self._engine
+        soa = eng._soa
+        ctx = eng._soa_partner_ctx(probe.pi, partners)
+        if lookahead is soa.scan_list:
+            chunks_arr = soa.scan_arr
+        else:
+            chunks_arr = np.asarray(lookahead, dtype=np.int64)
+        A = eng._soa_availability(
+            ctx, chunks_arr, t, cmin=lookahead[-1], cmax=lookahead[0]
+        )
+        counts = A.sum(axis=1)
+        sel = (counts > 0).nonzero()[0]
+        if sel.size == 0:
+            return
+        order = sel[np.lexsort((chunks_arr[sel], counts[sel]))]
+        rows = A.tolist()
+        scan = ctx["scan"]
+        chunks_list = chunks_arr.tolist()
+        busy = probe.busy
+        cap = eng._cap_out
+        attempts = 0
+        max_attempts = eng._max_attempts
+        for i in order.tolist():
+            if slots <= 0 or attempts >= max_attempts:
+                break
+            attempts += 1
+            row = rows[i]
+            holders = []
+            for j, g in scan:
+                if row[j] and busy[g] < cap:
+                    holders.append(g)
+            if not holders:
+                continue  # every advertiser is pipeline-capped this tick
+            pick = self._pick_holder(probe, holders)
+            if eng._request_chunk(probe, holders[pick], chunks_list[i], t):
                 slots -= 1

@@ -71,7 +71,7 @@ class _RecordingMixin:
     def check_request(self, probe, provider: int, chunk: int, t: float) -> None:
         """Per-policy extension point, called before each request."""
 
-    def schedule_requests(self, probe, t, lookahead, partners, slots):
+    def _recorded_call(self, call, probe, t, lookahead, partners, slots):
         eng = self._engine
         orig = eng._request_chunk
         holes = list(lookahead)
@@ -89,13 +89,26 @@ class _RecordingMixin:
 
         eng._request_chunk = spy
         try:
-            super().schedule_requests(probe, t, holes, partners, slots)
+            call(probe, t, holes, partners, slots)
         finally:
             del eng.__dict__["_request_chunk"]
         if issued:
             self.ticks.append(
                 (t, probe.gidx, holes, probe.buffer.window_chunks, issued)
             )
+
+    def schedule_requests(self, probe, t, lookahead, partners, slots):
+        self._recorded_call(
+            super().schedule_requests, probe, t, lookahead, partners, slots
+        )
+
+    def schedule_requests_soa(self, probe, t, lookahead, partners, slots):
+        # The SoA engine routes ticks here; the spy and the inline
+        # invariants run identically (the views answer the membership
+        # asserts), so the recorded trace is representation-independent.
+        self._recorded_call(
+            super().schedule_requests_soa, probe, t, lookahead, partners, slots
+        )
 
 
 class RecordingMesh(_RecordingMixin, MeshPullScheduler):
@@ -107,16 +120,24 @@ class RecordingRarest(_RecordingMixin, RarestFirstScheduler):
         super().__init__()
         self._current_ads = {}
 
-    def schedule_requests(self, probe, t, lookahead, partners, slots):
+    def _snapshot_ads(self, probe, t, lookahead, partners):
         # The ground-truth buffer map this tick's decisions will see;
         # _advertised is a pure read (no RNG), so recomputing it here
-        # cannot perturb the run.
+        # cannot perturb the run.  Works under both engine cores — the
+        # object-path partner context reads SoA probes through the views.
         eng = self._engine
         ctx = eng._partner_context(probe.gidx - eng.n_remote, partners)
         self._current_ads = {
             c: set(self._advertised(probe, t, c, ctx)) for c in lookahead
         }
+
+    def schedule_requests(self, probe, t, lookahead, partners, slots):
+        self._snapshot_ads(probe, t, lookahead, partners)
         super().schedule_requests(probe, t, lookahead, partners, slots)
+
+    def schedule_requests_soa(self, probe, t, lookahead, partners, slots):
+        self._snapshot_ads(probe, t, lookahead, partners)
+        super().schedule_requests_soa(probe, t, lookahead, partners, slots)
 
     def check_request(self, probe, provider, chunk, t):
         assert provider in self._current_ads.get(chunk, ()), (
