@@ -1,0 +1,105 @@
+"""Performance benchmarks: the engine cores at paper swarm scale.
+
+The napa-scale profile runs the measured CCTV-1 population (1.8×10^5
+concurrent peers) on the sparse column swarm with alias discovery,
+cohort ticking and the 1 Mbps HD channel.  Two benchmark families track
+it:
+
+* ``test_engine_crossover_throughput`` — the same profile resized to
+  4×10^3 and 4×10^4 peers, under both cores: the crossover axis the
+  performance docs tabulate (the object core wins small swarms, the
+  batched SoA kernels win at scale).
+* ``test_engine_scale_throughput`` — the full 1.8×10^5-peer swarm.  The
+  paired object/soa entries in ``BENCH_engine.json`` are the acceptance
+  record for the SoA core's scale advantage, and ``peak_rss_mb`` pins
+  the bounded-memory claim (the sparse swarm holds columns, not an
+  object per peer).
+
+Wall-clock here includes world construction and population generation
+(both cheap next to the event loop at these horizons), matching the
+other engine benchmarks.
+"""
+
+import os
+import resource
+
+import pytest
+
+from repro.streaming.engine import EngineConfig, simulate
+from repro.streaming.profiles import get_profile
+from repro.streaming.soa import ENGINE_NAMES
+
+#: Short horizons keep the full-scale pair affordable (the 1.8×10^5-peer
+#: object run costs tens of seconds per simulated five minutes).
+CROSSOVER_DURATION_S = 120.0
+SCALE_DURATION_S = 300.0
+SCALE_SEED = 42
+
+
+def _peak_rss_mb() -> float:
+    """Process high-water RSS in MiB (ru_maxrss is kilobytes on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINE_NAMES))
+@pytest.mark.parametrize("swarm", [4000, 40_000])
+def test_engine_crossover_throughput(benchmark, swarm, engine):
+    """napa-scale resized across the object/SoA crossover region."""
+    profile = get_profile("napa-scale").scaled_swarm(swarm)
+    config = EngineConfig(duration_s=CROSSOVER_DURATION_S, seed=SCALE_SEED)
+
+    def run():
+        return simulate(profile, engine_config=config, engine=engine)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["swarm"] = swarm
+    benchmark.extra_info["events"] = result.events_processed
+    benchmark.extra_info["transfers"] = len(result.transfers)
+    benchmark.extra_info["simulated_s"] = CROSSOVER_DURATION_S
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINE_NAMES))
+def test_engine_scale_throughput(benchmark, engine):
+    """Both cores on the full paper-scale swarm (1.8×10^5 peers)."""
+    profile = get_profile("napa-scale")
+    config = EngineConfig(duration_s=SCALE_DURATION_S, seed=SCALE_SEED)
+
+    def run():
+        return simulate(profile, engine_config=config, engine=engine)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["swarm"] = profile.swarm_size
+    benchmark.extra_info["events"] = result.events_processed
+    benchmark.extra_info["transfers"] = len(result.transfers)
+    benchmark.extra_info["simulated_s"] = SCALE_DURATION_S
+    benchmark.extra_info["peak_rss_mb"] = round(_peak_rss_mb(), 1)
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_SCALE_HOUR"),
+    reason="hour-long acceptance run; set REPRO_SCALE_HOUR=1 to enable",
+)
+def test_engine_scale_hour(benchmark):
+    """One full simulated hour of napa-scale on the SoA core.
+
+    The acceptance run behind the profile: a paper-length capture at the
+    paper's swarm size must complete in bounded memory.  ``peak_rss_mb``
+    in its ``BENCH_engine.json`` entry is that record — the sparse swarm
+    and the sliding SoA windows keep residency flat while chunk ids grow
+    without bound over the hour.
+    """
+    profile = get_profile("napa-scale")
+    config = EngineConfig(duration_s=3600.0, seed=SCALE_SEED)
+
+    def run():
+        return simulate(profile, engine_config=config, engine="soa")
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["engine"] = "soa"
+    benchmark.extra_info["swarm"] = profile.swarm_size
+    benchmark.extra_info["events"] = result.events_processed
+    benchmark.extra_info["transfers"] = len(result.transfers)
+    benchmark.extra_info["simulated_s"] = 3600.0
+    benchmark.extra_info["peak_rss_mb"] = round(_peak_rss_mb(), 1)

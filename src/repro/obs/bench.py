@@ -131,6 +131,15 @@ def summarize_benchmark(bench: dict, baseline: dict | None = None) -> dict:
     if simulated_s:
         entry["simulated_s"] = float(simulated_s)
         entry["wall_s_per_simulated_minute"] = wall * 60.0 / simulated_s
+    # Scale-benchmark annotations: which core ran, how large the swarm
+    # was, and the process RSS high-water mark (the bounded-memory record
+    # for the paper-scale entries).
+    if "engine" in extra:
+        entry["engine"] = str(extra["engine"])
+    if "swarm" in extra:
+        entry["swarm"] = int(extra["swarm"])
+    if "peak_rss_mb" in extra:
+        entry["peak_rss_mb"] = float(extra["peak_rss_mb"])
     if baseline is not None:
         base_wall = float(baseline["stats"]["min"])
         entry["baseline_wall_s_min"] = base_wall

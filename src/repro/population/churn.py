@@ -63,6 +63,31 @@ class ChurnConfig:
             raise ConfigurationError("sigma must be positive")
 
 
+def draw_session_bounds(
+    n: int,
+    horizon: float,
+    config: ChurnConfig,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw ``(joins, leaves)`` columns for ``n`` peers over ``[0, horizon]``.
+
+    The columnar core of :meth:`ChurnProcess.generate` — paper-scale swarms
+    consume these arrays directly instead of a ``Session`` object per peer.
+    The draw sequence (uniform mask, uniform joins, log-normal durations)
+    is shared with the object path, so both yield identical schedules for
+    a given generator state.
+    """
+    if horizon <= 0:
+        raise ConfigurationError("horizon must be positive")
+    initial = rng.random(n) < config.initial_fraction
+    joins = np.where(initial, 0.0, rng.uniform(0.0, horizon, size=n))
+    # Log-normal with the requested mean: mean = exp(mu + sigma^2/2).
+    mu = np.log(config.mean_session_s) - config.sigma**2 / 2.0
+    durations = rng.lognormal(mean=mu, sigma=config.sigma, size=n)
+    leaves = np.minimum(joins + durations, horizon)
+    return joins, leaves
+
+
 class ChurnProcess:
     """Materialised join/leave schedule for a peer population."""
 
@@ -85,15 +110,7 @@ class ChurnProcess:
         over the window (a Poisson process conditioned on the arrival
         count).  Sessions are clipped to the horizon.
         """
-        if horizon <= 0:
-            raise ConfigurationError("horizon must be positive")
-        n = len(peer_ids)
-        initial = rng.random(n) < config.initial_fraction
-        joins = np.where(initial, 0.0, rng.uniform(0.0, horizon, size=n))
-        # Log-normal with the requested mean: mean = exp(mu + sigma^2/2).
-        mu = np.log(config.mean_session_s) - config.sigma**2 / 2.0
-        durations = rng.lognormal(mean=mu, sigma=config.sigma, size=n)
-        leaves = np.minimum(joins + durations, horizon)
+        joins, leaves = draw_session_bounds(len(peer_ids), horizon, config, rng)
         sessions = [
             Session(peer_id=pid, join=float(j), leave=float(l))
             for pid, j, l in zip(peer_ids, joins, leaves)

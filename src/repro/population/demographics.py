@@ -108,3 +108,51 @@ def cctv1_audience(probe_as_fraction: float = 0.02) -> Demographics:
         default_highbw=0.30,
         probe_as_fraction=probe_as_fraction,
     )
+
+
+def crossswarm_audience(probe_as_fraction: float = 0.005) -> Demographics:
+    """A Western-centric audience for paper-scale swarm studies.
+
+    Where :func:`cctv1_audience` reproduces the paper's own CN-dominated
+    channel, this mix follows the geolocational shape reported by the
+    BitTorrent cross-swarm measurement study (arXiv:1409.8171): no single
+    country dominates, the US holds the largest share, and the remainder
+    spreads across Europe, the Americas and Asia-Pacific.  Weights are
+    restricted to the countries registered in the synthetic topology, with
+    the study's RU/UA/RO/IN shares folded into the nearest registered
+    regions.  The probe countries keep small organic shares so the
+    same-AS civilian set stays non-empty at scale.
+    """
+    return Demographics(
+        country_weights={
+            "US": 16.0,
+            "GB": 7.0,
+            "CA": 6.0,
+            "FR": 6.0,
+            "BR": 6.0,
+            "DE": 6.0,
+            "AU": 5.0,
+            "IT": 5.0,
+            "ES": 5.0,
+            "SE": 4.5,
+            "NL": 4.5,
+            "PL": 4.0,
+            "CN": 8.0,
+            "JP": 4.0,
+            "KR": 4.0,
+            "HU": 2.0,
+            "TW": 1.5,
+            "SG": 1.5,
+        },
+        highbw_fraction={
+            "KR": 0.60,
+            "JP": 0.50,
+            "SE": 0.50,
+            "NL": 0.45,
+            "SG": 0.45,
+            "US": 0.35,
+            "CN": 0.30,
+        },
+        default_highbw=0.35,
+        probe_as_fraction=probe_as_fraction,
+    )

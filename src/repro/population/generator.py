@@ -93,28 +93,79 @@ def generate_population(
     demo = config.demographics or cctv1_audience()
     codes, probs = demo.normalised_weights()
     countries = rng.choice(len(codes), size=config.size, p=probs)
-    peers: list[RemotePeer] = []
     all_isps = [asn for cc in codes for asn in world.access_isps(cc)]
     if not all_isps:
         raise ConfigurationError("world has no consumer ISPs registered")
 
-    for peer_id in range(config.size):
-        cc = codes[int(countries[peer_id])]
-        highbw = rng.random() < demo.highbw_for(cc)
-        in_probe_as = (
-            cc in PROBE_COUNTRIES
-            and cc in _PROBE_AS_BY_CC
-            and rng.random() < demo.probe_as_fraction
-        )
-        if in_probe_as:
-            asn = int(rng.choice(_PROBE_AS_BY_CC[cc]))
+    # The per-peer draw *sequence* below is pinned by the golden host-table
+    # hashes, so it cannot be collapsed into bulk per-class draws (that
+    # scheme lives in repro.population.sparse).  What can change without
+    # moving a single draw: scalar ``choice`` calls become the bit-identical
+    # ``seq[integers(len(seq))]``, identical access plans share one pooled
+    # frozen AccessLink, and endpoint/IP construction — which consumes no
+    # randomness — is deferred and done in bulk after the loop.
+    r_random = rng.random
+    r_integers = rng.integers
+    unix_fraction = config.unix_fraction
+    probe_fraction = demo.probe_as_fraction
+    highbw_by_cc = {cc: demo.highbw_for(cc) for cc in codes}
+    isps_by_cc = {cc: world.access_isps(cc) or all_isps for cc in codes}
+    campus_ok = {cc for cc in codes if cc in PROBE_COUNTRIES and cc in _PROBE_AS_BY_CC}
+
+    lan100 = lan(100.0)
+    ftth_links = (ftth(100.0, 20.0), ftth(100.0, 50.0), ftth(100.0, 100.0))
+    dsl_plans = (1.0, 2.0, 4.0, 6.0, 8.0)
+    dsl_ups = (0.256, 0.384, 0.512, 0.640, 1.0)
+    dsl_cache: dict[tuple[int, int, bool], AccessLink] = {}
+
+    def pooled_access(highbw: bool) -> AccessLink:
+        # Draw-for-draw identical to _draw_access.
+        if highbw:
+            if r_random() < 0.6:
+                return lan100
+            return ftth_links[r_integers(3)]
+        key = (int(r_integers(5)), int(r_integers(5)), bool(r_random() < 0.5))
+        link = dsl_cache.get(key)
+        if link is None:
+            link = dsl(dsl_plans[key[0]], dsl_ups[key[1]], nat=key[2])
+            dsl_cache[key] = link
+        return link
+
+    asns: list[int] = []
+    accesses: list[AccessLink] = []
+    ttls: list[int] = []
+    for ci in countries.tolist():
+        cc = codes[ci]
+        highbw = r_random() < highbw_by_cc[cc]
+        if cc in campus_ok and r_random() < probe_fraction:
+            campus = _PROBE_AS_BY_CC[cc]
+            asn = campus[r_integers(len(campus))]
             # Campus-AS civilians are mostly on the institution LAN.
-            access = lan(100.0) if rng.random() < 0.9 else _draw_access(highbw, rng)
+            access = lan100 if r_random() < 0.9 else pooled_access(highbw)
         else:
-            isps = world.access_isps(cc)
-            asn = int(rng.choice(isps if isps else all_isps))
-            access = _draw_access(highbw, rng)
-        ttl = INITIAL_TTL_UNIX if rng.random() < config.unix_fraction else INITIAL_TTL_WINDOWS
-        endpoint = world.new_endpoint(asn, access, initial_ttl=ttl)
-        peers.append(RemotePeer(peer_id=peer_id, endpoint=endpoint))
-    return peers
+            isps = isps_by_cc[cc]
+            asn = isps[r_integers(len(isps))]
+            access = pooled_access(highbw)
+        asns.append(asn)
+        accesses.append(access)
+        ttls.append(INITIAL_TTL_UNIX if r_random() < unix_fraction else INITIAL_TTL_WINDOWS)
+
+    ips = world.bulk_remote_ips(np.asarray(asns, dtype=np.int64))
+    cc_by_asn = {asn: world.registry.get(asn).country_code for asn in set(asns)}
+    plen = world.config.subnet_prefixlen
+    return [
+        RemotePeer(
+            peer_id=peer_id,
+            endpoint=NetworkEndpoint(
+                ip=int(ip),
+                asn=asn,
+                country_code=cc_by_asn[asn],
+                access=access,
+                subnet_prefixlen=plen,
+                initial_ttl=ttl,
+            ),
+        )
+        for peer_id, (ip, asn, access, ttl) in enumerate(
+            zip(ips, asns, accesses, ttls)
+        )
+    ]

@@ -23,9 +23,18 @@ import numpy as np
 from repro.config import RngBundle
 from repro.errors import ConfigurationError, SimulationError
 from repro.obs.log import get_logger
-from repro.population.churn import ChurnProcess
-from repro.population.demographics import Demographics, cctv1_audience
+from repro.population.churn import ChurnProcess, draw_session_bounds
+from repro.population.demographics import (
+    Demographics,
+    cctv1_audience,
+    crossswarm_audience,
+)
 from repro.population.generator import PopulationConfig, RemotePeer, generate_population
+from repro.population.sparse import (
+    SparseSwarm,
+    SparseSwarmConfig,
+    generate_sparse_swarm,
+)
 from repro.streaming.availability import RemoteAvailability
 from repro.streaming.buffer import PlayoutBuffer
 from repro.streaming.events import EventQueue
@@ -66,6 +75,18 @@ FIREWALL_DROP_PROB = 0.8
 #: next miss, so the bounds affect memory only, never the trace.
 _PARTNER_CTX_MAX = 8
 _THR_CACHE_MAX = 4096
+
+#: Remote-population size beyond which the O(probes × peers) Python-list
+#: mirrors (provider-score rows, latency rows) stay numpy: at paper scale
+#: the ``.tolist()`` copies cost hundreds of MB for identical values.
+#: np.float64 hashes, compares and formats equal to the plain float, so
+#: the gate is invisible to traces — it only bounds memory.
+_LIST_MIRROR_MAX = 50_000
+
+#: Oversampling rounds allowed per alias-sampled tracker reply before the
+#: reply is returned short (candidates are rejected when offline, already
+#: known, self, or duplicate within the reply).
+_ALIAS_MAX_ROUNDS = 8
 
 
 def _approx_latency(same_subnet: bool, same_as: bool, same_cc: bool) -> float:
@@ -159,6 +180,7 @@ class _PeerState:
         "partners_arr",
         "lat_row",
         "busy",
+        "busy_over",
         "_known_arr",
         "_known_len",
         "_filt",
@@ -179,6 +201,10 @@ class _PeerState:
         self.lat_row: list[float] = []
         #: Outstanding chunk requests per provider gidx (pipelining cap).
         self.busy: list[int] = [0] * n_peers
+        #: Providers currently at/over the pipelining cap — the tiny
+        #: (usually empty) complement the vectorised kernels subtract
+        #: instead of re-checking ``busy`` per advertised pair.
+        self.busy_over: set[int] = set()
         self._known_arr: np.ndarray = np.zeros(0, dtype=np.int64)
         self._known_len = 0
         # Online-filtered partners_arr, valid for one (mask epoch, partner
@@ -257,6 +283,40 @@ class SimulationResult:
         return self.config.duration_s
 
 
+class _BiasedSampler:
+    """Exact O(1)-per-draw sampler for the two-valued discovery weights.
+
+    The AS-biased discovery distribution ``w_i = 1 + bias·[asn_i = a]``
+    is a mixture: uniform over all ``n`` peers with probability
+    ``n / (n + bias·k)``, uniform over the ``k`` same-AS peers otherwise
+    — algebraically identical to the alias table over those weights, but
+    built from one ``flatnonzero`` instead of an O(n) Vose construction
+    per chooser AS.
+
+    Draw order (fixed, documented for determinism): the global index
+    draw ``j = integers(n, size)`` first, then the mixture coin
+    ``u = random(size)``, then the same-AS index draw
+    ``integers(k, size)``; the last two are skipped when the bias is
+    inactive (``bias·k = 0``), matching the unbiased uniform sampler.
+    """
+
+    __slots__ = ("n", "same", "q")
+
+    def __init__(self, n: int, same: np.ndarray, bias: float) -> None:
+        self.n = n
+        self.same = same
+        k = len(same)
+        self.q = bias * k / (n + bias * k) if n else 0.0
+
+    def draw(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        j = rng.integers(0, self.n, size=size)
+        if self.q <= 0.0:
+            return j
+        u = rng.random(size)
+        boost = self.same[rng.integers(0, len(self.same), size=size)]
+        return np.where(u < self.q, boost, j)
+
+
 class Engine:
     """One experiment: one application profile on one synthetic Internet."""
 
@@ -284,6 +344,7 @@ class Engine:
         # Pre-bound hot-path callbacks: scheduling via ``self._on_x``
         # creates a fresh bound method per call; these do it once.
         self._cb_tick = self._on_tick
+        self._cb_tick_cohort = self._on_tick_cohort
         self._cb_arrival = self._on_chunk_arrival
         self._cb_pull = self._on_remote_pull
         self._recorder = TransferRecorder()
@@ -292,6 +353,11 @@ class Engine:
 
         self._build_directory(population)
         self._build_protocol_state()
+        #: Discovery sampler selection (profile knob, not swarm-format
+        #: dependent — sparse and dense runs of one profile draw alike).
+        self._alias_tables: dict[int, _BiasedSampler] = {}
+        if profile.discovery == "alias":
+            self._tracker_sample = self._tracker_sample_alias  # type: ignore[method-assign]
         # The chunk-scheduling policy: which missing chunks to request, in
         # what order, from whom (see repro.streaming.schedulers).  The
         # default mesh-pull strategy is the pre-refactor selection loop
@@ -305,52 +371,119 @@ class Engine:
         self._sched_push = self._scheduler.pushes
 
     # ----------------------------------------------------------- directory
-    def _build_directory(self, population: list[RemotePeer]) -> None:
+    def _build_directory(self, population: "list[RemotePeer] | SparseSwarm") -> None:
         """Flatten remotes + probes into aligned attribute arrays.
 
         Global index space: remotes occupy ``[0, R)``, probes ``[R, R+P)``.
+        A dense population (list of :class:`RemotePeer`) is flattened
+        object-by-object; a :class:`~repro.population.sparse.SparseSwarm`
+        contributes its columns directly — no per-remote objects exist at
+        any point on that path.
         """
-        remotes = [r.endpoint for r in population]
         probes = [h.endpoint for h in self.testbed.hosts]
-        endpoints = remotes + probes
-        self.n_remote = len(remotes)
         self.n_probe = len(probes)
-        n = len(endpoints)
         if self.n_probe == 0:
             raise SimulationError("testbed has no probes")
 
-        self._ip = np.array([e.ip for e in endpoints], dtype=np.uint32)
-        self._asn = np.array([e.asn for e in endpoints], dtype=np.int32)
-        cc_codes = sorted({e.country_code for e in endpoints})
-        self._cc_labels = cc_codes
-        cc_index = {c: i for i, c in enumerate(cc_codes)}
-        self._cc = np.array([cc_index[e.country_code] for e in endpoints], dtype=np.int16)
-        self._subnet = np.array([e.subnet for e in endpoints], dtype=np.uint32)
-        self._up = np.array([e.access.up_bps for e in endpoints], dtype=np.float64)
-        self._down = np.array([e.access.down_bps for e in endpoints], dtype=np.float64)
-        self._highbw = np.array([e.access.is_high_bandwidth for e in endpoints], dtype=bool)
-        self._firewalled = np.array([e.access.firewall for e in endpoints], dtype=bool)
-        self._initial_ttl = np.array([e.initial_ttl for e in endpoints], dtype=np.uint8)
-        self._access_depth = np.array(
-            [ACCESS_DEPTH[e.access.kind] for e in endpoints], dtype=np.uint8
-        )
+        if isinstance(population, SparseSwarm):
+            cols = population.columns()
+            self.n_remote = len(cols)
+            n = self.n_remote + self.n_probe
+            self._ip = np.concatenate(
+                [cols.ip, np.array([e.ip for e in probes], dtype=np.uint32)]
+            )
+            self._asn = np.concatenate(
+                [cols.asn, np.array([e.asn for e in probes], dtype=np.int32)]
+            )
+            cc_codes = sorted(set(cols.cc.tolist()) | {e.country_code for e in probes})
+            self._cc_labels = cc_codes
+            labels = np.array(cc_codes, dtype="U2")
+            cc_index = {c: i for i, c in enumerate(cc_codes)}
+            self._cc = np.concatenate(
+                [
+                    np.searchsorted(labels, cols.cc).astype(np.int16),
+                    np.array([cc_index[e.country_code] for e in probes], dtype=np.int16),
+                ]
+            )
+            self._subnet = np.concatenate(
+                [cols.subnet, np.array([e.subnet for e in probes], dtype=np.uint32)]
+            )
+            self._up = np.concatenate(
+                [cols.up_bps, np.array([e.access.up_bps for e in probes])]
+            )
+            self._down = np.concatenate(
+                [cols.down_bps, np.array([e.access.down_bps for e in probes])]
+            )
+            self._highbw = np.concatenate(
+                [cols.highbw, np.array([e.access.is_high_bandwidth for e in probes], dtype=bool)]
+            )
+            self._firewalled = np.concatenate(
+                [cols.firewalled, np.array([e.access.firewall for e in probes], dtype=bool)]
+            )
+            self._initial_ttl = np.concatenate(
+                [cols.initial_ttl, np.array([e.initial_ttl for e in probes], dtype=np.uint8)]
+            )
+            self._access_depth = np.concatenate(
+                [
+                    cols.access_depth,
+                    np.array([ACCESS_DEPTH[e.access.kind] for e in probes], dtype=np.uint8),
+                ]
+            )
+        else:
+            remotes = [r.endpoint for r in population]
+            endpoints = remotes + probes
+            self.n_remote = len(remotes)
+            n = len(endpoints)
+            self._ip = np.array([e.ip for e in endpoints], dtype=np.uint32)
+            self._asn = np.array([e.asn for e in endpoints], dtype=np.int32)
+            cc_codes = sorted({e.country_code for e in endpoints})
+            self._cc_labels = cc_codes
+            cc_index = {c: i for i, c in enumerate(cc_codes)}
+            self._cc = np.array(
+                [cc_index[e.country_code] for e in endpoints], dtype=np.int16
+            )
+            self._subnet = np.array([e.subnet for e in endpoints], dtype=np.uint32)
+            self._up = np.array([e.access.up_bps for e in endpoints], dtype=np.float64)
+            self._down = np.array([e.access.down_bps for e in endpoints], dtype=np.float64)
+            self._highbw = np.array(
+                [e.access.is_high_bandwidth for e in endpoints], dtype=bool
+            )
+            self._firewalled = np.array([e.access.firewall for e in endpoints], dtype=bool)
+            self._initial_ttl = np.array([e.initial_ttl for e in endpoints], dtype=np.uint8)
+            self._access_depth = np.array(
+                [ACCESS_DEPTH[e.access.kind] for e in endpoints], dtype=np.uint8
+            )
         self._is_probe = np.zeros(n, dtype=bool)
         self._is_probe[self.n_remote :] = True
 
         # Sessions: remotes churn, probes stay for the whole experiment.
-        churn = ChurnProcess.generate(
-            list(range(self.n_remote)),
-            self.config.duration_s,
-            self.profile.churn,
-            self._rngs["churn"],
-        )
-        if self.config.churn_transform is not None:
-            churn = self.config.churn_transform(churn, self._rngs["fault_churn"])
         self._join = np.full(n, 0.0)
         self._leave = np.full(n, self.config.duration_s)
-        for s in churn.sessions:
-            self._join[s.peer_id] = s.join
-            self._leave[s.peer_id] = s.leave
+        if self.config.churn_transform is not None:
+            # Fault transforms operate on Session objects; this path stays
+            # object-based (impairment studies run at dense scales).
+            churn = ChurnProcess.generate(
+                list(range(self.n_remote)),
+                self.config.duration_s,
+                self.profile.churn,
+                self._rngs["churn"],
+            )
+            churn = self.config.churn_transform(churn, self._rngs["fault_churn"])
+            for s in churn.sessions:
+                self._join[s.peer_id] = s.join
+                self._leave[s.peer_id] = s.leave
+        else:
+            # Columnar draw — same RNG consumption and IEEE values as the
+            # Session-object path (ChurnProcess.generate wraps this same
+            # function), without 10^5 Session objects at paper scale.
+            joins, leaves = draw_session_bounds(
+                self.n_remote,
+                self.config.duration_s,
+                self.profile.churn,
+                self._rngs["churn"],
+            )
+            self._join[: self.n_remote] = joins
+            self._leave[: self.n_remote] = leaves
 
         self.availability = RemoteAvailability(
             self.clock,
@@ -372,17 +505,27 @@ class Engine:
         self._up_list: list[float] = self._up.tolist()
         self._down_list: list[float] = self._down.tolist()
         self._leave_list: list[float] = self._leave.tolist()
-        # Online-mask memoisation: the mask is constant between consecutive
-        # join/leave boundaries, and event time is non-decreasing, so a
-        # single-interval cache answers almost every query.
-        self._mask_bounds = np.unique(np.concatenate([self._join, self._leave]))
-        self._mask_key = -1
-        # Validity interval of the cached mask: while t stays inside
-        # [_mask_t0, _mask_t1) no boundary was crossed and even the
-        # searchsorted key lookup can be skipped.
-        self._mask_t0 = np.inf
+        # Online-mask maintenance: the mask is constant between
+        # consecutive join/leave boundaries and event time is
+        # non-decreasing, so instead of re-evaluating the n-peer compare
+        # at every boundary crossing (O(n) per interval — paper-scale
+        # swarms cross a boundary every few events) the boundaries are
+        # sorted once and each query flips only the peers whose join or
+        # leave was crossed since the previous one: O(Δ) amortised.
+        # ``_mask_key`` is the number of crossed boundaries — it changes
+        # exactly when the mask content does, which is all the per-probe
+        # ``online_partners`` memo needs.
+        self._join_order = np.argsort(self._join, kind="stable")
+        self._leave_order = np.argsort(self._leave, kind="stable")
+        self._join_sorted = self._join[self._join_order]
+        self._leave_sorted = self._leave[self._leave_order]
+        self._join_ptr = 0
+        self._leave_ptr = 0
+        self._mask_key = 0
+        # Next boundary at/after the cached state; recompute when t
+        # reaches it.
         self._mask_t1 = -np.inf
-        self._mask: np.ndarray = np.zeros(0, dtype=bool)
+        self._mask: np.ndarray = np.zeros(n, dtype=bool)
 
     def _make_probes(self, n_peers: int) -> list[_PeerState]:
         """Construct per-probe protocol state — the engine-core seam.
@@ -456,8 +599,17 @@ class Engine:
         #: tick loop can invert cached CDFs with a direct draw (same
         #: generator, same single-uniform consumption as sample_index).
         self._rng_sel = rng_sel
-        #: Provider score rows as plain floats for cheap per-holder reads.
-        self._provider_scores_list: list[list[float]] = self._provider_scores.tolist()
+        # Whether the peer directory is too large for Python-list mirrors
+        # of O(probes × peers) data (the lists trade ~2x scalar-read speed
+        # for a full copy; at paper scale that copy is hundreds of MB).
+        # np.float64 elements hash/compare/format equal to plain floats,
+        # so traces are unaffected either way.
+        list_mirrors = (self.n_remote + self.n_probe) <= _LIST_MIRROR_MAX
+        #: Provider score rows as plain floats for cheap per-holder reads
+        #: (numpy rows beyond _LIST_MIRROR_MAX peers).
+        self._provider_scores_list: list = (
+            self._provider_scores.tolist() if list_mirrors else list(self._provider_scores)
+        )
         #: Per-probe memo of provider-selection CDFs (as sorted float
         #: lists), keyed by the holders' *score* tuple: the CDF is a pure
         #: function of the score sequence, so distinct holder sets with
@@ -469,8 +621,9 @@ class Engine:
         #: Per-probe memo of partner-array splits (see _partner_context).
         self._partner_ctx: list[dict[bytes, tuple]] = [{} for _ in self._probes]
         # Per-probe one-way latency rows (the latency model only depends on
-        # subnet/AS/CC equality, all static); nested lists for scalar reads.
-        self._lat_rows: list[list[float]] = [
+        # subnet/AS/CC equality, all static); nested lists for scalar reads
+        # at legacy scales, numpy rows beyond _LIST_MIRROR_MAX peers.
+        lat_arrays = [
             np.where(
                 self._subnet == self._subnet[p.gidx],
                 0.001,
@@ -479,9 +632,12 @@ class Engine:
                     0.005,
                     np.where(self._cc == self._cc[p.gidx], 0.02, 0.08),
                 ),
-            ).tolist()
+            )
             for p in self._probes
         ]
+        self._lat_rows: list = (
+            [row.tolist() for row in lat_arrays] if list_mirrors else lat_arrays
+        )
         for pi, p in enumerate(self._probes):
             p.lat_row = self._lat_rows[pi]
 
@@ -513,17 +669,32 @@ class Engine:
     def _online_mask(self, t: float) -> np.ndarray:
         """Who is online at ``t`` (shared cache — callers must not mutate).
 
-        The mask only changes when ``t`` crosses a join/leave boundary, so
-        it is recomputed once per boundary interval instead of per event.
+        The mask only changes when ``t`` crosses a join/leave boundary;
+        queries arrive in non-decreasing time order, so the cached mask
+        is advanced by flipping exactly the peers whose boundary was
+        crossed since the previous query — bit-for-bit the array
+        ``(join <= t) & (t < leave)`` would produce, at O(Δ) cost.
         """
-        if not self._mask_t0 <= t < self._mask_t1:
-            key = int(self._mask_bounds.searchsorted(t, side="right"))
-            if key != self._mask_key:
-                self._mask = (self._join <= t) & (t < self._leave)
-                self._mask_key = key
-            bounds = self._mask_bounds
-            self._mask_t0 = bounds[key - 1] if key > 0 else -np.inf
-            self._mask_t1 = bounds[key] if key < len(bounds) else np.inf
+        if t >= self._mask_t1:
+            js = self._join_sorted
+            ls = self._leave_sorted
+            mask = self._mask
+            jp = self._join_ptr
+            lp = self._leave_ptr
+            njp = int(js.searchsorted(t, side="right"))
+            nlp = int(ls.searchsorted(t, side="right"))
+            if njp > jp:
+                mask[self._join_order[jp:njp]] = True
+                self._join_ptr = njp
+            if nlp > lp:
+                # Leaves flip after joins: a peer whose whole session is
+                # already behind ``t`` must end up offline.
+                mask[self._leave_order[lp:nlp]] = False
+                self._leave_ptr = nlp
+            self._mask_key = njp + nlp
+            nj = js[njp] if njp < len(js) else np.inf
+            nl = ls[nlp] if nlp < len(ls) else np.inf
+            self._mask_t1 = nj if nj < nl else nl
         return self._mask
 
     def _latency(self, a: int, b: int) -> float:
@@ -575,6 +746,65 @@ class Engine:
         # Firewalled peers drop most unsolicited contacts.
         keep = ~self._firewalled[picked] | (rng.random(len(picked)) >= FIREWALL_DROP_PROB)
         return picked[keep]
+
+    def _alias_table_for(self, asn: int) -> "_BiasedSampler":
+        """The discovery sampler seen by a probe in AS ``asn``.
+
+        The scan sampler's weights (1 + bias for same-AS candidates) are
+        two-valued, so the alias table over them collapses to an exact
+        two-component mixture — uniform over the directory, plus a
+        same-AS boost drawn with probability ``bias·k / (n + bias·k)``
+        (see :class:`_BiasedSampler`).  Samplers are static per chooser
+        AS and built lazily in O(same-AS peers), not O(swarm); probes
+        share one per campus/home AS.
+        """
+        table = self._alias_tables.get(asn)
+        if table is None:
+            same = np.flatnonzero(self._asn == asn)
+            n = self.n_remote + self.n_probe
+            table = _BiasedSampler(n, same, self.profile.discovery_as_bias)
+            self._alias_tables[asn] = table
+        return table
+
+    def _tracker_sample_alias(self, probe: _ProbeState, k: int, t: float) -> np.ndarray:
+        """Alias-sampled tracker/gossip reply — O(batch), not O(swarm).
+
+        Draws candidates from a precomputed biased sampler over the whole
+        directory and rejects offline / already-known / self / duplicate
+        picks, oversampling in bounded rounds.  Sampling is with-rejection
+        rather than without-replacement, so replies follow the same biased
+        distribution as the scan sampler but are *not* draw-identical to
+        it — profiles choose one sampler and keep it (``discovery`` knob).
+        """
+        rng = self._rng_engine
+        online = self._online_mask(t)
+        bias = self.profile.discovery_as_bias
+        table = (
+            self._alias_table_for(int(self._asn[probe.gidx])) if bias > 0 else None
+        )
+        n = self.n_remote + self.n_probe
+        picked: list[int] = []
+        seen: set[int] = set()
+        for _ in range(_ALIAS_MAX_ROUNDS):
+            need = k - len(picked)
+            if need <= 0:
+                break
+            m = max(2 * need, 8)
+            cand = table.draw(rng, m) if table is not None else rng.integers(0, n, size=m)
+            ok = online[cand] & ~probe.known_mask[cand] & (cand != probe.gidx)
+            for g in cand[ok].tolist():
+                if g not in seen:
+                    seen.add(g)
+                    picked.append(g)
+                    if len(picked) == k:
+                        break
+        if not picked:
+            return np.zeros(0, dtype=np.int64)
+        arr = np.array(picked, dtype=np.int64)
+        # Firewalled peers drop most unsolicited contacts (same post-filter
+        # as the scan sampler).
+        keep = ~self._firewalled[arr] | (rng.random(len(arr)) >= FIREWALL_DROP_PROB)
+        return arr[keep]
 
     def _on_discovery(self, probe: _ProbeState) -> None:
         t = self._queue.now
@@ -694,8 +924,12 @@ class Engine:
         store[key] = ctx
         return ctx
 
-    def _on_tick(self, probe: _ProbeState) -> None:
-        t = self._queue.now
+    def _tick_probe(self, probe: _ProbeState, t: float) -> None:
+        """One probe's tick body (scan → prune → schedule requests).
+
+        Shared by the staggered per-probe tick event and the cohort tick;
+        rescheduling stays with the callers.
+        """
         # One combined buffer pass drives eviction, the missing scan and
         # (below) in-flight pruning from the same window arithmetic.  The
         # scan limit is policy-dependent: mesh-pull takes the newest
@@ -715,7 +949,25 @@ class Engine:
             slots = self._max_parallel - len(probe.inflight)
             if slots > 0 and len(partners):
                 self._sched_requests(probe, t, lookahead, partners, slots)
+
+    def _on_tick(self, probe: _ProbeState) -> None:
+        t = self._queue.now
+        self._tick_probe(probe, t)
         self._queue.schedule(t + self._tick_interval, self._cb_tick, probe)
+
+    def _on_tick_cohort(self) -> None:
+        """Tick every probe in one event, ascending probe order.
+
+        Selected by ``profile.tick_cohort``: protocol decisions and RNG
+        draws are the ones the staggered path would make at the same
+        timestamps — probes do not mutate each other's buffers within a
+        tick — but the SoA engine overrides this hook to batch the
+        per-probe kernels into single multi-probe array passes.
+        """
+        t = self._queue.now
+        for probe in self._probes:
+            self._tick_probe(probe, t)
+        self._queue.schedule(t + self._tick_interval, self._cb_tick_cohort)
 
     def _request_chunk(self, probe: _ProbeState, provider: int, chunk: int, t: float) -> bool:
         """Issue a chunk request; returns True when a transfer was queued.
@@ -776,6 +1028,8 @@ class Engine:
         self._rec_append((start, ipl[provider], ipl[pg], nbytes, _KIND_VIDEO, bn))
         probe.inflight.add(chunk)
         probe.busy[provider] += 1
+        if probe.busy[provider] >= self._cap_out:
+            probe.busy_over.add(provider)
         self._queue.schedule(arrival, self._cb_arrival, probe, chunk, provider)
         return True
 
@@ -784,6 +1038,8 @@ class Engine:
         probe.buffer.add(chunk)
         if probe.busy[provider] > 0:
             probe.busy[provider] -= 1
+            if probe.busy[provider] < self._cap_out:
+                probe.busy_over.discard(provider)
         if self._sched_push:
             # Push-based policies forward the chunk onwards from here.
             self._scheduler.on_chunk_received(probe, chunk, provider, self._queue.now)
@@ -960,6 +1216,7 @@ class Engine:
     def run(self) -> SimulationResult:
         """Execute the experiment and return the raw result bundle."""
         t_stagger = self.profile.tick_interval_s / max(1, self.n_probe)
+        cohort = self.profile.tick_cohort
         for i, probe in enumerate(self._probes):
             found = self._tracker_sample(probe, self.profile.tracker_initial, 0.0)
             for g in found.tolist():
@@ -969,10 +1226,15 @@ class Engine:
                 self._record(0.0, probe.gidx, int(cand), hs, PacketKind.SIGNALING)
                 self._record(0.0, int(cand), probe.gidx, hs, PacketKind.SIGNALING)
             self._queue.schedule(i * t_stagger, self._on_partner_refresh, probe)
-            self._queue.schedule(0.05 + i * t_stagger, self._on_tick, probe)
+            if not cohort:
+                self._queue.schedule(0.05 + i * t_stagger, self._on_tick, probe)
             self._queue.schedule(
                 0.5 + i * t_stagger * 10, self._on_discovery, probe
             )
+        if cohort:
+            # All probes tick in one event (ascending probe order) so the
+            # SoA kernels can batch across the cohort.
+            self._queue.schedule(0.05, self._on_tick_cohort)
         self._queue.schedule(0.0, self._on_demand_rebalance)
 
         events = self._queue.run_until(self.config.duration_s)
@@ -1067,7 +1329,10 @@ def simulate(
     if testbed is None:
         testbed = build_napa_wine_testbed(world)
     if demographics is None:
-        base = cctv1_audience(probe_as_fraction=profile.probe_as_fraction)
+        audience = (
+            crossswarm_audience if profile.audience == "crossswarm" else cctv1_audience
+        )
+        base = audience(probe_as_fraction=profile.probe_as_fraction)
         if profile.eu_audience_boost != 1.0:
             weights = dict(base.country_weights)
             for cc in ("IT", "FR", "HU", "PL"):
@@ -1081,11 +1346,18 @@ def simulate(
         else:
             demographics = base
     rngs = RngBundle(config.seed)
-    population = generate_population(
-        world,
-        PopulationConfig(size=profile.swarm_size, demographics=demographics),
-        rngs["population"],
-    )
+    if profile.swarm == "sparse":
+        population: "list[RemotePeer] | SparseSwarm" = generate_sparse_swarm(
+            world,
+            SparseSwarmConfig(size=profile.swarm_size, demographics=demographics),
+            rngs["population"],
+        )
+    else:
+        population = generate_population(
+            world,
+            PopulationConfig(size=profile.swarm_size, demographics=demographics),
+            rngs["population"],
+        )
     # Late import: repro.streaming.soa imports this module (Engine is its
     # base class), so the registry cannot be bound at import time.
     from repro.streaming.soa import get_engine

@@ -46,6 +46,15 @@ class AppProfile:
     eu_audience_boost: float = 1.0
     #: Fraction of probe-country remotes placed inside campus ASes.
     probe_as_fraction: float = 0.25
+    #: Swarm representation: ``"dense"`` materialises one RemotePeer object
+    #: per remote (the legacy directory, pinned by the golden hashes);
+    #: ``"sparse"`` holds the population as numpy columns generated in
+    #: seeded blocks (:mod:`repro.population.sparse`) — required beyond
+    #: ~10^4 peers.
+    swarm: str = "dense"
+    #: Audience demographics: ``"cctv1"`` (the paper's CN-dominated channel)
+    #: or ``"crossswarm"`` (the Western-centric cross-swarm-study mix).
+    audience: str = "cctv1"
 
     # --- discovery ---------------------------------------------------------
     tracker_initial: int = 60
@@ -54,6 +63,11 @@ class AppProfile:
     #: Multiplicative sampling weight for same-AS peers in tracker/gossip
     #: replies (TVAnts discovers same-AS peers far more efficiently).
     discovery_as_bias: float = 0.0
+    #: Tracker/gossip reply sampling: ``"scan"`` draws without replacement
+    #: over a dense candidate mask (O(swarm) per reply, exact); ``"alias"``
+    #: draws from a precomputed alias table with rejection of
+    #: offline/known peers (O(batch) per reply — paper-scale swarms).
+    discovery: str = "scan"
 
     # --- partner management --------------------------------------------
     max_partners: int = 25
@@ -84,6 +98,12 @@ class AppProfile:
     #: Chunks of head-room kept behind the live edge when requesting, so
     #: that targets have had time to diffuse to remote providers too.
     live_lag_chunks: int = 3
+    #: When true, all probes tick in one cohort event (ascending probe
+    #: order) instead of 46 staggered per-probe events, letting the SoA
+    #: engine batch its per-tick kernels across the whole cohort.  Trace
+    #: semantics are unchanged — only event grouping differs — but cohort
+    #: and staggered runs of the same profile are *different* experiments.
+    tick_cohort: bool = False
 
     # --- upload direction (remote downloaders) ---------------------------
     #: Mean concurrent remote downloaders attracted by a high-bw probe.
@@ -118,21 +138,65 @@ class AppProfile:
                 f"unknown chunk scheduler {self.scheduler!r}; "
                 f"valid choices: {list(SCHEDULER_NAMES)}"
             )
+        if self.swarm not in ("dense", "sparse"):
+            raise ConfigurationError(
+                f"unknown swarm representation {self.swarm!r}; "
+                "valid choices: ['dense', 'sparse']"
+            )
+        if self.audience not in ("cctv1", "crossswarm"):
+            raise ConfigurationError(
+                f"unknown audience {self.audience!r}; "
+                "valid choices: ['cctv1', 'crossswarm']"
+            )
+        if self.discovery not in ("scan", "alias"):
+            raise ConfigurationError(
+                f"unknown discovery sampler {self.discovery!r}; "
+                "valid choices: ['scan', 'alias']"
+            )
 
     def scaled(self, factor: float) -> "AppProfile":
         """A copy with the swarm (and discovery reach) scaled by ``factor``.
 
         Used by quick tests and benches; relative magnitudes across
-        applications are preserved.
+        applications are preserved.  Legacy dense profiles keep their
+        historical silent floors (pinned by downstream fixtures); sparse
+        paper-scale profiles route through the validating
+        :meth:`scaled_swarm` instead, where a scale that breaks discovery
+        assumptions is an error, not a clamp.
         """
         if factor <= 0:
             raise ConfigurationError("scale factor must be positive")
+        if self.swarm == "sparse":
+            return self.scaled_swarm(int(round(self.swarm_size * factor)))
         return replace(
             self,
             swarm_size=max(10, int(self.swarm_size * factor)),
             tracker_initial=max(5, int(self.tracker_initial * factor)),
             contact_batch=max(1, int(round(self.contact_batch * factor))),
         )
+
+    def scaled_swarm(self, size: int) -> "AppProfile":
+        """A copy resized to exactly ``size`` remote peers, validated.
+
+        Unlike :meth:`scaled` this never silently clamps: the requested
+        size must be positive and large enough to honour the profile's
+        discovery reach (``tracker_initial``) — a tracker cannot seed more
+        peers than the swarm holds.  Discovery parameters saturate rather
+        than scale: ``tracker_initial`` and ``contact_batch`` stay fixed,
+        matching how real trackers answer the same reply size regardless
+        of swarm size.
+        """
+        if size < 1:
+            raise ConfigurationError(
+                f"swarm size must be >= 1, got {size}"
+            )
+        if size < self.tracker_initial:
+            raise ConfigurationError(
+                f"swarm size {size} below the profile's discovery reach "
+                f"(tracker_initial={self.tracker_initial}); shrink the "
+                "profile explicitly instead of overflowing tracker replies"
+            )
+        return replace(self, swarm_size=size)
 
 
 def pplive() -> AppProfile:
@@ -265,6 +329,57 @@ def napa_wine() -> AppProfile:
     )
 
 
+def napa_scale() -> AppProfile:
+    """The network-aware client at the paper's *measured* swarm scale.
+
+    The paper's CCTV-1 swarms held ~1.8×10^5 concurrent peers; every other
+    profile subsamples that population by two to three orders of magnitude
+    so the object-per-peer directory stays affordable.  This profile runs
+    the napa-wine awareness policy against the full-size swarm on the
+    sparse column representation: audience demographics follow the
+    BitTorrent cross-swarm study mix, tracker/gossip replies are
+    alias-sampled (O(batch), not O(swarm)), and all probes tick in one
+    cohort so the SoA engine can batch its kernels across probes.
+
+    The channel is the paper's HD case: 1 Mbps video in 16 kB chunks
+    (a 128 ms chunk clock, ~7.8 chunks/s), the rate class the paper
+    reports as the hardest for chunk retrieval at scale.  Partner lists
+    are wide (200) — at 1.8×10^5 peers the neighbourhood a tracker reply
+    can cover is a tiny swarm fraction, so clients hold every contact —
+    with correspondingly slower buffer-map and gossip clocks to keep
+    signaling per-link at the measured order.
+    """
+    return AppProfile(
+        name="napa-scale",
+        swarm_size=180_000,
+        swarm="sparse",
+        audience="crossswarm",
+        discovery="alias",
+        tick_cohort=True,
+        probe_as_fraction=0.005,
+        tracker_initial=200,
+        contact_interval_s=4.0,
+        contact_batch=4,
+        discovery_as_bias=5.0,
+        max_partners=200,
+        partner_refresh_s=20.0,
+        partner_weights=SelectionWeights(bw=1.6, as_=1.6, net=1.0, hop=0.8),
+        provider_weights=SelectionWeights(bw=2.2, as_=2.2, net=1.2, hop=1.0),
+        max_parallel_requests=16,
+        remote_demand=1.0,
+        remote_weights=SelectionWeights(bw=1.6, as_=2.0, hop=0.8),
+        handshake_bytes=120,
+        buffermap_interval_s=5.0,
+        buffermap_bytes=120,
+        video=VideoConfig(
+            rate_bps=1_000_000.0,
+            chunk_bytes=16000,
+            buffer_window_s=30.0,
+            playout_delay_s=10.0,
+        ),
+    )
+
+
 def random_baseline() -> AppProfile:
     """A network-oblivious strawman: uniform selection everywhere.
 
@@ -294,6 +409,7 @@ PROFILES = {
     "tvants": tvants,
     "pplive-popular": pplive_popular,
     "napa-wine": napa_wine,
+    "napa-scale": napa_scale,
     "random": random_baseline,
 }
 

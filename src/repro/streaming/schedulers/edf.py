@@ -105,22 +105,32 @@ class EdfScheduler(ChunkScheduler):
         A = eng._soa_availability(
             ctx, chunks_arr, t, cmin=lookahead[-1], cmax=lookahead[0]
         )
-        rows = A.tolist()
-        scan = ctx["scan"]
+        # Flat advertised-pair walk over the plan-order permutation (see
+        # the mesh-pull kernel); rows come back in ascending row order,
+        # matching the deadline iteration, and holder-less chunks still
+        # consume an attempt below.  Holders are C-level slices of the
+        # flat partner list minus ``busy_over`` (the at-cap providers) —
+        # the same predicate the object loop checks pairwise.
+        ri, cj = A[:, ctx["plan_cols"]].nonzero()
+        gs_all = ctx["plan_g"][cj].tolist()
         chunks_list = chunks_arr.tolist()
-        busy = probe.busy
-        cap = eng._cap_out
+        nrows = len(chunks_list)
+        bounds = np.searchsorted(ri, np.arange(nrows + 1)).tolist()
+        busy_over = probe.busy_over
         attempts = 0
         max_attempts = eng._max_attempts
-        for i in range(len(chunks_list)):
+        for i in range(nrows):
             if slots <= 0 or attempts >= max_attempts:
                 break
             attempts += 1
-            row = rows[i]
-            holders = []
-            for j, g in scan:
-                if row[j] and busy[g] < cap:
-                    holders.append(g)
+            s0 = bounds[i]
+            s1 = bounds[i + 1]
+            if s0 == s1:
+                continue
+            if busy_over:
+                holders = [g for g in gs_all[s0:s1] if g not in busy_over]
+            else:
+                holders = gs_all[s0:s1]
             if not holders:
                 continue
             pick = self._pick_holder(probe, holders)

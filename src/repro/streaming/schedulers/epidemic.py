@@ -117,6 +117,8 @@ class PushEpidemicScheduler(MeshPullScheduler):
             eng._rec_append((start, ipl[pg], ipl[g], nbytes, _KIND_VIDEO, bn))
             st.inflight.add(chunk)
             st.busy[pg] += 1
+            if st.busy[pg] >= eng._cap_out:
+                st.busy_over.add(pg)
             eng._queue.schedule(
                 start + nbytes * BITS_PER_BYTE / bn + lat, eng._cb_arrival, st, chunk, pg
             )

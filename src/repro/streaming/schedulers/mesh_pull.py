@@ -149,43 +149,61 @@ class MeshPullScheduler(ChunkScheduler):
             ctx, chunks_arr, t, cmin=lookahead[-1], cmax=lookahead[0]
         )
         # Chunks nobody advertises are skipped without a draw in the
-        # object loop, so only the advertised rows need materialising.
-        live = A.any(axis=1).nonzero()[0]
-        if live.size == 0:
+        # object loop, and silent columns never become holders — so the
+        # decision loop only needs the advertised (chunk, partner) pairs.
+        # Permuting A's columns into plan order first makes the flat
+        # ``nonzero`` walk visit each row's advertisers in plan order —
+        # exactly the object scan's holder order.  Each row's holders are
+        # then one C-level slice of the flat partner list: the per-pair
+        # busy check reduces to subtracting ``busy_over`` (the providers
+        # at the pipelining cap — almost always empty), which is the same
+        # predicate ``busy[g] < cap`` evaluates pairwise.
+        ri, cj = A[:, ctx["plan_cols"]].nonzero()
+        if ri.size == 0:
             return
-        # Plain nested lists: the decision loop makes few, scalar reads
-        # per chunk and per-element numpy indexing would dominate it.
-        rows = A[live].tolist()
-        idxs = live.tolist()
-        scan = ctx["scan"]
-        busy = probe.busy
-        cap = eng._cap_out
-        score_row = eng._provider_scores_list[probe.pi]
+        gs_arr = ctx["plan_g"][cj]
+        gs_all = gs_arr.tolist()
+        nrows = A.shape[0]
+        bounds = np.searchsorted(ri, np.arange(nrows + 1)).tolist()
+        busy_over = probe.busy_over
+        score_arr = eng._provider_scores[probe.pi]
         cdf_cache = eng._cdf_cache
         rng = eng._rng_engine
         sel_rand = eng._rng_sel.random
         explore_prob = eng._explore_prob
-        for k in range(len(idxs)):
+        for r in range(nrows):
             if slots <= 0:
                 break
-            chunk = lookahead[idxs[k]]
-            row = rows[k]
-            holders: list[int] = []
-            for j, g in scan:
-                if row[j] and busy[g] < cap:
-                    holders.append(g)
-            if not holders:
+            s0 = bounds[r]
+            s1 = bounds[r + 1]
+            if s0 == s1:
                 continue
-            if rng.random() < explore_prob:
-                pick = int(rng.integers(len(holders)))
+            if busy_over:
+                holders = [g for g in gs_all[s0:s1] if g not in busy_over]
+                if not holders:
+                    continue
+                n_h = len(holders)
             else:
-                key = tuple([score_row[g] for g in holders])
+                holders = None
+                n_h = s1 - s0
+            chunk = lookahead[r]
+            if rng.random() < explore_prob:
+                pick = int(rng.integers(n_h))
+            else:
+                # One vectorised score gather replaces the per-holder
+                # list walk; the CDF memo keys on the scores' IEEE bytes
+                # — the same distinctions the object path's score-tuple
+                # key draws, producing bit-identical CDF lists.
+                if holders is None:
+                    scores = score_arr[gs_arr[s0:s1]]
+                else:
+                    scores = score_arr[np.array(holders, dtype=np.int64)]
+                key = scores.tobytes()
                 cdf = cdf_cache.get(key)
                 if cdf is None:
-                    cdf = eng._provider_policy.cdf_from_scores(
-                        np.array(key, dtype=np.float64)
-                    ).tolist()
+                    cdf = eng._provider_policy.cdf_from_scores(scores).tolist()
                     cdf_cache[key] = cdf
                 pick = bisect_right(cdf, sel_rand())
-            if eng._request_chunk(probe, holders[pick], chunk, t):
+            g = holders[pick] if holders is not None else gs_all[s0 + pick]
+            if eng._request_chunk(probe, g, chunk, t):
                 slots -= 1

@@ -85,27 +85,34 @@ class RarestFirstScheduler(ChunkScheduler):
         A = eng._soa_availability(
             ctx, chunks_arr, t, cmin=lookahead[-1], cmax=lookahead[0]
         )
-        counts = A.sum(axis=1)
-        sel = (counts > 0).nonzero()[0]
-        if sel.size == 0:
+        # One flat nonzero over the plan-order column permutation yields
+        # both the advertiser counts (bincount over the row ids — the
+        # same integers ``A.sum(axis=1)`` gives) and the advertised
+        # pairs; grouping the pairs by row keeps each chunk's advertisers
+        # in the plan order the object scan produced, without walking
+        # silent columns.
+        ri, cj = A[:, ctx["plan_cols"]].nonzero()
+        if ri.size == 0:
             return
+        counts = np.bincount(ri, minlength=A.shape[0])
+        sel = (counts > 0).nonzero()[0]
         order = sel[np.lexsort((chunks_arr[sel], counts[sel]))]
-        rows = A.tolist()
-        scan = ctx["scan"]
+        gs_all = ctx["plan_g"][cj].tolist()
+        bounds = np.searchsorted(ri, np.arange(A.shape[0] + 1)).tolist()
+        busy_over = probe.busy_over
         chunks_list = chunks_arr.tolist()
-        busy = probe.busy
-        cap = eng._cap_out
         attempts = 0
         max_attempts = eng._max_attempts
         for i in order.tolist():
             if slots <= 0 or attempts >= max_attempts:
                 break
             attempts += 1
-            row = rows[i]
-            holders = []
-            for j, g in scan:
-                if row[j] and busy[g] < cap:
-                    holders.append(g)
+            s0 = bounds[i]
+            s1 = bounds[i + 1]
+            if busy_over:
+                holders = [g for g in gs_all[s0:s1] if g not in busy_over]
+            else:
+                holders = gs_all[s0:s1]
             if not holders:
                 continue  # every advertiser is pipeline-capped this tick
             pick = self._pick_holder(probe, holders)

@@ -150,28 +150,16 @@ class SoAState:
             self.inflight_n[pi] -= 1
 
     # ------------------------------------------------------------- tick scan
-    def tick_scan(
-        self, pi: int, t: float, live_lag: int, limit: int | None
-    ) -> tuple[int, list[int]]:
-        """Evict + missing scan for one probe, array-at-a-time.
+    def _evict(self, pi: int, floor: int) -> None:
+        """Advance probe ``pi``'s eviction frontier to ``floor``.
 
-        Semantics twin of ``PlayoutBuffer.tick_scan``: returns the window
-        floor and the missing (not held, not in flight) chunks of
-        ``[floor, live - live_lag]`` newest-first, truncated to the newest
-        ``limit``.  Holes are derived statelessly — for ids at/above the
-        floor, *missing* ≡ *bit not set* — because held bits are only ever
-        cleared by the eviction prefix wipe below the floor, exactly when
-        the object buffer evicts.  In-flight pruning (the object engine's
-        rebuild of ``probe.inflight``) is the same prefix wipe on the
-        in-flight row, with ``inflight_n`` adjusted by the bits cleared.
+        Prefix-wipes the held and in-flight bits below the floor (the
+        object buffer's eviction plus the engine's in-flight rebuild,
+        with ``inflight_n`` adjusted by the bits cleared) and prunes the
+        rescued low set.  Shared by the per-probe and cohort scans.
         """
-        live = int(t / self.interval)
-        floor = live - self.window_chunks + 1
-        if floor < 0:
-            floor = 0
-        b = self.base[pi]
         if floor > self.evicted_to[pi]:
-            cut = floor - b
+            cut = floor - self.base[pi]
             if cut > 0:
                 if cut > self.capacity:
                     cut = self.capacity
@@ -185,6 +173,26 @@ class SoAState:
             if low:
                 self.low[pi] = {c for c in low if c >= floor}
             self.evicted_to[pi] = floor
+
+    def tick_scan(
+        self, pi: int, t: float, live_lag: int, limit: int | None
+    ) -> tuple[int, list[int]]:
+        """Evict + missing scan for one probe, array-at-a-time.
+
+        Semantics twin of ``PlayoutBuffer.tick_scan``: returns the window
+        floor and the missing (not held, not in flight) chunks of
+        ``[floor, live - live_lag]`` newest-first, truncated to the newest
+        ``limit``.  Holes are derived statelessly — for ids at/above the
+        floor, *missing* ≡ *bit not set* — because held bits are only ever
+        cleared by the eviction prefix wipe below the floor, exactly when
+        the object buffer evicts.
+        """
+        live = int(t / self.interval)
+        floor = live - self.window_chunks + 1
+        if floor < 0:
+            floor = 0
+        self._evict(pi, floor)
+        b = self.base[pi]
         newest = live - live_lag
         lo = floor - b
         hi = newest + 1 - b
@@ -207,6 +215,56 @@ class SoAState:
         self.scan_arr = arr
         self.scan_list = out
         return floor, out
+
+    def tick_scan_all(
+        self, t: float, live_lag: int, limit: int | None
+    ) -> tuple[int, int, list[tuple[list[int], np.ndarray]]]:
+        """Evict + missing scan for *every* probe in one batched pass.
+
+        The cohort-tick twin of :meth:`tick_scan`: the window floor and
+        the scan top are probe-independent (every probe shares the live
+        clock), so after the per-row eviction sweep the held∣in-flight
+        segment of all rows is fetched with **one** 2-D gather instead of
+        ``n`` per-row slice pairs.  Returns ``(floor, newest, results)``
+        with one ``(hole_list, hole_array)`` pair per probe row — each
+        pair exactly what :meth:`tick_scan` would have produced for that
+        row (same bits, same truncation, same newest-first order), so the
+        cohort engine can replay them probe-by-probe byte-identically.
+        Unlike :meth:`tick_scan` this does **not** update ``scan_list``/
+        ``scan_arr``; the cohort driver installs each pair right before
+        the per-probe scheduler call.
+        """
+        live = int(t / self.interval)
+        floor = live - self.window_chunks + 1
+        if floor < 0:
+            floor = 0
+        n = self.n
+        for pi in range(n):
+            self._evict(pi, floor)
+        newest = live - live_lag
+        if newest + 1 <= floor:
+            empty = np.empty(0, dtype=np.int64)
+            return floor, newest, [([], empty) for _ in range(n)]
+        for pi in range(n):
+            if newest + 1 - self.base[pi] > self.capacity:
+                self._make_room(pi, newest)
+        # After eviction the base invariant ``base ≤ evicted_to = floor``
+        # holds for every row and make_room covered the top, so every
+        # gathered slot index sits in ``[0, capacity)``.
+        cols = (
+            np.arange(floor, newest + 1, dtype=np.int64)[None, :]
+            - self.base_arr[:, None]
+        )
+        ridx = np.arange(n)[:, None]
+        miss = ~(self.have[ridx, cols] | self.inflight[ridx, cols])
+        results: list[tuple[list[int], np.ndarray]] = []
+        for pi in range(n):
+            missing = miss[pi].nonzero()[0]
+            if limit is not None and missing.size > limit:
+                missing = missing[missing.size - limit :]
+            arr = missing[::-1] + floor
+            results.append((arr.tolist(), arr))
+        return floor, newest, results
 
     # ------------------------------------------------------------ reshaping
     def _make_room(self, pi: int, top_chunk: int) -> None:
@@ -414,10 +472,32 @@ class SoAEngine(Engine):
         super().__init__(*args, **kwargs)
         # Route ticks through the scheduler's vectorised entry point.
         self._sched_requests = self._scheduler.schedule_requests_soa
+        #: Cohort-tick availability state: ``_cohort_serial`` bumps once
+        #: per cohort build, ``_cohort_t``/``_cohort_floor`` stamp the
+        #: tick it covers.  A ctx whose ``cohort_serial`` matches holds a
+        #: prebuilt full-range availability block for this very tick, so
+        #: the per-probe scheduler call reduces to one row gather.
+        self._cohort_serial = 0
+        self._cohort_t = -1.0
+        self._cohort_floor = 0
+        #: Stacked remote scalars for the cohort build, memoised by the
+        #: participating ctxs' creation uids (collision-free, unlike
+        #: ``id()`` which the allocator recycles).
+        self._cohort_scalars_key: tuple = ()
+        self._cohort_delays: np.ndarray | None = None
+        self._cohort_ready: np.ndarray | None = None
+        self._ctx_uid = 0
+        #: Last ctx handed to a cohort work item — the scheduler's own
+        #: lookup for the same (probe, partners) pair short-circuits to
+        #: a pointer compare.
+        self._ctx_hint: dict | None = None
+        self._ctx_hint_pi = -1
+        self._ctx_hint_partners: np.ndarray | None = None
+        #: Per-probe (partners, ctx) memo for the cohort scan pass.
+        self._pi_ctx: list = [None] * len(self._probes)
 
     # ------------------------------------------------------------- event core
-    def _on_tick(self, probe: SoAProbe) -> None:
-        t = self._queue.now
+    def _tick_probe(self, probe: SoAProbe, t: float) -> None:
         soa = self._soa
         pi = probe.pi
         # Evict + in-flight prune + missing scan, one array pass (the
@@ -429,7 +509,163 @@ class SoAEngine(Engine):
             slots = self._max_parallel - soa.inflight_n[pi]
             if slots > 0 and len(partners):
                 self._sched_requests(probe, t, lookahead, partners, slots)
-        self._queue.schedule(t + self._tick_interval, self._cb_tick, probe)
+
+    def _on_tick_cohort(self) -> None:
+        """Tick the whole probe cohort through batched array kernels.
+
+        Trace-equivalent to the parent's probe-by-probe loop (pinned by
+        the cohort differential suite) but restructured into two passes
+        so the per-tick numpy dispatches amortise across probes:
+
+        1. **Scan pass** — one multi-row evict+scan
+           (:meth:`SoAState.tick_scan_all`) replaces ``n`` per-probe row
+           slices; the per-probe hole lists, online partner sets and free
+           request slots are collected as work items.
+        2. **Schedule pass** — :meth:`_cohort_build` precomputes every
+           work item's availability block over the union of the actual
+           hole ranges (per-ctx threshold compares, plus one shared 2-D
+           bitmap gather covering all probe-partner columns of all
+           items), then the schedulers run in ascending probe order — the object cohort's
+           order, so the RNG stream and event insertion order are
+           untouched.
+
+        Reordering scans before schedules is trace-invariant: a scan
+        only mutates its own row below the shared floor (never scanned
+        by others) and draws no randomness, so no schedule can observe
+        the difference.
+        """
+        t = self._queue.now
+        soa = self._soa
+        floor, newest, scans = soa.tick_scan_all(t, self._live_lag, self._scan_limit)
+        works = []
+        online = None
+        for probe in self._probes:
+            out, arr = scans[probe.pi]
+            if out and probe.partners:
+                if online is None:
+                    online = self._online_mask(t)
+                partners = probe.online_partners(online, self._mask_key)
+                slots = self._max_parallel - soa.inflight_n[probe.pi]
+                if slots > 0 and len(partners):
+                    # Per-probe ctx memo: ``online_partners`` returns the
+                    # same array object while the online mask and partner
+                    # set are unchanged, so successive ticks short-circuit
+                    # the bytes-key lookup to one pointer compare.
+                    pair = self._pi_ctx[probe.pi]
+                    if pair is not None and pair[0] is partners:
+                        ctx = pair[1]
+                    else:
+                        ctx = self._soa_partner_ctx(probe.pi, partners)
+                        self._pi_ctx[probe.pi] = (partners, ctx)
+                    works.append((probe, out, arr, partners, slots, ctx))
+        if works:
+            # Shrink coverage from [floor, newest] to the union of the
+            # works' actual hole ranges (hole arrays are newest-first, so
+            # arr[-1]/arr[0] bound each probe's holes).  At steady state
+            # holes cluster within a few chunks of the live edge while
+            # the scan window spans ~window_chunks, so this cuts the
+            # block build by an order of magnitude.  Per-chunk threshold
+            # and bitmap values are independent of the range start, so
+            # the precomputed blocks stay byte-identical.
+            cmin = min(int(w[2][-1]) for w in works)
+            cmax = max(int(w[2][0]) for w in works)
+            self._cohort_build(t, cmin, cmax, works)
+            for probe, out, arr, partners, slots, ctx in works:
+                # Install the probe's scan pair so the scheduler's
+                # ``lookahead is scan_list`` reuse keeps working, and
+                # hint the ctx so the scheduler's own lookup is a
+                # pointer compare instead of a bytes-key dict probe.
+                soa.scan_list = out
+                soa.scan_arr = arr
+                self._ctx_hint_pi = probe.pi
+                self._ctx_hint_partners = partners
+                self._ctx_hint = ctx
+                self._sched_requests(probe, t, out, partners, slots)
+        self._queue.schedule(t + self._tick_interval, self._cb_tick_cohort)
+
+    def _cohort_build(self, t: float, floor: int, newest: int, works: list) -> None:
+        """Precompute availability blocks for one cohort tick.
+
+        ``[floor, newest]`` is the chunk range to cover — the caller
+        passes the union of the works' hole ranges, not the whole scan
+        window, so the span is a handful of rows at steady state.  Both
+        column families batch across the whole cohort:
+
+        * **Probe columns** — one 2-D fancy gather over the shared
+          bitmaps covering every ctx's probe-partner rows.
+        * **Remote columns** — one stacked threshold matrix over every
+          ctx's remote scalars (the per-ctx ``delays``/``ready`` vectors
+          concatenated once and memoised by ctx identity), compared
+          against ``t`` in a single elementwise pass.  The freshness
+          deadline ``gen + retention`` depends only on the chunk id, so
+          one span-length vector masks all ctxs at once.
+
+        Each ctx then gets its ``cohort_A`` block — remote columns
+        first, probe columns after, the exact column layout of
+        :meth:`_soa_availability` — as two views into the stacked
+        matrices plus one concatenate.  The per-chunk values are
+        elementwise the ones the slow path would compute (same threshold
+        doubles, same IEEE compares), so the row-gather fast path is
+        byte-identical.
+        """
+        soa = self._soa
+        self._cohort_serial += 1
+        serial = self._cohort_serial
+        ci = self._av_chunk_interval
+        retention = self._av_retention
+        check_fresh = retention < soa.window_chunks * ci
+        ctxs = []
+        for work in works:
+            ctx = work[5]
+            if ctx["cohort_serial"] != serial:
+                ctx["cohort_serial"] = serial
+                ctxs.append(ctx)
+        pcols = [c["probe_rows_arr"] for c in ctxs if c["probe_rows_arr"].size]
+        PB = None
+        if pcols:
+            all_rows = np.concatenate(pcols)
+            S = (
+                np.arange(floor, newest + 1, dtype=np.int64)[:, None]
+                - soa.base_arr[all_rows][None, :]
+            )
+            PB = soa.have[all_rows[None, :], np.minimum(S, soa.capacity)]
+        rctxs = [c for c in ctxs if c["n_rem"]]
+        AV = None
+        if rctxs:
+            key = tuple(c["uid"] for c in rctxs)
+            if key != self._cohort_scalars_key:
+                self._cohort_scalars_key = key
+                self._cohort_delays = np.concatenate(
+                    [c["delays"] for c in rctxs]
+                )
+                self._cohort_ready = np.concatenate([c["ready"] for c in rctxs])
+            gens = np.arange(floor, newest + 1, dtype=np.float64) * ci
+            thr = np.maximum(
+                gens[:, None] + self._cohort_delays[None, :],
+                self._cohort_ready[None, :],
+            )
+            AV = thr <= t
+            if check_fresh:
+                AV &= (gens + retention > t)[:, None]
+        roff = poff = 0
+        for ctx in ctxs:
+            avail = pb = None
+            n = ctx["n_rem"]
+            if n:
+                avail = AV[:, roff : roff + n]
+                roff += n
+            k = ctx["probe_rows_arr"].size
+            if k:
+                pb = PB[:, poff : poff + k]
+                poff += k
+            if avail is None:
+                ctx["cohort_A"] = pb
+            elif pb is None:
+                ctx["cohort_A"] = avail
+            else:
+                ctx["cohort_A"] = np.concatenate((avail, pb), axis=1)
+        self._cohort_t = t
+        self._cohort_floor = floor
 
     def _on_chunk_arrival(self, probe: SoAProbe, chunk: int, provider: int) -> None:
         soa = self._soa
@@ -438,6 +674,8 @@ class SoAEngine(Engine):
         soa.have_add(pi, chunk)
         if probe.busy[provider] > 0:
             probe.busy[provider] -= 1
+            if probe.busy[provider] < self._cap_out:
+                probe.busy_over.discard(provider)
         if self._sched_push:
             self._scheduler.on_chunk_received(probe, chunk, provider, self._queue.now)
 
@@ -529,6 +767,8 @@ class SoAEngine(Engine):
         diffusion scalars, and a lazily (re)built availability-threshold
         matrix covering the scanned chunk range plus slack.
         """
+        if pi == self._ctx_hint_pi and partners is self._ctx_hint_partners:
+            return self._ctx_hint
         key = partners.tobytes()
         store = self._soa_ctx[pi]
         ctx = store.get(key)
@@ -554,8 +794,17 @@ class SoAEngine(Engine):
                 else:
                     scan.append((n_rem + p, g))
                     p += 1
+            # ``scan`` as aligned arrays: the A column and the partner id
+            # of every plan position.  The scheduler kernels permute A's
+            # columns with ``plan_cols`` so a flat ``nonzero`` walk visits
+            # advertisers in plan order — the object scan's holder order —
+            # and ``plan_g`` maps the walk straight back to partner ids.
+            plan_cols = np.array([j for j, _g in scan], dtype=np.int64)
+            plan_g = np.array([g for _j, g in scan], dtype=np.int64)
             ctx = {
                 "scan": scan,
+                "plan_cols": plan_cols,
+                "plan_g": plan_g,
                 "n_rem": n_rem,
                 "delays": delays,
                 "ready": ready,
@@ -566,7 +815,13 @@ class SoAEngine(Engine):
                 "thr_r0": 0,
                 "thr": None,
                 "fresh": None,
+                # Cohort-tick block (see _cohort_build): valid only while
+                # the serial matches the engine's current cohort build.
+                "cohort_serial": 0,
+                "cohort_A": None,
+                "uid": self._ctx_uid,
             }
+            self._ctx_uid += 1
             if len(store) >= _PARTNER_CTX_MAX:
                 store.pop(next(iter(store)))
             store[key] = ctx
@@ -594,7 +849,14 @@ class SoAEngine(Engine):
         deadline ``gen + retention`` — elementwise the exact IEEE doubles
         of the object path's scalar per-chunk threshold lists.  Probe
         columns gather straight from the shared ``have`` bitmaps.
+
+        Cohort fast path: when :meth:`_cohort_build` already covered this
+        ctx for this very tick (serial + timestamp match), the block holds
+        the full scanned range ``[floor, newest]`` and every caller's
+        chunk set is a subset of it, so the matrix is one row gather.
         """
+        if ctx["cohort_serial"] == self._cohort_serial and t == self._cohort_t:
+            return ctx["cohort_A"][chunks_arr - self._cohort_floor]
         avail = pb = None
         if ctx["n_rem"]:
             if cmin is None:

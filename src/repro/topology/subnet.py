@@ -33,6 +33,20 @@ class Subnet:
         self._next_offset += 1
         return address
 
+    def allocate_block(self, count: int) -> range:
+        """Hand out ``count`` consecutive unused host addresses.
+
+        Equivalent to ``count`` calls to :meth:`allocate_address`, returned
+        as a ``range`` so callers can fill numpy columns without a Python
+        loop.
+        """
+        first = self.prefix.first_host + self._next_offset
+        last = first + count - 1
+        if last > self.prefix.last_host:
+            raise AllocationError(f"subnet {self.prefix} exhausted")
+        self._next_offset += count
+        return range(first, first + count)
+
     @property
     def allocated(self) -> int:
         """How many addresses have been handed out so far."""

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigurationError, TopologyError
+from repro.errors import AllocationError, ConfigurationError, TopologyError
 from repro.topology.access import AccessLink
 from repro.topology.asgraph import ASGraph, ASGraphConfig
 from repro.topology.autonomous_system import ASRegistry, ASTier, AutonomousSystem
@@ -226,6 +226,46 @@ class World:
             subnet_prefixlen=self.config.subnet_prefixlen,
             initial_ttl=initial_ttl,
         )
+
+    def bulk_remote_ips(self, asns: "np.ndarray") -> "np.ndarray":
+        """Assign one remote-population IP per entry of ``asns``.
+
+        Vectorised counterpart of calling :meth:`new_endpoint` once per
+        peer with ``subnet=None``: the per-AS remote subnets are continued
+        and recycled with exactly the same ``_REMOTE_SUBNET_FILL`` policy,
+        so within each AS the i-th allocation here yields the same address
+        the i-th scalar call would (per-AS subnet cursors are independent,
+        only the global subnet *creation* order differs).  When an AS's
+        prefix space runs out a fresh /16 is attached so paper-scale
+        populations never exhaust the synthetic address plan.
+        """
+        asns = np.asarray(asns, dtype=np.int64)
+        ips = np.empty(len(asns), dtype=np.uint32)
+        if len(asns) == 0:
+            return ips
+        order = np.argsort(asns, kind="stable")
+        bounds = np.flatnonzero(np.diff(asns[order])) + 1
+        for group in np.split(order, bounds):
+            asn = int(asns[group[0]])
+            filled = 0
+            need = len(group)
+            while filled < need:
+                subnet = self._remote_subnets.get(asn)
+                if subnet is None or subnet.allocated >= min(_REMOTE_SUBNET_FILL, subnet.capacity):
+                    try:
+                        subnet = self.new_subnet(asn)
+                    except AllocationError:
+                        self.registry.assign_prefix(asn, self._fresh_prefix())
+                        subnet = self.new_subnet(asn)
+                    self._remote_subnets[asn] = subnet
+                room = min(_REMOTE_SUBNET_FILL, subnet.capacity) - subnet.allocated
+                take = min(room, need - filled)
+                block = subnet.allocate_block(take)
+                ips[group[filled:filled + take]] = np.arange(
+                    block.start, block.stop, dtype=np.uint32
+                )
+                filled += take
+        return ips
 
     def access_isps(self, country_code: str) -> list[int]:
         """Consumer-ISP ASNs registered for ``country_code``."""

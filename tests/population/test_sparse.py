@@ -1,0 +1,211 @@
+"""Sparse swarm columns, lazy blocks and the alias sampler.
+
+The sparse representation's contract has three legs:
+
+* **determinism** — columns are a pure function of the single root draw
+  (plus size and block size), independent of materialisation order;
+* **laziness** — touching block *b* materialises blocks ``0..b`` and
+  nothing beyond, and the whole population costs tens of bytes per peer,
+  not the ~1 kB of the object directory;
+* **fidelity** — the object view (:meth:`SparseSwarm.peers`) and the
+  columns describe the same peers, and the drawn *distributions* match
+  the dense generator's rules (access plans, campus placement, TTL mix)
+  even though the streams differ.
+
+:class:`AliasTable` is pinned separately: the engine's tracker sampler
+uses the algebraically-equivalent two-valued fast path, so the general
+table would otherwise lose coverage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.population.demographics import cctv1_audience
+from repro.population.sparse import (
+    DEFAULT_BLOCK_SIZE,
+    AliasTable,
+    SparseSwarmConfig,
+    generate_sparse_swarm,
+)
+from repro.streaming.profiles import get_profile
+from repro.topology.world import PROBE_AS_NUMBERS, World
+
+
+@pytest.fixture(scope="module")
+def sparse_world():
+    return World()
+
+
+def _swarm(world, size=5000, seed=3, block_size=1024, **cfg_kw):
+    return generate_sparse_swarm(
+        world,
+        SparseSwarmConfig(size=size, block_size=block_size, **cfg_kw),
+        np.random.default_rng(seed),
+    )
+
+
+class TestConfig:
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SparseSwarmConfig(size=-1)
+
+    def test_bad_unix_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SparseSwarmConfig(size=10, unix_fraction=1.5)
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SparseSwarmConfig(size=10, block_size=0)
+
+    def test_zero_size_ok(self, sparse_world):
+        swarm = _swarm(sparse_world, size=0)
+        assert len(swarm) == 0
+        assert len(swarm.columns()) == 0
+
+
+class TestDeterminism:
+    def test_single_rng_draw_consumed(self, sparse_world):
+        """The swarm consumes exactly one draw from the population stream."""
+        rng_a = np.random.default_rng(9)
+        rng_b = np.random.default_rng(9)
+        generate_sparse_swarm(
+            sparse_world, SparseSwarmConfig(size=3000, block_size=512), rng_a
+        )
+        rng_b.integers(0, 2**63)
+        # Both streams must now be in the same state.
+        assert rng_a.integers(0, 2**31) == rng_b.integers(0, 2**31)
+
+    def test_same_seed_same_columns(self):
+        a = _swarm(World(), seed=7).columns()
+        b = _swarm(World(), seed=7).columns()
+        for name in type(a).__dataclass_fields__:
+            assert np.array_equal(getattr(a, name), getattr(b, name)), name
+
+    def test_materialisation_order_irrelevant(self):
+        # Fresh worlds: IP assignment advances per-AS subnet cursors, so
+        # two swarms sharing one world would differ for that reason alone.
+        eager = _swarm(World(), seed=5)
+        lazy = _swarm(World(), seed=5)
+        eager_cols = eager.columns()          # all blocks, front to back
+        lazy.block(lazy.n_blocks - 1)         # jump straight to the tail
+        lazy_cols = lazy.columns()
+        assert np.array_equal(eager_cols.ip, lazy_cols.ip)
+        assert np.array_equal(eager_cols.up_bps, lazy_cols.up_bps)
+
+    def test_block_size_is_part_of_identity(self):
+        a = _swarm(World(), seed=5, block_size=512).columns()
+        b = _swarm(World(), seed=5, block_size=1024).columns()
+        assert not np.array_equal(a.up_bps, b.up_bps)
+
+
+class TestLaziness:
+    def test_blocks_materialise_on_demand(self, sparse_world):
+        swarm = _swarm(sparse_world, size=5000, block_size=1024)
+        assert swarm.n_blocks == 5
+        assert swarm.materialised_blocks == 0
+        swarm.block(2)
+        assert swarm.materialised_blocks == 3  # 0..2, nothing beyond
+        swarm.block(0)
+        assert swarm.materialised_blocks == 3
+
+    def test_block_out_of_range_rejected(self, sparse_world):
+        swarm = _swarm(sparse_world, size=100, block_size=64)
+        with pytest.raises(ConfigurationError):
+            swarm.block(swarm.n_blocks)
+
+    def test_memory_per_peer_is_tens_of_bytes(self, sparse_world):
+        swarm = _swarm(sparse_world, size=20_000, block_size=DEFAULT_BLOCK_SIZE)
+        per_peer = swarm.columns().nbytes / len(swarm)
+        assert per_peer < 100  # the object directory costs ~1 kB/peer
+
+
+class TestFidelity:
+    def test_object_view_matches_columns(self, sparse_world):
+        swarm = _swarm(sparse_world, size=600)
+        cols = swarm.columns()
+        peers = swarm.peers()
+        assert len(peers) == len(cols) == 600
+        for i in (0, 17, 599):
+            p = peers[i]
+            assert p.endpoint.ip == int(cols.ip[i])
+            assert p.endpoint.asn == int(cols.asn[i])
+            assert p.endpoint.country_code == str(cols.cc[i])
+            assert p.endpoint.access.up_bps == float(cols.up_bps[i])
+            assert p.endpoint.access.nat == bool(cols.nat[i])
+            assert p.endpoint.initial_ttl == int(cols.initial_ttl[i])
+            assert p.endpoint.subnet == int(cols.subnet[i])
+
+    def test_unique_ips(self, sparse_world):
+        cols = _swarm(sparse_world, size=5000).columns()
+        assert len(np.unique(cols.ip)) == len(cols)
+
+    def test_demographics_rules_hold(self, sparse_world):
+        cols = _swarm(sparse_world, size=8000).columns()
+        cn = np.mean(cols.cc == "CN")
+        assert cn > 0.5  # CCTV-1 audience is China-dominated
+        unix = np.mean(cols.initial_ttl == 64)
+        assert 0 < unix < 0.15
+        campus_asns = {asn for asn, _ in PROBE_AS_NUMBERS.values()}
+        in_campus = np.isin(cols.asn, sorted(campus_asns))
+        assert in_campus.any()
+        assert set(np.unique(cols.cc[in_campus])) <= {"IT", "FR", "HU", "PL"}
+
+    def test_probe_as_fraction_zero_means_no_campus(self, sparse_world):
+        demo = cctv1_audience(probe_as_fraction=0.0)
+        cols = _swarm(sparse_world, size=4000, demographics=demo).columns()
+        campus_asns = {asn for asn, _ in PROBE_AS_NUMBERS.values()}
+        assert not np.isin(cols.asn, sorted(campus_asns)).any()
+
+
+class TestAliasTable:
+    def test_rejects_bad_weights(self):
+        for bad in ([], [-1.0, 2.0], [np.inf, 1.0], [0.0, 0.0]):
+            with pytest.raises(ConfigurationError):
+                AliasTable(np.array(bad, dtype=np.float64))
+
+    def test_deterministic(self):
+        table = AliasTable(np.array([1.0, 2.0, 3.0]))
+        a = table.draw(np.random.default_rng(4), 100)
+        b = table.draw(np.random.default_rng(4), 100)
+        assert np.array_equal(a, b)
+
+    def test_distribution_matches_weights(self):
+        w = np.array([1.0, 3.0, 6.0])
+        table = AliasTable(w)
+        draws = table.draw(np.random.default_rng(1), 60_000)
+        freq = np.bincount(draws, minlength=3) / len(draws)
+        assert np.allclose(freq, w / w.sum(), atol=0.02)
+
+    def test_uniform_weights_stay_uniform(self):
+        table = AliasTable(np.ones(7))
+        draws = table.draw(np.random.default_rng(2), 70_000)
+        freq = np.bincount(draws, minlength=7) / len(draws)
+        assert np.allclose(freq, 1 / 7, atol=0.02)
+
+
+class TestScaledSwarm:
+    """The validating resize used by sparse paper-scale profiles."""
+
+    def test_scaled_routes_sparse_profiles_through_validation(self):
+        prof = get_profile("napa-scale")
+        shrunk = prof.scaled(0.05)
+        assert shrunk.swarm_size == 9000
+        assert shrunk.tracker_initial == prof.tracker_initial  # saturates
+
+    def test_discovery_reach_overflow_is_an_error(self):
+        prof = get_profile("napa-scale")
+        with pytest.raises(ConfigurationError, match="discovery reach"):
+            prof.scaled_swarm(prof.tracker_initial - 1)
+
+    def test_no_silent_floor(self):
+        prof = get_profile("napa-scale")
+        with pytest.raises(ConfigurationError):
+            prof.scaled_swarm(0)
+        with pytest.raises(ConfigurationError):
+            prof.scaled(1e-9)  # rounds to zero peers: error, not a clamp
+
+    def test_dense_profiles_keep_legacy_floors(self):
+        prof = get_profile("pplive")
+        tiny = prof.scaled(1e-9)
+        assert tiny.swarm_size == 10  # the historical clamp, unchanged
