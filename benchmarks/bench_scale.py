@@ -15,13 +15,31 @@ it:
   the bounded-memory claim (the sparse swarm holds columns, not an
   object per peer).
 
+A third family rides the lazy peer-state layer:
+
+* ``test_engine_scale_lazy_throughput`` — napa-scale (1.8×10^5) on the
+  SoA core with ``peer_state="lazy"``: the paired entry against the
+  eager ``test_engine_scale_throughput[soa]`` record.  The committed
+  pair is the acceptance record that lazy materialisation costs ≤10 %
+  wall-clock at the paper's measured scale, and the CI gate holds the
+  lazy entry to that line (``--max-regression 0.10``).
+* ``test_engine_mega_throughput`` — the mega-scale swarm at 5×10^5 and
+  10^6 peers, eager vs lazy (``REPRO_SCALE_MEGA=1`` to enable): the
+  memory crossover the performance docs tabulate.
+
 Wall-clock here includes world construction and population generation
 (both cheap next to the event loop at these horizons), matching the
 other engine benchmarks.
+
+``peak_rss_mb`` reads ``ru_maxrss`` — a *process-lifetime* high-water
+mark.  Record each scale/peer-state cell in its own pytest process
+(``-k`` one bench per invocation); cells sharing a process inherit the
+largest earlier footprint and over-report.
 """
 
 import os
 import resource
+from dataclasses import replace
 
 import pytest
 
@@ -33,6 +51,9 @@ from repro.streaming.soa import ENGINE_NAMES
 #: object run costs tens of seconds per simulated five minutes).
 CROSSOVER_DURATION_S = 120.0
 SCALE_DURATION_S = 300.0
+#: The mega swarms amortise less: one simulated minute is enough to pin
+#: throughput and residency while keeping the 10^6-peer cells tractable.
+MEGA_DURATION_S = 60.0
 SCALE_SEED = 42
 
 
@@ -74,6 +95,64 @@ def test_engine_scale_throughput(benchmark, engine):
     benchmark.extra_info["events"] = result.events_processed
     benchmark.extra_info["transfers"] = len(result.transfers)
     benchmark.extra_info["simulated_s"] = SCALE_DURATION_S
+    benchmark.extra_info["peak_rss_mb"] = round(_peak_rss_mb(), 1)
+
+
+def test_engine_scale_lazy_throughput(benchmark):
+    """napa-scale on the SoA core with lazy peer-state materialisation.
+
+    The paired entry for ``test_engine_scale_throughput[soa]``: identical
+    run, ``peer_state="lazy"`` — on-demand score rows, first-contact
+    busy/latency state, blockwise availability.  Byte-identical traces
+    (the differential suite pins that); this entry records what the lazy
+    indirection costs where it is *not* needed.
+    """
+    profile = replace(get_profile("napa-scale"), peer_state="lazy")
+    config = EngineConfig(duration_s=SCALE_DURATION_S, seed=SCALE_SEED)
+
+    def run():
+        return simulate(profile, engine_config=config, engine="soa")
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["engine"] = "soa"
+    benchmark.extra_info["swarm"] = profile.swarm_size
+    benchmark.extra_info["peer_state"] = "lazy"
+    benchmark.extra_info["events"] = result.events_processed
+    benchmark.extra_info["transfers"] = len(result.transfers)
+    benchmark.extra_info["simulated_s"] = SCALE_DURATION_S
+    benchmark.extra_info["peak_rss_mb"] = round(_peak_rss_mb(), 1)
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_SCALE_MEGA"),
+    reason="10^5.7-10^6-peer runs; set REPRO_SCALE_MEGA=1 to enable",
+)
+@pytest.mark.parametrize("peer_state", ["eager", "lazy"])
+@pytest.mark.parametrize("swarm", [500_000, 1_000_000])
+def test_engine_mega_throughput(benchmark, swarm, peer_state):
+    """The mega-scale swarm, eager vs lazy, across the memory crossover.
+
+    One simulated minute on the SoA core.  The lazy cells are the
+    acceptance record for the 10^6 memory envelope; the eager cells pin
+    what swarm-proportional state costs at the same sizes (score rows
+    alone are ~1.1 GB at 10^6).  Run each cell in its own process — see
+    the module docstring on ``ru_maxrss``.
+    """
+    profile = replace(
+        get_profile("mega-scale").scaled_swarm(swarm), peer_state=peer_state
+    )
+    config = EngineConfig(duration_s=MEGA_DURATION_S, seed=SCALE_SEED)
+
+    def run():
+        return simulate(profile, engine_config=config, engine="soa")
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["engine"] = "soa"
+    benchmark.extra_info["swarm"] = swarm
+    benchmark.extra_info["peer_state"] = peer_state
+    benchmark.extra_info["events"] = result.events_processed
+    benchmark.extra_info["transfers"] = len(result.transfers)
+    benchmark.extra_info["simulated_s"] = MEGA_DURATION_S
     benchmark.extra_info["peak_rss_mb"] = round(_peak_rss_mb(), 1)
 
 

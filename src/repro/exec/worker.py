@@ -22,10 +22,12 @@ regardless of how many attempts it took (the seed-unification fix).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import replace
 
 from repro.errors import ReproError
 from repro.exec.context import shard_context
+from repro.heuristics.registry import IpRegistry
 from repro.exec.shards import ShardOutcome, ShardSpec
 from repro.obs.log import get_logger
 from repro.obs.telemetry import Telemetry
@@ -50,6 +52,27 @@ _ENGINE_COUNTERS = (
 #: counter per kind (``engine/dispatch/tick`` etc.).
 _ENGINE_KIND_DICTS = ("dispatch_by_kind", "schedule_by_kind")
 _ENGINE_GAUGES = ("peak_queue_depth",)
+
+try:  # POSIX-only stdlib module; absent on some platforms
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    _resource = None
+
+
+def _peak_rss_mb() -> float | None:
+    """Process-lifetime peak resident set in MB (None where unsupported).
+
+    ``ru_maxrss`` is a high-water mark, so under the in-process backends
+    later shards can only report equal-or-larger values — exactly the
+    peak-merge semantics the campaign gauge applies across shards.
+    """
+    if _resource is None:
+        return None
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    # Kilobytes on Linux, bytes on macOS.
+    if sys.platform == "darwin":
+        return peak / (1024 * 1024)
+    return peak / 1024
 
 
 def _absorb_engine_stats(telemetry: Telemetry, result) -> None:
@@ -162,7 +185,7 @@ def run_shard(spec: ShardSpec) -> ShardOutcome:
     failures: list = []
     _log.debug("shard-start", shard=str(key))
     with tel.timer("shard"):
-        world, testbed, registry = shard_context()
+        world, testbed, _ = shard_context()
         profile = _shard_profile(spec)
 
         result = None
@@ -198,6 +221,16 @@ def run_shard(spec: ShardSpec) -> ShardOutcome:
                     result.hosts,
                     world.paths,
                     telemetry=tel,
+                )
+                # Resolve addresses against the experiment's own host
+                # table (the GeoIP-style exact-address DB) rather than
+                # the pristine prefix plan: swarm placement may attach
+                # overflow prefixes the pristine registry has never seen
+                # (mega-scale populations exhaust per-AS /16s), and a
+                # checkpoint-resumed shard never replays that allocation
+                # at all.  Same AS/CC ground truth either way.
+                registry = IpRegistry.from_hosts(
+                    result.hosts, subnet_prefixlen=world.config.subnet_prefixlen
                 )
                 report = campaign_mod.AwarenessAnalyzer(registry).analyze(
                     flows, telemetry=tel
@@ -238,6 +271,9 @@ def run_shard(spec: ShardSpec) -> ShardOutcome:
             # cannot cross; the parent rebuilds an equivalent one.
             outcome.bundle = TraceBundle.from_result(result)
         outcome.failures = tuple(failures)
+        rss = _peak_rss_mb()
+        if rss is not None:
+            tel.gauge("resources/peak_rss_mb", rss)
     _log.info(
         "shard-done",
         shard=str(key),

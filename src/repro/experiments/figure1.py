@@ -69,17 +69,25 @@ def build_figure1(campaign: Campaign, registry: IpRegistry | None = None) -> Fig
     Peer shares count distinct observed peers (signaling-only contacts
     included, as in the paper's "total number of observed peers"); byte
     shares weight by exchanged volume per direction.
+
+    Without an explicit ``registry``, each run resolves against its own
+    host table (the exact-address GeoIP stand-in) — the campaign world's
+    prefix plan predates swarm placement and does not cover overflow
+    prefixes attached while placing very large populations.
     """
-    registry = registry or IpRegistry.from_world(campaign.world)
     bars = []
     for app, run in campaign.runs.items():
+        reg = registry or IpRegistry.from_hosts(
+            run.result.hosts,
+            subnet_prefixlen=campaign.world.config.subnet_prefixlen,
+        )
         views = build_views(run.flows, contributors_only=False)
         all_peers = np.unique(
             np.concatenate([views.download.peer_ip, views.upload.peer_ip])
         )
-        peer_labels = _bucket(registry.country_of(all_peers))
-        rx_labels = _bucket(registry.country_of(views.download.peer_ip))
-        tx_labels = _bucket(registry.country_of(views.upload.peer_ip))
+        peer_labels = _bucket(reg.country_of(all_peers))
+        rx_labels = _bucket(reg.country_of(views.download.peer_ip))
+        tx_labels = _bucket(reg.country_of(views.upload.peer_ip))
         bars.append(
             Figure1Bars(
                 app=app,

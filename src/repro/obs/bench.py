@@ -48,6 +48,13 @@ BENCH_SCHEMA_VERSION = 2
 #: Default tolerated events/s drop before the regression gate trips.
 DEFAULT_MAX_REGRESSION = 0.20
 
+#: Default tolerated fractional ``peak_rss_mb`` growth.  Wider than the
+#: throughput tolerance: RSS quantises to whole pages and inherits
+#: allocator noise, but a lazy-materialisation regression (score rows or
+#: remote state going resident swarm-wide again) multiplies it — far
+#: outside any plausible jitter.
+DEFAULT_MAX_RSS_REGRESSION = 0.25
+
 
 def _load_raw(path: str | Path) -> dict:
     path = Path(path)
@@ -138,6 +145,8 @@ def summarize_benchmark(bench: dict, baseline: dict | None = None) -> dict:
         entry["engine"] = str(extra["engine"])
     if "swarm" in extra:
         entry["swarm"] = int(extra["swarm"])
+    if "peer_state" in extra:
+        entry["peer_state"] = str(extra["peer_state"])
     if "peak_rss_mb" in extra:
         entry["peak_rss_mb"] = float(extra["peak_rss_mb"])
     if baseline is not None:
@@ -177,15 +186,20 @@ def summarize(raw: dict, baseline: dict | None = None, previous: dict | None = N
 
 
 def check_regressions(
-    doc: dict, against: dict, max_regression: float = DEFAULT_MAX_REGRESSION
+    doc: dict,
+    against: dict,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+    max_rss_regression: float = DEFAULT_MAX_RSS_REGRESSION,
 ) -> list[str]:
     """Compare the latest entries of ``doc`` against ``against``.
 
     Returns one human-readable failure line per benchmark whose events/s
-    dropped by more than ``max_regression`` relative to the committed
-    summary.  Benchmarks present on only one side, or without an events/s
-    figure, are skipped — the gate guards throughput of the benchmarks
-    both summaries track.
+    dropped by more than ``max_regression``, or whose ``peak_rss_mb``
+    grew by more than ``max_rss_regression``, relative to the committed
+    summary.  Benchmarks present on only one side, or without the
+    compared figure, are skipped — each gate guards the metrics both
+    summaries track (only the scale benchmarks record RSS, so the memory
+    gate covers exactly the entries where memory is the claim).
     """
     failures = []
     reference = latest_by_name(against)
@@ -195,14 +209,24 @@ def check_regressions(
             continue
         new_eps = entry.get("events_per_s")
         ref_eps = ref.get("events_per_s")
-        if not new_eps or not ref_eps:
-            continue
-        drop = 1.0 - new_eps / ref_eps
-        if drop > max_regression:
-            failures.append(
-                f"{name}: events/s fell {drop:.1%} "
-                f"({ref_eps:,.0f} -> {new_eps:,.0f}, tolerated {max_regression:.0%})"
-            )
+        if new_eps and ref_eps:
+            drop = 1.0 - new_eps / ref_eps
+            if drop > max_regression:
+                failures.append(
+                    f"{name}: events/s fell {drop:.1%} "
+                    f"({ref_eps:,.0f} -> {new_eps:,.0f}, "
+                    f"tolerated {max_regression:.0%})"
+                )
+        new_rss = entry.get("peak_rss_mb")
+        ref_rss = ref.get("peak_rss_mb")
+        if new_rss and ref_rss:
+            growth = new_rss / ref_rss - 1.0
+            if growth > max_rss_regression:
+                failures.append(
+                    f"{name}: peak RSS grew {growth:.1%} "
+                    f"({ref_rss:,.0f} MB -> {new_rss:,.0f} MB, "
+                    f"tolerated {max_rss_regression:.0%})"
+                )
     return failures
 
 
@@ -259,6 +283,13 @@ def main(argv: list[str] | None = None) -> int:
         help="tolerated fractional events/s drop for --check-against "
         "(default %(default)s)",
     )
+    parser.add_argument(
+        "--max-rss-regression",
+        type=float,
+        default=DEFAULT_MAX_RSS_REGRESSION,
+        help="tolerated fractional peak_rss_mb growth for --check-against "
+        "(default %(default)s)",
+    )
     args = parser.parse_args(argv)
     # Load the reference before writing: --check-against may name the very
     # file being (re)written, and the gate must compare against its
@@ -278,7 +309,9 @@ def main(argv: list[str] | None = None) -> int:
         print(line)
     print(f"wrote {path}")
     if against is not None:
-        failures = check_regressions(summary, against, args.max_regression)
+        failures = check_regressions(
+            summary, against, args.max_regression, args.max_rss_regression
+        )
         for line in failures:
             print(f"REGRESSION {line}")
         if failures:

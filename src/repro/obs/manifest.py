@@ -66,6 +66,12 @@ class RunManifest:
     #: when the supervised runtime completed the campaign degraded.
     #: Additive field: absent in older manifests.
     quality_flags: list = field(default_factory=list)
+    #: Process-level resource accounting (``peak_rss_mb``: the peak
+    #: resident set across all shards, from ``getrusage`` at shard
+    #: finalize).  Additive field: absent in older manifests and on
+    #: platforms without the ``resource`` module; the CI mega-smoke job
+    #: gates its memory ceiling on this entry.
+    resources: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------ transport
     def to_dict(self) -> dict:
@@ -80,6 +86,21 @@ class RunManifest:
     def ok(self) -> bool:
         """Every shard completed and nothing hit the failure ledger."""
         return not self.failures and all(s.get("ok") for s in self.shards)
+
+
+def _resources_summary(telemetry: Telemetry) -> dict:
+    """Resource section from the run's peak-merged gauges.
+
+    ``resources/*`` gauges are sampled by the shard worker (one
+    ``getrusage`` per shard finalize) and peak-merged across shards, so
+    the campaign-level peak is the run's true high-water mark regardless
+    of backend.
+    """
+    out = {}
+    for name, g in telemetry.gauges.items():
+        if name.startswith("resources/") and g.samples:
+            out[name.removeprefix("resources/")] = round(g.peak, 1)
+    return out
 
 
 def _impairment_summary(plan) -> dict | None:
@@ -163,6 +184,7 @@ def manifest_from_campaign(
             for f in campaign.failures
         ],
         telemetry=campaign.telemetry.as_dict(),
+        resources=_resources_summary(campaign.telemetry),
         quality_flags=[
             {"code": fl.code, "detail": fl.detail}
             for fl in getattr(campaign, "flags", ()) or ()
@@ -252,6 +274,15 @@ def render_manifest_summary(manifest: RunManifest) -> str:
         counter_rows.append([f"{name} (peak)", f"{g.peak:g}"])
     if counter_rows:
         lines.append(render_table(["counter", "value"], counter_rows, title="COUNTERS"))
+
+    if manifest.resources:
+        resource_rows = [
+            [name, f"{value:g}" if isinstance(value, (int, float)) else str(value)]
+            for name, value in sorted(manifest.resources.items())
+        ]
+        lines.append(
+            render_table(["resource", "peak"], resource_rows, title="RESOURCES")
+        )
 
     if manifest.failures:
         lines.append("failures:")

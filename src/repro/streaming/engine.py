@@ -31,6 +31,8 @@ from repro.population.demographics import (
 )
 from repro.population.generator import PopulationConfig, RemotePeer, generate_population
 from repro.population.sparse import (
+    IndexRemap,
+    ScoreRowCache,
     SparseSwarm,
     SparseSwarmConfig,
     generate_sparse_swarm,
@@ -75,6 +77,19 @@ FIREWALL_DROP_PROB = 0.8
 #: next miss, so the bounds affect memory only, never the trace.
 _PARTNER_CTX_MAX = 8
 _THR_CACHE_MAX = 4096
+
+#: Entry cap on the swarm-wide CDF memo.  Keys are holder score tuples;
+#: at mega scale the distinct-sequence space is large enough to grow the
+#: memo without bound, so past the cap it is dropped wholesale and warms
+#: back up (entries are pure functions of their key — recomputed
+#: bit-identically, memory-only effect).
+_CDF_CACHE_MAX = 65_536
+
+#: Byte budget for the lazy engine's LRU of on-demand remote score rows
+#: (one float64 per peer per cached probe).  Large enough that every
+#: probe's row fits resident at 10^6 peers — the budget is the safety
+#: valve for the next decade, not a working limit at this one.
+_SCORE_ROWS_BUDGET = 512 * 1024 * 1024
 
 #: Remote-population size beyond which the O(probes × peers) Python-list
 #: mirrors (provider-score rows, latency rows) stay numpy: at paper scale
@@ -154,6 +169,80 @@ class EngineConfig:
             raise ConfigurationError("rebalance interval must be positive")
 
 
+class _RemapCounts:
+    """Per-provider outstanding-request counters, touched-peers only.
+
+    Drop-in for the dense ``busy`` list: reads of never-contacted ids
+    answer 0 without allocating, writes allocate a dense slot through an
+    :class:`~repro.population.sparse.IndexRemap` on first contact.  A
+    probe contacts a few thousand peers over a run, so this replaces an
+    O(swarm) int list per probe with O(touched) state.
+    """
+
+    __slots__ = ("_remap", "_vals")
+
+    def __init__(self) -> None:
+        self._remap = IndexRemap()
+        self._vals: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._vals)
+
+    def __getitem__(self, g: int) -> int:
+        s = self._remap.slot(g)
+        return self._vals[s] if s is not None else 0
+
+    def __setitem__(self, g: int, v: int) -> None:
+        s = self._remap.ensure(g)
+        if s == len(self._vals):
+            self._vals.append(v)
+        else:
+            self._vals[s] = v
+
+
+class _RemapLatRow:
+    """One probe's latency row, materialised per touched peer.
+
+    Computes :func:`_approx_latency` from the static directory columns on
+    first read of each peer and memoises it behind an
+    :class:`~repro.population.sparse.IndexRemap` — the same doubles, in
+    the same subnet → AS → CC precedence, as the eager ``np.where`` row.
+    """
+
+    __slots__ = ("_remap", "_vals", "_subnet", "_asn", "_cc", "_my_subnet", "_my_asn", "_my_cc")
+
+    def __init__(
+        self, subnet: np.ndarray, asn: np.ndarray, cc: np.ndarray, gidx: int
+    ) -> None:
+        self._remap = IndexRemap()
+        self._vals: list[float] = []
+        self._subnet = subnet
+        self._asn = asn
+        self._cc = cc
+        self._my_subnet = int(subnet[gidx])
+        self._my_asn = int(asn[gidx])
+        self._my_cc = int(cc[gidx])
+
+    def __len__(self) -> int:
+        return len(self._vals)
+
+    def __getitem__(self, g: int) -> float:
+        s = self._remap.slot(g)
+        if s is not None:
+            return self._vals[s]
+        if self._subnet[g] == self._my_subnet:
+            v = 0.001
+        elif self._asn[g] == self._my_asn:
+            v = 0.005
+        elif self._cc[g] == self._my_cc:
+            v = 0.02
+        else:
+            v = 0.08
+        self._remap.ensure(g)
+        self._vals.append(v)
+        return v
+
+
 class _PeerState:
     """Discovery / partner-management state shared by both engine cores.
 
@@ -188,7 +277,7 @@ class _PeerState:
         "_filt_src",
     )
 
-    def __init__(self, gidx: int, n_peers: int) -> None:
+    def __init__(self, gidx: int, n_peers: int, lazy: bool = False) -> None:
         self.gidx = gidx
         self.known: set[int] = set()
         #: Dense mirror of ``known`` (discovery filters against it without
@@ -200,7 +289,11 @@ class _PeerState:
         #: the latency model is built; static thereafter).
         self.lat_row: list[float] = []
         #: Outstanding chunk requests per provider gidx (pipelining cap).
-        self.busy: list[int] = [0] * n_peers
+        #: Dense list under the eager peer-state policy; a touched-peers
+        #: remap under the lazy one (identical reads/writes either way).
+        self.busy: "list[int] | _RemapCounts" = (
+            _RemapCounts() if lazy else [0] * n_peers
+        )
         #: Providers currently at/over the pipelining cap — the tiny
         #: (usually empty) complement the vectorised kernels subtract
         #: instead of re-checking ``busy`` per advertised pair.
@@ -246,8 +339,10 @@ class _ProbeState(_PeerState):
 
     __slots__ = ("buffer", "chunks", "inflight")
 
-    def __init__(self, gidx: int, buffer: PlayoutBuffer, n_peers: int) -> None:
-        super().__init__(gidx, n_peers)
+    def __init__(
+        self, gidx: int, buffer: PlayoutBuffer, n_peers: int, lazy: bool = False
+    ) -> None:
+        super().__init__(gidx, n_peers, lazy)
         self.buffer = buffer
         #: Borrowed reference to the buffer's live chunk set (mutated in
         #: place, never reassigned) — saves a property hop per remote pull.
@@ -352,6 +447,14 @@ class Engine:
         self._signaling = SignalingBook()
 
         self._build_directory(population)
+        #: Peer-state materialisation policy (profile knob, ``"auto"``
+        #: resolved against the directory size): the lazy mode allocates
+        #: score rows, latency rows and busy counters on first contact
+        #: instead of swarm-wide at build time.  Byte-identical either
+        #: way — the differential suites pin it.
+        self._lazy = (
+            profile.resolved_peer_state(self.n_remote + self.n_probe) == "lazy"
+        )
         self._build_protocol_state()
         #: Discovery sampler selection (profile knob, not swarm-format
         #: dependent — sparse and dense runs of one profile draw alike).
@@ -539,7 +642,7 @@ class Engine:
         for k in range(self.n_probe):
             gidx = self.n_remote + k
             buffer = PlayoutBuffer(self.clock, video.buffer_window_s, join_time=0.0)
-            probes.append(_ProbeState(gidx, buffer, n_peers))
+            probes.append(_ProbeState(gidx, buffer, n_peers, self._lazy))
         return probes
 
     def _build_protocol_state(self) -> None:
@@ -570,16 +673,32 @@ class Engine:
         # and softmax is element-independent, so indexing a cached row by a
         # candidate subset yields bit-identical probabilities (and hence an
         # identical RNG draw sequence) to rescoring that subset from scratch.
-        all_peers = np.arange(n, dtype=np.int64)
-        partner_rows, provider_rows, remote_rows = [], [], []
-        for probe in self._probes:
-            feats = self._features(probe.gidx, all_peers)
-            partner_rows.append(self._partner_policy.scores(feats))
-            provider_rows.append(self._provider_policy.scores(feats))
-            remote_rows.append(self._remote_policy.scores(feats))
-        self._partner_scores = np.vstack(partner_rows)
-        self._provider_scores = np.vstack(provider_rows)
-        self._remote_scores = np.vstack(remote_rows)
+        # The same element-independence runs the other way: scoring only a
+        # candidate *subset* yields the exact doubles a full-row gather
+        # would — which is what lets the lazy mode skip the swarm-wide
+        # matrices (3 × probes × peers float64) and score on demand.
+        if self._lazy:
+            self._partner_scores = None
+            self._provider_scores = None
+            self._remote_scores = None
+            #: LRU of full remote-policy rows (the rebalance pass gathers
+            #: against all online remotes, so per-probe rows are built
+            #: whole on first demand and kept under a byte budget).
+            self._remote_rows = ScoreRowCache(
+                self._build_remote_row, _SCORE_ROWS_BUDGET
+            )
+        else:
+            all_peers = np.arange(n, dtype=np.int64)
+            partner_rows, provider_rows, remote_rows = [], [], []
+            for probe in self._probes:
+                feats = self._features(probe.gidx, all_peers)
+                partner_rows.append(self._partner_policy.scores(feats))
+                provider_rows.append(self._provider_policy.scores(feats))
+                remote_rows.append(self._remote_policy.scores(feats))
+            self._partner_scores = np.vstack(partner_rows)
+            self._provider_scores = np.vstack(provider_rows)
+            self._remote_scores = np.vstack(remote_rows)
+            self._remote_rows = None
         # Tick-loop constants hoisted out of their dataclasses: _on_tick
         # fires tens of thousands of times and these attribute chains are
         # measurable there.
@@ -606,9 +725,16 @@ class Engine:
         # so traces are unaffected either way.
         list_mirrors = (self.n_remote + self.n_probe) <= _LIST_MIRROR_MAX
         #: Provider score rows as plain floats for cheap per-holder reads
-        #: (numpy rows beyond _LIST_MIRROR_MAX peers).
-        self._provider_scores_list: list = (
-            self._provider_scores.tolist() if list_mirrors else list(self._provider_scores)
+        #: (numpy rows beyond _LIST_MIRROR_MAX peers; absent in lazy mode,
+        #: where the partner context carries per-partner score lookups).
+        self._provider_scores_list: list | None = (
+            None
+            if self._lazy
+            else (
+                self._provider_scores.tolist()
+                if list_mirrors
+                else list(self._provider_scores)
+            )
         )
         #: Per-probe memo of provider-selection CDFs (as sorted float
         #: lists), keyed by the holders' *score* tuple: the CDF is a pure
@@ -617,29 +743,63 @@ class Engine:
         #: than holder-tuple keying, with bit-identical CDF values.  One
         #: cache for the whole swarm (not per probe): equal score
         #: sequences yield the same CDF no matter which probe asks.
-        self._cdf_cache: dict[tuple, list[float]] = {}
+        self._cdf_cache: dict = {}
+        #: Entry budget for the CDF memo, read at the schedulers' insert
+        #: sites (they cannot import this module — circular).
+        self._cdf_cache_max = _CDF_CACHE_MAX
         #: Per-probe memo of partner-array splits (see _partner_context).
         self._partner_ctx: list[dict[bytes, tuple]] = [{} for _ in self._probes]
         # Per-probe one-way latency rows (the latency model only depends on
         # subnet/AS/CC equality, all static); nested lists for scalar reads
-        # at legacy scales, numpy rows beyond _LIST_MIRROR_MAX peers.
-        lat_arrays = [
-            np.where(
-                self._subnet == self._subnet[p.gidx],
-                0.001,
+        # at legacy scales, numpy rows beyond _LIST_MIRROR_MAX peers, and
+        # touched-peer remap rows in lazy mode (same doubles on read).
+        if self._lazy:
+            self._lat_rows: list = [
+                _RemapLatRow(self._subnet, self._asn, self._cc, p.gidx)
+                for p in self._probes
+            ]
+        else:
+            lat_arrays = [
                 np.where(
-                    self._asn == self._asn[p.gidx],
-                    0.005,
-                    np.where(self._cc == self._cc[p.gidx], 0.02, 0.08),
-                ),
+                    self._subnet == self._subnet[p.gidx],
+                    0.001,
+                    np.where(
+                        self._asn == self._asn[p.gidx],
+                        0.005,
+                        np.where(self._cc == self._cc[p.gidx], 0.02, 0.08),
+                    ),
+                )
+                for p in self._probes
+            ]
+            self._lat_rows = (
+                [row.tolist() for row in lat_arrays] if list_mirrors else lat_arrays
             )
-            for p in self._probes
-        ]
-        self._lat_rows: list = (
-            [row.tolist() for row in lat_arrays] if list_mirrors else lat_arrays
-        )
         for pi, p in enumerate(self._probes):
             p.lat_row = self._lat_rows[pi]
+
+    def _build_remote_row(self, pi: int) -> np.ndarray:
+        """Probe ``pi``'s full remote-policy score row, built on demand.
+
+        Identical pipeline (``_features`` → ``scores`` over the whole
+        directory) to the eager build — the row is bit-for-bit the one
+        ``_remote_scores[pi]`` would hold.
+        """
+        n = self.n_remote + self.n_probe
+        cands = np.arange(n, dtype=np.int64)
+        return self._remote_policy.scores(
+            self._features(self.n_remote + pi, cands)
+        )
+
+    def _partner_scores_for(self, probe: _PeerState, cands: np.ndarray) -> np.ndarray:
+        """Partner-policy scores of ``cands`` from ``probe``'s viewpoint.
+
+        Row gather when eager, on-demand subset scoring when lazy — the
+        score pipeline is element-independent, so both produce the same
+        doubles (and hence the same downstream RNG draws).
+        """
+        if self._lazy:
+            return self._partner_policy.scores(self._features(probe.gidx, cands))
+        return self._partner_scores[probe.gidx - self.n_remote][cands]
 
     # ------------------------------------------------------------- features
     def _features(self, chooser: int, cands: np.ndarray) -> CandidateFeatures:
@@ -839,8 +999,8 @@ class Engine:
             )
         slots = self.profile.max_partners - len(kept)
         if len(cands) and slots > 0:
-            row = self._partner_scores[probe.gidx - self.n_remote]
-            picked = self._partner_policy.choose_scored(row[cands], slots)
+            scores = self._partner_scores_for(probe, cands)
+            picked = self._partner_policy.choose_scored(scores, slots)
             new_partners = kept | {int(cands[i]) for i in picked}
         else:
             new_partners = kept
@@ -878,7 +1038,10 @@ class Engine:
         per-column scan plan are reused across the many ticks in between.
         The plan entry for column ``j`` is ``(gidx, remote_index, chunks)``
         where ``chunks`` is the live buffer set for probe partners (None
-        for remotes, whose availability comes from the oracle row).
+        for remotes, whose availability comes from the oracle row).  The
+        last slot maps a partner gidx to its provider score — the full
+        precomputed row when eager, a subset-scored dict when lazy
+        (identical doubles; see ``_build_protocol_state``).
         """
         key = partners.tobytes()
         store = self._partner_ctx[pi]
@@ -912,10 +1075,19 @@ class Engine:
                 chunks = self._probes[g - self.n_remote].buffer.chunk_set
                 probe_plan.append((len(plan), g, chunks))
                 plan.append((g, -1, chunks))
+        if self._lazy:
+            sarr = self._provider_policy.scores(
+                self._features(self.n_remote + pi, partners)
+            )
+            score_of: "dict | list | np.ndarray" = dict(
+                zip(partners.tolist(), sarr.tolist())
+            )
+        else:
+            score_of = self._provider_scores_list[pi]
         # Fifth slot: per-chunk availability-threshold memo (see
         # _on_tick); ``probe_plan`` mirrors the probe-partner columns
         # in ascending column order for the no-remote-holder fast path.
-        ctx = (k > 0, delays, ready, plan, {}, probe_plan)
+        ctx = (k > 0, delays, ready, plan, {}, probe_plan, score_of)
         if len(store) >= _PARTNER_CTX_MAX:
             # Oldest partner set first (insertion order): sets displaced
             # by churn/refresh rarely return, and when one does the ctx is
@@ -1072,7 +1244,12 @@ class Engine:
                 k = min(int(rng.poisson(target)), len(remotes))
                 if k == 0:
                     continue
-                row = self._remote_scores[probe.gidx - self.n_remote]
+                pi = probe.gidx - self.n_remote
+                row = (
+                    self._remote_rows.row(pi)
+                    if self._lazy
+                    else self._remote_scores[pi]
+                )
                 picked = self._remote_policy.choose_scored(row[remotes], k)
                 window_end = min(t + self.config.demand_rebalance_s, self.config.duration_s)
                 for i in picked:
@@ -1279,7 +1456,25 @@ class Engine:
             "video_bytes": int(transfers["bytes"][video].sum()),
             "remote_peers": int(self.n_remote),
             "probes": int(self.n_probe),
+            "peer_state": "lazy" if self._lazy else "eager",
         }
+        if self._lazy:
+            # Residency accounting for the lazy materialisation layer —
+            # counts, not floats, and identical across engine cores for a
+            # fixed seed (the touch sequence is part of the byte-identity
+            # contract).
+            stats["lazy"] = {
+                "score_rows_cached": int(len(self._remote_rows)),
+                "score_row_hits": int(self._remote_rows.hits),
+                "score_row_misses": int(self._remote_rows.misses),
+                "score_row_evictions": int(self._remote_rows.evictions),
+                "max_touched_busy": max(
+                    (len(p.busy) for p in self._probes), default=0
+                ),
+                "max_touched_lat": max(
+                    (len(r) for r in self._lat_rows), default=0
+                ),
+            }
         _log.info(
             "run-complete",
             profile=self.profile.name,

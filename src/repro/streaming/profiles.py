@@ -32,6 +32,14 @@ from repro.streaming.selection import SelectionWeights
 from repro.streaming.video import VideoConfig
 
 
+#: Swarm size beyond which ``peer_state="auto"`` resolves to lazy
+#: materialisation (sparse swarms only).  Set above the napa-scale
+#: 1.8×10^5 so the paper-scale profile keeps its benchmarked eager path
+#: by default; the 10^6-peer mega-scale profile opts into lazy
+#: explicitly anyway.
+LAZY_AUTO_MIN = 500_000
+
+
 @dataclass(frozen=True, slots=True)
 class AppProfile:
     """Complete behavioural description of one P2P-TV application."""
@@ -55,6 +63,15 @@ class AppProfile:
     #: Audience demographics: ``"cctv1"`` (the paper's CN-dominated channel)
     #: or ``"crossswarm"`` (the Western-centric cross-swarm-study mix).
     audience: str = "cctv1"
+    #: Per-remote state materialisation: ``"eager"`` precomputes the
+    #: swarm-wide score rows, latency rows and busy counters up front
+    #: (O(swarm) bytes per probe — fine to ~2×10^5 peers); ``"lazy"``
+    #: materialises them on first contact so the resident set scales with
+    #: *touched* peers (required at 10^6).  ``"auto"`` picks lazy for
+    #: sparse swarms beyond :data:`LAZY_AUTO_MIN` peers.  Either choice is
+    #: byte-identical for a fixed seed — the lazy kernels compute the very
+    #: same IEEE-754 values on demand.
+    peer_state: str = "auto"
 
     # --- discovery ---------------------------------------------------------
     tracker_initial: int = 60
@@ -153,6 +170,11 @@ class AppProfile:
                 f"unknown discovery sampler {self.discovery!r}; "
                 "valid choices: ['scan', 'alias']"
             )
+        if self.peer_state not in ("auto", "eager", "lazy"):
+            raise ConfigurationError(
+                f"unknown peer_state {self.peer_state!r}; "
+                "valid choices: ['auto', 'eager', 'lazy']"
+            )
 
     def scaled(self, factor: float) -> "AppProfile":
         """A copy with the swarm (and discovery reach) scaled by ``factor``.
@@ -190,13 +212,30 @@ class AppProfile:
             raise ConfigurationError(
                 f"swarm size must be >= 1, got {size}"
             )
-        if size < self.tracker_initial:
+        reach = self.tracker_initial
+        if size < reach:
             raise ConfigurationError(
-                f"swarm size {size} below the profile's discovery reach "
-                f"(tracker_initial={self.tracker_initial}); shrink the "
-                "profile explicitly instead of overflowing tracker replies"
+                f"profile {self.name!r}: swarm size {size} below the "
+                f"profile's discovery reach of {reach} peers "
+                f"(tracker_initial={self.tracker_initial} sets the limit: a "
+                f"tracker reply must fit inside the swarm, so size >= {reach} "
+                "is required); shrink the profile explicitly instead of "
+                "overflowing tracker replies"
             )
         return replace(self, swarm_size=size)
+
+    def resolved_peer_state(self, n_peers: int) -> str:
+        """Resolve ``peer_state`` for a swarm of ``n_peers`` total peers.
+
+        ``"auto"`` becomes ``"lazy"`` only for sparse swarms at or beyond
+        :data:`LAZY_AUTO_MIN` — everything the goldens and benches pin
+        today stays on the eager path unless a profile opts in.
+        """
+        if self.peer_state != "auto":
+            return self.peer_state
+        if self.swarm == "sparse" and n_peers >= LAZY_AUTO_MIN:
+            return "lazy"
+        return "eager"
 
 
 def pplive() -> AppProfile:
@@ -380,6 +419,25 @@ def napa_scale() -> AppProfile:
     )
 
 
+def mega_scale() -> AppProfile:
+    """napa-scale stretched a decade past the paper: a 10^6-peer swarm.
+
+    Identical protocol knobs to :func:`napa_scale` — same awareness
+    weights, same HD channel, same cohort ticking — resized to one
+    million remote peers and pinned to ``peer_state="lazy"``: the
+    swarm-wide score rows alone would cost ~1.1 GB eager at this size,
+    so per-remote state (score rows, latency rows, busy counters, the
+    remote threshold matrix) is materialised blockwise / on first
+    contact instead.  Lazy materialisation is byte-identical for a
+    fixed seed, so the differential suites gate this profile's kernels
+    at test scale while the CI mega-smoke job exercises the full size.
+    """
+    base = napa_scale()
+    return replace(base, name="mega-scale", peer_state="lazy").scaled_swarm(
+        1_000_000
+    )
+
+
 def random_baseline() -> AppProfile:
     """A network-oblivious strawman: uniform selection everywhere.
 
@@ -410,6 +468,7 @@ PROFILES = {
     "pplive-popular": pplive_popular,
     "napa-wine": napa_wine,
     "napa-scale": napa_scale,
+    "mega-scale": mega_scale,
     "random": random_baseline,
 }
 

@@ -80,7 +80,7 @@ class ChunkScheduler:
         live buffer sets.  The scan preserves ascending column order, so
         the advertiser list is deterministic for a given partner set.
         """
-        has_remotes, delays, ready, plan, thr_cache, _probe_plan = ctx
+        has_remotes, delays, ready, plan, thr_cache, _probe_plan, _score_of = ctx
         eng = self._engine
         thr_list = None
         if has_remotes:
@@ -105,24 +105,33 @@ class ChunkScheduler:
                 advertisers.append(g)
         return advertisers
 
-    def _pick_holder(self, probe, holders: list[int]) -> int:
+    def _pick_holder(self, probe, holders: list[int], score_of=None) -> int:
         """Awareness-weighted provider choice over ``holders``.
 
         The exact decision procedure of the mesh-pull core: with the
         profile's ``explore_prob`` pick uniformly (one engine-stream
         draw), otherwise invert the memoised softmax CDF of the holders'
-        precomputed awareness scores with one selection-stream uniform.
+        awareness scores with one selection-stream uniform.  ``score_of``
+        maps a holder gidx to its provider score — the partner context
+        carries it (full precomputed row when eager, subset-scored dict
+        when lazy, identical doubles); ``None`` falls back to the eager
+        engine-wide rows.
         """
         eng = self._engine
         rng = eng._rng_engine
         if rng.random() < eng._explore_prob:
             return int(rng.integers(len(holders)))
-        score_row = eng._provider_scores_list[probe.gidx - eng.n_remote]
-        key = tuple([score_row[g] for g in holders])
+        if score_of is None:
+            score_of = eng._provider_scores_list[probe.gidx - eng.n_remote]
+        key = tuple([score_of[g] for g in holders])
         cdf = eng._cdf_cache.get(key)
         if cdf is None:
             cdf = eng._provider_policy.cdf_from_scores(
                 np.array(key, dtype=np.float64)
             ).tolist()
+            if len(eng._cdf_cache) >= eng._cdf_cache_max:
+                # Pure memo past its entry budget: drop it wholesale and
+                # warm back up (bit-identical recomputes, memory-only).
+                eng._cdf_cache.clear()
             eng._cdf_cache[key] = cdf
         return bisect_right(cdf, eng._rng_sel.random())

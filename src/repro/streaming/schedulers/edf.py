@@ -70,7 +70,7 @@ class EdfScheduler(ChunkScheduler):
             ]
             if not holders:
                 continue
-            pick = self._pick_holder(probe, holders)
+            pick = self._pick_holder(probe, holders, ctx[6])
             if eng._request_chunk(probe, holders[pick], chunk, t):
                 slots -= 1
 
@@ -133,6 +133,6 @@ class EdfScheduler(ChunkScheduler):
                 holders = gs_all[s0:s1]
             if not holders:
                 continue
-            pick = self._pick_holder(probe, holders)
+            pick = self._pick_holder(probe, holders, ctx["score_of"])
             if eng._request_chunk(probe, holders[pick], chunks_list[i], t):
                 slots -= 1

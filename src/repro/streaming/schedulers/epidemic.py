@@ -88,9 +88,9 @@ class PushEpidemicScheduler(MeshPullScheduler):
         if not targets:
             return
         k = min(self.push_fanout, len(targets))
-        row = eng._partner_scores[probe.gidx - nr]
         cands = np.array(targets, dtype=np.int64)
-        picked = eng._partner_policy.choose_scored(row[cands], k)
+        scores = eng._partner_scores_for(probe, cands)
+        picked = eng._partner_policy.choose_scored(scores, k)
         pg = probe.gidx
         nbytes = eng._chunk_bytes
         free = eng._ul_free

@@ -35,7 +35,7 @@ class MeshPullScheduler(ChunkScheduler):
     def schedule_requests(self, probe, t, lookahead, partners, slots) -> None:
         eng = self._engine
         pi = probe.gidx - eng.n_remote
-        has_remotes, delays, ready, plan, thr_cache, probe_plan = (
+        has_remotes, delays, ready, plan, thr_cache, probe_plan, score_row = (
             eng._partner_context(pi, partners)
         )
         # Outstanding-request counts are read straight off probe.busy:
@@ -44,8 +44,8 @@ class MeshPullScheduler(ChunkScheduler):
         # increments the old copied row held.
         busy = probe.busy
         cap = eng._cap_out
-        score_row = eng._provider_scores_list[pi]
         cdf_cache = eng._cdf_cache
+        cdf_cache_max = eng._cdf_cache_max
         rng = eng._rng_engine
         sel_rand = eng._rng_sel.random
         explore_prob = eng._explore_prob
@@ -117,6 +117,8 @@ class MeshPullScheduler(ChunkScheduler):
                     cdf = eng._provider_policy.cdf_from_scores(
                         np.array(key, dtype=np.float64)
                     ).tolist()
+                    if len(cdf_cache) >= cdf_cache_max:
+                        cdf_cache.clear()
                     cdf_cache[key] = cdf
                 pick = bisect_right(cdf, sel_rand())
             if eng._request_chunk(probe, holders[pick], chunk, t):
@@ -166,8 +168,13 @@ class MeshPullScheduler(ChunkScheduler):
         nrows = A.shape[0]
         bounds = np.searchsorted(ri, np.arange(nrows + 1)).tolist()
         busy_over = probe.busy_over
-        score_arr = eng._provider_scores[probe.pi]
+        # Provider scores in plan-column order (the context carries them:
+        # a row gather when eager, subset-scored when lazy — identical
+        # doubles, so the bytes-keyed CDF memo sees identical keys).
+        plan_scores = ctx["plan_scores"]
+        score_of = ctx["score_of"]
         cdf_cache = eng._cdf_cache
+        cdf_cache_max = eng._cdf_cache_max
         rng = eng._rng_engine
         sel_rand = eng._rng_sel.random
         explore_prob = eng._explore_prob
@@ -195,13 +202,17 @@ class MeshPullScheduler(ChunkScheduler):
                 # — the same distinctions the object path's score-tuple
                 # key draws, producing bit-identical CDF lists.
                 if holders is None:
-                    scores = score_arr[gs_arr[s0:s1]]
+                    scores = plan_scores[cj[s0:s1]]
                 else:
-                    scores = score_arr[np.array(holders, dtype=np.int64)]
+                    scores = np.array(
+                        [score_of[g] for g in holders], dtype=np.float64
+                    )
                 key = scores.tobytes()
                 cdf = cdf_cache.get(key)
                 if cdf is None:
                     cdf = eng._provider_policy.cdf_from_scores(scores).tolist()
+                    if len(cdf_cache) >= cdf_cache_max:
+                        cdf_cache.clear()
                     cdf_cache[key] = cdf
                 pick = bisect_right(cdf, sel_rand())
             g = holders[pick] if holders is not None else gs_all[s0 + pick]

@@ -58,7 +58,7 @@ class RarestFirstScheduler(ChunkScheduler):
             holders = [g for g in advertisers[chunk] if busy[g] < cap]
             if not holders:
                 continue  # every advertiser is pipeline-capped this tick
-            pick = self._pick_holder(probe, holders)
+            pick = self._pick_holder(probe, holders, ctx[6])
             if eng._request_chunk(probe, holders[pick], chunk, t):
                 slots -= 1
 
@@ -115,6 +115,6 @@ class RarestFirstScheduler(ChunkScheduler):
                 holders = gs_all[s0:s1]
             if not holders:
                 continue  # every advertiser is pipeline-capped this tick
-            pick = self._pick_holder(probe, holders)
+            pick = self._pick_holder(probe, holders, ctx["score_of"])
             if eng._request_chunk(probe, holders[pick], chunks_list[i], t):
                 slots -= 1

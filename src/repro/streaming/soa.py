@@ -66,6 +66,18 @@ _THR_SLACK = 256
 #: as "not held" with zero extra array ops.
 _GUARD = 8
 
+#: Blockwise availability evaluation (lazy peer-state mode): threshold
+#: rows are grouped into fixed chunk-id spans of this many rows, built on
+#: first touch and reused across ticks — the thresholds are t-independent
+#: chunk constants, so a cached block is bit-for-bit the rows the per-tick
+#: rebuild would produce.
+_THR_BLOCK = 64
+
+#: Eviction budget for the block cache, in blocks.  The live window walks
+#: upward, so the lowest block id is evicted first; an evicted block that
+#: is touched again rebuilds bit-identically (memory-only bound).
+_THR_BLOCKS_MAX = 8
+
 
 class SoAState:
     """Shared buffer / in-flight bitmaps for all probes of one run.
@@ -427,8 +439,10 @@ class SoAProbe(_PeerState):
 
     __slots__ = ("pi", "buffer", "chunks", "inflight")
 
-    def __init__(self, gidx: int, pi: int, soa: SoAState, n_peers: int) -> None:
-        super().__init__(gidx, n_peers)
+    def __init__(
+        self, gidx: int, pi: int, soa: SoAState, n_peers: int, lazy: bool = False
+    ) -> None:
+        super().__init__(gidx, n_peers, lazy)
         self.pi = pi
         self.buffer = _SoABuffer(soa, pi)
         self.chunks = self.buffer.chunk_set
@@ -464,7 +478,7 @@ class SoAEngine(Engine):
         #: engine's _partner_ctx; entries rebuild bit-identically on miss).
         self._soa_ctx: list[dict[bytes, dict]] = [{} for _ in range(self.n_probe)]
         return [
-            SoAProbe(self.n_remote + k, k, self._soa, n_peers)
+            SoAProbe(self.n_remote + k, k, self._soa, n_peers, self._lazy)
             for k in range(self.n_probe)
         ]
 
@@ -495,6 +509,10 @@ class SoAEngine(Engine):
         self._ctx_hint_partners: np.ndarray | None = None
         #: Per-probe (partners, ctx) memo for the cohort scan pass.
         self._pi_ctx: list = [None] * len(self._probes)
+        #: Blockwise availability cache (lazy mode): block id → threshold
+        #: block over the stacked cohort scalars.  Cleared whenever the
+        #: participating ctx set (and so the column stacking) changes.
+        self._thr_blocks: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------- event core
     def _tick_probe(self, probe: SoAProbe, t: float) -> None:
@@ -639,11 +657,18 @@ class SoAEngine(Engine):
                     [c["delays"] for c in rctxs]
                 )
                 self._cohort_ready = np.concatenate([c["ready"] for c in rctxs])
+                self._thr_blocks.clear()
             gens = np.arange(floor, newest + 1, dtype=np.float64) * ci
-            thr = np.maximum(
-                gens[:, None] + self._cohort_delays[None, :],
-                self._cohort_ready[None, :],
-            )
+            if self._lazy:
+                # Blockwise path: thresholds are t-independent chunk
+                # constants, so rows persist across ticks in fixed-span
+                # blocks and only the boolean compare runs per tick.
+                thr = self._thr_window(floor, newest, ci)
+            else:
+                thr = np.maximum(
+                    gens[:, None] + self._cohort_delays[None, :],
+                    self._cohort_ready[None, :],
+                )
             AV = thr <= t
             if check_fresh:
                 AV &= (gens + retention > t)[:, None]
@@ -666,6 +691,39 @@ class SoAEngine(Engine):
                 ctx["cohort_A"] = np.concatenate((avail, pb), axis=1)
         self._cohort_t = t
         self._cohort_floor = floor
+
+    def _thr_window(self, floor: int, newest: int, ci: float) -> np.ndarray:
+        """Assemble ``[floor, newest]`` threshold rows from cached blocks.
+
+        Each block covers chunk ids ``[b·B, (b+1)·B)`` against the current
+        stacked cohort scalars.  A block row for chunk ``c`` is
+        ``max(c·ci + delay, ready)`` — ``np.arange(lo, lo + B) * ci``
+        produces the same ``c·ci`` doubles as the window-wide arange, and
+        ``np.maximum`` is elementwise, so the assembled window is
+        bit-for-bit the matrix the eager path builds per tick.  The live
+        window only walks upward, so eviction drops the lowest block id;
+        a re-touched block rebuilds identically (memory-only bound).
+        """
+        blocks = self._thr_blocks
+        b0 = floor // _THR_BLOCK
+        b1 = newest // _THR_BLOCK
+        parts = []
+        for b in range(b0, b1 + 1):
+            blk = blocks.get(b)
+            if blk is None:
+                lo = b * _THR_BLOCK
+                gens_b = np.arange(lo, lo + _THR_BLOCK, dtype=np.float64) * ci
+                blk = np.maximum(
+                    gens_b[:, None] + self._cohort_delays[None, :],
+                    self._cohort_ready[None, :],
+                )
+                while len(blocks) >= _THR_BLOCKS_MAX:
+                    blocks.pop(min(blocks))
+                blocks[b] = blk
+            parts.append(blk)
+        stack = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        lo0 = b0 * _THR_BLOCK
+        return stack[floor - lo0 : newest + 1 - lo0]
 
     def _on_chunk_arrival(self, probe: SoAProbe, chunk: int, provider: int) -> None:
         soa = self._soa
@@ -801,6 +859,23 @@ class SoAEngine(Engine):
             # and ``plan_g`` maps the walk straight back to partner ids.
             plan_cols = np.array([j for j, _g in scan], dtype=np.int64)
             plan_g = np.array([g for _j, g in scan], dtype=np.int64)
+            # Provider scores over the plan columns.  Eager: a gather from
+            # the precomputed swarm-wide row (plus the row itself for
+            # holder-subset lookups).  Lazy: scored on demand over just
+            # these columns — SelectionPolicy.scores is elementwise per
+            # candidate, so the subset compute yields the identical IEEE
+            # doubles the full-row gather would.
+            if self._lazy:
+                plan_scores = self._provider_policy.scores(
+                    self._features(self.n_remote + pi, plan_g)
+                )
+                score_of: "dict | np.ndarray" = dict(
+                    zip(plan_g.tolist(), plan_scores.tolist())
+                )
+            else:
+                row = self._provider_scores[pi]
+                plan_scores = row[plan_g]
+                score_of = row
             ctx = {
                 "scan": scan,
                 "plan_cols": plan_cols,
@@ -808,6 +883,8 @@ class SoAEngine(Engine):
                 "n_rem": n_rem,
                 "delays": delays,
                 "ready": ready,
+                "plan_scores": plan_scores,
+                "score_of": score_of,
                 # Probe-partner bitmap rows, in plan order, for the gather.
                 "probe_rows_arr": np.array(
                     [g - nr for g in cols if g >= nr], dtype=np.int64

@@ -210,6 +210,51 @@ class TestRegressionGate:
         ref = summarize(_raw(name="only_ref", wall=0.1))
         assert check_regressions(new, ref) == []
 
+    def _rss_summary(self, rss_mb, wall=0.5):
+        raw = _raw(wall=wall)
+        raw["benchmarks"][0]["extra_info"]["peak_rss_mb"] = rss_mb
+        return summarize(raw)
+
+    def test_rss_within_tolerance_passes(self):
+        new, ref = self._rss_summary(1100.0), self._rss_summary(1000.0)
+        assert check_regressions(new, ref, max_rss_regression=0.25) == []
+
+    def test_rss_growth_beyond_tolerance_fails(self):
+        new, ref = self._rss_summary(2000.0), self._rss_summary(1000.0)
+        failures = check_regressions(new, ref, max_rss_regression=0.25)
+        assert len(failures) == 1
+        assert "peak RSS grew 100.0%" in failures[0]
+
+    def test_rss_gate_skips_entries_without_the_figure(self):
+        # Only the scale benchmarks record RSS; plain throughput entries
+        # must never trip the memory gate.
+        new, ref = self._summary(0.5), self._rss_summary(1000.0)
+        assert check_regressions(new, ref, max_rss_regression=0.0) == []
+
+    def test_rss_and_throughput_gates_are_independent(self):
+        new = self._rss_summary(2000.0, wall=1.0)
+        ref = self._rss_summary(1000.0, wall=0.5)
+        failures = check_regressions(
+            new, ref, max_regression=0.20, max_rss_regression=0.25
+        )
+        assert len(failures) == 2
+
+    def test_cli_max_rss_regression_flag(self, tmp_path):
+        committed = tmp_path / "committed.json"
+        raw_ref = _raw(wall=0.5)
+        raw_ref["benchmarks"][0]["extra_info"]["peak_rss_mb"] = 1000.0
+        ref_path = tmp_path / "ref_raw.json"
+        ref_path.write_text(json.dumps(raw_ref))
+        write_bench_summary(ref_path, committed)
+        raw_new = _raw(wall=0.5)
+        raw_new["benchmarks"][0]["extra_info"]["peak_rss_mb"] = 1400.0
+        new_path = tmp_path / "new_raw.json"
+        new_path.write_text(json.dumps(raw_new))
+        out = tmp_path / "out.json"
+        args = [str(new_path), "-o", str(out), "--check-against", str(committed)]
+        assert main(args) == 2  # +40% RSS beyond the 25% default
+        assert main(args + ["--max-rss-regression", "0.5"]) == 0
+
     def test_compares_latest_entries_only(self):
         # The reference log holds a slow old entry and a fast latest one;
         # the gate must use the latest.

@@ -135,6 +135,17 @@ class TestCampaignManifest:
     def test_ok_property(self, manifest):
         assert manifest.ok
 
+    def test_peak_rss_recorded(self, manifest):
+        # The shard worker samples getrusage at finalize; the campaign
+        # peak-merges across shards and the manifest surfaces the result.
+        rss = manifest.resources.get("peak_rss_mb")
+        assert rss is not None
+        assert 1.0 < rss < 1_000_000.0  # a plausible resident set, in MB
+
+    def test_resources_round_trip(self, manifest, tmp_path):
+        path = write_manifest(tmp_path / "m.json", manifest)
+        assert read_manifest(path).resources == manifest.resources
+
     def test_command_recorded(self, manifest):
         assert manifest.command == ["campaign", "--apps", "tvants"]
 
@@ -164,6 +175,11 @@ class TestSummary:
         assert "COUNTERS" in out
         assert "tvants" in out
         assert "engine/events" in out
+
+    def test_summary_surfaces_peak_rss(self, manifest):
+        out = render_manifest_summary(manifest)
+        assert "RESOURCES" in out
+        assert "peak_rss_mb" in out
 
     def test_summary_lists_failures(self, manifest):
         broken = RunManifest.from_dict(manifest.to_dict())

@@ -90,4 +90,15 @@ class TestTelemetryParity:
         a = run_campaign(CampaignConfig(apps=("tvants",), **SMALL))
         b = run_campaign(CampaignConfig(apps=("tvants",), **SMALL))
         assert a.telemetry.counters == b.telemetry.counters
-        assert a.telemetry.gauges == b.telemetry.gauges
+
+        def run_gauges(tel):
+            # resources/* gauges sample getrusage high-water marks — they
+            # measure the *process* (allocator layout, interpreter warmup),
+            # not the seeded run, and are the one sanctioned exception.
+            return {
+                k: v for k, v in tel.gauges.items()
+                if not k.startswith("resources/")
+            }
+
+        assert run_gauges(a.telemetry) == run_gauges(b.telemetry)
+        assert a.telemetry.peak("resources/peak_rss_mb") > 0

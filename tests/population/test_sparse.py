@@ -25,6 +25,8 @@ from repro.population.demographics import cctv1_audience
 from repro.population.sparse import (
     DEFAULT_BLOCK_SIZE,
     AliasTable,
+    IndexRemap,
+    ScoreRowCache,
     SparseSwarmConfig,
     generate_sparse_swarm,
 )
@@ -182,6 +184,103 @@ class TestAliasTable:
         draws = table.draw(np.random.default_rng(2), 70_000)
         freq = np.bincount(draws, minlength=7) / len(draws)
         assert np.allclose(freq, 1 / 7, atol=0.02)
+
+    def test_single_bucket_always_wins(self):
+        # Degenerate n=1 table: every draw must return index 0 (the alias
+        # construction has no partner bucket to split probability with).
+        table = AliasTable(np.array([2.5]))
+        draws = table.draw(np.random.default_rng(5), 1000)
+        assert np.array_equal(draws, np.zeros(1000, dtype=draws.dtype))
+
+    def test_zero_probability_entries_never_drawn(self):
+        w = np.array([0.0, 5.0, 0.0, 1.0, 0.0])
+        table = AliasTable(w)
+        draws = table.draw(np.random.default_rng(6), 30_000)
+        assert set(np.unique(draws).tolist()) <= {1, 3}
+        freq = np.bincount(draws, minlength=5) / len(draws)
+        assert np.allclose(freq, w / w.sum(), atol=0.02)
+
+    def test_matches_generator_choice_frequencies(self):
+        """Property: alias draws ≈ ``Generator.choice`` for random weights.
+
+        Hypothesis explores the weight space (mixed magnitudes, zeros,
+        short and long tables); both samplers target the same normalised
+        distribution, so large-sample frequencies must agree within a
+        tolerance far tighter than any miscomputed alias/prob pair could
+        satisfy.
+        """
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=30, deadline=None)
+        @given(
+            weights=st.lists(
+                st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+                min_size=1,
+                max_size=12,
+            ).filter(lambda ws: sum(ws) > 0),
+            seed=st.integers(min_value=0, max_value=2**31 - 1),
+        )
+        def check(weights, seed):
+            w = np.array(weights, dtype=np.float64)
+            p = w / w.sum()
+            n = 40_000
+            alias = AliasTable(w).draw(np.random.default_rng(seed), n)
+            ref = np.random.default_rng(seed + 1).choice(len(w), size=n, p=p)
+            f_alias = np.bincount(alias, minlength=len(w)) / n
+            f_ref = np.bincount(ref, minlength=len(w)) / n
+            assert np.allclose(f_alias, p, atol=0.03)
+            assert np.allclose(f_alias, f_ref, atol=0.05)
+
+        check()
+
+
+class TestIndexRemap:
+    """The compact first-contact index map behind lazy per-remote state."""
+
+    def test_slots_assigned_densely_in_touch_order(self):
+        remap = IndexRemap()
+        assert remap.slot(70_000) is None
+        assert remap.ensure(70_000) == 0
+        assert remap.ensure(12) == 1
+        assert remap.ensure(70_000) == 0  # idempotent
+        assert remap.slot(12) == 1
+        assert len(remap) == 2
+
+
+class TestScoreRowCache:
+    """On-demand score rows under a byte budget, LRU-evicted."""
+
+    def test_builds_once_then_hits(self):
+        built = []
+
+        def build(k):
+            built.append(k)
+            return np.full(8, float(k))
+
+        cache = ScoreRowCache(build, budget_bytes=1 << 20)
+        a = cache.row(3)
+        b = cache.row(3)
+        assert a is b and built == [3]
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_evicts_least_recently_used_within_budget(self):
+        row_bytes = np.zeros(8).nbytes
+        cache = ScoreRowCache(
+            lambda k: np.full(8, float(k)), budget_bytes=2 * row_bytes
+        )
+        cache.row(0)
+        cache.row(1)
+        cache.row(0)  # refresh 0 → 1 is now the LRU entry
+        cache.row(2)  # over budget: evicts 1, keeps 0 and 2
+        assert cache.evictions == 1
+        assert cache.nbytes <= 2 * row_bytes
+        cache.row(0)
+        assert cache.misses == 3  # 0, 1, 2 — the refreshed 0 never rebuilt
+
+    def test_single_row_kept_even_over_budget(self):
+        cache = ScoreRowCache(lambda k: np.zeros(64), budget_bytes=1)
+        row = cache.row(9)
+        assert row.size == 64 and len(cache) == 1
 
 
 class TestScaledSwarm:

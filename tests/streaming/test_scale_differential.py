@@ -123,6 +123,65 @@ class TestEngineIndependenceAtScale:
         assert a == b
 
 
+class TestLazyPeerState:
+    """Lazy materialisation ≡ eager precompute, byte for byte.
+
+    The mega-scale kernels (on-demand score rows, first-contact busy and
+    latency state, blockwise availability) must compute the very same
+    IEEE doubles the eager path precomputes up front — checked at test
+    scale across both engine cores and both population representations,
+    including the mega-scale profile's own configuration resized down.
+    """
+
+    @pytest.mark.parametrize("engine", ["object", "soa"])
+    def test_lazy_equals_eager_both_engines(self, engine):
+        base = _napa(1200)
+        kw = dict(seed=7, duration_s=45.0, engine=engine)
+        a = _digest(simulate(replace(base, peer_state="eager"), **kw))
+        b = _digest(simulate(replace(base, peer_state="lazy"), **kw))
+        assert a == b
+
+    @pytest.mark.parametrize("engine", ["object", "soa"])
+    def test_mega_scale_config_matches_eager_at_test_scale(self, engine):
+        lazy = get_profile("mega-scale").scaled_swarm(2500)
+        assert lazy.peer_state == "lazy"
+        kw = dict(seed=7, duration_s=60.0, engine=engine)
+        a = _digest(simulate(lazy, **kw))
+        b = _digest(simulate(replace(lazy, peer_state="eager"), **kw))
+        assert a == b
+
+    @pytest.mark.parametrize("engine", ["object", "soa"])
+    def test_lazy_sparse_equals_dense(self, engine):
+        profile = replace(_napa(800), peer_state="lazy")
+        kw = dict(engine=engine, seed=7, duration_s=60.0)
+        sparse = _digest(_run_with_population(profile, "sparse", **kw))
+        dense = _digest(_run_with_population(profile, "dense", **kw))
+        assert sparse == dense
+
+    @pytest.mark.parametrize("engine", ["object", "soa"])
+    def test_lazy_stats_report_touched_subsets(self, engine):
+        """The lazy counters expose the point of the whole layer: the
+        resident per-remote state covers a strict subset of the swarm.
+        They count protocol-level contacts, so both cores must agree."""
+        profile = replace(_napa(1200), peer_state="lazy")
+        res = simulate(profile, seed=7, duration_s=45.0, engine=engine)
+        stats = res.extras["engine_stats"]
+        assert stats["peer_state"] == "lazy"
+        lazy = stats["lazy"]
+        n = profile.swarm_size
+        assert 0 < lazy["max_touched_busy"] < n
+        assert 0 < lazy["max_touched_lat"] < n
+        assert lazy["score_row_misses"] >= lazy["score_rows_cached"] > 0
+
+    def test_lazy_counters_engine_agnostic(self):
+        profile = replace(_napa(1200), peer_state="lazy")
+        a = simulate(profile, seed=7, duration_s=45.0, engine="object")
+        b = simulate(profile, seed=7, duration_s=45.0, engine="soa")
+        assert (
+            a.extras["engine_stats"]["lazy"] == b.extras["engine_stats"]["lazy"]
+        )
+
+
 class TestScaleValidation:
     def test_full_size_profile_is_sparse_and_cohorted(self):
         prof = get_profile("napa-scale")
